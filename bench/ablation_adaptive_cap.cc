@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: the adaptive Marking-Cap extension (Section 8.3.1's "it is
+ * possible to improve our mechanism by making the Marking-Cap adaptive")
+ * against fixed caps, on the workload population and on the two
+ * cap-sensitive case studies.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+struct Variant {
+    std::string name;
+    parbs::SchedulerConfig config;
+};
+
+std::vector<Variant>
+Variants()
+{
+    using namespace parbs;
+    std::vector<Variant> out;
+    for (std::uint32_t cap : {2u, 5u, 10u}) {
+        SchedulerConfig config;
+        config.kind = SchedulerKind::kParBs;
+        config.parbs.marking_cap = cap;
+        out.push_back({"fixed c=" + std::to_string(cap), config});
+    }
+    SchedulerConfig adaptive;
+    adaptive.kind = SchedulerKind::kParBsAdaptive;
+    out.push_back({"adaptive", adaptive});
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Ablation", "adaptive Marking-Cap vs fixed caps");
+    ExperimentRunner runner = bench::MakeRunner(options, 4);
+
+    const std::uint32_t count = options.Count(4, 12, 50);
+    const auto mixes = RandomMixes(count, 4, options.seed);
+    std::cout << "Average over " << mixes.size() << " 4-core workloads:\n\n";
+    Table averages({"cap policy", "unfairness(gmean)", "weighted-sp",
+                    "hmean-sp"});
+    for (const Variant& variant : Variants()) {
+        std::vector<SharedRun> runs;
+        for (const auto& workload : mixes) {
+            runs.push_back(runner.RunShared(workload, variant.config));
+        }
+        const AggregateMetrics agg = ExperimentRunner::Aggregate(runs);
+        averages.AddRow({variant.name,
+                         Table::Num(agg.unfairness_gmean, 3),
+                         Table::Num(agg.weighted_speedup_gmean, 3),
+                         Table::Num(agg.hmean_speedup_gmean, 3)});
+    }
+    std::cout << averages.Render() << "\n";
+
+    for (const WorkloadSpec& workload : {CaseStudy1(), CaseStudy2()}) {
+        std::cout << "Unfairness / weighted speedup, " << workload.name
+                  << ":\n\n";
+        Table table({"cap policy", "unfairness", "weighted-sp"});
+        for (const Variant& variant : Variants()) {
+            const SharedRun run =
+                runner.RunShared(workload, variant.config);
+            table.AddRow({variant.name,
+                          Table::Num(run.metrics.unfairness),
+                          Table::Num(run.metrics.weighted_speedup)});
+        }
+        std::cout << table.Render() << "\n";
+    }
+    return 0;
+}

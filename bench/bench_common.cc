@@ -1,0 +1,121 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace parbs::bench {
+
+Options
+ParseOptions(int argc, char** argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            options.quick = true;
+            options.cycles = 500'000;
+        } else if (arg == "--full") {
+            options.full = true;
+        } else if (arg == "--cycles" && i + 1 < argc) {
+            options.cycles = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            options.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "usage: %s [--quick|--full] [--cycles N] "
+                         "[--seed N]\n",
+                         argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+ExperimentRunner
+MakeRunner(const Options& options, std::uint32_t cores)
+{
+    ExperimentConfig config;
+    config.cores = cores;
+    config.run_cycles = options.cycles;
+    config.seed = options.seed;
+    return ExperimentRunner(config);
+}
+
+void
+Banner(const std::string& id, const std::string& caption)
+{
+    std::cout << "==================================================="
+                 "=========================\n"
+              << id << " — " << caption << "\n"
+              << "PAR-BS reproduction (Mutlu & Moscibroda, ISCA 2008)\n"
+              << "==================================================="
+                 "=========================\n\n";
+}
+
+std::vector<SharedRun>
+RunCaseStudy(ExperimentRunner& runner, const WorkloadSpec& workload)
+{
+    std::cout << "Workload " << workload.name << ":";
+    for (const auto& benchmark : workload.benchmarks) {
+        std::cout << " " << benchmark;
+    }
+    std::cout << "\n\n";
+
+    std::vector<SharedRun> runs;
+    std::vector<std::string> header{"scheduler"};
+    for (const auto& benchmark : workload.benchmarks) {
+        header.push_back("slow:" + benchmark);
+    }
+    header.insert(header.end(),
+                  {"unfairness", "weighted-sp", "hmean-sp", "AST/req"});
+    Table table(std::move(header));
+
+    for (const auto& scheduler : ComparisonSchedulers()) {
+        SharedRun run = runner.RunShared(workload, scheduler);
+        std::vector<std::string> row{run.scheduler};
+        for (double slowdown : run.metrics.memory_slowdown) {
+            row.push_back(Table::Num(slowdown));
+        }
+        row.push_back(Table::Num(run.metrics.unfairness));
+        row.push_back(Table::Num(run.metrics.weighted_speedup));
+        row.push_back(Table::Num(run.metrics.hmean_speedup));
+        row.push_back(Table::Num(run.metrics.avg_ast_per_req, 0));
+        table.AddRow(std::move(row));
+        runs.push_back(std::move(run));
+    }
+    std::cout << table.Render() << "\n";
+    return runs;
+}
+
+void
+RunAggregate(ExperimentRunner& runner,
+             const std::vector<WorkloadSpec>& workloads,
+             const std::string& label)
+{
+    std::cout << label << " (" << workloads.size() << " workloads, "
+              << runner.config().cores << " cores)\n\n";
+    Table table({"scheduler", "unfairness(gmean)", "weighted-sp(gmean)",
+                 "hmean-sp(gmean)", "AST/req", "worst-case lat (cpu cyc)"});
+    for (const auto& scheduler : ComparisonSchedulers()) {
+        std::vector<SharedRun> runs;
+        runs.reserve(workloads.size());
+        for (const auto& workload : workloads) {
+            runs.push_back(runner.RunShared(workload, scheduler));
+        }
+        const AggregateMetrics agg = ExperimentRunner::Aggregate(runs);
+        table.AddRow({runs.front().scheduler,
+                      Table::Num(agg.unfairness_gmean, 3),
+                      Table::Num(agg.weighted_speedup_gmean, 3),
+                      Table::Num(agg.hmean_speedup_gmean, 3),
+                      Table::Num(agg.ast_per_req_mean, 0),
+                      Table::Num(agg.worst_case_latency_mean, 0)});
+    }
+    std::cout << table.Render() << "\n";
+}
+
+} // namespace parbs::bench

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harness: every binary in bench/
+ * regenerates one of the paper's tables or figures as console output.
+ *
+ * Common CLI (every experiment binary):
+ *   --quick        quarter-length runs and smaller workload sets
+ *   --full         paper-scale workload counts (e.g. 100 4-core mixes)
+ *   --cycles N     simulated CPU cycles per run (default 2,000,000)
+ *   --seed N       master seed
+ */
+
+#ifndef PARBS_BENCH_BENCH_COMMON_HH
+#define PARBS_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+namespace parbs::bench {
+
+/** Parsed harness options. */
+struct Options {
+    CpuCycle cycles = 2'000'000;
+    bool quick = false;
+    bool full = false;
+    std::uint64_t seed = 1;
+
+    /** Picks a workload count by mode: quick/default/full. */
+    std::uint32_t
+    Count(std::uint32_t quick_n, std::uint32_t default_n,
+          std::uint32_t full_n) const
+    {
+        return full ? full_n : quick ? quick_n : default_n;
+    }
+};
+
+/** Parses the common CLI; exits with a usage message on errors. */
+Options ParseOptions(int argc, char** argv);
+
+/** An experiment runner configured from @p options. */
+ExperimentRunner MakeRunner(const Options& options, std::uint32_t cores);
+
+/** Prints the figure/table banner. */
+void Banner(const std::string& id, const std::string& caption);
+
+/**
+ * Runs @p workload under the paper's five-scheduler lineup and prints the
+ * per-thread slowdowns, unfairness, and throughput — the layout of the
+ * Figure 5/6/7/9 case studies.  @return the runs, in lineup order.
+ */
+std::vector<SharedRun> RunCaseStudy(ExperimentRunner& runner,
+                                    const WorkloadSpec& workload);
+
+/**
+ * Runs a workload *set* under the lineup and prints per-scheduler
+ * aggregates (the Figure 8/10 and Table 4 layout).
+ */
+void RunAggregate(ExperimentRunner& runner,
+                  const std::vector<WorkloadSpec>& workloads,
+                  const std::string& label);
+
+} // namespace parbs::bench
+
+#endif // PARBS_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 10: 16-core systems — five sample workloads (two Table 3 index
+ * mixes, intensive16, middle16, non-intensive16) plus the aggregate over a
+ * random 16-core population (paper: 12 workloads).
+ *
+ * Paper shape: PAR-BS reduces unfairness from 1.81 (STFM) to 1.63 while
+ * improving weighted speedup by 3.2% and hmean speedup by 5.1%.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 10", "16-core workloads: samples + GMEAN");
+    ExperimentRunner runner = bench::MakeRunner(options, 16);
+
+    std::cout << "Sample workloads (unfairness per scheduler):\n\n";
+    Table samples({"workload", "FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS"});
+    for (const WorkloadSpec& workload : SixteenCoreSamples()) {
+        std::vector<std::string> row{workload.name};
+        for (const auto& scheduler : ComparisonSchedulers()) {
+            row.push_back(Table::Num(
+                runner.RunShared(workload, scheduler).metrics.unfairness));
+        }
+        samples.AddRow(std::move(row));
+    }
+    std::cout << samples.Render() << "\n";
+
+    const std::uint32_t count = options.Count(3, 7, 12);
+    bench::RunAggregate(runner, RandomMixes(count, 16, options.seed),
+                        "Population aggregate");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 11: the effect of Marking-Cap on PAR-BS's unfairness and
+ * throughput — averaged over a 4-core workload population (left) and on
+ * the per-thread slowdowns of Case Studies I and II (middle/right).
+ *
+ * Paper shape: tiny caps hurt both throughput (no locality, no
+ * parallelism to find) and fairness (penalize high-row-locality threads);
+ * very large caps drift back toward FR-FCFS-like unfairness; the knee sits
+ * at cap ~5 in the paper's setup.  In this reproduction the knee shifts to
+ * slightly larger caps because the synthetic streams keep more requests in
+ * flight per thread (see EXPERIMENTS.md).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+parbs::SchedulerConfig
+ParBsWithCap(std::uint32_t cap)
+{
+    parbs::SchedulerConfig config;
+    config.kind = parbs::SchedulerKind::kParBs;
+    config.parbs.marking_cap = cap;
+    return config;
+}
+
+std::string
+CapName(std::uint32_t cap)
+{
+    return cap == 0 ? "no-c" : "c=" + std::to_string(cap);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 11", "effect of Marking-Cap");
+    ExperimentRunner runner = bench::MakeRunner(options, 4);
+
+    const std::vector<std::uint32_t> caps{1, 2, 3, 4,  5,  6,
+                                          7, 8, 9, 10, 20, 0};
+
+    // Left: population averages.
+    const std::uint32_t count = options.Count(4, 12, 100);
+    const auto mixes = RandomMixes(count, 4, options.seed);
+    std::cout << "Average over " << mixes.size() << " 4-core workloads:\n\n";
+    Table averages({"cap", "unfairness(gmean)", "weighted-sp", "hmean-sp"});
+    for (std::uint32_t cap : caps) {
+        std::vector<SharedRun> runs;
+        for (const auto& workload : mixes) {
+            runs.push_back(runner.RunShared(workload, ParBsWithCap(cap)));
+        }
+        const AggregateMetrics agg = ExperimentRunner::Aggregate(runs);
+        averages.AddRow({CapName(cap), Table::Num(agg.unfairness_gmean, 3),
+                         Table::Num(agg.weighted_speedup_gmean, 3),
+                         Table::Num(agg.hmean_speedup_gmean, 3)});
+    }
+    std::cout << averages.Render() << "\n";
+
+    // Middle/right: per-thread slowdowns for the case studies.
+    for (const WorkloadSpec& workload : {CaseStudy1(), CaseStudy2()}) {
+        std::cout << "Memory slowdowns, " << workload.name << ":\n\n";
+        std::vector<std::string> header{"cap"};
+        for (const auto& benchmark : workload.benchmarks) {
+            header.push_back(benchmark);
+        }
+        Table slowdowns(std::move(header));
+        for (std::uint32_t cap : caps) {
+            const SharedRun run =
+                runner.RunShared(workload, ParBsWithCap(cap));
+            std::vector<std::string> row{CapName(cap)};
+            for (double slowdown : run.metrics.memory_slowdown) {
+                row.push_back(Table::Num(slowdown));
+            }
+            slowdowns.AddRow(std::move(row));
+        }
+        std::cout << slowdowns.Render() << "\n";
+    }
+    return 0;
+}

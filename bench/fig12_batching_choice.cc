@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 12: the effect of the batching scheme — time-based static
+ * batching with Batch-Duration from 400 to 25600 DRAM-command cycles,
+ * empty-slot (eslot) batching, and PAR-BS's full batching.
+ *
+ * Paper shape: very small Batch-Durations degenerate to rank/row-hit
+ * prioritization (unfair to non-intensive threads); very large ones
+ * eliminate batching and approach FR-FCFS; the static sweet spot (~3200)
+ * still loses to full batching; eslot over-penalizes intensive threads.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+struct Variant {
+    std::string name;
+    parbs::SchedulerConfig config;
+};
+
+std::vector<Variant>
+Variants()
+{
+    using namespace parbs;
+    std::vector<Variant> out;
+    for (DramCycle duration :
+         {400u, 800u, 1600u, 3200u, 6400u, 12800u, 25600u}) {
+        SchedulerConfig config;
+        config.kind = SchedulerKind::kParBsStatic;
+        // Batch-Duration is specified in CPU cycles in the paper's text;
+        // the scheduler operates on the DRAM command clock (10:1).
+        config.static_batch_duration = duration / 10;
+        out.push_back({"st-" + std::to_string(duration), config});
+    }
+    SchedulerConfig eslot;
+    eslot.kind = SchedulerKind::kParBsEslot;
+    out.push_back({"eslot", eslot});
+    SchedulerConfig full;
+    full.kind = SchedulerKind::kParBs;
+    out.push_back({"full", full});
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 12", "effect of the batching choice");
+    ExperimentRunner runner = bench::MakeRunner(options, 4);
+
+    const std::uint32_t count = options.Count(4, 12, 100);
+    const auto mixes = RandomMixes(count, 4, options.seed);
+    std::cout << "Average over " << mixes.size() << " 4-core workloads:\n\n";
+    Table averages({"batching", "unfairness(gmean)", "weighted-sp",
+                    "hmean-sp"});
+    for (const Variant& variant : Variants()) {
+        std::vector<SharedRun> runs;
+        for (const auto& workload : mixes) {
+            runs.push_back(runner.RunShared(workload, variant.config));
+        }
+        const AggregateMetrics agg = ExperimentRunner::Aggregate(runs);
+        averages.AddRow({variant.name,
+                         Table::Num(agg.unfairness_gmean, 3),
+                         Table::Num(agg.weighted_speedup_gmean, 3),
+                         Table::Num(agg.hmean_speedup_gmean, 3)});
+    }
+    std::cout << averages.Render() << "\n";
+
+    for (const WorkloadSpec& workload : {CaseStudy1(), CaseStudy2()}) {
+        std::cout << "Memory slowdowns, " << workload.name << ":\n\n";
+        std::vector<std::string> header{"batching"};
+        for (const auto& benchmark : workload.benchmarks) {
+            header.push_back(benchmark);
+        }
+        Table slowdowns(std::move(header));
+        for (const Variant& variant : Variants()) {
+            const SharedRun run =
+                runner.RunShared(workload, variant.config);
+            std::vector<std::string> row{variant.name};
+            for (double slowdown : run.metrics.memory_slowdown) {
+                row.push_back(Table::Num(slowdown));
+            }
+            slowdowns.AddRow(std::move(row));
+        }
+        std::cout << slowdowns.Render() << "\n";
+    }
+    return 0;
+}

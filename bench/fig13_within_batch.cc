@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 13: the effect of the within-batch scheduling policy — Max-Total
+ * (PAR-BS), Total-Max, random and round-robin ranking, and no ranking at
+ * all (FR-FCFS or FCFS inside the batch), with STFM as the external
+ * yardstick; evaluated on the workload population plus the homogeneous
+ * 4xlbm (high BLP) and 4xmatlab (low BLP) mixes.
+ *
+ * Paper shape: the shortest-job-first rankings (Max-Total / Total-Max)
+ * perform nearly identically and beat random/round-robin by ~5.7%/9.8%
+ * (WS/HS) and no-rank FR-FCFS by 4.7%/10.7%; parallelism-awareness
+ * matters for 4xlbm but not for 4xmatlab.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+struct Variant {
+    std::string name;
+    parbs::SchedulerConfig config;
+};
+
+std::vector<Variant>
+Variants()
+{
+    using namespace parbs;
+    std::vector<Variant> out;
+    const struct {
+        RankingPolicy policy;
+        const char* name;
+    } rankings[] = {
+        {RankingPolicy::kMaxTotal, "max-total (PAR-BS)"},
+        {RankingPolicy::kTotalMax, "total-max"},
+        {RankingPolicy::kRandom, "random"},
+        {RankingPolicy::kRoundRobin, "round-robin"},
+        {RankingPolicy::kNoRankFrFcfs, "no-rank (FR-FCFS)"},
+        {RankingPolicy::kNoRankFcfs, "no-rank (FCFS)"},
+    };
+    for (const auto& ranking : rankings) {
+        SchedulerConfig config;
+        config.kind = SchedulerKind::kParBs;
+        config.parbs.ranking = ranking.policy;
+        out.push_back({ranking.name, config});
+    }
+    SchedulerConfig stfm;
+    stfm.kind = SchedulerKind::kStfm;
+    out.push_back({"STFM", stfm});
+    return out;
+}
+
+void
+Sweep(parbs::ExperimentRunner& runner,
+      const std::vector<parbs::WorkloadSpec>& workloads,
+      const std::string& label)
+{
+    using namespace parbs;
+    std::cout << label << ":\n\n";
+    Table table({"within-batch policy", "unfairness(gmean)", "weighted-sp",
+                 "hmean-sp"});
+    for (const Variant& variant : Variants()) {
+        std::vector<SharedRun> runs;
+        for (const auto& workload : workloads) {
+            runs.push_back(runner.RunShared(workload, variant.config));
+        }
+        const AggregateMetrics agg = ExperimentRunner::Aggregate(runs);
+        table.AddRow({variant.name, Table::Num(agg.unfairness_gmean, 3),
+                      Table::Num(agg.weighted_speedup_gmean, 3),
+                      Table::Num(agg.hmean_speedup_gmean, 3)});
+    }
+    std::cout << table.Render() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 13", "effect of the within-batch policy");
+    ExperimentRunner runner = bench::MakeRunner(options, 4);
+
+    const std::uint32_t count = options.Count(4, 12, 100);
+    Sweep(runner, RandomMixes(count, 4, options.seed),
+          "Average over the workload population");
+    Sweep(runner, {Copies("470.lbm", 4)}, "4 copies of lbm (high BLP)");
+    Sweep(runner, {Copies("matlab", 4)}, "4 copies of matlab (low BLP)");
+    return 0;
+}

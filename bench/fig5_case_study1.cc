@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 5 — Case Study I: a memory-intensive 4-core workload
+ * (libquantum, mcf, GemsFDTD, xalancbmk) under the five-scheduler lineup.
+ *
+ * Paper shape: FR-FCFS/FCFS are the most unfair (paper unfairness 5.26 and
+ * 1.72); STFM improves both; PAR-BS provides the best fairness (1.07) and
+ * throughput.  mcf (very high BLP) is over-penalized by NFQ/STFM, less so
+ * by PAR-BS.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 5", "Case Study I: memory-intensive workload");
+    ExperimentRunner runner = bench::MakeRunner(options, 4);
+    bench::RunCaseStudy(runner, CaseStudy1());
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 6 — Case Study II: a non-intensive 4-core workload (matlab,
+ * h264ref, omnetpp, hmmer).
+ *
+ * Paper shape: PAR-BS is the only scheduler that does not significantly
+ * penalize the high-bank-parallelism thread (omnetpp); NFQ slows it most
+ * (idleness problem); PAR-BS has the best fairness (1.19) and throughput.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 6", "Case Study II: non-intensive workload");
+    ExperimentRunner runner = bench::MakeRunner(options, 4);
+    bench::RunCaseStudy(runner, CaseStudy2());
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 7 — Case Study III: four copies of lbm (a high-BLP intensive
+ * benchmark).  Unfairness is ~1 for every scheduler by symmetry; the paper
+ * shows parallelism-awareness still improves system throughput (+8.6% for
+ * PAR-BS over FR-FCFS/STFM; FCFS and especially NFQ lose throughput).
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 7",
+                  "Case Study III: 4 copies of lbm (uniform mix)");
+    ExperimentRunner runner = bench::MakeRunner(options, 4);
+    bench::RunCaseStudy(runner, CaseStudy3());
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 8: unfairness and system throughput across the pseudo-random
+ * 4-core workload population — the ten individually-plotted sample mixes
+ * plus the GMEAN over the full set (paper: 100 workloads; default here: 32,
+ * `--full` for 100, `--quick` for 8).
+ *
+ * Paper shape: PAR-BS has both the lowest average unfairness (1.22 vs
+ * STFM's 1.36) and the highest weighted/hmean speedup (+4.4% / +8.3% over
+ * STFM).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 8",
+                  "4-core workload population: samples + GMEAN");
+    ExperimentRunner runner = bench::MakeRunner(options, 4);
+
+    // Left panel: the ten sample mixes, unfairness per scheduler.
+    std::cout << "Sample workloads (unfairness per scheduler):\n\n";
+    Table samples({"workload", "FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS"});
+    for (const WorkloadSpec& workload : Fig8SampleWorkloads()) {
+        std::vector<std::string> row{workload.name};
+        for (const auto& scheduler : ComparisonSchedulers()) {
+            row.push_back(Table::Num(
+                runner.RunShared(workload, scheduler).metrics.unfairness));
+        }
+        samples.AddRow(std::move(row));
+    }
+    std::cout << samples.Render() << "\n";
+
+    // Right panel: aggregates over the random population.
+    const std::uint32_t count = options.Count(8, 32, 100);
+    bench::RunAggregate(runner, RandomMixes(count, 4, options.seed),
+                        "Population aggregate");
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 9: the mixed 8-core workload (mcf, xml-parser, cactusADM, astar,
+ * hmmer, h264ref, gromacs, bzip2).
+ *
+ * Paper shape: every previous scheduler slows the high-BLP thread (mcf) by
+ * at least 3.5X; PAR-BS preserves its bank-parallelism (2.8X) and provides
+ * the best fairness (1.39) and throughput.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Figure 9", "mixed 8-core workload");
+    ExperimentRunner runner = bench::MakeRunner(options, 8);
+    bench::RunCaseStudy(runner, EightCoreMixed());
+    return 0;
+}

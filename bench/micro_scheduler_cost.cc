@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Microbenchmark (google-benchmark) of the per-cycle scheduling decision —
+ * the paper's implementability argument: PAR-BS uses "simple prioritization
+ * rules that depend on request counts" and needs no complex arithmetic,
+ * unlike STFM's slowdown estimation (which the hardware proposal implements
+ * with dividers).  This measures the software decision cost of each policy
+ * under an identical standing request mix.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/controller.hh"
+#include "sched/factory.hh"
+
+namespace parbs {
+namespace {
+
+/** A controller pre-loaded with a reproducible mixed request population. */
+std::unique_ptr<Controller>
+LoadedController(SchedulerKind kind, std::uint32_t requests)
+{
+    SchedulerConfig scheduler_config;
+    scheduler_config.kind = kind;
+    ControllerConfig config;
+    config.enable_refresh = false;
+    dram::Geometry geometry;
+    geometry.rows_per_bank = 1024;
+    auto controller = std::make_unique<Controller>(
+        config, dram::TimingParams{}, geometry, 8,
+        MakeScheduler(scheduler_config));
+    Rng rng(42);
+    for (std::uint32_t i = 0; i < requests; ++i) {
+        auto request = std::make_unique<MemRequest>();
+        request->id = i + 1;
+        request->thread = static_cast<ThreadId>(rng.NextBelow(8));
+        request->coords.bank = static_cast<std::uint32_t>(rng.NextBelow(8));
+        request->coords.row = static_cast<std::uint32_t>(rng.NextBelow(64));
+        request->is_write = rng.NextBool(0.2);
+        controller->Enqueue(std::move(request), 0);
+    }
+    return controller;
+}
+
+void
+SchedulerTick(benchmark::State& state, SchedulerKind kind)
+{
+    auto controller = LoadedController(kind, 96);
+    DramCycle now = 0;
+    for (auto _ : state) {
+        controller->Tick(now);
+        now += 1;
+        // Keep the buffer populated so every tick makes real decisions.
+        if (controller->pending_reads() < 48) {
+            state.PauseTiming();
+            controller = LoadedController(kind, 96);
+            now = 0;
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Fcfs(benchmark::State& s) { SchedulerTick(s, SchedulerKind::kFcfs); }
+void BM_FrFcfs(benchmark::State& s)
+{
+    SchedulerTick(s, SchedulerKind::kFrFcfs);
+}
+void BM_Nfq(benchmark::State& s) { SchedulerTick(s, SchedulerKind::kNfq); }
+void BM_Stfm(benchmark::State& s) { SchedulerTick(s, SchedulerKind::kStfm); }
+void BM_ParBs(benchmark::State& s)
+{
+    SchedulerTick(s, SchedulerKind::kParBs);
+}
+
+BENCHMARK(BM_Fcfs);
+BENCHMARK(BM_FrFcfs);
+BENCHMARK(BM_Nfq);
+BENCHMARK(BM_Stfm);
+BENCHMARK(BM_ParBs);
+
+} // namespace
+} // namespace parbs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: sensitivity of the FR-FCFS -> PAR-BS comparison to system
+ * parameters (the paper's extended technical report, MSR-TR-2008-26,
+ * "also evaluates varying system parameters").  Sweeps the bank count,
+ * the row-buffer size, and the number of memory channels on the 4-core
+ * Case Study I workload plus a small population.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace parbs;
+
+void
+SweepRow(Table& table, const std::string& label,
+         const bench::Options& options,
+         const std::function<void(SystemConfig&)>& customize)
+{
+    ExperimentConfig config;
+    config.cores = 4;
+    config.run_cycles = options.cycles;
+    config.seed = options.seed;
+    config.customize = customize;
+    ExperimentRunner runner(config);
+
+    auto workloads = RandomMixes(options.Count(2, 6, 16), 4, options.seed);
+    workloads.push_back(CaseStudy1());
+
+    SchedulerConfig frfcfs;
+    frfcfs.kind = SchedulerKind::kFrFcfs;
+    SchedulerConfig parbs_config;
+    parbs_config.kind = SchedulerKind::kParBs;
+
+    std::vector<SharedRun> base_runs;
+    std::vector<SharedRun> parbs_runs;
+    for (const auto& workload : workloads) {
+        base_runs.push_back(runner.RunShared(workload, frfcfs));
+        parbs_runs.push_back(runner.RunShared(workload, parbs_config));
+    }
+    const AggregateMetrics base = ExperimentRunner::Aggregate(base_runs);
+    const AggregateMetrics ours = ExperimentRunner::Aggregate(parbs_runs);
+
+    table.AddRow({label, Table::Num(base.unfairness_gmean, 3),
+                  Table::Num(ours.unfairness_gmean, 3),
+                  Table::Num(base.weighted_speedup_gmean, 3),
+                  Table::Num(ours.weighted_speedup_gmean, 3),
+                  Table::Num((ours.weighted_speedup_gmean /
+                                  base.weighted_speedup_gmean -
+                              1.0) *
+                                 100.0,
+                             1) +
+                      "%"});
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Ablation",
+                  "FR-FCFS vs PAR-BS across system parameters (4 cores)");
+
+    Table table({"configuration", "unfair FR-FCFS", "unfair PAR-BS",
+                 "WS FR-FCFS", "WS PAR-BS", "PAR-BS WS gain"});
+
+    SweepRow(table, "baseline (8 banks, 2KB rows, 1 ch)", options,
+             [](SystemConfig&) {});
+    SweepRow(table, "4 banks", options, [](SystemConfig& c) {
+        c.geometry.banks_per_rank = 4;
+    });
+    SweepRow(table, "16 banks", options, [](SystemConfig& c) {
+        c.geometry.banks_per_rank = 16;
+    });
+    SweepRow(table, "1KB rows", options, [](SystemConfig& c) {
+        c.geometry.row_bytes = 1024;
+    });
+    SweepRow(table, "4KB rows", options, [](SystemConfig& c) {
+        c.geometry.row_bytes = 4096;
+    });
+    SweepRow(table, "2 channels", options, [](SystemConfig& c) {
+        c.geometry.channels = 2;
+    });
+    SweepRow(table, "2 ranks", options, [](SystemConfig& c) {
+        c.geometry.ranks_per_channel = 2;
+    });
+    // Note: the synthetic generator picks DRAM coordinates directly and
+    // encodes them through the same mapper, so the XOR permutation is
+    // identity-equivalent for these traces; the row is kept as a sanity
+    // check (it must match the baseline exactly).
+    SweepRow(table, "no XOR bank hash", options, [](SystemConfig& c) {
+        c.xor_bank_hash = false;
+    });
+    SweepRow(table, "64-entry request buffer", options,
+             [](SystemConfig& c) {
+                 c.controller.read_queue_capacity = 64;
+             });
+
+    std::cout << table.Render() << "\n"
+              << "Shape check: PAR-BS should never lose to FR-FCFS on "
+                 "either metric, with the largest\ngains where bank "
+                 "conflicts dominate (fewer banks / smaller rows / no "
+                 "hash).\n";
+    return 0;
+}

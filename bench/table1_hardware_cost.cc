@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 1: additional hardware state required by PAR-BS beyond FR-FCFS.
+ * Paper reference point: 1412 bits at 8 cores / 128-entry buffer / 8 banks.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/hardware_cost.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    bench::ParseOptions(argc, argv);
+    bench::Banner("Table 1", "PAR-BS implementation cost in register bits");
+
+    Table table({"cores", "buffer", "banks", "per-request", "per-thr/bank",
+                 "per-thread", "individual", "total bits"});
+    const struct {
+        std::uint32_t threads, buffer, banks;
+    } configs[] = {
+        {4, 128, 8}, {8, 128, 8}, {16, 128, 8}, {8, 256, 8},
+        {16, 256, 16}, {32, 512, 16},
+    };
+    for (const auto& c : configs) {
+        HardwareCostParams params;
+        params.num_threads = c.threads;
+        params.request_buffer_entries = c.buffer;
+        params.num_banks = c.banks;
+        const HardwareCostBreakdown cost = ParBsHardwareCost(params);
+        table.AddRow({std::to_string(c.threads), std::to_string(c.buffer),
+                      std::to_string(c.banks),
+                      std::to_string(cost.per_request_bits),
+                      std::to_string(cost.per_thread_per_bank_bits),
+                      std::to_string(cost.per_thread_bits),
+                      std::to_string(cost.individual_bits),
+                      std::to_string(cost.TotalBits())});
+    }
+    std::cout << table.Render() << "\n";
+
+    const std::uint64_t reference = ParBsHardwareCost({}).TotalBits();
+    std::cout << "Paper reference (8 cores, 128 entries, 8 banks): 1412 "
+                 "bits; computed: "
+              << reference << " — "
+              << (reference == 1412 ? "exact match" : "MISMATCH") << "\n";
+    return reference == 1412 ? 0 : 1;
+}

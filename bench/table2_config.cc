@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 2: the baseline CMP and memory-system configuration, as realized
+ * by this library's defaults — including the derived uncontended round-trip
+ * latencies the paper quotes (row hit 160, closed 240, conflict 320 CPU
+ * cycles for a 64-byte line).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sim/config.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    bench::ParseOptions(argc, argv);
+    bench::Banner("Table 2", "baseline CMP and memory-system configuration");
+
+    const SystemConfig config = SystemConfig::Baseline(4);
+    const dram::TimingParams& t = config.timing;
+
+    Table table({"parameter", "value", "paper"});
+    auto row = [&table](const std::string& name, const std::string& value,
+                        const std::string& paper) {
+        table.AddRow({name, value, paper});
+    };
+    row("cores", "4 (also 8, 16)", "4/8/16");
+    row("CPU : DRAM clock", std::to_string(config.cpu_to_dram_ratio) + ":1",
+        "4 GHz : DDR2-800 (10:1)");
+    row("instruction window", std::to_string(config.core.window_size),
+        "128");
+    row("width", std::to_string(config.core.width),
+        "3, one memory op/cycle");
+    row("MSHRs", std::to_string(config.core.mshrs), "32");
+    row("request buffer",
+        std::to_string(config.controller.read_queue_capacity), "128");
+    row("write buffer",
+        std::to_string(config.controller.write_queue_capacity), "64");
+    row("banks", std::to_string(config.geometry.banks_per_rank), "8");
+    row("row size", std::to_string(config.geometry.row_bytes) + " B",
+        "2 KB");
+    row("channels (4 cores)", std::to_string(config.geometry.channels),
+        "1 (6.4 GB/s)");
+    row("tCL", std::to_string(t.tCL) + " cycles (15 ns)", "15 ns");
+    row("tRCD", std::to_string(t.tRCD) + " cycles (15 ns)", "15 ns");
+    row("tRP", std::to_string(t.tRP) + " cycles (15 ns)", "15 ns");
+    row("BL/2", std::to_string(t.tBURST) + " cycles (10 ns)", "10 ns");
+    row("tRAS", std::to_string(t.tRAS) + " cycles", "(datasheet) 45 ns");
+    row("tFAW", std::to_string(t.tFAW) + " cycles", "(datasheet)");
+    row("address mapping",
+        config.xor_bank_hash ? "XOR bank permutation" : "linear",
+        "XOR-based [6, 42]");
+
+    const std::uint32_t ratio = config.cpu_to_dram_ratio;
+    const std::uint64_t fixed = config.extra_read_latency_cpu;
+    row("round trip, row hit",
+        std::to_string((t.HitLatency() + t.tBURST) * ratio + fixed) +
+            " cpu cycles",
+        "160 (40 ns)");
+    row("round trip, closed",
+        std::to_string((t.ClosedLatency() + t.tBURST) * ratio + fixed) +
+            " cpu cycles",
+        "240 (60 ns)");
+    row("round trip, conflict",
+        std::to_string((t.ConflictLatency() + t.tBURST) * ratio + fixed) +
+            " cpu cycles",
+        "320 (80 ns)");
+
+    std::cout << table.Render() << "\n";
+    return 0;
+}

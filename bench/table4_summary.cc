@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 4: the summary comparison — unfairness, weighted/hmean speedup,
+ * AST/req, and worst-case request latency for all five schedulers on the
+ * 4-, 8-, and 16-core systems, averaged over workload populations.
+ *
+ * Paper shape: PAR-BS beats STFM on every column at every core count
+ * (1.11X fairness / +4.4% WS / +8.3% HS at 4 cores) and has a markedly
+ * lower worst-case latency than NFQ and STFM (1.46X-2.26X).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+    const bench::Options options = bench::ParseOptions(argc, argv);
+    bench::Banner("Table 4",
+                  "scheduler summary on 4-, 8-, and 16-core systems");
+
+    const struct {
+        std::uint32_t cores;
+        std::uint32_t quick, normal, full;
+    } sizes[] = {{4, 6, 16, 100}, {8, 4, 8, 16}, {16, 3, 6, 12}};
+
+    for (const auto& size : sizes) {
+        ExperimentRunner runner = bench::MakeRunner(options, size.cores);
+        const std::uint32_t count =
+            options.Count(size.quick, size.normal, size.full);
+        bench::RunAggregate(
+            runner, RandomMixes(count, size.cores, options.seed),
+            std::to_string(size.cores) + "-core system");
+    }
+    return 0;
+}

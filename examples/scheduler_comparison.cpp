@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Compare all five DRAM schedulers on any workload composed from the
+ * Table 3 benchmark profiles.
+ *
+ * Usage: scheduler_comparison [benchmark ...]
+ *   e.g. scheduler_comparison mcf libquantum omnetpp hmmer
+ * Default: the paper's Case Study I mix.  Core count follows the number of
+ * benchmarks given (rounded up to 4/8/16).
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace parbs;
+
+    WorkloadSpec workload;
+    if (argc > 1) {
+        workload.name = "custom";
+        for (int i = 1; i < argc; ++i) {
+            try {
+                workload.benchmarks.emplace_back(
+                    FindProfile(argv[i]).name);
+            } catch (const ConfigError& e) {
+                std::cerr << e.what() << "\nKnown benchmarks:";
+                for (const auto& profile : SpecProfiles()) {
+                    std::cerr << " " << profile.name;
+                }
+                std::cerr << "\n";
+                return 2;
+            }
+        }
+    } else {
+        workload = CaseStudy1();
+    }
+
+    ExperimentConfig config;
+    config.cores = workload.benchmarks.size() <= 4    ? 4
+                   : workload.benchmarks.size() <= 8  ? 8
+                                                      : 16;
+    if (workload.benchmarks.size() > 16) {
+        std::cerr << "at most 16 benchmarks supported\n";
+        return 2;
+    }
+    config.run_cycles = 2'000'000;
+    ExperimentRunner runner(config);
+
+    std::cout << "Workload:";
+    for (const auto& benchmark : workload.benchmarks) {
+        std::cout << " " << benchmark;
+    }
+    std::cout << "\n\n";
+
+    std::vector<std::string> header{"scheduler"};
+    for (const auto& benchmark : workload.benchmarks) {
+        header.push_back("slow:" + benchmark.substr(
+                             benchmark.find('.') == std::string::npos
+                                 ? 0
+                                 : benchmark.find('.') + 1));
+    }
+    header.insert(header.end(), {"unfair", "WS", "HS"});
+    Table table(std::move(header));
+    for (const auto& scheduler : ComparisonSchedulers()) {
+        const SharedRun run = runner.RunShared(workload, scheduler);
+        std::vector<std::string> row{run.scheduler};
+        for (double slowdown : run.metrics.memory_slowdown) {
+            row.push_back(Table::Num(slowdown));
+        }
+        row.push_back(Table::Num(run.metrics.unfairness));
+        row.push_back(Table::Num(run.metrics.weighted_speedup));
+        row.push_back(Table::Num(run.metrics.hmean_speedup));
+        table.AddRow(std::move(row));
+    }
+    std::cout << table.Render();
+    return 0;
+}

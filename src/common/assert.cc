@@ -1,0 +1,23 @@
+#include "common/assert.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parbs {
+namespace detail {
+
+void
+AssertFail(const char* expr, const char* file, int line,
+           const std::string& msg)
+{
+    std::fprintf(stderr, "parbs: internal assertion failed: %s\n  at %s:%d\n",
+                 expr, file, line);
+    if (!msg.empty()) {
+        std::fprintf(stderr, "  %s\n", msg.c_str());
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace parbs

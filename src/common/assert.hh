@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Error-reporting primitives, following the gem5 fatal/panic distinction:
+ *
+ *  - ConfigError (thrown by PARBS_FATAL / config validation) means the *user*
+ *    supplied an impossible configuration.  Catchable; examples and tools
+ *    print the message and exit cleanly.
+ *  - PARBS_ASSERT aborts: an internal invariant was violated, i.e. a bug in
+ *    the simulator itself.  Assertions stay enabled in release builds — the
+ *    simulator is the product and silent state corruption is worse than the
+ *    (negligible) checking cost.
+ */
+
+#ifndef PARBS_COMMON_ASSERT_HH
+#define PARBS_COMMON_ASSERT_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace parbs {
+
+/** Exception thrown when a user-supplied configuration is invalid. */
+class ConfigError : public std::runtime_error {
+  public:
+    explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** Prints an assertion-failure report to stderr and aborts. */
+[[noreturn]] void AssertFail(const char* expr, const char* file, int line,
+                             const std::string& msg);
+
+} // namespace detail
+} // namespace parbs
+
+/** Abort with a message if @p expr is false.  Enabled in all build types. */
+#define PARBS_ASSERT(expr, msg)                                              \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::parbs::detail::AssertFail(#expr, __FILE__, __LINE__, (msg));   \
+        }                                                                    \
+    } while (false)
+
+/** Throw a ConfigError with the given message (user-fault error path). */
+#define PARBS_FATAL(msg) throw ::parbs::ConfigError(msg)
+
+#endif // PARBS_COMMON_ASSERT_HH

@@ -1,0 +1,51 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace parbs {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char*
+LevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kWarn:
+        return "warn";
+      case LogLevel::kInfo:
+        return "info";
+      case LogLevel::kDebug:
+        return "debug";
+      case LogLevel::kOff:
+        break;
+    }
+    return "off";
+}
+
+} // namespace
+
+void
+SetLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+GetLogLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+EmitLogLine(LogLevel level, const std::string& message)
+{
+    std::fprintf(stderr, "[parbs %s] %s\n", LevelName(level),
+                 message.c_str());
+}
+
+} // namespace detail
+} // namespace parbs

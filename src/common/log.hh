@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal leveled logging used for simulator status and debug traces.
+ *
+ * Logging is globally off by default so that benchmark harnesses and tests
+ * stay quiet; examples turn on kInfo.  There is deliberately no per-module
+ * filtering — the simulator's debug output is sparse enough that a global
+ * level suffices, and the hot path only pays one branch when logging is off.
+ */
+
+#ifndef PARBS_COMMON_LOG_HH
+#define PARBS_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace parbs {
+
+/** Severity levels, in increasing verbosity. */
+enum class LogLevel {
+    kOff = 0,
+    kWarn = 1,
+    kInfo = 2,
+    kDebug = 3,
+};
+
+/** Sets the process-wide log level. */
+void SetLogLevel(LogLevel level);
+
+/** @return the current process-wide log level. */
+LogLevel GetLogLevel();
+
+namespace detail {
+
+/** Writes one formatted log line to stderr. */
+void EmitLogLine(LogLevel level, const std::string& message);
+
+} // namespace detail
+} // namespace parbs
+
+/** Log at a given level; arguments are streamed (ostream syntax). */
+#define PARBS_LOG(level, streamed)                                           \
+    do {                                                                     \
+        if (static_cast<int>(::parbs::GetLogLevel()) >=                      \
+            static_cast<int>(level)) {                                       \
+            std::ostringstream parbs_log_oss_;                               \
+            parbs_log_oss_ << streamed;                                      \
+            ::parbs::detail::EmitLogLine(level, parbs_log_oss_.str());       \
+        }                                                                    \
+    } while (false)
+
+#define PARBS_WARN(streamed) PARBS_LOG(::parbs::LogLevel::kWarn, streamed)
+#define PARBS_INFO(streamed) PARBS_LOG(::parbs::LogLevel::kInfo, streamed)
+#define PARBS_DEBUG(streamed) PARBS_LOG(::parbs::LogLevel::kDebug, streamed)
+
+#endif // PARBS_COMMON_LOG_HH

@@ -1,0 +1,116 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace parbs {
+namespace {
+
+/** splitmix64 step, used only to expand the seed into generator state. */
+std::uint64_t
+SplitMix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = SplitMix64(s);
+    }
+}
+
+std::uint64_t
+Rng::Next64()
+{
+    // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::NextBelow(std::uint64_t bound)
+{
+    PARBS_ASSERT(bound > 0, "NextBelow requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = Next64();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+std::uint64_t
+Rng::NextInRange(std::uint64_t lo, std::uint64_t hi)
+{
+    PARBS_ASSERT(lo <= hi, "NextInRange requires lo <= hi");
+    return lo + NextBelow(hi - lo + 1);
+}
+
+double
+Rng::NextDouble()
+{
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::NextBool(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return NextDouble() < p;
+}
+
+std::uint64_t
+Rng::NextGeometric(double mean)
+{
+    if (mean <= 0.0) {
+        return 0;
+    }
+    // Inverse-CDF sampling of a geometric distribution on {0,1,2,...} with
+    // success probability p = 1/(mean+1), which has the requested mean.
+    const double p = 1.0 / (mean + 1.0);
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+        u = 0x1.0p-53;
+    }
+    double value = std::floor(std::log(u) / std::log1p(-p));
+    if (value < 0.0) {
+        value = 0.0;
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+Rng
+Rng::Fork()
+{
+    return Rng(Next64());
+}
+
+} // namespace parbs

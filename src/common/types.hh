@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every parbs subsystem.
+ *
+ * The simulator runs on two clock domains: the processor clock (4 GHz in the
+ * baseline configuration) and the DRAM command clock (400 MHz for DDR2-800).
+ * To keep the two from being mixed up accidentally, cycle counts are carried
+ * in the semantically named aliases below.  Both are plain 64-bit unsigned
+ * integers; the naming is documentation, not type safety — the hot simulation
+ * loops stay free of wrapper-class overhead.
+ */
+
+#ifndef PARBS_COMMON_TYPES_HH
+#define PARBS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace parbs {
+
+/** A point in time or duration measured in CPU clock cycles. */
+using CpuCycle = std::uint64_t;
+
+/** A point in time or duration measured in DRAM command-clock cycles. */
+using DramCycle = std::uint64_t;
+
+/** Identifier of a hardware thread / core (the paper uses one thread per core). */
+using ThreadId = std::uint32_t;
+
+/** Monotonically increasing identifier assigned to each memory request. */
+using RequestId = std::uint64_t;
+
+/** Physical memory address (byte-granular). */
+using Addr = std::uint64_t;
+
+/** Sentinel meaning "no time scheduled yet" / "never". */
+inline constexpr std::uint64_t kNeverCycle =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Sentinel for an invalid / unassigned thread. */
+inline constexpr ThreadId kInvalidThread =
+    std::numeric_limits<ThreadId>::max();
+
+/** Sentinel for "no row open" in a DRAM bank row-buffer. */
+inline constexpr std::uint32_t kNoRow =
+    std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * System-software thread priority (Section 5 of the paper).
+ *
+ * Level 1 is the most important; larger numbers are less important.  Requests
+ * from a thread at priority X are marked only every Xth batch.  The special
+ * level kOpportunisticPriority is the paper's level "L": requests from such
+ * threads are never marked and are serviced purely opportunistically.
+ */
+using ThreadPriority = std::uint32_t;
+
+/** Highest (most important) priority level. */
+inline constexpr ThreadPriority kHighestPriority = 1;
+
+/** The paper's level "L": purely opportunistic service, never marked. */
+inline constexpr ThreadPriority kOpportunisticPriority = 0;
+
+} // namespace parbs
+
+#endif // PARBS_COMMON_TYPES_HH

@@ -1,0 +1,161 @@
+#include "core/abstract_batch.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs::abstract {
+
+double
+AbstractResult::AverageCompletion() const
+{
+    double sum = 0.0;
+    std::uint32_t active = 0;
+    for (double c : completion) {
+        if (c > 0.0) {
+            sum += c;
+            active += 1;
+        }
+    }
+    return active == 0 ? 0.0 : sum / active;
+}
+
+std::vector<std::uint32_t>
+MaxTotalRanking(const AbstractBatch& batch)
+{
+    struct Load {
+        ThreadId thread;
+        std::uint32_t max_bank_load = 0;
+        std::uint32_t total_load = 0;
+    };
+    std::vector<Load> loads(batch.num_threads);
+    for (ThreadId t = 0; t < batch.num_threads; ++t) {
+        loads[t].thread = t;
+    }
+    for (const auto& bank : batch.banks) {
+        std::vector<std::uint32_t> per_thread(batch.num_threads, 0);
+        for (const AbstractRequest& request : bank) {
+            PARBS_ASSERT(request.thread < batch.num_threads,
+                         "request thread out of range");
+            per_thread[request.thread] += 1;
+        }
+        for (ThreadId t = 0; t < batch.num_threads; ++t) {
+            loads[t].total_load += per_thread[t];
+            loads[t].max_bank_load =
+                std::max(loads[t].max_bank_load, per_thread[t]);
+        }
+    }
+    std::stable_sort(loads.begin(), loads.end(),
+                     [](const Load& a, const Load& b) {
+                         if (a.max_bank_load != b.max_bank_load) {
+                             return a.max_bank_load < b.max_bank_load;
+                         }
+                         return a.total_load < b.total_load;
+                     });
+    std::vector<std::uint32_t> rank(batch.num_threads, 0);
+    for (std::uint32_t position = 0; position < loads.size(); ++position) {
+        rank[loads[position].thread] = position;
+    }
+    return rank;
+}
+
+AbstractResult
+ScheduleBatch(const AbstractBatch& batch, AbstractPolicy policy,
+              double conflict_latency, double hit_latency)
+{
+    PARBS_ASSERT(batch.num_threads > 0, "batch needs threads");
+    const std::vector<std::uint32_t> rank =
+        policy == AbstractPolicy::kParBs
+            ? MaxTotalRanking(batch)
+            : std::vector<std::uint32_t>(batch.num_threads, 0);
+
+    AbstractResult result;
+    result.completion.assign(batch.num_threads, 0.0);
+    result.service_order.resize(batch.banks.size());
+
+    for (std::size_t b = 0; b < batch.banks.size(); ++b) {
+        const auto& bank = batch.banks[b];
+        std::vector<bool> serviced(bank.size(), false);
+        // The first access to each bank is a row-conflict by assumption:
+        // no row is considered open until the first request is serviced.
+        bool row_open = false;
+        std::uint32_t open_row = 0;
+        double time = 0.0;
+
+        for (std::size_t step = 0; step < bank.size(); ++step) {
+            // Select the next request under the policy.
+            std::size_t best = bank.size();
+            for (std::size_t i = 0; i < bank.size(); ++i) {
+                if (serviced[i]) {
+                    continue;
+                }
+                if (best == bank.size()) {
+                    best = i;
+                    continue;
+                }
+                const bool i_hit = row_open && bank[i].row == open_row;
+                const bool best_hit =
+                    row_open && bank[best].row == open_row;
+                bool better = false;
+                switch (policy) {
+                  case AbstractPolicy::kFcfs:
+                    better = false; // Arrival order: first unserviced wins.
+                    break;
+                  case AbstractPolicy::kFrFcfs:
+                    better = i_hit && !best_hit;
+                    break;
+                  case AbstractPolicy::kParBs:
+                    if (i_hit != best_hit) {
+                        better = i_hit;
+                    } else if (rank[bank[i].thread] !=
+                               rank[bank[best].thread]) {
+                        better = rank[bank[i].thread] <
+                                 rank[bank[best].thread];
+                    }
+                    break;
+                }
+                if (better) {
+                    best = i;
+                }
+            }
+            PARBS_ASSERT(best < bank.size(), "no request selected");
+
+            const bool hit = row_open && bank[best].row == open_row;
+            time += hit ? hit_latency : conflict_latency;
+            serviced[best] = true;
+            row_open = true;
+            open_row = bank[best].row;
+            result.service_order[b].push_back(best);
+            result.completion[bank[best].thread] =
+                std::max(result.completion[bank[best].thread], time);
+        }
+    }
+    return result;
+}
+
+AbstractBatch
+Figure3Batch()
+{
+    // Reconstruction of the Figure 3 request layout (threads are 0-based
+    // here: paper thread N == model thread N-1).  Thread 0 has one request
+    // in each of three banks (max-bank-load 1); threads 1 and 2 both have
+    // max-bank-load 2 with thread 1 holding the smaller total (4 vs 6);
+    // thread 3 has max-bank-load 5.  The layout was recovered by exhaustive
+    // search (tools/fig3_search) so that all twelve per-thread completion
+    // times match the figure's tables exactly:
+    //     FCFS    4, 4, 5, 7      (avg 5)
+    //     FR-FCFS 5.5, 3, 4.5, 4.5 (avg 4.375)
+    //     PAR-BS  1, 2, 4, 5.5    (avg 3.125)
+    AbstractBatch batch;
+    batch.num_threads = 4;
+    batch.banks.resize(4);
+    // Each entry: {thread, row}; index 0 is the oldest request in the bank.
+    batch.banks[0] = {{3, 1}, {1, 10}, {3, 2}, {0, 20},
+                      {3, 2}, {3, 1}, {3, 2}};
+    batch.banks[1] = {{2, 42}, {2, 42}, {0, 21}};
+    batch.banks[2] = {{3, 54}, {1, 34}, {2, 44}, {1, 34}, {2, 45}};
+    batch.banks[3] = {{0, 23}, {2, 47}, {1, 36}, {2, 46}};
+    return batch;
+}
+
+} // namespace parbs::abstract

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The simplified within-batch scheduling model of Figure 3.
+ *
+ * The figure abstracts DRAM away to: banks service their request lists
+ * sequentially and in parallel with each other; a request costs 1.0 latency
+ * units if it opens a different row than the previously serviced request
+ * in that bank (the first request to each bank is a row-conflict by
+ * assumption), and 0.5 units if it hits the row left open by the previous
+ * request.  A thread's batch-completion time is the time its last request
+ * finishes anywhere.
+ *
+ * This model exists to validate the paper's central example (Figure 3:
+ * FCFS averages 5 latency units, FR-FCFS 4.375, PAR-BS 3.125) and as a
+ * teaching/what-if tool for within-batch policies, independent of the full
+ * cycle-level simulator.
+ */
+
+#ifndef PARBS_CORE_ABSTRACT_BATCH_HH
+#define PARBS_CORE_ABSTRACT_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace parbs::abstract {
+
+/** One marked request in the abstract model. */
+struct AbstractRequest {
+    ThreadId thread;
+    std::uint32_t row;
+};
+
+/** A batch: per-bank request lists in arrival order (oldest first). */
+struct AbstractBatch {
+    std::uint32_t num_threads = 0;
+    std::vector<std::vector<AbstractRequest>> banks;
+};
+
+/** Within-batch policies compared in Figure 3. */
+enum class AbstractPolicy {
+    kFcfs,   ///< Arrival order.
+    kFrFcfs, ///< Row-hit first, then arrival order.
+    kParBs,  ///< Row-hit first, then Max-Total thread rank, then arrival.
+};
+
+/** Per-thread completion times under one policy. */
+struct AbstractResult {
+    /** Batch-completion time per thread (0 for threads with no requests). */
+    std::vector<double> completion;
+    /** Service order per bank (indices into the bank's arrival list). */
+    std::vector<std::vector<std::size_t>> service_order;
+
+    /** Average completion time over threads that had requests. */
+    double AverageCompletion() const;
+};
+
+/**
+ * Schedules @p batch under @p policy.
+ * @param conflict_latency cost of a row-conflict/closed access (paper: 1.0)
+ * @param hit_latency cost of a row-hit access (paper: 0.5)
+ */
+AbstractResult ScheduleBatch(const AbstractBatch& batch,
+                             AbstractPolicy policy,
+                             double conflict_latency = 1.0,
+                             double hit_latency = 0.5);
+
+/** The Max-Total ranking of the batch (0 = highest rank). */
+std::vector<std::uint32_t> MaxTotalRanking(const AbstractBatch& batch);
+
+/**
+ * The Figure 3 example batch: four threads, four banks, with thread 1
+ * holding one request per bank, thread 4 five requests in one bank, etc.
+ * (reconstructed to match the figure's reported completion times).
+ */
+AbstractBatch Figure3Batch();
+
+} // namespace parbs::abstract
+
+#endif // PARBS_CORE_ABSTRACT_BATCH_HH

@@ -1,0 +1,49 @@
+#include "core/hardware_cost.hh"
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+std::uint32_t
+CeilLog2(std::uint64_t value)
+{
+    PARBS_ASSERT(value >= 1, "CeilLog2 requires value >= 1");
+    std::uint32_t bits = 0;
+    std::uint64_t capacity = 1;
+    while (capacity < value) {
+        capacity <<= 1;
+        bits += 1;
+    }
+    return bits;
+}
+
+HardwareCostBreakdown
+ParBsHardwareCost(const HardwareCostParams& params)
+{
+    HardwareCostBreakdown out;
+    const std::uint64_t thread_bits = CeilLog2(params.num_threads);
+    const std::uint64_t buffer_bits =
+        CeilLog2(params.request_buffer_entries);
+
+    // Per-request: Marked (1) + Priority's thread-rank field (log2 threads;
+    // the other priority components are already stored with the request in
+    // an FR-FCFS controller) + Thread-ID (log2 threads).
+    out.per_request_bits =
+        static_cast<std::uint64_t>(params.request_buffer_entries) *
+        (1 + thread_bits + thread_bits);
+
+    // ReqsInBankPerThread: log2(buffer) bits per (thread, bank).
+    out.per_thread_per_bank_bits = static_cast<std::uint64_t>(
+                                       params.num_threads) *
+                                   params.num_banks * buffer_bits;
+
+    // ReqsPerThread: log2(buffer) bits per thread.
+    out.per_thread_bits =
+        static_cast<std::uint64_t>(params.num_threads) * buffer_bits;
+
+    // TotalMarkedRequests + the Marking-Cap configuration register.
+    out.individual_bits = buffer_bits + params.marking_cap_bits;
+    return out;
+}
+
+} // namespace parbs

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Table 1 hardware-cost model: the additional state (beyond FR-FCFS) a
+ * PAR-BS implementation needs, in register bits.  The paper's reference
+ * point — an 8-core CMP with a 128-entry request buffer and 8 DRAM banks —
+ * comes to 1412 bits.
+ */
+
+#ifndef PARBS_CORE_HARDWARE_COST_HH
+#define PARBS_CORE_HARDWARE_COST_HH
+
+#include <cstdint>
+
+namespace parbs {
+
+/** Machine parameters the Table 1 accounting depends on. */
+struct HardwareCostParams {
+    std::uint32_t num_threads = 8;
+    std::uint32_t request_buffer_entries = 128;
+    std::uint32_t num_banks = 8;
+    /** Width of the system-configurable Marking-Cap register. */
+    std::uint32_t marking_cap_bits = 5;
+};
+
+/** Table 1 state, grouped as in the paper. */
+struct HardwareCostBreakdown {
+    /** Marked bit + thread-rank priority field + Thread-ID, per request. */
+    std::uint64_t per_request_bits = 0;
+    /** ReqsInBankPerThread counters (Max rule). */
+    std::uint64_t per_thread_per_bank_bits = 0;
+    /** ReqsPerThread counters (Total rule). */
+    std::uint64_t per_thread_bits = 0;
+    /** TotalMarkedRequests + Marking-Cap registers. */
+    std::uint64_t individual_bits = 0;
+
+    std::uint64_t
+    TotalBits() const
+    {
+        return per_request_bits + per_thread_per_bank_bits +
+               per_thread_bits + individual_bits;
+    }
+};
+
+/** ceil(log2(value)) for value >= 1 (log2 of a counter's range). */
+std::uint32_t CeilLog2(std::uint64_t value);
+
+/** Computes the Table 1 breakdown for @p params. */
+HardwareCostBreakdown ParBsHardwareCost(const HardwareCostParams& params);
+
+} // namespace parbs
+
+#endif // PARBS_CORE_HARDWARE_COST_HH

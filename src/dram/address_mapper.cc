@@ -1,0 +1,112 @@
+#include "dram/address_mapper.hh"
+
+#include <bit>
+
+#include "common/assert.hh"
+
+namespace parbs::dram {
+namespace {
+
+std::uint32_t
+Log2(std::uint32_t value)
+{
+    PARBS_ASSERT(value != 0 && (value & (value - 1)) == 0,
+                 "Log2 requires a power of two");
+    return static_cast<std::uint32_t>(std::countr_zero(value));
+}
+
+std::uint64_t
+ExtractBits(Addr addr, std::uint32_t shift, std::uint32_t width)
+{
+    if (width == 0) {
+        return 0;
+    }
+    return (addr >> shift) & ((std::uint64_t{1} << width) - 1);
+}
+
+} // namespace
+
+AddressMapper::AddressMapper(const Geometry& geometry, bool xor_bank_hash)
+    : geometry_(geometry), xor_bank_hash_(xor_bank_hash)
+{
+    geometry_.Validate();
+    offset_bits_ = Log2(geometry_.line_bytes);
+    column_bits_ = Log2(geometry_.LinesPerRow());
+    channel_bits_ = Log2(geometry_.channels);
+    bank_bits_ = Log2(geometry_.banks_per_rank);
+    rank_bits_ = Log2(geometry_.ranks_per_channel);
+    row_bits_ = Log2(geometry_.rows_per_bank);
+}
+
+DecodedAddr
+AddressMapper::Decode(Addr addr) const
+{
+    DecodedAddr out;
+    std::uint32_t shift = offset_bits_;
+    out.column = static_cast<std::uint32_t>(
+        ExtractBits(addr, shift, column_bits_));
+    shift += column_bits_;
+    out.channel = static_cast<std::uint32_t>(
+        ExtractBits(addr, shift, channel_bits_));
+    shift += channel_bits_;
+    out.bank = static_cast<std::uint32_t>(
+        ExtractBits(addr, shift, bank_bits_));
+    shift += bank_bits_;
+    out.rank = static_cast<std::uint32_t>(
+        ExtractBits(addr, shift, rank_bits_));
+    shift += rank_bits_;
+    out.row = static_cast<std::uint32_t>(ExtractBits(addr, shift, row_bits_));
+
+    if (xor_bank_hash_) {
+        // Permute the bank (and channel) index with low row bits so strided
+        // streams spread across banks; XOR is self-inverse, so Encode()
+        // applies the identical transformation.
+        out.bank ^= static_cast<std::uint32_t>(
+            out.row & ((std::uint64_t{1} << bank_bits_) - 1));
+        if (channel_bits_ > 0) {
+            out.channel ^= static_cast<std::uint32_t>(
+                (out.row >> bank_bits_) &
+                ((std::uint64_t{1} << channel_bits_) - 1));
+        }
+    }
+    return out;
+}
+
+Addr
+AddressMapper::Encode(const DecodedAddr& coords) const
+{
+    PARBS_ASSERT(coords.channel < geometry_.channels, "channel out of range");
+    PARBS_ASSERT(coords.rank < geometry_.ranks_per_channel,
+                 "rank out of range");
+    PARBS_ASSERT(coords.bank < geometry_.banks_per_rank, "bank out of range");
+    PARBS_ASSERT(coords.row < geometry_.rows_per_bank, "row out of range");
+    PARBS_ASSERT(coords.column < geometry_.LinesPerRow(),
+                 "column out of range");
+
+    std::uint32_t bank = coords.bank;
+    std::uint32_t channel = coords.channel;
+    if (xor_bank_hash_) {
+        bank ^= static_cast<std::uint32_t>(
+            coords.row & ((std::uint64_t{1} << bank_bits_) - 1));
+        if (channel_bits_ > 0) {
+            channel ^= static_cast<std::uint32_t>(
+                (coords.row >> bank_bits_) &
+                ((std::uint64_t{1} << channel_bits_) - 1));
+        }
+    }
+
+    Addr addr = 0;
+    std::uint32_t shift = offset_bits_;
+    addr |= static_cast<Addr>(coords.column) << shift;
+    shift += column_bits_;
+    addr |= static_cast<Addr>(channel) << shift;
+    shift += channel_bits_;
+    addr |= static_cast<Addr>(bank) << shift;
+    shift += bank_bits_;
+    addr |= static_cast<Addr>(coords.rank) << shift;
+    shift += rank_bits_;
+    addr |= static_cast<Addr>(coords.row) << shift;
+    return addr;
+}
+
+} // namespace parbs::dram

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * The baseline mapping is row-interleaved (consecutive cache lines fill a
+ * row before moving on) with XOR-based bank permutation, as used in the
+ * paper's configuration ("XOR-based address-to-bank mapping", after
+ * Frailong et al. [6] and Zhang et al. [42]): the bank index is XORed with
+ * the low row bits so that strided access patterns spread across banks
+ * instead of pounding one.
+ *
+ * Bit layout, LSB to MSB:
+ *     [ line offset | column | channel | bank | rank | row ]
+ *
+ * The mapper is invertible: Encode() composes coordinates back into a
+ * physical address, which lets the synthetic trace generator think directly
+ * in (bank, row) terms while the rest of the system sees ordinary addresses.
+ */
+
+#ifndef PARBS_DRAM_ADDRESS_MAPPER_HH
+#define PARBS_DRAM_ADDRESS_MAPPER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace parbs::dram {
+
+/** A physical address decoded into DRAM coordinates. */
+struct DecodedAddr {
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t column = 0; ///< Cache-line index within the row.
+
+    bool
+    operator==(const DecodedAddr& other) const = default;
+
+    /** @return true if two accesses touch the same row-buffer content. */
+    bool
+    SameRow(const DecodedAddr& other) const
+    {
+        return channel == other.channel && rank == other.rank &&
+               bank == other.bank && row == other.row;
+    }
+};
+
+/** Invertible address <-> coordinate mapping with XOR bank permutation. */
+class AddressMapper {
+  public:
+    /**
+     * @param geometry validated DRAM organization
+     * @param xor_bank_hash enable the XOR-based bank/channel permutation
+     *        (the baseline); disable for a plain bit-sliced mapping.
+     */
+    explicit AddressMapper(const Geometry& geometry,
+                           bool xor_bank_hash = true);
+
+    /** Decodes a physical byte address into DRAM coordinates. */
+    DecodedAddr Decode(Addr addr) const;
+
+    /**
+     * Encodes coordinates into a physical byte address (line-aligned).
+     * @pre each coordinate is within the geometry's range.
+     */
+    Addr Encode(const DecodedAddr& coords) const;
+
+    const Geometry& geometry() const { return geometry_; }
+
+  private:
+    Geometry geometry_;
+    bool xor_bank_hash_;
+
+    std::uint32_t offset_bits_;
+    std::uint32_t column_bits_;
+    std::uint32_t channel_bits_;
+    std::uint32_t bank_bits_;
+    std::uint32_t rank_bits_;
+    std::uint32_t row_bits_;
+};
+
+} // namespace parbs::dram
+
+#endif // PARBS_DRAM_ADDRESS_MAPPER_HH

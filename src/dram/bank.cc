@@ -1,0 +1,131 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs::dram {
+
+Bank::Bank(const TimingParams& timing) : timing_(timing)
+{
+}
+
+RowBufferState
+Bank::Classify(std::uint32_t row) const
+{
+    if (open_row_ == row) {
+        return RowBufferState::kHit;
+    }
+    if (open_row_ == kNoRow) {
+        return RowBufferState::kClosed;
+    }
+    return RowBufferState::kConflict;
+}
+
+CommandType
+Bank::NextCommandFor(std::uint32_t row, bool is_write) const
+{
+    switch (Classify(row)) {
+      case RowBufferState::kHit:
+        return is_write ? CommandType::kWrite : CommandType::kRead;
+      case RowBufferState::kClosed:
+        return CommandType::kActivate;
+      case RowBufferState::kConflict:
+        return CommandType::kPrecharge;
+    }
+    PARBS_ASSERT(false, "unreachable row-buffer state");
+    return CommandType::kActivate;
+}
+
+bool
+Bank::CanIssue(CommandType type, DramCycle now) const
+{
+    return now >= EarliestIssue(type);
+}
+
+DramCycle
+Bank::EarliestIssue(CommandType type) const
+{
+    switch (type) {
+      case CommandType::kActivate:
+        return next_activate_;
+      case CommandType::kPrecharge:
+        return next_precharge_;
+      case CommandType::kRead:
+        return next_read_;
+      case CommandType::kWrite:
+        return next_write_;
+      case CommandType::kRefresh:
+        // Refresh legality (all banks precharged) is a rank-level decision;
+        // at bank level it behaves like an activate.
+        return next_activate_;
+    }
+    PARBS_ASSERT(false, "unreachable command type");
+    return 0;
+}
+
+void
+Bank::Issue(const Command& cmd, DramCycle now)
+{
+    PARBS_ASSERT(CanIssue(cmd.type, now),
+                 "bank-level timing violation on issue");
+    switch (cmd.type) {
+      case CommandType::kActivate:
+        PARBS_ASSERT(open_row_ == kNoRow,
+                     "ACTIVATE issued to a bank with an open row");
+        open_row_ = cmd.row;
+        open_since_ = now;
+        // Column commands must respect tRCD; the earliest precharge must
+        // respect tRAS; the next activate to this bank respects tRC.
+        next_read_ = std::max(next_read_, now + timing_.tRCD);
+        next_write_ = std::max(next_write_, now + timing_.tRCD);
+        next_precharge_ = std::max(next_precharge_, now + timing_.tRAS);
+        next_activate_ = std::max(next_activate_, now + timing_.tRC());
+        break;
+
+      case CommandType::kPrecharge:
+        PARBS_ASSERT(open_row_ != kNoRow,
+                     "PRECHARGE issued to an already-closed bank");
+        open_row_ = kNoRow;
+        open_since_ = kNeverCycle;
+        next_activate_ = std::max(next_activate_, now + timing_.tRP);
+        break;
+
+      case CommandType::kRead:
+        PARBS_ASSERT(open_row_ == cmd.row,
+                     "READ issued to a bank without the matching open row");
+        // tRTP: read-to-precharge; tCCD: column-to-column.
+        next_precharge_ = std::max(next_precharge_, now + timing_.tRTP);
+        next_read_ = std::max(next_read_, now + timing_.tCCD);
+        next_write_ = std::max(next_write_, now + timing_.tCCD);
+        break;
+
+      case CommandType::kWrite:
+        PARBS_ASSERT(open_row_ == cmd.row,
+                     "WRITE issued to a bank without the matching open row");
+        // Write recovery: the burst ends at now + tCWD + tBURST; precharge
+        // must wait a further tWR after that.
+        next_precharge_ = std::max(
+            next_precharge_, now + timing_.tCWD + timing_.tBURST +
+                                 timing_.tWR);
+        next_read_ = std::max(next_read_, now + timing_.tCCD);
+        next_write_ = std::max(next_write_, now + timing_.tCCD);
+        break;
+
+      case CommandType::kRefresh:
+        PARBS_ASSERT(false, "refresh is issued at rank level, not bank level");
+        break;
+    }
+}
+
+void
+Bank::BlockUntil(DramCycle until)
+{
+    PARBS_ASSERT(open_row_ == kNoRow, "cannot block a bank with an open row");
+    next_activate_ = std::max(next_activate_, until);
+    next_precharge_ = std::max(next_precharge_, until);
+    next_read_ = std::max(next_read_, until);
+    next_write_ = std::max(next_write_, until);
+}
+
+} // namespace parbs::dram

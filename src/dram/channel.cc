@@ -1,0 +1,87 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs::dram {
+
+Channel::Channel(const TimingParams& timing, const Geometry& geometry)
+    : timing_(timing), geometry_(geometry)
+{
+    timing_.Validate();
+    geometry_.Validate();
+    ranks_.reserve(geometry_.ranks_per_channel);
+    for (std::uint32_t i = 0; i < geometry_.ranks_per_channel; ++i) {
+        ranks_.emplace_back(timing_, geometry_.banks_per_rank);
+    }
+}
+
+std::uint32_t
+Channel::num_ranks() const
+{
+    return static_cast<std::uint32_t>(ranks_.size());
+}
+
+Rank&
+Channel::rank(std::uint32_t index)
+{
+    PARBS_ASSERT(index < ranks_.size(), "rank index out of range");
+    return ranks_[index];
+}
+
+const Rank&
+Channel::rank(std::uint32_t index) const
+{
+    PARBS_ASSERT(index < ranks_.size(), "rank index out of range");
+    return ranks_[index];
+}
+
+Bank&
+Channel::bank(std::uint32_t rank_index, std::uint32_t bank_index)
+{
+    return rank(rank_index).bank(bank_index);
+}
+
+const Bank&
+Channel::bank(std::uint32_t rank_index, std::uint32_t bank_index) const
+{
+    return rank(rank_index).bank(bank_index);
+}
+
+bool
+Channel::CanIssue(const Command& cmd, DramCycle now) const
+{
+    PARBS_ASSERT(cmd.rank < ranks_.size(), "command rank out of range");
+    if (cmd.type == CommandType::kRead || cmd.type == CommandType::kWrite) {
+        // The data burst [start, start + tBURST) must begin after the
+        // current bus occupant finishes.  Because tCWD < tCL on DDR2, this
+        // start-after-free rule is slightly conservative for a write
+        // following a read, which matches real controllers' bus turnaround.
+        const DramCycle latency = (cmd.type == CommandType::kRead)
+                                      ? timing_.tCL
+                                      : timing_.tCWD;
+        if (now + latency < bus_free_at_) {
+            return false;
+        }
+    }
+    return ranks_[cmd.rank].CanIssue(cmd, now);
+}
+
+DramCycle
+Channel::Issue(const Command& cmd, DramCycle now)
+{
+    PARBS_ASSERT(CanIssue(cmd, now), "channel-level timing violation");
+    ranks_[cmd.rank].Issue(cmd, now);
+    if (cmd.type == CommandType::kRead || cmd.type == CommandType::kWrite) {
+        const DramCycle latency = (cmd.type == CommandType::kRead)
+                                      ? timing_.tCL
+                                      : timing_.tCWD;
+        const DramCycle done = now + latency + timing_.tBURST;
+        bus_free_at_ = std::max(bus_free_at_, done);
+        return done;
+    }
+    return 0;
+}
+
+} // namespace parbs::dram

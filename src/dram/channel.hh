@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Channel-level DRAM model: ranks plus the shared command and data buses.
+ *
+ * The controller issues at most one command per DRAM cycle per channel
+ * (command-bus bandwidth); the channel enforces data-bus occupancy so that
+ * read/write bursts from different banks and ranks never overlap on the
+ * shared 64-bit data bus.
+ */
+
+#ifndef PARBS_DRAM_CHANNEL_HH
+#define PARBS_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/rank.hh"
+#include "dram/timing.hh"
+
+namespace parbs::dram {
+
+/** One memory channel: ranks, banks, and the shared buses. */
+class Channel {
+  public:
+    Channel(const TimingParams& timing, const Geometry& geometry);
+
+    const TimingParams& timing() const { return timing_; }
+
+    std::uint32_t num_ranks() const;
+
+    Rank& rank(std::uint32_t index);
+    const Rank& rank(std::uint32_t index) const;
+
+    /** Convenience accessor across the rank boundary. */
+    Bank& bank(std::uint32_t rank_index, std::uint32_t bank_index);
+    const Bank& bank(std::uint32_t rank_index, std::uint32_t bank_index) const;
+
+    /**
+     * @return true if @p cmd satisfies every device and bus constraint at
+     *         cycle @p now — the command is "ready" in the paper's sense
+     *         (command-bus availability is enforced by the controller, which
+     *         issues at most one command per cycle).
+     */
+    bool CanIssue(const Command& cmd, DramCycle now) const;
+
+    /**
+     * Issues @p cmd at cycle @p now.
+     * @return for column commands, the cycle at which the data burst
+     *         completes (read data available / write retired); 0 otherwise.
+     * @pre CanIssue(cmd, now)
+     */
+    DramCycle Issue(const Command& cmd, DramCycle now);
+
+    /** @return the cycle the data bus becomes free (for stats/debug). */
+    DramCycle bus_free_at() const { return bus_free_at_; }
+
+  private:
+    TimingParams timing_;
+    Geometry geometry_;
+    std::vector<Rank> ranks_;
+
+    /** Cycle at which the current data-bus burst (if any) ends. */
+    DramCycle bus_free_at_ = 0;
+};
+
+} // namespace parbs::dram
+
+#endif // PARBS_DRAM_CHANNEL_HH

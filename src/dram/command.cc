@@ -1,0 +1,37 @@
+#include "dram/command.hh"
+
+namespace parbs::dram {
+
+const char*
+CommandName(CommandType type)
+{
+    switch (type) {
+      case CommandType::kActivate:
+        return "ACT";
+      case CommandType::kPrecharge:
+        return "PRE";
+      case CommandType::kRead:
+        return "READ";
+      case CommandType::kWrite:
+        return "WRITE";
+      case CommandType::kRefresh:
+        return "REF";
+    }
+    return "?";
+}
+
+const char*
+RowBufferStateName(RowBufferState state)
+{
+    switch (state) {
+      case RowBufferState::kHit:
+        return "hit";
+      case RowBufferState::kClosed:
+        return "closed";
+      case RowBufferState::kConflict:
+        return "conflict";
+    }
+    return "?";
+}
+
+} // namespace parbs::dram

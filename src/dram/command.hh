@@ -1,0 +1,51 @@
+/**
+ * @file
+ * DRAM command types and the command descriptor passed between the memory
+ * controller and the device model.
+ */
+
+#ifndef PARBS_DRAM_COMMAND_HH
+#define PARBS_DRAM_COMMAND_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace parbs::dram {
+
+/** The DRAM command set the controller can issue. */
+enum class CommandType : std::uint8_t {
+    kActivate,  ///< Open a row into the bank's row-buffer.
+    kPrecharge, ///< Close the bank's open row.
+    kRead,      ///< Column read from the open row.
+    kWrite,     ///< Column write to the open row.
+    kRefresh,   ///< All-bank auto refresh (per rank).
+};
+
+/** @return a short human-readable command mnemonic. */
+const char* CommandName(CommandType type);
+
+/**
+ * A fully decoded command.  For kRefresh only `rank` is meaningful; for
+ * kPrecharge `row` is ignored.
+ */
+struct Command {
+    CommandType type;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+};
+
+/** Row-buffer status of an access, used for both scheduling and statistics. */
+enum class RowBufferState : std::uint8_t {
+    kHit,      ///< Requested row is open: column command only (tCL).
+    kClosed,   ///< No row open: ACTIVATE + column (tRCD + tCL).
+    kConflict, ///< Different row open: PRE + ACT + column (tRP+tRCD+tCL).
+};
+
+/** @return a short human-readable name for a row-buffer state. */
+const char* RowBufferStateName(RowBufferState state);
+
+} // namespace parbs::dram
+
+#endif // PARBS_DRAM_COMMAND_HH

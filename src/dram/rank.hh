@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Rank-level DRAM constraints: ACT-to-ACT spacing (tRRD), the four-activate
+ * window (tFAW), write-to-read turnaround (tWTR), and auto-refresh.
+ */
+
+#ifndef PARBS_DRAM_RANK_HH
+#define PARBS_DRAM_RANK_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace parbs::dram {
+
+/** One DRAM rank: a set of banks sharing rank-level timing constraints. */
+class Rank {
+  public:
+    Rank(const TimingParams& timing, std::uint32_t num_banks);
+
+    /** @return the number of banks in this rank. */
+    std::uint32_t num_banks() const;
+
+    Bank& bank(std::uint32_t index);
+    const Bank& bank(std::uint32_t index) const;
+
+    /**
+     * @return true if @p cmd may issue at @p now considering both rank-level
+     *         and bank-level constraints (data-bus checks are the channel's).
+     */
+    bool CanIssue(const Command& cmd, DramCycle now) const;
+
+    /** Applies @p cmd at cycle @p now to rank and bank state. */
+    void Issue(const Command& cmd, DramCycle now);
+
+    // --- Refresh management (paper baseline: all-bank auto refresh) ---
+
+    /** @return true if a refresh is due at or before cycle @p now. */
+    bool RefreshDue(DramCycle now) const { return now >= next_refresh_due_; }
+
+    /**
+     * @return true if the mandatory refresh can start now (refresh due and
+     *         every bank precharged and past its bank-level constraints).
+     */
+    bool CanRefresh(DramCycle now) const;
+
+    /** @return banks that still have an open row (must be precharged before
+     *          a refresh can start). */
+    std::vector<std::uint32_t> OpenBanks() const;
+
+    /** @return the cycle refreshes become due next (for scheduling). */
+    DramCycle next_refresh_due() const { return next_refresh_due_; }
+
+  private:
+    const TimingParams& timing_;
+    std::vector<Bank> banks_;
+
+    /** Earliest cycle the next ACTIVATE may issue anywhere in the rank. */
+    DramCycle next_activate_ = 0;
+    /** Earliest cycle the next READ may issue anywhere in the rank (tWTR). */
+    DramCycle next_read_ = 0;
+    /** Issue times of the last four ACTIVATEs, for the tFAW window. */
+    std::array<DramCycle, 4> activate_history_{};
+    std::size_t activate_history_head_ = 0;
+
+    DramCycle next_refresh_due_;
+};
+
+} // namespace parbs::dram
+
+#endif // PARBS_DRAM_RANK_HH

@@ -1,0 +1,49 @@
+#include "dram/timing.hh"
+
+#include "common/assert.hh"
+
+namespace parbs::dram {
+
+void
+TimingParams::Validate() const
+{
+    if (tCL == 0 || tRCD == 0 || tRP == 0) {
+        PARBS_FATAL("DRAM timing: tCL, tRCD, and tRP must be nonzero");
+    }
+    if (tRAS < tRCD) {
+        PARBS_FATAL("DRAM timing: tRAS must be >= tRCD "
+                    "(a row must stay open at least until a column access)");
+    }
+    if (tBURST == 0) {
+        PARBS_FATAL("DRAM timing: tBURST must be nonzero");
+    }
+    if (tFAW < tRRD) {
+        PARBS_FATAL("DRAM timing: tFAW must be >= tRRD");
+    }
+    if (tREFI != 0 && tRFC >= tREFI) {
+        PARBS_FATAL("DRAM timing: tRFC must be < tREFI "
+                    "(refresh cannot take longer than the refresh interval)");
+    }
+}
+
+void
+Geometry::Validate() const
+{
+    if (channels == 0 || ranks_per_channel == 0 || banks_per_rank == 0 ||
+        rows_per_bank == 0) {
+        PARBS_FATAL("DRAM geometry: all dimensions must be nonzero");
+    }
+    if (line_bytes == 0 || row_bytes == 0 || row_bytes % line_bytes != 0) {
+        PARBS_FATAL("DRAM geometry: row_bytes must be a nonzero multiple of "
+                    "line_bytes");
+    }
+    auto is_pow2 = [](std::uint32_t v) { return v && (v & (v - 1)) == 0; };
+    if (!is_pow2(channels) || !is_pow2(ranks_per_channel) ||
+        !is_pow2(banks_per_rank) || !is_pow2(rows_per_bank) ||
+        !is_pow2(row_bytes) || !is_pow2(line_bytes)) {
+        PARBS_FATAL("DRAM geometry: all dimensions must be powers of two "
+                    "(required by the bit-sliced address mapping)");
+    }
+}
+
+} // namespace parbs::dram

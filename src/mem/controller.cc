@@ -1,0 +1,355 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+Controller::Controller(const ControllerConfig& config,
+                       const dram::TimingParams& timing,
+                       const dram::Geometry& geometry,
+                       std::uint32_t num_threads,
+                       std::unique_ptr<Scheduler> scheduler)
+    : config_(config),
+      channel_(timing, geometry),
+      num_threads_(num_threads),
+      scheduler_(std::move(scheduler)),
+      read_queue_(config.read_queue_capacity, num_threads,
+                  geometry.ranks_per_channel, geometry.banks_per_rank),
+      write_queue_(config.write_queue_capacity, num_threads,
+                   geometry.ranks_per_channel, geometry.banks_per_rank),
+      stats_(num_threads),
+      in_service_(static_cast<std::size_t>(num_threads) *
+                      geometry.ranks_per_channel * geometry.banks_per_rank,
+                  0),
+      busy_banks_(num_threads, 0)
+{
+    PARBS_ASSERT(scheduler_ != nullptr, "controller needs a scheduler");
+    if (config_.write_drain_low > config_.write_drain_high ||
+        config_.write_drain_high > config_.write_queue_capacity) {
+        PARBS_FATAL("controller: write drain watermarks must satisfy "
+                    "low <= high <= capacity");
+    }
+    SchedulerContext context;
+    context.read_queue = &read_queue_;
+    context.num_threads = num_threads;
+    context.num_ranks = geometry.ranks_per_channel;
+    context.banks_per_rank = geometry.banks_per_rank;
+    context.timing = &channel_.timing();
+    scheduler_->Attach(context);
+}
+
+void
+Controller::SetReadCompleteCallback(ReadCompleteCallback callback)
+{
+    read_complete_ = std::move(callback);
+}
+
+void
+Controller::Enqueue(std::unique_ptr<MemRequest> request, DramCycle now)
+{
+    PARBS_ASSERT(request != nullptr, "null request enqueued");
+    request->arrival_dram = now;
+    request->state = RequestState::kQueued;
+    MemRequest& ref = request->is_write
+                          ? write_queue_.Add(std::move(request))
+                          : read_queue_.Add(std::move(request));
+    scheduler_->OnRequestQueued(ref, now);
+}
+
+void
+Controller::Tick(DramCycle now)
+{
+    RetireFinished(now);
+    scheduler_->OnDramCycle(now);
+
+    bool issued = HandleRefresh(now);
+    if (!issued) {
+        // Write-drain hysteresis: strict read priority by default (the
+        // paper's policy), forced drain only as overflow protection.
+        if (write_queue_.size() >= config_.write_drain_high) {
+            write_drain_active_ = true;
+        } else if (write_queue_.size() <= config_.write_drain_low) {
+            write_drain_active_ = false;
+        }
+
+        MemRequest* chosen = nullptr;
+        if (write_drain_active_) {
+            chosen = SelectRequest(write_queue_, now);
+        }
+        if (chosen == nullptr) {
+            chosen = SelectRequest(read_queue_, now);
+        }
+        if (chosen == nullptr && !write_drain_active_) {
+            chosen = SelectRequest(write_queue_, now);
+        }
+        if (chosen != nullptr) {
+            IssueFor(*chosen, now);
+        }
+    }
+
+    SampleBlp();
+}
+
+void
+Controller::RetireFinished(DramCycle now)
+{
+    // Collect first, then remove: removal invalidates the queue's view.
+    std::vector<RequestId> done_reads;
+    std::vector<RequestId> done_writes;
+    for (const MemRequest* request : read_queue_.requests()) {
+        if (request->state == RequestState::kInBurst &&
+            request->completion_cycle <= now) {
+            done_reads.push_back(request->id);
+        }
+    }
+    for (const MemRequest* request : write_queue_.requests()) {
+        if (request->state == RequestState::kInBurst &&
+            request->completion_cycle <= now) {
+            done_writes.push_back(request->id);
+        }
+    }
+
+    for (RequestId id : done_reads) {
+        std::unique_ptr<MemRequest> request = read_queue_.Remove(id);
+        request->state = RequestState::kCompleted;
+        LeaveService(*request);
+
+        ControllerThreadStats& stats = stats_[request->thread];
+        stats.reads_completed += 1;
+        const DramCycle latency = request->Latency();
+        stats.read_latency_sum += latency;
+        stats.read_latency_max = std::max(stats.read_latency_max, latency);
+        switch (request->service_class) {
+          case dram::RowBufferState::kHit:
+            stats.read_row_hits += 1;
+            break;
+          case dram::RowBufferState::kClosed:
+            stats.read_row_closed += 1;
+            break;
+          case dram::RowBufferState::kConflict:
+            stats.read_row_conflicts += 1;
+            break;
+        }
+
+        scheduler_->OnRequestComplete(*request, now);
+        if (read_complete_) {
+            read_complete_(*request);
+        }
+    }
+
+    for (RequestId id : done_writes) {
+        std::unique_ptr<MemRequest> request = write_queue_.Remove(id);
+        request->state = RequestState::kCompleted;
+        stats_[request->thread].writes_completed += 1;
+        scheduler_->OnRequestComplete(*request, now);
+    }
+}
+
+bool
+Controller::HandleRefresh(DramCycle now)
+{
+    if (!config_.enable_refresh || channel_.timing().tREFI == 0) {
+        return false;
+    }
+    for (std::uint32_t r = 0; r < channel_.num_ranks(); ++r) {
+        dram::Rank& rank = channel_.rank(r);
+        if (!rank.RefreshDue(now)) {
+            continue;
+        }
+        if (rank.CanRefresh(now)) {
+            dram::Command refresh{dram::CommandType::kRefresh, r, 0, 0};
+            channel_.Issue(refresh, now);
+            commands_by_type_[static_cast<int>(
+                dram::CommandType::kRefresh)] += 1;
+            return true;
+        }
+        // Quiesce: precharge one open bank that is ready for it.
+        for (std::uint32_t b : rank.OpenBanks()) {
+            dram::Command precharge{dram::CommandType::kPrecharge, r, b, 0};
+            if (channel_.CanIssue(precharge, now)) {
+                channel_.Issue(precharge, now);
+                commands_by_type_[static_cast<int>(
+                    dram::CommandType::kPrecharge)] += 1;
+                return true;
+            }
+        }
+        // Nothing issuable yet (e.g. tRAS pending); the candidate filter
+        // below keeps new traffic away from this rank so it drains.
+    }
+    return false;
+}
+
+MemRequest*
+Controller::SelectRequest(const RequestQueue& queue, DramCycle now)
+{
+    if (queue.Empty()) {
+        return nullptr;
+    }
+    const bool refresh_active =
+        config_.enable_refresh && channel_.timing().tREFI != 0;
+
+    // Level 1: group queued requests by bank.
+    per_bank_.resize(queue.num_banks());
+    for (auto& bank_candidates : per_bank_) {
+        bank_candidates.clear();
+    }
+    for (MemRequest* request : queue.requests()) {
+        if (request->state != RequestState::kQueued) {
+            continue;
+        }
+        // A rank with an overdue refresh accepts no new commands until the
+        // refresh has been performed (starvation-free refresh guarantee).
+        if (refresh_active &&
+            channel_.rank(request->coords.rank).RefreshDue(now)) {
+            continue;
+        }
+        const dram::Bank& bank =
+            channel_.bank(request->coords.rank, request->coords.bank);
+        Candidate candidate;
+        candidate.request = request;
+        candidate.next_command =
+            bank.NextCommandFor(request->coords.row, request->is_write);
+        candidate.row_hit = bank.open_row() == request->coords.row;
+        candidate.row_open_since = bank.open_since();
+        per_bank_[FlatBank(*request)].push_back(candidate);
+    }
+
+    // Level 2: each bank's scheduler-chosen request becomes a finalist if
+    // its next command passes every timing check *now*.
+    finalists_.clear();
+    for (const auto& bank_candidates : per_bank_) {
+        if (bank_candidates.empty()) {
+            continue;
+        }
+        MemRequest* winner = scheduler_->Pick(bank_candidates, now);
+        if (winner == nullptr) {
+            continue;
+        }
+        const Candidate* candidate = nullptr;
+        for (const Candidate& c : bank_candidates) {
+            if (c.request == winner) {
+                candidate = &c;
+                break;
+            }
+        }
+        PARBS_ASSERT(candidate != nullptr,
+                     "scheduler picked a request outside the bank pool");
+        dram::Command command{candidate->next_command,
+                              winner->coords.rank, winner->coords.bank,
+                              winner->coords.row};
+        if (channel_.CanIssue(command, now)) {
+            finalists_.push_back(*candidate);
+        }
+    }
+    if (finalists_.empty()) {
+        return nullptr;
+    }
+    return scheduler_->Pick(finalists_, now);
+}
+
+void
+Controller::IssueFor(MemRequest& request, DramCycle now)
+{
+    const dram::Bank& bank =
+        channel_.bank(request.coords.rank, request.coords.bank);
+    const dram::CommandType type =
+        bank.NextCommandFor(request.coords.row, request.is_write);
+    dram::Command command{type, request.coords.rank, request.coords.bank,
+                          request.coords.row};
+    const DramCycle done = channel_.Issue(command, now);
+    commands_by_type_[static_cast<int>(type)] += 1;
+
+    if (request.first_command_cycle == kNeverCycle) {
+        request.first_command_cycle = now;
+        // The first command tells us what the row-buffer looked like when
+        // service began: column command => hit, ACTIVATE => closed,
+        // PRECHARGE => conflict.
+        switch (type) {
+          case dram::CommandType::kRead:
+          case dram::CommandType::kWrite:
+            request.service_class = dram::RowBufferState::kHit;
+            break;
+          case dram::CommandType::kActivate:
+            request.service_class = dram::RowBufferState::kClosed;
+            break;
+          case dram::CommandType::kPrecharge:
+            request.service_class = dram::RowBufferState::kConflict;
+            break;
+          case dram::CommandType::kRefresh:
+            PARBS_ASSERT(false, "refresh issued for a request");
+            break;
+        }
+        request.service_class_valid = true;
+        if (!request.is_write) {
+            EnterService(request);
+        }
+    }
+
+    if (type == dram::CommandType::kRead ||
+        type == dram::CommandType::kWrite) {
+        request.state = RequestState::kInBurst;
+        request.completion_cycle = done;
+    }
+
+    scheduler_->OnCommandIssued(request, command, now);
+}
+
+const ControllerThreadStats&
+Controller::thread_stats(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < stats_.size(), "thread id out of range");
+    return stats_[thread];
+}
+
+std::uint64_t
+Controller::commands_issued(dram::CommandType type) const
+{
+    return commands_by_type_[static_cast<int>(type)];
+}
+
+std::uint32_t
+Controller::FlatBank(const MemRequest& request) const
+{
+    return request.coords.rank * channel_.rank(0).num_banks() +
+           request.coords.bank;
+}
+
+void
+Controller::EnterService(const MemRequest& request)
+{
+    const std::size_t index =
+        static_cast<std::size_t>(request.thread) * read_queue_.num_banks() +
+        FlatBank(request);
+    if (in_service_[index]++ == 0) {
+        busy_banks_[request.thread] += 1;
+    }
+}
+
+void
+Controller::LeaveService(const MemRequest& request)
+{
+    const std::size_t index =
+        static_cast<std::size_t>(request.thread) * read_queue_.num_banks() +
+        FlatBank(request);
+    PARBS_ASSERT(in_service_[index] > 0, "in-service underflow");
+    if (--in_service_[index] == 0) {
+        PARBS_ASSERT(busy_banks_[request.thread] > 0,
+                     "busy-bank underflow");
+        busy_banks_[request.thread] -= 1;
+    }
+}
+
+void
+Controller::SampleBlp()
+{
+    for (std::uint32_t thread = 0; thread < num_threads_; ++thread) {
+        if (busy_banks_[thread] > 0) {
+            stats_[thread].blp_sum += busy_banks_[thread];
+            stats_[thread].blp_cycles += 1;
+        }
+    }
+}
+
+} // namespace parbs

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The DRAM memory controller: request buffering, write handling, refresh,
+ * per-cycle command selection via a pluggable Scheduler, and the per-thread
+ * DRAM-side statistics (row-buffer hit rate, bank-level parallelism,
+ * request latencies) used throughout the paper's evaluation.
+ */
+
+#ifndef PARBS_MEM_CONTROLLER_HH
+#define PARBS_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "mem/request.hh"
+#include "mem/request_queue.hh"
+#include "sched/scheduler.hh"
+
+namespace parbs {
+
+/** Controller sizing and policy knobs (paper baseline in defaults). */
+struct ControllerConfig {
+    /** Memory request buffer entries (reads). */
+    std::size_t read_queue_capacity = 128;
+    /** Write data buffer entries. */
+    std::size_t write_queue_capacity = 64;
+    /**
+     * Write-drain watermarks.  The paper's policy is strict read-over-write
+     * priority; writes are serviced when no read command is ready.  As
+     * overflow protection — real controllers must bound the write buffer —
+     * once the write queue reaches `write_drain_high` writes win over reads
+     * until it falls to `write_drain_low`.
+     */
+    std::size_t write_drain_high = 56;
+    std::size_t write_drain_low = 24;
+    /** Model auto-refresh (tREFI/tRFC).  Disabled if timing.tREFI == 0. */
+    bool enable_refresh = true;
+};
+
+/** Per-thread statistics gathered at the controller. */
+struct ControllerThreadStats {
+    std::uint64_t reads_completed = 0;
+    std::uint64_t writes_completed = 0;
+
+    /** Row-buffer outcome of the *first* command of each read request. */
+    std::uint64_t read_row_hits = 0;
+    std::uint64_t read_row_closed = 0;
+    std::uint64_t read_row_conflicts = 0;
+
+    /** Sum/max of read-request latency (arrival to data), DRAM cycles. */
+    std::uint64_t read_latency_sum = 0;
+    std::uint64_t read_latency_max = 0;
+
+    /**
+     * Bank-level parallelism accounting: `blp_sum` accumulates, for every
+     * DRAM cycle in which this thread had at least one request in service,
+     * the number of banks concurrently servicing the thread's requests
+     * (the Section 7 definition, after Chou et al.'s MLP metric).
+     */
+    std::uint64_t blp_sum = 0;
+    std::uint64_t blp_cycles = 0;
+
+    double
+    RowHitRate() const
+    {
+        const std::uint64_t total =
+            read_row_hits + read_row_closed + read_row_conflicts;
+        return total == 0 ? 0.0
+                          : static_cast<double>(read_row_hits) /
+                                static_cast<double>(total);
+    }
+
+    double
+    AverageBlp() const
+    {
+        return blp_cycles == 0 ? 0.0
+                               : static_cast<double>(blp_sum) /
+                                     static_cast<double>(blp_cycles);
+    }
+
+    double
+    AverageReadLatency() const
+    {
+        return reads_completed == 0
+                   ? 0.0
+                   : static_cast<double>(read_latency_sum) /
+                         static_cast<double>(reads_completed);
+    }
+};
+
+/**
+ * One memory controller driving one channel.
+ *
+ * The controller is ticked at the DRAM command clock.  Each tick it retires
+ * finished bursts, performs mandatory refreshes, gathers ready candidates,
+ * and issues at most one command chosen by the scheduler.
+ */
+class Controller {
+  public:
+    using ReadCompleteCallback = std::function<void(const MemRequest&)>;
+
+    Controller(const ControllerConfig& config,
+               const dram::TimingParams& timing,
+               const dram::Geometry& geometry, std::uint32_t num_threads,
+               std::unique_ptr<Scheduler> scheduler);
+
+    /** Registers the completion callback invoked when read data returns. */
+    void SetReadCompleteCallback(ReadCompleteCallback callback);
+
+    /** @return true if the read request buffer has space. */
+    bool CanAcceptRead() const { return !read_queue_.Full(); }
+
+    /** @return true if the write buffer has space. */
+    bool CanAcceptWrite() const { return !write_queue_.Full(); }
+
+    /**
+     * Enqueues a request; the controller takes ownership.
+     * @pre the corresponding CanAccept*() returned true.
+     */
+    void Enqueue(std::unique_ptr<MemRequest> request, DramCycle now);
+
+    /** Advances the controller and its channel by one DRAM cycle. */
+    void Tick(DramCycle now);
+
+    Scheduler& scheduler() { return *scheduler_; }
+    const Scheduler& scheduler() const { return *scheduler_; }
+    const dram::Channel& channel() const { return channel_; }
+
+    const ControllerThreadStats& thread_stats(ThreadId thread) const;
+
+    /** Number of reads currently buffered (queued or in burst). */
+    std::size_t pending_reads() const { return read_queue_.size(); }
+    std::size_t pending_writes() const { return write_queue_.size(); }
+
+    /** Total DRAM commands issued, by type (ACT/PRE/RD/WR/REF). */
+    std::uint64_t commands_issued(dram::CommandType type) const;
+
+  private:
+    ControllerConfig config_;
+    dram::Channel channel_;
+    std::uint32_t num_threads_;
+    std::unique_ptr<Scheduler> scheduler_;
+
+    RequestQueue read_queue_;
+    RequestQueue write_queue_;
+
+    ReadCompleteCallback read_complete_;
+
+    bool write_drain_active_ = false;
+
+    std::vector<ControllerThreadStats> stats_;
+    std::uint64_t commands_by_type_[5] = {0, 0, 0, 0, 0};
+
+    /** [thread * num_banks + flat_bank] count of in-service requests. */
+    std::vector<std::uint32_t> in_service_;
+    /** Number of banks with >= 1 in-service request, per thread. */
+    std::vector<std::uint32_t> busy_banks_;
+
+    /** Scratch buffers reused across cycles. */
+    std::vector<std::vector<Candidate>> per_bank_;
+    std::vector<Candidate> finalists_;
+
+    void RetireFinished(DramCycle now);
+    /** @return true if a refresh-related command consumed this cycle. */
+    bool HandleRefresh(DramCycle now);
+    /**
+     * Two-level request selection (Section 3: "a possibly two-level
+     * scheduler"): for each bank, the scheduler picks its highest-priority
+     * queued request; banks whose winner has a ready command produce a
+     * finalist, and the scheduler picks among finalists.  A bank whose
+     * top-priority request is still timing-blocked issues nothing — this
+     * request-level prioritization is what lets a stream of row hits
+     * capture a bank under FR-FCFS and lets PAR-BS's marked requests own
+     * their banks.
+     * @return the chosen request, or nullptr if nothing can issue.
+     */
+    MemRequest* SelectRequest(const RequestQueue& queue, DramCycle now);
+    void IssueFor(MemRequest& request, DramCycle now);
+
+    std::uint32_t FlatBank(const MemRequest& request) const;
+    void EnterService(const MemRequest& request);
+    void LeaveService(const MemRequest& request);
+    void SampleBlp();
+};
+
+} // namespace parbs
+
+#endif // PARBS_MEM_CONTROLLER_HH

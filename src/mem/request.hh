@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The memory request record that flows from the cores through the memory
+ * request buffer, the scheduler, and the DRAM device model.
+ *
+ * Scheduler-visible bookkeeping that the paper keeps per request (Table 1:
+ * the Marked bit, thread ID, and the priority components) lives directly in
+ * this struct; schedulers that need more (e.g. NFQ's virtual finish time)
+ * also stash it here so the hot scheduling loop avoids hash-map lookups.
+ */
+
+#ifndef PARBS_MEM_REQUEST_HH
+#define PARBS_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/address_mapper.hh"
+#include "dram/command.hh"
+
+namespace parbs {
+
+/** Lifecycle of a request inside the controller. */
+enum class RequestState : std::uint8_t {
+    kQueued,    ///< Waiting in the request buffer; schedulable.
+    kInBurst,   ///< Column command issued; data burst in flight.
+    kCompleted, ///< Data transferred; about to be retired from the buffer.
+};
+
+/** One DRAM read or write request. */
+struct MemRequest {
+    RequestId id = 0;
+    ThreadId thread = kInvalidThread;
+    Addr addr = 0;
+    dram::DecodedAddr coords;
+    bool is_write = false;
+
+    /** Arrival time at the controller, in both clock domains. */
+    CpuCycle arrival_cpu = 0;
+    DramCycle arrival_dram = 0;
+
+    RequestState state = RequestState::kQueued;
+
+    /** Cycle the first DRAM command for this request was issued. */
+    DramCycle first_command_cycle = kNeverCycle;
+    /** Cycle the data burst completes (valid once in kInBurst). */
+    DramCycle completion_cycle = kNeverCycle;
+
+    /**
+     * Row-buffer status observed when the first command for this request
+     * was issued (the paper's hit / closed / conflict categories); used for
+     * the row-buffer hit-rate statistics.
+     */
+    dram::RowBufferState service_class = dram::RowBufferState::kClosed;
+    bool service_class_valid = false;
+
+    // --- Scheduler bookkeeping (Table 1 state lives here per request) ---
+
+    /** PAR-BS: request belongs to the current batch. */
+    bool marked = false;
+    /** NFQ: virtual finish time of this request (0 = not yet computed). */
+    std::uint64_t virtual_finish_time = 0;
+
+    /** @return latency from arrival to completion, in DRAM cycles.
+     *  @pre the request has completed. */
+    DramCycle
+    Latency() const
+    {
+        return completion_cycle - arrival_dram;
+    }
+};
+
+} // namespace parbs
+
+#endif // PARBS_MEM_REQUEST_HH

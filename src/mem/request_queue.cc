@@ -1,0 +1,92 @@
+#include "mem/request_queue.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+RequestQueue::RequestQueue(std::size_t capacity, std::uint32_t num_threads,
+                           std::uint32_t num_ranks,
+                           std::uint32_t banks_per_rank)
+    : capacity_(capacity),
+      num_threads_(num_threads),
+      banks_per_rank_(banks_per_rank),
+      num_banks_(num_ranks * banks_per_rank),
+      per_thread_bank_(static_cast<std::size_t>(num_threads) * num_banks_, 0),
+      per_thread_(num_threads, 0)
+{
+    PARBS_ASSERT(num_threads > 0, "request queue needs at least one thread");
+    PARBS_ASSERT(num_banks_ > 0, "request queue needs at least one bank");
+}
+
+bool
+RequestQueue::Full() const
+{
+    return capacity_ != 0 && requests_.size() >= capacity_;
+}
+
+MemRequest&
+RequestQueue::Add(std::unique_ptr<MemRequest> request)
+{
+    PARBS_ASSERT(!Full(), "request queue overflow");
+    PARBS_ASSERT(request->thread < num_threads_,
+                 "request thread id out of range");
+    MemRequest& ref = *request;
+    per_thread_bank_[static_cast<std::size_t>(ref.thread) * num_banks_ +
+                     FlatBank(ref)] += 1;
+    per_thread_[ref.thread] += 1;
+    requests_.push_back(std::move(request));
+    view_.push_back(&ref);
+    return ref;
+}
+
+std::unique_ptr<MemRequest>
+RequestQueue::Remove(RequestId id)
+{
+    auto it = std::find_if(requests_.begin(), requests_.end(),
+                           [id](const auto& r) { return r->id == id; });
+    PARBS_ASSERT(it != requests_.end(),
+                 "removing a request that is not in the buffer");
+    std::unique_ptr<MemRequest> out = std::move(*it);
+    requests_.erase(it);
+    per_thread_bank_[static_cast<std::size_t>(out->thread) * num_banks_ +
+                     FlatBank(*out)] -= 1;
+    per_thread_[out->thread] -= 1;
+    RebuildView();
+    return out;
+}
+
+std::uint32_t
+RequestQueue::ReqsInBankPerThread(ThreadId thread, std::uint32_t bank) const
+{
+    PARBS_ASSERT(thread < num_threads_ && bank < num_banks_,
+                 "occupancy query out of range");
+    return per_thread_bank_[static_cast<std::size_t>(thread) * num_banks_ +
+                            bank];
+}
+
+std::uint32_t
+RequestQueue::ReqsPerThread(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < num_threads_, "occupancy query out of range");
+    return per_thread_[thread];
+}
+
+std::uint32_t
+RequestQueue::FlatBank(const MemRequest& request) const
+{
+    return request.coords.rank * banks_per_rank_ + request.coords.bank;
+}
+
+void
+RequestQueue::RebuildView()
+{
+    view_.clear();
+    view_.reserve(requests_.size());
+    for (const auto& r : requests_) {
+        view_.push_back(r.get());
+    }
+}
+
+} // namespace parbs

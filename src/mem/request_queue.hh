@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The memory request buffer: bounded storage for outstanding requests plus
+ * the per-thread, per-bank occupancy counters that the paper's schedulers
+ * consult (Table 1: ReqsInBankPerThread, ReqsPerThread).
+ */
+
+#ifndef PARBS_MEM_REQUEST_QUEUE_HH
+#define PARBS_MEM_REQUEST_QUEUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace parbs {
+
+/**
+ * Bounded buffer of outstanding requests with O(1) occupancy queries.
+ *
+ * Requests stay in the buffer from arrival until their data burst completes
+ * (the paper's request buffer holds requests "while they are waiting to be
+ * serviced"); schedulers iterate the queued subset each cycle.
+ */
+class RequestQueue {
+  public:
+    /**
+     * @param capacity maximum simultaneous requests (0 = unbounded)
+     * @param num_threads number of threads whose counters to track
+     * @param num_ranks ranks on this controller's channel
+     * @param banks_per_rank banks in each rank
+     */
+    RequestQueue(std::size_t capacity, std::uint32_t num_threads,
+                 std::uint32_t num_ranks, std::uint32_t banks_per_rank);
+
+    std::size_t size() const { return requests_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool Empty() const { return requests_.empty(); }
+    bool Full() const;
+
+    /** Adds a request. @pre !Full() */
+    MemRequest& Add(std::unique_ptr<MemRequest> request);
+
+    /**
+     * Removes a completed request from the buffer.
+     * @return ownership of the removed request.
+     * @pre the request is present.
+     */
+    std::unique_ptr<MemRequest> Remove(RequestId id);
+
+    /** All buffered requests, in arrival order (includes in-burst ones). */
+    const std::vector<MemRequest*>& requests() const { return view_; }
+
+    /** Paper counter: requests from @p thread to controller-local @p bank. */
+    std::uint32_t ReqsInBankPerThread(ThreadId thread,
+                                      std::uint32_t bank) const;
+
+    /** Paper counter: total requests from @p thread in the buffer. */
+    std::uint32_t ReqsPerThread(ThreadId thread) const;
+
+    std::uint32_t num_threads() const { return num_threads_; }
+    std::uint32_t num_banks() const { return num_banks_; }
+
+    /** Controller-local flat bank index (rank-major) of a request. */
+    std::uint32_t FlatBank(const MemRequest& request) const;
+
+  private:
+    std::size_t capacity_;
+    std::uint32_t num_threads_;
+    std::uint32_t banks_per_rank_;
+    std::uint32_t num_banks_;
+
+    std::vector<std::unique_ptr<MemRequest>> requests_;
+    /** Cached raw-pointer view handed to schedulers (rebuilt on mutation). */
+    std::vector<MemRequest*> view_;
+
+    /** [thread * num_banks + bank] occupancy. */
+    std::vector<std::uint32_t> per_thread_bank_;
+    std::vector<std::uint32_t> per_thread_;
+
+    void RebuildView();
+};
+
+} // namespace parbs
+
+#endif // PARBS_MEM_REQUEST_QUEUE_HH

@@ -1,0 +1,101 @@
+#include "sched/adaptive_parbs.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+void
+AdaptiveCapConfig::Validate() const
+{
+    if (min_cap == 0 || min_cap > max_cap) {
+        PARBS_FATAL("adaptive cap: need 0 < min_cap <= max_cap");
+    }
+    if (initial_cap < min_cap || initial_cap > max_cap) {
+        PARBS_FATAL("adaptive cap: initial_cap outside [min, max]");
+    }
+    if (window_reads == 0) {
+        PARBS_FATAL("adaptive cap: window_reads must be nonzero");
+    }
+    if (hit_low < 0.0 || hit_low > 1.0) {
+        PARBS_FATAL("adaptive cap: hit_low must be in [0, 1]");
+    }
+}
+
+namespace {
+
+ParBsConfig
+WithCap(ParBsConfig base, std::uint32_t cap)
+{
+    base.marking_cap = cap;
+    return base;
+}
+
+} // namespace
+
+AdaptiveParBsScheduler::AdaptiveParBsScheduler(
+    const AdaptiveCapConfig& adapt, ParBsConfig base)
+    : ParBsScheduler(WithCap(base, adapt.initial_cap)), adapt_(adapt)
+{
+    adapt_.Validate();
+}
+
+std::string
+AdaptiveParBsScheduler::name() const
+{
+    return "PAR-BS(adaptive-cap)";
+}
+
+void
+AdaptiveParBsScheduler::OnRequestComplete(const MemRequest& request,
+                                          DramCycle now)
+{
+    ParBsScheduler::OnRequestComplete(request, now);
+    if (request.is_write) {
+        return;
+    }
+    window_reads_ += 1;
+    if (request.service_class_valid &&
+        request.service_class == dram::RowBufferState::kHit) {
+        window_hits_ += 1;
+    }
+    window_worst_latency_ =
+        std::max(window_worst_latency_, request.Latency());
+    if (window_reads_ >= adapt_.window_reads) {
+        MaybeAdapt();
+    }
+}
+
+std::vector<std::pair<std::string, double>>
+AdaptiveParBsScheduler::Stats() const
+{
+    auto stats = ParBsScheduler::Stats();
+    stats.emplace_back("adaptations", static_cast<double>(adaptations_));
+    return stats;
+}
+
+void
+AdaptiveParBsScheduler::MaybeAdapt()
+{
+    const double hit_rate =
+        static_cast<double>(window_hits_) /
+        static_cast<double>(std::max<std::uint32_t>(1, window_reads_));
+
+    std::uint32_t cap = config_.marking_cap;
+    if (window_worst_latency_ > adapt_.latency_high &&
+        cap > adapt_.min_cap) {
+        cap -= 1; // Unmarked requests are waiting too long: tighten.
+        adaptations_ += 1;
+    } else if (hit_rate < adapt_.hit_low && cap < adapt_.max_cap) {
+        cap += 1; // Batch boundaries are breaking row streams: loosen.
+        adaptations_ += 1;
+    }
+    config_.marking_cap = cap;
+
+    window_reads_ = 0;
+    window_hits_ = 0;
+    window_worst_latency_ = 0;
+}
+
+} // namespace parbs

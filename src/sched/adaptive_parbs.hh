@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Adaptive Marking-Cap PAR-BS — the extension the paper sketches in
+ * Section 8.3.1: "Note that it is possible to improve our mechanism by
+ * making the Marking-Cap adaptive."
+ *
+ * The cap trades row-buffer locality and intensive-thread throughput
+ * (which want a large cap) against the delay of unmarked late-arriving
+ * requests (which wants a small cap).  This controller observes both
+ * signals over fixed windows of completed reads and nudges the cap by one
+ * each window:
+ *
+ *   - if the worst read latency in the window exceeds `latency_high`
+ *     (unmarked requests are being postponed too long), decrease the cap;
+ *   - else if the window's row-buffer hit rate fell below `hit_low`
+ *     (batch boundaries are breaking row streams), increase the cap.
+ *
+ * The cap stays within [min_cap, max_cap].  All thresholds are
+ * configurable; the defaults were chosen on the Figure 11 workloads.
+ */
+
+#ifndef PARBS_SCHED_ADAPTIVE_PARBS_HH
+#define PARBS_SCHED_ADAPTIVE_PARBS_HH
+
+#include "sched/parbs_sched.hh"
+
+namespace parbs {
+
+/** Adaptive-cap controller parameters. */
+struct AdaptiveCapConfig {
+    std::uint32_t initial_cap = 5;
+    std::uint32_t min_cap = 2;
+    std::uint32_t max_cap = 20;
+    /** Completed reads per adaptation window. */
+    std::uint32_t window_reads = 256;
+    /** Worst in-window read latency (DRAM cycles) that triggers a cap
+     *  decrease. */
+    DramCycle latency_high = 1500;
+    /** In-window row-hit rate below which the cap increases. */
+    double hit_low = 0.40;
+
+    /** @throws ConfigError on inconsistent bounds. */
+    void Validate() const;
+};
+
+/** PAR-BS with a feedback-controlled Marking-Cap. */
+class AdaptiveParBsScheduler : public ParBsScheduler {
+  public:
+    explicit AdaptiveParBsScheduler(const AdaptiveCapConfig& adapt = {},
+                                    ParBsConfig base = {});
+
+    std::string name() const override;
+
+    void OnRequestComplete(const MemRequest& request,
+                           DramCycle now) override;
+
+    std::uint32_t current_cap() const { return config_.marking_cap; }
+
+    /** Number of cap adjustments performed so far (diagnostics). */
+    std::uint64_t adaptations() const { return adaptations_; }
+
+    /** Adds the controller state to the PAR-BS batching diagnostics. */
+    std::vector<std::pair<std::string, double>> Stats() const override;
+
+  private:
+    AdaptiveCapConfig adapt_;
+
+    std::uint32_t window_reads_ = 0;
+    std::uint32_t window_hits_ = 0;
+    DramCycle window_worst_latency_ = 0;
+    std::uint64_t adaptations_ = 0;
+
+    void MaybeAdapt();
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_ADAPTIVE_PARBS_HH

@@ -1,0 +1,111 @@
+#include "sched/batch_variants.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+StaticBatchScheduler::StaticBatchScheduler(const ParBsConfig& config,
+                                           DramCycle batch_duration)
+    : ParBsScheduler(config), batch_duration_(batch_duration)
+{
+    if (batch_duration_ == 0) {
+        PARBS_FATAL("static batching requires a nonzero Batch-Duration");
+    }
+}
+
+std::string
+StaticBatchScheduler::name() const
+{
+    return "PAR-BS(st-" + std::to_string(batch_duration_) + ")";
+}
+
+void
+StaticBatchScheduler::OnDramCycle(DramCycle now)
+{
+    // Deliberately does NOT call the base: batches form on a fixed period,
+    // not when the previous batch completes.
+    if (now >= next_marking_cycle_) {
+        MarkStatic(now);
+        next_marking_cycle_ = now + batch_duration_;
+    }
+}
+
+void
+StaticBatchScheduler::MarkStatic(DramCycle now)
+{
+    // Re-derive per-(thread, bank) marked counts from requests still marked
+    // from previous intervals: those marks persist and consume cap slots.
+    std::fill(marked_in_batch_.begin(), marked_in_batch_.end(), 0);
+    for (const MemRequest* request : context_.read_queue->requests()) {
+        if (request->marked) {
+            MarkedInBatch(request->thread, FlatBank(*request)) += 1;
+        }
+    }
+    for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+        markable_now_[thread] = ThreadMarkable(thread) ? 1 : 0;
+    }
+
+    std::uint64_t newly_marked = 0;
+    for (MemRequest* request : context_.read_queue->requests()) {
+        if (request->state != RequestState::kQueued || request->marked) {
+            continue;
+        }
+        if (!markable_now_[request->thread]) {
+            continue;
+        }
+        std::uint32_t& used =
+            MarkedInBatch(request->thread, FlatBank(*request));
+        if (config_.marking_cap != 0 && used >= config_.marking_cap) {
+            continue;
+        }
+        request->marked = true;
+        used += 1;
+        newly_marked += 1;
+    }
+
+    marked_outstanding_ += newly_marked;
+    if (newly_marked > 0) {
+        batch_stats_.batches_formed += 1;
+        batch_stats_.marked_total += newly_marked;
+        batch_stats_.duration_sum += batch_duration_;
+        batch_stats_.batches_completed += 1;
+        batch_start_cycle_ = now;
+        ComputeRanking();
+    }
+}
+
+EslotBatchScheduler::EslotBatchScheduler(const ParBsConfig& config)
+    : ParBsScheduler(config)
+{
+}
+
+std::string
+EslotBatchScheduler::name() const
+{
+    return "PAR-BS(eslot)";
+}
+
+void
+EslotBatchScheduler::OnRequestQueued(MemRequest& request, DramCycle now)
+{
+    ParBsScheduler::OnRequestQueued(request, now);
+    if (request.is_write || !batch_open_) {
+        return;
+    }
+    if (!markable_now_[request.thread]) {
+        return;
+    }
+    std::uint32_t& used = MarkedInBatch(request.thread, FlatBank(request));
+    if (config_.marking_cap != 0 && used >= config_.marking_cap) {
+        return;
+    }
+    // Late-join: the thread still has empty slots in the current batch.
+    request.marked = true;
+    used += 1;
+    marked_outstanding_ += 1;
+    batch_stats_.marked_total += 1;
+}
+
+} // namespace parbs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Alternative batching schemes from Section 4.4 / Figure 12.
+ *
+ * - Time-based static batching: a new marking pass runs every
+ *   Batch-Duration DRAM cycles regardless of whether the previous batch has
+ *   completed; already-marked requests stay marked.  No strict
+ *   starvation-freedom guarantee.
+ *
+ * - Empty-slot (Eslot) batching: full batching, plus requests that arrive
+ *   while a batch is in progress may join it immediately as long as their
+ *   thread has not yet used its Marking-Cap allotment for that bank.
+ */
+
+#ifndef PARBS_SCHED_BATCH_VARIANTS_HH
+#define PARBS_SCHED_BATCH_VARIANTS_HH
+
+#include "sched/parbs_sched.hh"
+
+namespace parbs {
+
+/** Time-based static batching (Section 4.4, "st-<duration>" in Fig. 12). */
+class StaticBatchScheduler : public ParBsScheduler {
+  public:
+    /**
+     * @param config PAR-BS knobs (cap, ranking policy, seed)
+     * @param batch_duration marking interval in DRAM cycles
+     */
+    StaticBatchScheduler(const ParBsConfig& config,
+                         DramCycle batch_duration);
+
+    std::string name() const override;
+    void OnDramCycle(DramCycle now) override;
+
+    DramCycle batch_duration() const { return batch_duration_; }
+
+  private:
+    DramCycle batch_duration_;
+    DramCycle next_marking_cycle_ = 0;
+
+    /** Marks additional requests, keeping existing marks (static policy). */
+    void MarkStatic(DramCycle now);
+};
+
+/** Empty-slot batching (Section 4.4, "eslot" in Fig. 12). */
+class EslotBatchScheduler : public ParBsScheduler {
+  public:
+    explicit EslotBatchScheduler(const ParBsConfig& config = {});
+
+    std::string name() const override;
+    void OnRequestQueued(MemRequest& request, DramCycle now) override;
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_BATCH_VARIANTS_HH

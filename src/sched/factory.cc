@@ -1,0 +1,67 @@
+#include "sched/factory.hh"
+
+#include "common/assert.hh"
+#include "sched/batch_variants.hh"
+#include "sched/fcfs.hh"
+#include "sched/frfcfs.hh"
+#include "sched/nfq.hh"
+
+namespace parbs {
+
+const char*
+SchedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::kFcfs:
+        return "FCFS";
+      case SchedulerKind::kFrFcfs:
+        return "FR-FCFS";
+      case SchedulerKind::kNfq:
+        return "NFQ";
+      case SchedulerKind::kStfm:
+        return "STFM";
+      case SchedulerKind::kParBs:
+        return "PAR-BS";
+      case SchedulerKind::kParBsStatic:
+        return "PAR-BS(static)";
+      case SchedulerKind::kParBsEslot:
+        return "PAR-BS(eslot)";
+      case SchedulerKind::kParBsAdaptive:
+        return "PAR-BS(adaptive-cap)";
+    }
+    return "?";
+}
+
+std::unique_ptr<Scheduler>
+MakeScheduler(const SchedulerConfig& config)
+{
+    switch (config.kind) {
+      case SchedulerKind::kFcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::kFrFcfs:
+        return std::make_unique<FrFcfsScheduler>();
+      case SchedulerKind::kNfq:
+        return std::make_unique<NfqScheduler>();
+      case SchedulerKind::kStfm:
+        return std::make_unique<StfmScheduler>(config.stfm);
+      case SchedulerKind::kParBs:
+        return std::make_unique<ParBsScheduler>(config.parbs);
+      case SchedulerKind::kParBsStatic:
+        return std::make_unique<StaticBatchScheduler>(
+            config.parbs, config.static_batch_duration);
+      case SchedulerKind::kParBsEslot:
+        return std::make_unique<EslotBatchScheduler>(config.parbs);
+      case SchedulerKind::kParBsAdaptive:
+        return std::make_unique<AdaptiveParBsScheduler>(config.adaptive,
+                                                        config.parbs);
+    }
+    PARBS_FATAL("unknown scheduler kind");
+}
+
+std::string
+SchedulerConfigName(const SchedulerConfig& config)
+{
+    return MakeScheduler(config)->name();
+}
+
+} // namespace parbs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Uniform construction of every scheduler the paper evaluates, so that the
+ * experiment harness and examples can sweep algorithms from configuration.
+ */
+
+#ifndef PARBS_SCHED_FACTORY_HH
+#define PARBS_SCHED_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "sched/adaptive_parbs.hh"
+#include "sched/parbs_sched.hh"
+#include "sched/scheduler.hh"
+#include "sched/stfm.hh"
+
+namespace parbs {
+
+/** The scheduling algorithms available to the simulator. */
+enum class SchedulerKind : std::uint8_t {
+    kFcfs,
+    kFrFcfs,
+    kNfq,
+    kStfm,
+    kParBs,
+    kParBsStatic, ///< PAR-BS with time-based static batching (Fig. 12).
+    kParBsEslot,  ///< PAR-BS with empty-slot batching (Fig. 12).
+    kParBsAdaptive, ///< PAR-BS with a feedback-controlled Marking-Cap.
+};
+
+/** Short display name ("FR-FCFS", "PAR-BS", ...). */
+const char* SchedulerKindName(SchedulerKind kind);
+
+/** Complete scheduler selection + parameters. */
+struct SchedulerConfig {
+    SchedulerKind kind = SchedulerKind::kParBs;
+    /** PAR-BS knobs (used by the three PAR-BS variants). */
+    ParBsConfig parbs;
+    /** STFM knobs. */
+    StfmConfig stfm;
+    /** Batch-Duration for kParBsStatic, DRAM cycles. */
+    DramCycle static_batch_duration = 3200;
+    /** Adaptive-cap controller knobs for kParBsAdaptive. */
+    AdaptiveCapConfig adaptive;
+};
+
+/** Builds a fresh scheduler instance from @p config. */
+std::unique_ptr<Scheduler> MakeScheduler(const SchedulerConfig& config);
+
+/** Display name including variant decorations (delegates to the instance). */
+std::string SchedulerConfigName(const SchedulerConfig& config);
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_FACTORY_HH

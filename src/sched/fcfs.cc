@@ -1,0 +1,13 @@
+#include "sched/fcfs.hh"
+
+namespace parbs {
+
+bool
+FcfsScheduler::Better(const Candidate& a, const Candidate& b,
+                      DramCycle) const
+{
+    // Request ids are assigned in arrival order, so "older" == smaller id.
+    return a.request->id < b.request->id;
+}
+
+} // namespace parbs

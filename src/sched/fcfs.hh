@@ -1,0 +1,37 @@
+/**
+ * @file
+ * FCFS: first-come-first-serve DRAM scheduling.
+ *
+ * Requests are serviced strictly in per-bank arrival order, regardless of
+ * row-buffer state: under the controller's request-level (two-level)
+ * selection, the oldest request of each bank owns that bank until it
+ * completes, so a younger request may not overtake it even while its next
+ * command is timing-blocked.  Banks remain independent, so FCFS still
+ * benefits from bank-level parallelism across banks.
+ *
+ * FCFS is the fairness-leaning but low-throughput baseline of the paper
+ * (Section 3): it never exploits row-buffer locality, yet it still unfairly
+ * favors memory-intensive threads, whose requests tend to be the oldest in
+ * the buffer.
+ */
+
+#ifndef PARBS_SCHED_FCFS_HH
+#define PARBS_SCHED_FCFS_HH
+
+#include "sched/scheduler.hh"
+
+namespace parbs {
+
+/** First-come-first-serve scheduler (oldest request first). */
+class FcfsScheduler : public ComparatorScheduler {
+  public:
+    std::string name() const override { return "FCFS"; }
+
+  protected:
+    bool Better(const Candidate& a, const Candidate& b,
+                DramCycle now) const override;
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_FCFS_HH

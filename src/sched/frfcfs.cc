@@ -1,0 +1,15 @@
+#include "sched/frfcfs.hh"
+
+namespace parbs {
+
+bool
+FrFcfsScheduler::Better(const Candidate& a, const Candidate& b,
+                        DramCycle) const
+{
+    if (a.row_hit != b.row_hit) {
+        return a.row_hit;
+    }
+    return a.request->id < b.request->id;
+}
+
+} // namespace parbs

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * FR-FCFS: first-ready first-come-first-serve DRAM scheduling
+ * (Rixner et al. [33], Zuravleff & Robinson [44]).
+ *
+ * Among ready commands: (1) row-hit requests over others, (2) older over
+ * younger.  This is the throughput-oriented baseline in every modern
+ * controller and the paper's reference point for unfairness: threads with
+ * high row-buffer locality and high memory intensity capture banks.
+ */
+
+#ifndef PARBS_SCHED_FRFCFS_HH
+#define PARBS_SCHED_FRFCFS_HH
+
+#include "sched/scheduler.hh"
+
+namespace parbs {
+
+/** First-ready FCFS scheduler (row-hit-first, then oldest-first). */
+class FrFcfsScheduler : public ComparatorScheduler {
+  public:
+    std::string name() const override { return "FR-FCFS"; }
+
+  protected:
+    bool Better(const Candidate& a, const Candidate& b,
+                DramCycle now) const override;
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_FRFCFS_HH

@@ -1,0 +1,87 @@
+#include "sched/nfq.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+void
+NfqScheduler::Attach(const SchedulerContext& context)
+{
+    ComparatorScheduler::Attach(context);
+    virtual_clock_.assign(
+        static_cast<std::size_t>(context.num_threads) * context.NumBanks(),
+        0);
+}
+
+std::uint64_t
+NfqScheduler::NominalServiceTime() const
+{
+    // A representative bank service time: activate + column + burst.
+    const dram::TimingParams& t = *context_.timing;
+    return t.tRCD + t.tCL + t.tBURST;
+}
+
+void
+NfqScheduler::OnRequestQueued(MemRequest& request, DramCycle now)
+{
+    if (request.is_write) {
+        return; // Writes are drained outside the fair-queueing discipline.
+    }
+    const std::size_t index =
+        static_cast<std::size_t>(request.thread) * context_.NumBanks() +
+        FlatBank(request);
+    // Virtual start: the later of the thread's clock in this bank and "now"
+    // (the idleness-prone reset).  Virtual finish adds the nominal service
+    // time inflated by the inverse of the thread's share.
+    const std::uint64_t start = std::max<std::uint64_t>(
+        virtual_clock_[index], now);
+    const double share = weights_[request.thread];
+    const std::uint64_t service = static_cast<std::uint64_t>(
+        static_cast<double>(NominalServiceTime()) / share);
+    request.virtual_finish_time = start + std::max<std::uint64_t>(1, service);
+    virtual_clock_[index] = request.virtual_finish_time;
+}
+
+std::uint64_t
+NfqScheduler::VirtualClock(ThreadId thread, std::uint32_t bank) const
+{
+    const std::size_t index =
+        static_cast<std::size_t>(thread) * context_.NumBanks() + bank;
+    PARBS_ASSERT(index < virtual_clock_.size(), "virtual clock out of range");
+    return virtual_clock_[index];
+}
+
+bool
+NfqScheduler::Better(const Candidate& a, const Candidate& b,
+                     DramCycle now) const
+{
+    // Priority-inversion prevention: a row-hit may jump ahead of an earlier
+    // virtual deadline, but only while its row has been open for less than
+    // tRAS — bounding how long row locality can override fairness.
+    auto protected_hit = [this, now](const Candidate& c) {
+        return c.row_hit && c.row_open_since != kNeverCycle &&
+               now < c.row_open_since + context_.timing->tRAS;
+    };
+    const bool a_hit = protected_hit(a);
+    const bool b_hit = protected_hit(b);
+    if (a_hit != b_hit) {
+        return a_hit;
+    }
+    // FQ-VFTF: earliest virtual finish time first.
+    if (a.request->virtual_finish_time != b.request->virtual_finish_time) {
+        return a.request->virtual_finish_time <
+               b.request->virtual_finish_time;
+    }
+    return a.request->id < b.request->id;
+}
+
+std::uint32_t
+NfqScheduler::FlatBank(const MemRequest& request) const
+{
+    return request.coords.rank * context_.banks_per_rank +
+           request.coords.bank;
+}
+
+} // namespace parbs

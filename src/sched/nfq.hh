@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NFQ: Network-Fair-Queueing based memory scheduling (Nesbit et al.,
+ * MICRO-39 [28]) — the paper's FQ-VFTF configuration with the
+ * priority-inversion-prevention optimization.
+ *
+ * Each thread owns a per-bank virtual clock.  A request's virtual finish
+ * time (VFT) is
+ *
+ *     VFT = max(thread's previous VFT in this bank, arrival time)
+ *           + nominal_service_time / weight
+ *
+ * and the scheduler services the ready request with the earliest VFT,
+ * which apportions each bank's bandwidth in proportion to thread weights.
+ * The priority-inversion-prevention optimization lets row-hit requests go
+ * first, but only while the open row is younger than tRAS, so a stream of
+ * row hits cannot capture a bank indefinitely.
+ *
+ * The `max(..., arrival time)` term is the source of the *idleness problem*
+ * the PAR-BS paper describes: a thread that was idle re-enters with a
+ * near-present VFT and leapfrogs backlogged threads whose clocks have run
+ * ahead.  Because each bank's clock is independent ("without any
+ * coordination among banks"), NFQ also destroys intra-thread bank-level
+ * parallelism — the behaviour Case Studies I and II highlight.
+ */
+
+#ifndef PARBS_SCHED_NFQ_HH
+#define PARBS_SCHED_NFQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace parbs {
+
+/** NFQ / FQ-VFTF scheduler. */
+class NfqScheduler : public ComparatorScheduler {
+  public:
+    NfqScheduler() = default;
+
+    std::string name() const override { return "NFQ"; }
+
+    void Attach(const SchedulerContext& context) override;
+    void OnRequestQueued(MemRequest& request, DramCycle now) override;
+
+    /** Virtual clock of (thread, controller-local bank) — test hook. */
+    std::uint64_t VirtualClock(ThreadId thread, std::uint32_t bank) const;
+
+  protected:
+    bool Better(const Candidate& a, const Candidate& b,
+                DramCycle now) const override;
+
+  private:
+    /** [thread * num_banks + bank] last virtual finish time. */
+    std::vector<std::uint64_t> virtual_clock_;
+
+    std::uint32_t FlatBank(const MemRequest& request) const;
+    std::uint64_t NominalServiceTime() const;
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_NFQ_HH

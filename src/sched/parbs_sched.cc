@@ -1,0 +1,297 @@
+#include "sched/parbs_sched.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+const char*
+RankingPolicyName(RankingPolicy policy)
+{
+    switch (policy) {
+      case RankingPolicy::kMaxTotal:
+        return "max-total";
+      case RankingPolicy::kTotalMax:
+        return "total-max";
+      case RankingPolicy::kRandom:
+        return "random";
+      case RankingPolicy::kRoundRobin:
+        return "round-robin";
+      case RankingPolicy::kNoRankFrFcfs:
+        return "no-rank-frfcfs";
+      case RankingPolicy::kNoRankFcfs:
+        return "no-rank-fcfs";
+    }
+    return "?";
+}
+
+ParBsScheduler::ParBsScheduler(const ParBsConfig& config)
+    : config_(config), rng_(config.seed)
+{
+}
+
+std::string
+ParBsScheduler::name() const
+{
+    if (config_.ranking == RankingPolicy::kMaxTotal &&
+        config_.marking_cap == 5) {
+        return "PAR-BS";
+    }
+    std::string out = "PAR-BS(";
+    out += RankingPolicyName(config_.ranking);
+    out += ",cap=";
+    out += config_.marking_cap == 0 ? "none"
+                                    : std::to_string(config_.marking_cap);
+    out += ")";
+    return out;
+}
+
+void
+ParBsScheduler::Attach(const SchedulerContext& context)
+{
+    ComparatorScheduler::Attach(context);
+    rank_of_.assign(context.num_threads, context.num_threads);
+    markable_now_.assign(context.num_threads, 0);
+    marked_in_batch_.assign(
+        static_cast<std::size_t>(context.num_threads) * context.NumBanks(),
+        0);
+}
+
+void
+ParBsScheduler::OnDramCycle(DramCycle now)
+{
+    // Rule 1: a new batch forms when no marked requests remain.
+    if (marked_outstanding_ == 0) {
+        FormBatch(now);
+    }
+}
+
+void
+ParBsScheduler::OnRequestComplete(const MemRequest& request, DramCycle)
+{
+    if (request.marked) {
+        PARBS_ASSERT(marked_outstanding_ > 0,
+                     "marked request completed with zero outstanding");
+        marked_outstanding_ -= 1;
+    }
+}
+
+std::vector<std::pair<std::string, double>>
+ParBsScheduler::Stats() const
+{
+    return {
+        {"batches_formed",
+         static_cast<double>(batch_stats_.batches_formed)},
+        {"avg_batch_size", batch_stats_.AverageBatchSize()},
+        {"avg_batch_duration", batch_stats_.AverageBatchDuration()},
+        {"marked_outstanding", static_cast<double>(marked_outstanding_)},
+        {"marking_cap", static_cast<double>(config_.marking_cap)},
+    };
+}
+
+std::uint32_t
+ParBsScheduler::ThreadRank(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < rank_of_.size(), "thread id out of range");
+    return rank_of_[thread];
+}
+
+bool
+ParBsScheduler::Better(const Candidate& a, const Candidate& b,
+                       DramCycle) const
+{
+    const MemRequest& ra = *a.request;
+    const MemRequest& rb = *b.request;
+
+    // 1. BS — marked requests first.
+    if (ra.marked != rb.marked) {
+        return ra.marked;
+    }
+
+    // 1.5 PRIORITY — higher-priority threads first (Section 5).  The
+    // opportunistic level sorts after every numbered level.
+    auto priority_key = [this](ThreadId thread) -> std::uint64_t {
+        const ThreadPriority p = priorities_[thread];
+        return p == kOpportunisticPriority
+                   ? std::numeric_limits<std::uint64_t>::max()
+                   : p;
+    };
+    const std::uint64_t pa = priority_key(ra.thread);
+    const std::uint64_t pb = priority_key(rb.thread);
+    if (pa != pb) {
+        return pa < pb;
+    }
+
+    // 2. RH — row-hit first (skipped by the FCFS-within-batch variant).
+    if (config_.ranking != RankingPolicy::kNoRankFcfs &&
+        a.row_hit != b.row_hit) {
+        return a.row_hit;
+    }
+
+    // 3. RANK — higher-ranked threads first (skipped by no-rank variants).
+    if (config_.ranking != RankingPolicy::kNoRankFcfs &&
+        config_.ranking != RankingPolicy::kNoRankFrFcfs &&
+        rank_of_[ra.thread] != rank_of_[rb.thread]) {
+        return rank_of_[ra.thread] < rank_of_[rb.thread];
+    }
+
+    // 4. FCFS — oldest first.
+    return ra.id < rb.id;
+}
+
+bool
+ParBsScheduler::ThreadMarkable(ThreadId thread) const
+{
+    const ThreadPriority priority = priorities_[thread];
+    if (priority == kOpportunisticPriority) {
+        return false; // Level "L": never marked.
+    }
+    // A thread at priority X is marked every Xth batch.
+    return batch_stats_.batches_formed % priority == 0;
+}
+
+std::uint64_t
+ParBsScheduler::FormBatch(DramCycle now)
+{
+    // Close out the previous batch's duration accounting.
+    if (batch_open_) {
+        batch_stats_.duration_sum += now - batch_start_cycle_;
+        batch_stats_.batches_completed += 1;
+        batch_open_ = false;
+    }
+
+    std::fill(marked_in_batch_.begin(), marked_in_batch_.end(), 0);
+    for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+        markable_now_[thread] = ThreadMarkable(thread) ? 1 : 0;
+    }
+
+    std::uint64_t marked = 0;
+    for (MemRequest* request : context_.read_queue->requests()) {
+        if (request->state != RequestState::kQueued || request->marked) {
+            continue;
+        }
+        if (!markable_now_[request->thread]) {
+            continue;
+        }
+        std::uint32_t& used = MarkedInBatch(request->thread,
+                                            FlatBank(*request));
+        if (config_.marking_cap != 0 && used >= config_.marking_cap) {
+            continue;
+        }
+        // The queue is arrival-ordered, so this marks the oldest requests.
+        request->marked = true;
+        used += 1;
+        marked += 1;
+    }
+
+    if (marked == 0) {
+        return 0; // Nothing to batch; do not consume a batch slot.
+    }
+
+    marked_outstanding_ = marked;
+    batch_stats_.batches_formed += 1;
+    batch_stats_.marked_total += marked;
+    batch_start_cycle_ = now;
+    batch_open_ = true;
+
+    ComputeRanking();
+    return marked;
+}
+
+void
+ParBsScheduler::ComputeRanking()
+{
+    const std::uint32_t num_threads = context_.num_threads;
+    const std::uint32_t num_banks = context_.NumBanks();
+
+    struct Load {
+        ThreadId thread;
+        std::uint32_t max_bank_load = 0;
+        std::uint32_t total_load = 0;
+        std::uint64_t tiebreak = 0;
+    };
+    std::vector<Load> loads;
+    loads.reserve(num_threads);
+    for (ThreadId thread = 0; thread < num_threads; ++thread) {
+        Load load;
+        load.thread = thread;
+        for (std::uint32_t bank = 0; bank < num_banks; ++bank) {
+            const std::uint32_t count =
+                marked_in_batch_[static_cast<std::size_t>(thread) *
+                                     num_banks +
+                                 bank];
+            load.total_load += count;
+            load.max_bank_load = std::max(load.max_bank_load, count);
+        }
+        load.tiebreak = rng_.Next64();
+        loads.push_back(load);
+    }
+
+    // Threads with no marked requests always get the worst rank.
+    auto key_less = [this](const Load& a, const Load& b) {
+        const bool a_empty = a.total_load == 0;
+        const bool b_empty = b.total_load == 0;
+        if (a_empty != b_empty) {
+            return b_empty;
+        }
+        switch (config_.ranking) {
+          case RankingPolicy::kMaxTotal:
+            if (a.max_bank_load != b.max_bank_load) {
+                return a.max_bank_load < b.max_bank_load;
+            }
+            if (a.total_load != b.total_load) {
+                return a.total_load < b.total_load;
+            }
+            break;
+          case RankingPolicy::kTotalMax:
+            if (a.total_load != b.total_load) {
+                return a.total_load < b.total_load;
+            }
+            if (a.max_bank_load != b.max_bank_load) {
+                return a.max_bank_load < b.max_bank_load;
+            }
+            break;
+          case RankingPolicy::kRandom:
+          case RankingPolicy::kRoundRobin:
+          case RankingPolicy::kNoRankFrFcfs:
+          case RankingPolicy::kNoRankFcfs:
+            break;
+        }
+        return a.tiebreak < b.tiebreak;
+    };
+
+    if (config_.ranking == RankingPolicy::kRoundRobin) {
+        // Rotate the rank order by one position each batch.
+        const std::uint64_t shift = batch_stats_.batches_formed;
+        for (ThreadId thread = 0; thread < num_threads; ++thread) {
+            rank_of_[thread] = static_cast<std::uint32_t>(
+                (thread + shift) % num_threads);
+        }
+        return;
+    }
+
+    std::sort(loads.begin(), loads.end(), key_less);
+    for (std::uint32_t position = 0; position < loads.size(); ++position) {
+        rank_of_[loads[position].thread] =
+            loads[position].total_load == 0 ? num_threads : position;
+    }
+}
+
+std::uint32_t
+ParBsScheduler::FlatBank(const MemRequest& request) const
+{
+    return request.coords.rank * context_.banks_per_rank +
+           request.coords.bank;
+}
+
+std::uint32_t&
+ParBsScheduler::MarkedInBatch(ThreadId thread, std::uint32_t bank)
+{
+    return marked_in_batch_[static_cast<std::size_t>(thread) *
+                                context_.NumBanks() +
+                            bank];
+}
+
+} // namespace parbs

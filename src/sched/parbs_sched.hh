@@ -1,0 +1,162 @@
+/**
+ * @file
+ * PAR-BS: Parallelism-Aware Batch Scheduling (the paper's contribution).
+ *
+ * Two components:
+ *
+ *  1. Request batching (Rule 1).  When no marked requests remain in the
+ *     request buffer, a new batch forms: up to Marking-Cap outstanding
+ *     read requests per thread per bank are marked.  Marked requests are
+ *     strictly prioritized over unmarked ones, which bounds how long any
+ *     request can be delayed (starvation freedom).
+ *
+ *  2. Parallelism-aware within-batch scheduling (Rules 2 and 3).  At batch
+ *     formation threads are ranked shortest-job-first by the Max-Total rule
+ *     (lowest max-bank-load first, total-load as tie-breaker); within a
+ *     batch requests are prioritized by:
+ *         BS (marked first) > PRIORITY (Section 5) > RH (row-hit first)
+ *         > RANK (higher-ranked thread first) > FCFS (oldest first).
+ *     Ranking the same way in every bank services each thread's requests in
+ *     parallel across banks, preserving its bank-level parallelism.
+ *
+ * System-software support (Section 5): a thread at priority level X has its
+ * requests marked only every Xth batch; threads at the opportunistic level
+ * "L" are never marked and lose every priority comparison.
+ *
+ * The Figure 13 design alternatives (Total-Max / random / round-robin
+ * ranking, and no-rank FR-FCFS / FCFS within a batch) are selected through
+ * ParBsConfig::ranking; the Figure 12 batching alternatives (time-based
+ * static batching, empty-slot batching) are subclasses in
+ * sched/batch_variants.hh.
+ */
+
+#ifndef PARBS_SCHED_PARBS_SCHED_HH
+#define PARBS_SCHED_PARBS_SCHED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sched/scheduler.hh"
+
+namespace parbs {
+
+/** Within-batch thread-ranking policy (Figure 13). */
+enum class RankingPolicy : std::uint8_t {
+    kMaxTotal,    ///< Paper default: Max rule, Total rule tie-break (SJF).
+    kTotalMax,    ///< Total rule first, Max rule tie-break.
+    kRandom,      ///< Random ranks each batch (non-SJF control).
+    kRoundRobin,  ///< Ranks rotate by one each batch (non-SJF control).
+    kNoRankFrFcfs,///< No ranking: FR-FCFS within the batch.
+    kNoRankFcfs,  ///< No ranking and no row-hit rule: FCFS within the batch.
+};
+
+/** @return a short name for a ranking policy ("max-total", ...). */
+const char* RankingPolicyName(RankingPolicy policy);
+
+/** PAR-BS configuration. */
+struct ParBsConfig {
+    /**
+     * Marking-Cap: max marked requests per thread per bank in one batch.
+     * 0 means "no cap" (the paper's `no-c` configuration).  The paper's
+     * recommended value, used in its evaluation, is 5.
+     */
+    std::uint32_t marking_cap = 5;
+    RankingPolicy ranking = RankingPolicy::kMaxTotal;
+    /** Seed for random tie-breaking / the random ranking policy. */
+    std::uint64_t seed = 0x5eedULL;
+};
+
+/** Aggregate batching behaviour counters (Section 8.1.2 reports these). */
+struct BatchStats {
+    std::uint64_t batches_formed = 0;
+    std::uint64_t marked_total = 0;
+    /** Sum of batch durations, DRAM cycles (completed batches only). */
+    std::uint64_t duration_sum = 0;
+    std::uint64_t batches_completed = 0;
+
+    double
+    AverageBatchSize() const
+    {
+        return batches_formed == 0 ? 0.0
+                                   : static_cast<double>(marked_total) /
+                                         static_cast<double>(batches_formed);
+    }
+
+    double
+    AverageBatchDuration() const
+    {
+        return batches_completed == 0
+                   ? 0.0
+                   : static_cast<double>(duration_sum) /
+                         static_cast<double>(batches_completed);
+    }
+};
+
+/** The Parallelism-Aware Batch Scheduler. */
+class ParBsScheduler : public ComparatorScheduler {
+  public:
+    explicit ParBsScheduler(const ParBsConfig& config = {});
+
+    std::string name() const override;
+
+    void Attach(const SchedulerContext& context) override;
+    void OnDramCycle(DramCycle now) override;
+    void OnRequestComplete(const MemRequest& request, DramCycle now) override;
+
+    // --- Introspection (tests / stats) -----------------------------------
+
+    /** Number of marked requests currently outstanding. */
+    std::uint64_t marked_outstanding() const { return marked_outstanding_; }
+
+    /** Rank of @p thread in the current batch (0 = highest; threads with no
+     *  marked requests get the worst rank, num_threads). */
+    std::uint32_t ThreadRank(ThreadId thread) const;
+
+    const BatchStats& batch_stats() const { return batch_stats_; }
+
+    const ParBsConfig& config() const { return config_; }
+
+    /** Batching diagnostics: batches formed, average size/duration,
+     *  currently outstanding marked requests. */
+    std::vector<std::pair<std::string, double>> Stats() const override;
+
+  protected:
+    bool Better(const Candidate& a, const Candidate& b,
+                DramCycle now) const override;
+
+    /** Marks eligible requests for a new batch and recomputes ranks.
+     *  @return number of requests marked. */
+    std::uint64_t FormBatch(DramCycle now);
+
+    /** @return true if @p thread participates in the next batch
+     *  (priority-based marking, Section 5). */
+    bool ThreadMarkable(ThreadId thread) const;
+
+    /** Recomputes the per-thread ranking from the marked request set. */
+    void ComputeRanking();
+
+    ParBsConfig config_;
+    Rng rng_;
+
+    std::uint64_t marked_outstanding_ = 0;
+    /** Rank per thread; lower is higher-ranked. */
+    std::vector<std::uint32_t> rank_of_;
+    /** Whether each thread participates in the *current* batch (cached at
+     *  formation time; consulted by empty-slot late marking). */
+    std::vector<char> markable_now_;
+    /** Marked requests per (thread, bank) in the current batch; marking
+     *  counts, not outstanding counts (empty-slot batching needs these). */
+    std::vector<std::uint32_t> marked_in_batch_;
+
+    BatchStats batch_stats_;
+    DramCycle batch_start_cycle_ = 0;
+    bool batch_open_ = false;
+
+    std::uint32_t FlatBank(const MemRequest& request) const;
+    std::uint32_t& MarkedInBatch(ThreadId thread, std::uint32_t bank);
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_PARBS_SCHED_HH

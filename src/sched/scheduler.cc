@@ -1,0 +1,106 @@
+#include "sched/scheduler.hh"
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+void
+Scheduler::Attach(const SchedulerContext& context)
+{
+    PARBS_ASSERT(context.read_queue != nullptr,
+                 "scheduler attached without a read queue");
+    PARBS_ASSERT(context.num_threads > 0,
+                 "scheduler attached with zero threads");
+    context_ = context;
+    priorities_.assign(context.num_threads, kHighestPriority);
+    weights_.assign(context.num_threads, 1.0);
+}
+
+void
+Scheduler::OnRequestQueued(MemRequest&, DramCycle)
+{
+}
+
+void
+Scheduler::OnCommandIssued(const MemRequest&, const dram::Command&, DramCycle)
+{
+}
+
+void
+Scheduler::OnRequestComplete(const MemRequest&, DramCycle)
+{
+}
+
+void
+Scheduler::OnDramCycle(DramCycle)
+{
+}
+
+std::vector<std::pair<std::string, double>>
+Scheduler::Stats() const
+{
+    return {};
+}
+
+void
+Scheduler::SetThreadPriority(ThreadId thread, ThreadPriority priority)
+{
+    PARBS_ASSERT(thread < priorities_.size(),
+                 "SetThreadPriority before Attach or out of range");
+    priorities_[thread] = priority;
+}
+
+void
+Scheduler::SetThreadWeight(ThreadId thread, double weight)
+{
+    PARBS_ASSERT(thread < weights_.size(),
+                 "SetThreadWeight before Attach or out of range");
+    if (weight <= 0.0) {
+        PARBS_FATAL("thread weight must be positive");
+    }
+    weights_[thread] = weight;
+}
+
+ThreadPriority
+Scheduler::thread_priority(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < priorities_.size(), "thread id out of range");
+    return priorities_[thread];
+}
+
+double
+Scheduler::thread_weight(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < weights_.size(), "thread id out of range");
+    return weights_[thread];
+}
+
+MemRequest*
+ComparatorScheduler::Pick(const std::vector<Candidate>& candidates,
+                          DramCycle now)
+{
+    PARBS_ASSERT(!candidates.empty(), "Pick called with no candidates");
+    const Candidate* best = nullptr;
+    for (const Candidate& candidate : candidates) {
+        if (best == nullptr) {
+            best = &candidate;
+            continue;
+        }
+        // Reads block the processing cores directly, so every evaluated
+        // scheduler services them in preference to writes.
+        const bool a_read = !candidate.request->is_write;
+        const bool b_read = !best->request->is_write;
+        if (a_read != b_read) {
+            if (a_read) {
+                best = &candidate;
+            }
+            continue;
+        }
+        if (Better(candidate, *best, now)) {
+            best = &candidate;
+        }
+    }
+    return best->request;
+}
+
+} // namespace parbs

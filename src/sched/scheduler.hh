@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The DRAM scheduling framework.
+ *
+ * Each DRAM cycle the controller computes the set of *ready* candidates —
+ * requests whose next DRAM command passes every bank / rank / bus timing
+ * check — and asks the scheduler to pick one.  A scheduler is therefore a
+ * prioritizer plus lifecycle hooks; the paper's Rule 1 (batch formation),
+ * Rule 2 (request prioritization) and Rule 3 (thread ranking) map directly
+ * onto OnDramCycle / Better / batch-formation code in ParBsScheduler.
+ *
+ * Thread weights (NFQ, STFM) and thread priorities (PAR-BS, Section 5) are
+ * part of the common interface so the benchmark harness can configure any
+ * scheduler uniformly.
+ */
+
+#ifndef PARBS_SCHED_SCHEDULER_HH
+#define PARBS_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "mem/request.hh"
+#include "mem/request_queue.hh"
+
+namespace parbs {
+
+/** Environment handed to a scheduler when it is attached to a controller. */
+struct SchedulerContext {
+    const RequestQueue* read_queue = nullptr;
+    std::uint32_t num_threads = 0;
+    std::uint32_t num_ranks = 0;
+    std::uint32_t banks_per_rank = 0;
+    /** DRAM timing the scheduler may reason about (e.g. NFQ's tRAS rule). */
+    const dram::TimingParams* timing = nullptr;
+
+    std::uint32_t NumBanks() const { return num_ranks * banks_per_rank; }
+};
+
+/** A schedulable request together with its next command and row-hit status. */
+struct Candidate {
+    MemRequest* request = nullptr;
+    dram::CommandType next_command = dram::CommandType::kActivate;
+    /** True if the request's row is currently open in its bank. */
+    bool row_hit = false;
+    /** Cycle the bank's current row was opened (kNeverCycle if closed);
+     *  NFQ's priority-inversion prevention uses this against tRAS. */
+    DramCycle row_open_since = kNeverCycle;
+};
+
+/** Abstract DRAM scheduler. */
+class Scheduler {
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Human-readable algorithm name, e.g. "PAR-BS". */
+    virtual std::string name() const = 0;
+
+    /** Binds the scheduler to a controller's queues and configuration. */
+    virtual void Attach(const SchedulerContext& context);
+
+    /**
+     * Selects the request to service among @p candidates (non-empty); the
+     * controller then issues that request's next command.  May return
+     * nullptr to deliberately leave the cycle idle (strict-order policies
+     * such as FCFS do this while the oldest request's command is not yet
+     * ready).
+     */
+    virtual MemRequest* Pick(const std::vector<Candidate>& candidates,
+                             DramCycle now) = 0;
+
+    // --- Lifecycle hooks -------------------------------------------------
+
+    /** A new request entered the read or write queue. */
+    virtual void OnRequestQueued(MemRequest& request, DramCycle now);
+
+    /** A DRAM command was issued on behalf of @p request. */
+    virtual void OnCommandIssued(const MemRequest& request,
+                                 const dram::Command& command, DramCycle now);
+
+    /** @p request finished its data burst and leaves the buffer. */
+    virtual void OnRequestComplete(const MemRequest& request, DramCycle now);
+
+    /** Called once per DRAM cycle before candidates are gathered. */
+    virtual void OnDramCycle(DramCycle now);
+
+    // --- System-software knobs (Section 5) -------------------------------
+
+    /**
+     * Sets a thread's priority level (1 = highest; kOpportunisticPriority =
+     * the paper's level "L").  Meaningful for PAR-BS; other schedulers may
+     * approximate priorities through weights.
+     */
+    void SetThreadPriority(ThreadId thread, ThreadPriority priority);
+
+    /** Sets a thread's bandwidth weight (NFQ shares / STFM weights). */
+    void SetThreadWeight(ThreadId thread, double weight);
+
+    ThreadPriority thread_priority(ThreadId thread) const;
+    double thread_weight(ThreadId thread) const;
+
+    /**
+     * Named diagnostic statistics (algorithm-specific): batch counts,
+     * slowdown estimates, adaptive state...  Intended for logging and
+     * debugging; keys are stable within a scheduler class.
+     */
+    virtual std::vector<std::pair<std::string, double>> Stats() const;
+
+  protected:
+    SchedulerContext context_;
+    std::vector<ThreadPriority> priorities_;
+    std::vector<double> weights_;
+};
+
+/**
+ * Convenience base for schedulers expressible as a strict-weak-order over
+ * candidates.  Implements Pick() as "best under Better(), with DRAM reads
+ * preferred over DRAM writes" — every scheduler in the paper prioritizes
+ * reads over writes because reads block the cores (Section 7.2).
+ */
+class ComparatorScheduler : public Scheduler {
+  public:
+    MemRequest* Pick(const std::vector<Candidate>& candidates,
+                     DramCycle now) final;
+
+  protected:
+    /**
+     * @return true if @p a should be serviced in preference to @p b.
+     * Both candidates are of the same kind (both reads or both writes).
+     */
+    virtual bool Better(const Candidate& a, const Candidate& b,
+                        DramCycle now) const = 0;
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_SCHEDULER_HH

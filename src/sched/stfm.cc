@@ -1,0 +1,192 @@
+#include "sched/stfm.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+StfmScheduler::StfmScheduler(const StfmConfig& config) : config_(config)
+{
+    if (config_.alpha < 1.0) {
+        PARBS_FATAL("STFM alpha must be >= 1.0");
+    }
+    if (config_.interval_length == 0) {
+        PARBS_FATAL("STFM interval length must be nonzero");
+    }
+}
+
+void
+StfmScheduler::Attach(const SchedulerContext& context)
+{
+    ComparatorScheduler::Attach(context);
+    t_shared_.assign(context.num_threads, 0.0);
+    t_interference_.assign(context.num_threads, 0.0);
+}
+
+void
+StfmScheduler::OnDramCycle(DramCycle now)
+{
+    // T_shared: cycles during which the thread has outstanding reads (the
+    // controller-side approximation of processor memory stall time).
+    for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+        if (context_.read_queue->ReqsPerThread(thread) > 0) {
+            t_shared_[thread] += 1.0;
+        }
+    }
+    // Periodic aging keeps the estimates adaptive to phase changes.
+    if (now != 0 && now % config_.interval_length == 0) {
+        for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+            t_shared_[thread] *= 0.5;
+            t_interference_[thread] *= 0.5;
+        }
+    }
+    UpdateMode();
+    cycles_observed_ += 1;
+    if (fairness_mode_) {
+        cycles_in_fairness_mode_ += 1;
+    }
+}
+
+void
+StfmScheduler::OnCommandIssued(const MemRequest& request,
+                               const dram::Command& command, DramCycle)
+{
+    // Interference accrues to other threads waiting on the bank this
+    // command occupies, amortized by each waiter's bank-level parallelism
+    // (a waiter using k banks only loses ~1/k of the delay in stall time).
+    if (command.type != dram::CommandType::kRead &&
+        command.type != dram::CommandType::kWrite) {
+        return;
+    }
+    const dram::TimingParams& t = *context_.timing;
+    const double cost = static_cast<double>(t.tRCD + t.tCL + t.tBURST);
+    const std::uint32_t bank =
+        request.coords.rank * context_.banks_per_rank + request.coords.bank;
+
+    for (ThreadId other = 0; other < context_.num_threads; ++other) {
+        if (other == request.thread) {
+            continue;
+        }
+        if (context_.read_queue->ReqsInBankPerThread(other, bank) == 0) {
+            continue;
+        }
+        std::uint32_t banks_in_use = 0;
+        for (std::uint32_t b = 0; b < context_.NumBanks(); ++b) {
+            if (context_.read_queue->ReqsInBankPerThread(other, b) > 0) {
+                banks_in_use += 1;
+            }
+        }
+        t_interference_[other] +=
+            cost / static_cast<double>(std::max<std::uint32_t>(
+                       1, banks_in_use));
+    }
+}
+
+double
+StfmScheduler::EstimatedSlowdown(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < t_shared_.size(), "thread id out of range");
+    const double shared = t_shared_[thread];
+    const double alone = shared - t_interference_[thread];
+    if (shared <= 0.0 || alone <= 1.0) {
+        // No signal yet, or the estimate says (almost) all stall time is
+        // interference; clamp as the real hardware proposal does.
+        return shared > 0.0 ? shared : 1.0;
+    }
+    return shared / alone;
+}
+
+double
+StfmScheduler::EffectiveSlowdown(ThreadId thread) const
+{
+    // A thread with weight w should converge to a slowdown w times smaller;
+    // scaling the measured slowdown by w makes the fairness mode push
+    // bandwidth toward heavy threads until that holds.
+    return EstimatedSlowdown(thread) * weights_[thread];
+}
+
+double
+StfmScheduler::EstimatedUnfairness() const
+{
+    double max_slowdown = 0.0;
+    double min_slowdown = 0.0;
+    bool any = false;
+    for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+        if (context_.read_queue->ReqsPerThread(thread) == 0) {
+            continue;
+        }
+        const double s = EffectiveSlowdown(thread);
+        if (!any || s > max_slowdown) {
+            max_slowdown = s;
+        }
+        if (!any || s < min_slowdown) {
+            min_slowdown = s;
+        }
+        any = true;
+    }
+    if (!any || min_slowdown <= 0.0) {
+        return 1.0;
+    }
+    return max_slowdown / min_slowdown;
+}
+
+std::vector<std::pair<std::string, double>>
+StfmScheduler::Stats() const
+{
+    std::vector<std::pair<std::string, double>> stats{
+        {"estimated_unfairness", EstimatedUnfairness()},
+        {"fairness_mode_fraction",
+         cycles_observed_ == 0
+             ? 0.0
+             : static_cast<double>(cycles_in_fairness_mode_) /
+                   static_cast<double>(cycles_observed_)},
+    };
+    for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+        stats.emplace_back("slowdown_t" + std::to_string(thread),
+                           EstimatedSlowdown(thread));
+    }
+    return stats;
+}
+
+void
+StfmScheduler::UpdateMode()
+{
+    fairness_mode_ = EstimatedUnfairness() > config_.alpha;
+    slowest_thread_ = kInvalidThread;
+    if (!fairness_mode_) {
+        return;
+    }
+    double max_slowdown = -1.0;
+    for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+        if (context_.read_queue->ReqsPerThread(thread) == 0) {
+            continue;
+        }
+        const double s = EffectiveSlowdown(thread);
+        if (s > max_slowdown) {
+            max_slowdown = s;
+            slowest_thread_ = thread;
+        }
+    }
+}
+
+bool
+StfmScheduler::Better(const Candidate& a, const Candidate& b,
+                      DramCycle) const
+{
+    if (fairness_mode_ && slowest_thread_ != kInvalidThread) {
+        // Fairness mode: requests of the most-slowed thread first.
+        const bool a_slowest = a.request->thread == slowest_thread_;
+        const bool b_slowest = b.request->thread == slowest_thread_;
+        if (a_slowest != b_slowest) {
+            return a_slowest;
+        }
+    }
+    // Baseline policy (and intra-thread order): FR-FCFS.
+    if (a.row_hit != b.row_hit) {
+        return a.row_hit;
+    }
+    return a.request->id < b.request->id;
+}
+
+} // namespace parbs

@@ -1,0 +1,35 @@
+#include "sim/config.hh"
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+void
+SystemConfig::Validate() const
+{
+    if (num_cores == 0) {
+        PARBS_FATAL("system: num_cores must be nonzero");
+    }
+    if (cpu_to_dram_ratio == 0) {
+        PARBS_FATAL("system: cpu_to_dram_ratio must be nonzero");
+    }
+    timing.Validate();
+    geometry.Validate();
+    core.Validate();
+}
+
+SystemConfig
+SystemConfig::Baseline(std::uint32_t cores)
+{
+    if (cores == 0) {
+        PARBS_FATAL("baseline requires at least one core");
+    }
+    SystemConfig config;
+    config.num_cores = cores;
+    // "DRAM channels scaled with cores: 1, 2, 4 parallel lock-step channels
+    // for 4, 8, 16 cores" — generalized to cores/4, minimum 1.
+    config.geometry.channels = cores >= 4 ? cores / 4 : 1;
+    return config;
+}
+
+} // namespace parbs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Whole-system configuration: the paper's Table 2 baseline and its 4/8/16
+ * core variants (DRAM channels scale with cores: 1, 2, 4 channels).
+ */
+
+#ifndef PARBS_SIM_CONFIG_HH
+#define PARBS_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cpu/core.hh"
+#include "dram/timing.hh"
+#include "mem/controller.hh"
+#include "sched/factory.hh"
+
+namespace parbs {
+
+/** Complete CMP + memory-system configuration. */
+struct SystemConfig {
+    std::uint32_t num_cores = 4;
+    /** CPU cycles per DRAM command-clock cycle (4 GHz vs DDR2-800). */
+    std::uint32_t cpu_to_dram_ratio = 10;
+
+    dram::TimingParams timing;
+    dram::Geometry geometry;
+    ControllerConfig controller;
+    CoreConfig core;
+    SchedulerConfig scheduler;
+
+    /**
+     * Extension point: when set, the System builds each channel's
+     * scheduler by calling this factory instead of consulting `scheduler`,
+     * so user-defined Scheduler subclasses plug in without being
+     * registered (see examples/custom_scheduler.cpp).
+     */
+    std::function<std::unique_ptr<Scheduler>()> scheduler_factory;
+
+    /** XOR-based address-to-bank mapping (Table 2 baseline). */
+    bool xor_bank_hash = true;
+
+    /**
+     * Fixed latency added to every read completion before the core sees the
+     * data, in CPU cycles: L2 miss handling, the on-chip interconnect, and
+     * the controller pipeline.  60 cycles reproduces the paper's Table 2
+     * uncontended round trips (row hit 160, closed 240, conflict 320 CPU
+     * cycles) on top of the pure DRAM timing.
+     */
+    std::uint32_t extra_read_latency_cpu = 60;
+
+    /** Master seed; all simulator randomness derives from it. */
+    std::uint64_t seed = 1;
+
+    /** @throws ConfigError if any component is invalid. */
+    void Validate() const;
+
+    /**
+     * The paper's baseline for @p cores cores (4, 8, or 16): DDR2-800
+     * timing, 8 banks, 2 KB rows, and cores/4 memory channels.
+     */
+    static SystemConfig Baseline(std::uint32_t cores);
+};
+
+} // namespace parbs
+
+#endif // PARBS_SIM_CONFIG_HH

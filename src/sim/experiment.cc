@@ -1,0 +1,160 @@
+#include "sim/experiment.hh"
+
+#include <functional>
+
+#include "common/assert.hh"
+#include "trace/synthetic.hh"
+
+namespace parbs {
+namespace {
+
+/** Deterministic per-(seed, slot, benchmark) trace seed. */
+std::uint64_t
+TraceSeed(std::uint64_t base, ThreadId slot, const std::string& benchmark)
+{
+    std::uint64_t h = base ^ 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<std::uint64_t>(slot) + 1) * 0xbf58476d1ce4e5b9ULL;
+    for (char c : benchmark) {
+        h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+SystemConfig
+ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
+{
+    SystemConfig system = SystemConfig::Baseline(cores);
+    system.scheduler = scheduler;
+    system.seed = seed;
+    if (customize) {
+        customize(system);
+    }
+    return system;
+}
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
+    : config_(config)
+{
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+ExperimentRunner::MakeTraces(const WorkloadSpec& workload,
+                             const SystemConfig& system_config) const
+{
+    dram::AddressMapper mapper(system_config.geometry,
+                               system_config.xor_bank_hash);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.reserve(workload.benchmarks.size());
+    for (ThreadId slot = 0; slot < workload.benchmarks.size(); ++slot) {
+        const BenchmarkProfile& profile =
+            FindProfile(workload.benchmarks[slot]);
+        traces.push_back(std::make_unique<SyntheticTraceSource>(
+            profile.synth, mapper, slot, system_config.num_cores,
+            TraceSeed(config_.seed, slot, workload.benchmarks[slot])));
+    }
+    return traces;
+}
+
+const ThreadMeasurement&
+ExperimentRunner::AloneBaseline(const std::string& benchmark)
+{
+    auto it = alone_cache_.find(benchmark);
+    if (it != alone_cache_.end()) {
+        return it->second;
+    }
+
+    SchedulerConfig scheduler;
+    scheduler.kind = SchedulerKind::kFrFcfs;
+    const SystemConfig system_config = config_.MakeSystemConfig(scheduler);
+
+    WorkloadSpec solo;
+    solo.name = "alone-" + benchmark;
+    solo.benchmarks = {benchmark};
+    System system(system_config, MakeTraces(solo, system_config));
+    system.Run(config_.run_cycles);
+
+    auto [inserted, _] = alone_cache_.emplace(benchmark, system.Measure(0));
+    return inserted->second;
+}
+
+SharedRun
+ExperimentRunner::RunShared(const WorkloadSpec& workload,
+                            const SchedulerConfig& scheduler,
+                            const std::vector<ThreadPriority>* priorities,
+                            const std::vector<double>* weights)
+{
+    PARBS_ASSERT(workload.benchmarks.size() <= config_.cores,
+                 "workload larger than the configured core count");
+
+    const SystemConfig system_config = config_.MakeSystemConfig(scheduler);
+    System system(system_config, MakeTraces(workload, system_config));
+
+    if (priorities != nullptr) {
+        PARBS_ASSERT(priorities->size() == workload.benchmarks.size(),
+                     "priorities must match workload size");
+        for (ThreadId t = 0; t < priorities->size(); ++t) {
+            system.SetThreadPriority(t, (*priorities)[t]);
+        }
+    }
+    if (weights != nullptr) {
+        PARBS_ASSERT(weights->size() == workload.benchmarks.size(),
+                     "weights must match workload size");
+        for (ThreadId t = 0; t < weights->size(); ++t) {
+            system.SetThreadWeight(t, (*weights)[t]);
+        }
+    }
+
+    system.Run(config_.run_cycles);
+
+    SharedRun run;
+    run.workload = workload.name;
+    run.scheduler = SchedulerConfigName(scheduler);
+    run.benchmarks = workload.benchmarks;
+    for (ThreadId t = 0; t < workload.benchmarks.size(); ++t) {
+        run.shared.push_back(system.Measure(t));
+        run.alone.push_back(AloneBaseline(workload.benchmarks[t]));
+    }
+    run.metrics = ComputeMetrics(run.shared, run.alone);
+    return run;
+}
+
+AggregateMetrics
+ExperimentRunner::Aggregate(const std::vector<SharedRun>& runs)
+{
+    PARBS_ASSERT(!runs.empty(), "aggregate over no runs");
+    std::vector<double> unfairness;
+    std::vector<double> weighted;
+    std::vector<double> hmean;
+    double ast_sum = 0.0;
+    double wc_sum = 0.0;
+    for (const SharedRun& run : runs) {
+        unfairness.push_back(run.metrics.unfairness);
+        weighted.push_back(run.metrics.weighted_speedup);
+        hmean.push_back(run.metrics.hmean_speedup);
+        ast_sum += run.metrics.avg_ast_per_req;
+        wc_sum += static_cast<double>(run.metrics.worst_case_latency);
+    }
+    AggregateMetrics out;
+    out.unfairness_gmean = GeometricMean(unfairness);
+    out.weighted_speedup_gmean = GeometricMean(weighted);
+    out.hmean_speedup_gmean = GeometricMean(hmean);
+    out.ast_per_req_mean = ast_sum / static_cast<double>(runs.size());
+    out.worst_case_latency_mean = wc_sum / static_cast<double>(runs.size());
+    return out;
+}
+
+std::vector<SchedulerConfig>
+ComparisonSchedulers()
+{
+    std::vector<SchedulerConfig> out(5);
+    out[0].kind = SchedulerKind::kFrFcfs;
+    out[1].kind = SchedulerKind::kFcfs;
+    out[2].kind = SchedulerKind::kNfq;
+    out[3].kind = SchedulerKind::kStfm;
+    out[4].kind = SchedulerKind::kParBs;
+    return out;
+}
+
+} // namespace parbs

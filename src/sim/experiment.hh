@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The experiment harness behind every reproduced table and figure: builds
+ * systems from workload specs, runs each benchmark alone to establish the
+ * slowdown baselines (cached), runs shared workloads under any scheduler,
+ * and aggregates metrics across workload sets.
+ */
+
+#ifndef PARBS_SIM_EXPERIMENT_HH
+#define PARBS_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+#include "stats/metrics.hh"
+#include "trace/spec_profiles.hh"
+
+namespace parbs {
+
+/** Experiment-wide parameters. */
+struct ExperimentConfig {
+    std::uint32_t cores = 4;
+    /** Simulated CPU cycles per run (shared and alone). */
+    CpuCycle run_cycles = 2'000'000;
+    std::uint64_t seed = 1;
+
+    /**
+     * Optional hook applied to every system configuration this experiment
+     * builds (alone and shared runs alike) — the seam for parameter-sweep
+     * ablations: change bank counts, row sizes, timing, core parameters...
+     */
+    std::function<void(SystemConfig&)> customize;
+
+    /** Builds the system configuration for one run. */
+    SystemConfig MakeSystemConfig(const SchedulerConfig& scheduler) const;
+};
+
+/** Result of one shared-workload simulation. */
+struct SharedRun {
+    std::string workload;
+    std::string scheduler;
+    std::vector<std::string> benchmarks;
+    std::vector<ThreadMeasurement> shared;
+    std::vector<ThreadMeasurement> alone;
+    WorkloadMetrics metrics;
+};
+
+/** Aggregate over a workload set (the paper reports GMEAN columns). */
+struct AggregateMetrics {
+    double unfairness_gmean = 1.0;
+    double weighted_speedup_gmean = 0.0;
+    double hmean_speedup_gmean = 0.0;
+    double ast_per_req_mean = 0.0;
+    double worst_case_latency_mean = 0.0;
+};
+
+/** Runs alone baselines (cached) and shared workloads. */
+class ExperimentRunner {
+  public:
+    explicit ExperimentRunner(const ExperimentConfig& config);
+
+    const ExperimentConfig& config() const { return config_; }
+
+    /**
+     * Measurement of @p benchmark running alone on the baseline system
+     * (FR-FCFS; the scheduler is irrelevant without contention).  Cached.
+     */
+    const ThreadMeasurement& AloneBaseline(const std::string& benchmark);
+
+    /**
+     * Runs @p workload under @p scheduler and joins the result with the
+     * alone baselines.
+     *
+     * @param priorities optional per-core PAR-BS priority levels
+     * @param weights optional per-core NFQ/STFM bandwidth weights
+     */
+    SharedRun RunShared(const WorkloadSpec& workload,
+                        const SchedulerConfig& scheduler,
+                        const std::vector<ThreadPriority>* priorities =
+                            nullptr,
+                        const std::vector<double>* weights = nullptr);
+
+    /** Builds the trace sources for @p workload (exposed for examples). */
+    std::vector<std::unique_ptr<TraceSource>>
+    MakeTraces(const WorkloadSpec& workload,
+               const SystemConfig& system_config) const;
+
+    /** Geometric/arithmetic aggregation across runs of one scheduler. */
+    static AggregateMetrics Aggregate(const std::vector<SharedRun>& runs);
+
+  private:
+    ExperimentConfig config_;
+    std::map<std::string, ThreadMeasurement> alone_cache_;
+};
+
+/**
+ * The scheduler lineup of the paper's comparison figures, in display
+ * order: FR-FCFS, FCFS, NFQ, STFM, PAR-BS.
+ */
+std::vector<SchedulerConfig> ComparisonSchedulers();
+
+} // namespace parbs
+
+#endif // PARBS_SIM_EXPERIMENT_HH

@@ -1,0 +1,290 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+System::System(const SystemConfig& config,
+               std::vector<std::unique_ptr<TraceSource>> traces)
+    : config_(config),
+      mapper_(config.geometry, config.xor_bank_hash),
+      traces_(std::move(traces))
+{
+    config_.Validate();
+    if (traces_.size() > config_.num_cores) {
+        PARBS_FATAL("more traces than cores");
+    }
+
+    // Per-channel geometry: each controller sees a single-channel slice.
+    dram::Geometry channel_geometry = config_.geometry;
+    channel_geometry.channels = 1;
+    for (std::uint32_t channel = 0; channel < config_.geometry.channels;
+         ++channel) {
+        auto scheduler = config_.scheduler_factory
+                             ? config_.scheduler_factory()
+                             : MakeScheduler(config_.scheduler);
+        controllers_.push_back(std::make_unique<Controller>(
+            config_.controller, config_.timing, channel_geometry,
+            config_.num_cores, std::move(scheduler)));
+        controllers_.back()->SetReadCompleteCallback(
+            [this](const MemRequest& request) {
+                // Model the fixed return path (interconnect + L2 fill)
+                // before the core observes the data.
+                notifications_.push_back(
+                    {cpu_cycle_ + config_.extra_read_latency_cpu,
+                     request.thread, request.id});
+            });
+    }
+
+    for (ThreadId thread = 0; thread < traces_.size(); ++thread) {
+        cores_.push_back(std::make_unique<Core>(config_.core, thread,
+                                                *traces_[thread], *this));
+    }
+}
+
+void
+System::Run(CpuCycle cpu_cycles)
+{
+    const CpuCycle end = cpu_cycle_ + cpu_cycles;
+    while (cpu_cycle_ < end) {
+        if (cpu_cycle_ % config_.cpu_to_dram_ratio == 0) {
+            const DramCycle dram_now = DramNow();
+            for (auto& controller : controllers_) {
+                controller->Tick(dram_now);
+            }
+        }
+        DeliverNotifications();
+        for (auto& core : cores_) {
+            core->Tick();
+        }
+        cpu_cycle_ += 1;
+        if (AllDone()) {
+            break;
+        }
+    }
+}
+
+void
+System::DeliverNotifications()
+{
+    while (!notifications_.empty() &&
+           notifications_.front().ready <= cpu_cycle_) {
+        const PendingNotify n = notifications_.front();
+        notifications_.pop_front();
+        cores_[n.thread]->OnReadComplete(n.id);
+    }
+}
+
+bool
+System::AllDone() const
+{
+    if (cores_.empty()) {
+        return true;
+    }
+    if (!notifications_.empty()) {
+        return false;
+    }
+    for (const auto& core : cores_) {
+        if (!core->Done()) {
+            return false;
+        }
+    }
+    // Drained traces may still have requests in flight.
+    for (const auto& controller : controllers_) {
+        if (controller->pending_reads() > 0 ||
+            controller->pending_writes() > 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+System::num_cores() const
+{
+    return static_cast<std::uint32_t>(cores_.size());
+}
+
+Core&
+System::core(ThreadId thread)
+{
+    PARBS_ASSERT(thread < cores_.size(), "core index out of range");
+    return *cores_[thread];
+}
+
+const Core&
+System::core(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < cores_.size(), "core index out of range");
+    return *cores_[thread];
+}
+
+Controller&
+System::controller(std::uint32_t channel)
+{
+    PARBS_ASSERT(channel < controllers_.size(), "channel out of range");
+    return *controllers_[channel];
+}
+
+const Controller&
+System::controller(std::uint32_t channel) const
+{
+    PARBS_ASSERT(channel < controllers_.size(), "channel out of range");
+    return *controllers_[channel];
+}
+
+std::uint32_t
+System::num_controllers() const
+{
+    return static_cast<std::uint32_t>(controllers_.size());
+}
+
+void
+System::SetThreadPriority(ThreadId thread, ThreadPriority priority)
+{
+    for (auto& controller : controllers_) {
+        controller->scheduler().SetThreadPriority(thread, priority);
+    }
+}
+
+void
+System::SetThreadWeight(ThreadId thread, double weight)
+{
+    for (auto& controller : controllers_) {
+        controller->scheduler().SetThreadWeight(thread, weight);
+    }
+}
+
+ThreadMeasurement
+System::Measure(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < cores_.size(), "thread out of range");
+    const CoreStats& core_stats = cores_[thread]->stats();
+
+    ThreadMeasurement out;
+    out.mcpi = core_stats.Mcpi();
+    out.ipc = core_stats.Ipc();
+    out.ast_per_req = core_stats.AstPerRequest();
+    out.mpki = core_stats.Mpki();
+    out.instructions = core_stats.instructions;
+    out.requests = core_stats.loads_completed;
+
+    std::uint64_t hits = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t blp_sum = 0;
+    std::uint64_t blp_cycles = 0;
+    std::uint64_t max_latency_dram = 0;
+    for (const auto& controller : controllers_) {
+        const ControllerThreadStats& stats =
+            controller->thread_stats(thread);
+        hits += stats.read_row_hits;
+        accesses += stats.read_row_hits + stats.read_row_closed +
+                    stats.read_row_conflicts;
+        blp_sum += stats.blp_sum;
+        blp_cycles += stats.blp_cycles;
+        max_latency_dram =
+            std::max(max_latency_dram, stats.read_latency_max);
+    }
+    out.row_hit_rate = accesses == 0 ? 0.0
+                                     : static_cast<double>(hits) /
+                                           static_cast<double>(accesses);
+    out.blp = blp_cycles == 0 ? 0.0
+                              : static_cast<double>(blp_sum) /
+                                    static_cast<double>(blp_cycles);
+    out.worst_case_latency =
+        max_latency_dram == 0
+            ? 0
+            : max_latency_dram * config_.cpu_to_dram_ratio +
+                  config_.extra_read_latency_cpu;
+    return out;
+}
+
+void
+System::DumpStats(std::ostream& out) const
+{
+    out << "---- system stats @ cpu cycle " << cpu_cycle_ << " ----\n";
+    for (ThreadId t = 0; t < cores_.size(); ++t) {
+        const CoreStats& stats = cores_[t]->stats();
+        const ThreadMeasurement m = Measure(t);
+        out << "core[" << t << "]"
+            << " instructions=" << stats.instructions
+            << " ipc=" << m.ipc
+            << " mcpi=" << m.mcpi
+            << " loads=" << stats.loads_completed
+            << " stores=" << stats.stores_issued
+            << " ast_per_req=" << m.ast_per_req
+            << " rb_hit=" << m.row_hit_rate
+            << " blp=" << m.blp
+            << " wc_latency=" << m.worst_case_latency << "\n";
+    }
+    for (std::uint32_t channel = 0; channel < controllers_.size();
+         ++channel) {
+        const Controller& controller = *controllers_[channel];
+        out << "controller[" << channel << "]"
+            << " ACT=" << controller.commands_issued(
+                   dram::CommandType::kActivate)
+            << " PRE=" << controller.commands_issued(
+                   dram::CommandType::kPrecharge)
+            << " RD=" << controller.commands_issued(
+                   dram::CommandType::kRead)
+            << " WR=" << controller.commands_issued(
+                   dram::CommandType::kWrite)
+            << " REF=" << controller.commands_issued(
+                   dram::CommandType::kRefresh)
+            << " pending_reads=" << controller.pending_reads()
+            << " pending_writes=" << controller.pending_writes() << "\n";
+        const auto scheduler_stats = controller.scheduler().Stats();
+        if (!scheduler_stats.empty()) {
+            out << "controller[" << channel << "].scheduler("
+                << controller.scheduler().name() << ")";
+            for (const auto& [key, value] : scheduler_stats) {
+                out << " " << key << "=" << value;
+            }
+            out << "\n";
+        }
+    }
+}
+
+std::unique_ptr<MemRequest>
+System::MakeRequest(ThreadId thread, Addr addr, bool is_write)
+{
+    auto request = std::make_unique<MemRequest>();
+    request->id = next_request_id_++;
+    request->thread = thread;
+    request->addr = addr;
+    request->coords = mapper_.Decode(addr);
+    request->is_write = is_write;
+    request->arrival_cpu = cpu_cycle_;
+    return request;
+}
+
+std::optional<RequestId>
+System::TryIssueRead(ThreadId thread, Addr addr)
+{
+    const dram::DecodedAddr coords = mapper_.Decode(addr);
+    Controller& controller = *controllers_[coords.channel];
+    if (!controller.CanAcceptRead()) {
+        return std::nullopt;
+    }
+    std::unique_ptr<MemRequest> request = MakeRequest(thread, addr, false);
+    const RequestId id = request->id;
+    controller.Enqueue(std::move(request), DramNow());
+    return id;
+}
+
+bool
+System::TryIssueWrite(ThreadId thread, Addr addr)
+{
+    const dram::DecodedAddr coords = mapper_.Decode(addr);
+    Controller& controller = *controllers_[coords.channel];
+    if (!controller.CanAcceptWrite()) {
+        return false;
+    }
+    controller.Enqueue(MakeRequest(thread, addr, true), DramNow());
+    return true;
+}
+
+} // namespace parbs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The full CMP system: cores, the address mapper, and one memory controller
+ * per channel, advanced in lock-step on the two clock domains.
+ */
+
+#ifndef PARBS_SIM_SYSTEM_HH
+#define PARBS_SIM_SYSTEM_HH
+
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "dram/address_mapper.hh"
+#include "mem/controller.hh"
+#include "sim/config.hh"
+#include "stats/metrics.hh"
+#include "trace/trace.hh"
+
+namespace parbs {
+
+/** A simulated chip-multiprocessor sharing a DRAM memory system. */
+class System : public MemoryPort {
+  public:
+    /**
+     * @param config validated system configuration
+     * @param traces one trace source per core (ownership transferred);
+     *        entries may be fewer than cores — missing cores idle.
+     */
+    System(const SystemConfig& config,
+           std::vector<std::unique_ptr<TraceSource>> traces);
+
+    /**
+     * Runs for @p cpu_cycles CPU cycles (or until every core's trace is
+     * exhausted, whichever comes first).  May be called repeatedly to
+     * continue the simulation.
+     */
+    void Run(CpuCycle cpu_cycles);
+
+    /** @return true once all cores have drained their traces. */
+    bool AllDone() const;
+
+    CpuCycle now() const { return cpu_cycle_; }
+
+    std::uint32_t num_cores() const;
+
+    Core& core(ThreadId thread);
+    const Core& core(ThreadId thread) const;
+
+    Controller& controller(std::uint32_t channel);
+    const Controller& controller(std::uint32_t channel) const;
+    std::uint32_t num_controllers() const;
+
+    const dram::AddressMapper& mapper() const { return mapper_; }
+
+    /** Sets a thread's priority on every channel's scheduler (Section 5). */
+    void SetThreadPriority(ThreadId thread, ThreadPriority priority);
+
+    /** Sets a thread's bandwidth weight on every channel's scheduler. */
+    void SetThreadWeight(ThreadId thread, double weight);
+
+    /** Joins core-side and DRAM-side statistics for @p thread. */
+    ThreadMeasurement Measure(ThreadId thread) const;
+
+    /**
+     * Writes a human-readable statistics report for the whole system:
+     * per-core performance, per-controller DRAM counters, and each
+     * scheduler's own diagnostics (gem5-style end-of-run dump).
+     */
+    void DumpStats(std::ostream& out) const;
+
+    // --- MemoryPort -------------------------------------------------------
+    std::optional<RequestId> TryIssueRead(ThreadId thread, Addr addr) override;
+    bool TryIssueWrite(ThreadId thread, Addr addr) override;
+
+  private:
+    SystemConfig config_;
+    dram::AddressMapper mapper_;
+
+    std::vector<std::unique_ptr<TraceSource>> traces_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<Controller>> controllers_;
+
+    CpuCycle cpu_cycle_ = 0;
+    RequestId next_request_id_ = 1;
+
+    /** Read completions awaiting the fixed return-path latency. */
+    struct PendingNotify {
+        CpuCycle ready;
+        ThreadId thread;
+        RequestId id;
+    };
+    std::deque<PendingNotify> notifications_;
+
+    void DeliverNotifications();
+
+    DramCycle DramNow() const { return cpu_cycle_ / config_.cpu_to_dram_ratio; }
+
+    std::unique_ptr<MemRequest> MakeRequest(ThreadId thread, Addr addr,
+                                            bool is_write);
+};
+
+} // namespace parbs
+
+#endif // PARBS_SIM_SYSTEM_HH

@@ -1,0 +1,198 @@
+#include "sim/workloads.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+#include "common/rng.hh"
+#include "trace/spec_profiles.hh"
+
+namespace parbs {
+namespace {
+
+WorkloadSpec
+Named(std::string name, std::vector<std::string> benchmarks)
+{
+    WorkloadSpec spec;
+    spec.name = std::move(name);
+    spec.benchmarks = std::move(benchmarks);
+    return spec;
+}
+
+/** Table 3 row by 1-based paper index. */
+const BenchmarkProfile&
+ByIndex(std::size_t index)
+{
+    const auto& profiles = SpecProfiles();
+    PARBS_ASSERT(index >= 1 && index <= profiles.size(),
+                 "Table 3 index out of range");
+    return profiles[index - 1];
+}
+
+std::vector<std::string>
+ByIndices(std::initializer_list<std::size_t> indices)
+{
+    std::vector<std::string> out;
+    for (std::size_t index : indices) {
+        out.emplace_back(ByIndex(index).name);
+    }
+    return out;
+}
+
+} // namespace
+
+WorkloadSpec
+CaseStudy1()
+{
+    return Named("CaseStudyI",
+                 {"462.libquantum", "429.mcf", "459.GemsFDTD",
+                  "483.xalancbmk"});
+}
+
+WorkloadSpec
+CaseStudy2()
+{
+    return Named("CaseStudyII",
+                 {"matlab", "464.h264ref", "471.omnetpp", "456.hmmer"});
+}
+
+WorkloadSpec
+CaseStudy3()
+{
+    return Copies("470.lbm", 4);
+}
+
+WorkloadSpec
+Copies(const std::string& benchmark, std::uint32_t count)
+{
+    const BenchmarkProfile& profile = FindProfile(benchmark);
+    WorkloadSpec spec;
+    spec.name = std::to_string(count) + "x" + std::string(profile.name);
+    spec.benchmarks.assign(count, std::string(profile.name));
+    return spec;
+}
+
+std::vector<WorkloadSpec>
+Fig8SampleWorkloads()
+{
+    // The ten 4-core mixes labelled individually in Figure 8 (left).
+    return {
+        Named("libq+h264+omnet+hmmer",
+              {"462.libquantum", "464.h264ref", "471.omnetpp",
+               "456.hmmer"}),
+        Named("lbm+matlab+Gems+omnet",
+              {"470.lbm", "matlab", "459.GemsFDTD", "471.omnetpp"}),
+        Named("Gems+omnet+astar+hmmer",
+              {"459.GemsFDTD", "471.omnetpp", "473.astar", "456.hmmer"}),
+        Named("libq+xml+astar+hmmer",
+              {"462.libquantum", "xml-parser", "473.astar", "456.hmmer"}),
+        Named("matlab+omnet+astar+bzip2",
+              {"matlab", "471.omnetpp", "473.astar", "401.bzip2"}),
+        Named("4xleslie3d",
+              {"437.leslie3d", "437.leslie3d", "437.leslie3d",
+               "437.leslie3d"}),
+        Named("sphinx+libq+h264+omnet",
+              {"482.sphinx3", "462.libquantum", "464.h264ref",
+               "471.omnetpp"}),
+        Named("libq+mcf+xalanc+gromacs",
+              {"462.libquantum", "429.mcf", "483.xalancbmk",
+               "435.gromacs"}),
+        Named("lbm+matlab+astar+hmmer",
+              {"470.lbm", "matlab", "473.astar", "456.hmmer"}),
+        Named("lbm+astar+h264+gromacs",
+              {"470.lbm", "473.astar", "464.h264ref", "435.gromacs"}),
+    };
+}
+
+WorkloadSpec
+EightCoreMixed()
+{
+    return Named("8core-mixed",
+                 {"429.mcf", "xml-parser", "436.cactusADM", "473.astar",
+                  "456.hmmer", "464.h264ref", "435.gromacs", "401.bzip2"});
+}
+
+std::vector<WorkloadSpec>
+SixteenCoreSamples()
+{
+    std::vector<WorkloadSpec> out;
+
+    // "1,5,6,9,13-22,27,28": Table 3 indices.
+    out.push_back(Named("16core-sample-A",
+                        ByIndices({1, 5, 6, 9, 13, 14, 15, 16, 17, 18, 19,
+                                   20, 21, 22, 27, 28})));
+    // "9,13-22,24-28".
+    out.push_back(Named("16core-sample-B",
+                        ByIndices({9, 13, 14, 15, 16, 17, 18, 19, 20, 21,
+                                   22, 24, 25, 26, 27, 28})));
+    // intensive16: the twelve memory-intensive benchmarks (1-12) plus the
+    // four most intensive again.
+    out.push_back(Named("intensive16",
+                        ByIndices({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 5,
+                                   6, 9, 1})));
+    // middle16: two benchmarks from every Table 3 category.
+    {
+        std::vector<std::string> mix;
+        Rng rng(0xA11CE);
+        for (int category = 0; category < 8; ++category) {
+            const auto members = ProfilesInCategory(category);
+            PARBS_ASSERT(!members.empty(), "empty Table 3 category");
+            for (int pick = 0; pick < 2; ++pick) {
+                mix.emplace_back(
+                    members[rng.NextBelow(members.size())]->name);
+            }
+        }
+        out.push_back(Named("middle16", std::move(mix)));
+    }
+    // non-intensive16: the sixteen low-intensity benchmarks (13-28).
+    out.push_back(Named("non-intensive16",
+                        ByIndices({13, 14, 15, 16, 17, 18, 19, 20, 21, 22,
+                                   23, 24, 25, 26, 27, 28})));
+    return out;
+}
+
+std::vector<WorkloadSpec>
+RandomMixes(std::uint32_t count, std::uint32_t cores, std::uint64_t seed)
+{
+    PARBS_ASSERT(cores > 0, "workload mixes need at least one core");
+    Rng rng(seed);
+    std::vector<WorkloadSpec> out;
+    out.reserve(count);
+
+    for (std::uint32_t w = 0; w < count; ++w) {
+        std::vector<int> categories;
+        if (cores <= 8) {
+            // Distinct categories; for 4 cores a random 4-subset of the 8.
+            std::vector<int> all{0, 1, 2, 3, 4, 5, 6, 7};
+            rng.Shuffle(all);
+            categories.assign(all.begin(), all.begin() + std::min<std::size_t>(
+                                                              cores, all.size()));
+            while (categories.size() < cores) {
+                categories.push_back(
+                    all[rng.NextBelow(all.size())]);
+            }
+        } else {
+            // 16 cores: every category twice.
+            for (int repeat = 0; repeat < 2; ++repeat) {
+                for (int category = 0; category < 8; ++category) {
+                    categories.push_back(category);
+                }
+            }
+            rng.Shuffle(categories);
+            categories.resize(cores);
+        }
+
+        WorkloadSpec spec;
+        spec.name = "mix-" + std::to_string(cores) + "c-" +
+                    std::to_string(w);
+        for (int category : categories) {
+            const auto members = ProfilesInCategory(category);
+            PARBS_ASSERT(!members.empty(), "empty Table 3 category");
+            spec.benchmarks.emplace_back(
+                members[rng.NextBelow(members.size())]->name);
+        }
+        out.push_back(std::move(spec));
+    }
+    return out;
+}
+
+} // namespace parbs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The multiprogrammed workload mixes evaluated in the paper: the three
+ * 4-core case studies, the Figure 8 sample mixes, the 8-core and 16-core
+ * workloads, and the pseudo-random category-based mix generator used for
+ * the 100-workload (4-core) / 16-workload (8-core) / 12-workload (16-core)
+ * aggregates.
+ */
+
+#ifndef PARBS_SIM_WORKLOADS_HH
+#define PARBS_SIM_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parbs {
+
+/** A named multiprogrammed workload: one benchmark per core. */
+struct WorkloadSpec {
+    std::string name;
+    std::vector<std::string> benchmarks;
+};
+
+/** Case Study I (Fig. 5): memory-intensive 4-core workload. */
+WorkloadSpec CaseStudy1();
+
+/** Case Study II (Fig. 6): non-intensive 4-core workload. */
+WorkloadSpec CaseStudy2();
+
+/** Case Study III (Fig. 7): four copies of lbm. */
+WorkloadSpec CaseStudy3();
+
+/** @return N copies of one benchmark (Figs. 7, 13, 14). */
+WorkloadSpec Copies(const std::string& benchmark, std::uint32_t count);
+
+/** The ten sample 4-core mixes shown individually in Figure 8. */
+std::vector<WorkloadSpec> Fig8SampleWorkloads();
+
+/** The mixed 8-core workload of Figure 9. */
+WorkloadSpec EightCoreMixed();
+
+/** The five sample 16-core workloads of Figure 10 (by Table 3 index plus
+ *  the intensive16 / middle16 / non-intensive16 mixes). */
+std::vector<WorkloadSpec> SixteenCoreSamples();
+
+/**
+ * Pseudo-random category mixes (Section 7): each workload selects
+ * benchmarks by Table 3 category so different category combinations are
+ * covered — for 4 cores, four distinct categories; for 8 cores, one
+ * benchmark from every category; for 16 cores, two from every category.
+ */
+std::vector<WorkloadSpec> RandomMixes(std::uint32_t count,
+                                      std::uint32_t cores,
+                                      std::uint64_t seed);
+
+} // namespace parbs
+
+#endif // PARBS_SIM_WORKLOADS_HH

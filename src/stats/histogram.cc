@@ -1,0 +1,88 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t bucket_count)
+    : bucket_width_(bucket_width), buckets_(bucket_count + 1, 0)
+{
+    PARBS_ASSERT(bucket_width > 0 && bucket_count > 0,
+                 "histogram needs positive dimensions");
+}
+
+void
+Histogram::Add(std::uint64_t value)
+{
+    std::size_t index = static_cast<std::size_t>(value / bucket_width_);
+    if (index >= buckets_.size() - 1) {
+        index = buckets_.size() - 1; // Overflow bucket.
+    }
+    buckets_[index] += 1;
+    if (count_ == 0 || value < min_) {
+        min_ = value;
+    }
+    max_ = std::max(max_, value);
+    sum_ += value;
+    count_ += 1;
+}
+
+double
+Histogram::Mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::Percentile(double fraction) const
+{
+    PARBS_ASSERT(count_ > 0, "percentile of an empty histogram");
+    PARBS_ASSERT(fraction > 0.0 && fraction <= 1.0,
+                 "percentile fraction out of range");
+    const std::uint64_t needed = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(count_) + 0.5);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        running += buckets_[i];
+        if (running >= needed) {
+            if (i == buckets_.size() - 1) {
+                return max_;
+            }
+            return (static_cast<std::uint64_t>(i) + 1) * bucket_width_ - 1;
+        }
+    }
+    return max_;
+}
+
+std::string
+Histogram::Render() const
+{
+    std::ostringstream out;
+    const std::uint64_t peak =
+        *std::max_element(buckets_.begin(), buckets_.end());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0) {
+            continue;
+        }
+        const int bar_length =
+            peak == 0 ? 0
+                      : static_cast<int>(50.0 *
+                                         static_cast<double>(buckets_[i]) /
+                                         static_cast<double>(peak));
+        out << (i == buckets_.size() - 1
+                    ? std::string(">=") +
+                          std::to_string(i * bucket_width_)
+                    : std::to_string(i * bucket_width_) + "-" +
+                          std::to_string((i + 1) * bucket_width_ - 1));
+        out << "\t" << buckets_[i] << "\t" << std::string(bar_length, '#')
+            << "\n";
+    }
+    return out.str();
+}
+
+} // namespace parbs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A simple fixed-bucket histogram used for latency distributions in tests
+ * and benchmark diagnostics.
+ */
+
+#ifndef PARBS_STATS_HISTOGRAM_HH
+#define PARBS_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parbs {
+
+/** Linear-bucket histogram over [0, bucket_width * bucket_count). */
+class Histogram {
+  public:
+    /**
+     * @param bucket_width width of each bucket
+     * @param bucket_count number of buckets; values beyond the last bucket
+     *        are accumulated in an overflow bucket
+     */
+    Histogram(std::uint64_t bucket_width, std::size_t bucket_count);
+
+    void Add(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+    double Mean() const;
+
+    /** Smallest value v such that at least @p fraction of samples are <= v
+     *  (bucket-granular). @pre 0 < fraction <= 1 and count() > 0. */
+    std::uint64_t Percentile(double fraction) const;
+
+    /** Multi-line ASCII rendering (for diagnostics). */
+    std::string Render() const;
+
+  private:
+    std::uint64_t bucket_width_;
+    std::vector<std::uint64_t> buckets_; ///< Last bucket is overflow.
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace parbs
+
+#endif // PARBS_STATS_HISTOGRAM_HH

@@ -1,0 +1,98 @@
+#include "stats/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hh"
+
+namespace parbs {
+namespace {
+
+/**
+ * Floor for the alone-run MCPI in the slowdown ratio.  Nearly-compute-bound
+ * threads have an alone MCPI close to zero, which would make the slowdown
+ * ratio numerically meaningless; the floor bounds the amplification while
+ * preserving the paper's metric for every memory-sensitive thread.
+ */
+constexpr double kAloneMcpiFloor = 0.01;
+
+} // namespace
+
+double
+MemorySlowdown(const ThreadMeasurement& shared, const ThreadMeasurement& alone)
+{
+    const double alone_mcpi = std::max(alone.mcpi, kAloneMcpiFloor);
+    const double shared_mcpi = std::max(shared.mcpi, kAloneMcpiFloor);
+    return std::max(1.0, shared_mcpi / alone_mcpi);
+}
+
+WorkloadMetrics
+ComputeMetrics(const std::vector<ThreadMeasurement>& shared,
+               const std::vector<ThreadMeasurement>& alone)
+{
+    PARBS_ASSERT(!shared.empty() && shared.size() == alone.size(),
+                 "metrics require matching shared/alone measurements");
+    WorkloadMetrics out;
+    out.memory_slowdown.reserve(shared.size());
+
+    double max_slowdown = 0.0;
+    double min_slowdown = 0.0;
+    double inv_speedup_sum = 0.0;
+    double ast_sum = 0.0;
+    std::uint64_t ast_count = 0;
+
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        const double slowdown = MemorySlowdown(shared[i], alone[i]);
+        out.memory_slowdown.push_back(slowdown);
+        if (i == 0 || slowdown > max_slowdown) {
+            max_slowdown = slowdown;
+        }
+        if (i == 0 || slowdown < min_slowdown) {
+            min_slowdown = slowdown;
+        }
+
+        const double alone_ipc = std::max(alone[i].ipc, 1e-9);
+        const double speedup = shared[i].ipc / alone_ipc;
+        out.weighted_speedup += speedup;
+        inv_speedup_sum += 1.0 / std::max(speedup, 1e-9);
+
+        if (shared[i].requests > 0) {
+            ast_sum += shared[i].ast_per_req;
+            ast_count += 1;
+        }
+        out.worst_case_latency =
+            std::max(out.worst_case_latency, shared[i].worst_case_latency);
+    }
+
+    out.unfairness = min_slowdown > 0.0 ? max_slowdown / min_slowdown : 1.0;
+    out.hmean_speedup =
+        static_cast<double>(shared.size()) / std::max(inv_speedup_sum, 1e-9);
+    out.avg_ast_per_req =
+        ast_count == 0 ? 0.0 : ast_sum / static_cast<double>(ast_count);
+    return out;
+}
+
+double
+GeometricMean(const std::vector<double>& values)
+{
+    PARBS_ASSERT(!values.empty(), "geometric mean of an empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        PARBS_ASSERT(v > 0.0, "geometric mean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+ArithmeticMean(const std::vector<double>& values)
+{
+    PARBS_ASSERT(!values.empty(), "arithmetic mean of an empty set");
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+    }
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace parbs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The paper's evaluation metrics (Section 7.1).
+ *
+ * Memory slowdown of thread i:   MCPI_shared / MCPI_alone
+ * Unfairness:                    max_i slowdown_i / min_j slowdown_j
+ * Weighted speedup:              sum_i IPC_shared / IPC_alone
+ * Hmean speedup:                 N / sum_i (1 / (IPC_shared / IPC_alone))
+ *
+ * plus the secondary metrics of Table 4 (average stall time per request and
+ * worst-case request latency) and geometric-mean aggregation across
+ * workloads.
+ */
+
+#ifndef PARBS_STATS_METRICS_HH
+#define PARBS_STATS_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace parbs {
+
+/** Per-thread measurements from one simulation (shared or alone). */
+struct ThreadMeasurement {
+    double mcpi = 0.0; ///< Memory stall cycles per instruction.
+    double ipc = 0.0;
+    double ast_per_req = 0.0;  ///< Average stall time per DRAM request.
+    double row_hit_rate = 0.0; ///< Fraction in [0, 1].
+    double blp = 0.0;
+    double mpki = 0.0;
+    std::uint64_t worst_case_latency = 0; ///< CPU cycles.
+    std::uint64_t instructions = 0;
+    std::uint64_t requests = 0;
+};
+
+/** Shared-run results joined with the matching alone-run baselines. */
+struct WorkloadMetrics {
+    std::vector<double> memory_slowdown; ///< Per thread.
+    double unfairness = 1.0;
+    double weighted_speedup = 0.0;
+    double hmean_speedup = 0.0;
+    double avg_ast_per_req = 0.0;
+    std::uint64_t worst_case_latency = 0; ///< Max over threads, CPU cycles.
+};
+
+/**
+ * Computes the paper's metrics from per-thread shared and alone runs.
+ * @pre shared.size() == alone.size(), nonempty.
+ */
+WorkloadMetrics ComputeMetrics(const std::vector<ThreadMeasurement>& shared,
+                               const std::vector<ThreadMeasurement>& alone);
+
+/** Memory slowdown of one thread (clamped below at a small epsilon). */
+double MemorySlowdown(const ThreadMeasurement& shared,
+                      const ThreadMeasurement& alone);
+
+/** Geometric mean. @pre values nonempty, all positive. */
+double GeometricMean(const std::vector<double>& values);
+
+/** Arithmetic mean. @pre values nonempty. */
+double ArithmeticMean(const std::vector<double>& values);
+
+} // namespace parbs
+
+#endif // PARBS_STATS_METRICS_HH

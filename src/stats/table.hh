@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Aligned plain-text table rendering for the benchmark harness, which
+ * regenerates the paper's tables/figure data as console output.
+ */
+
+#ifndef PARBS_STATS_TABLE_HH
+#define PARBS_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace parbs {
+
+/** A right-padded text table with a header row. */
+class Table {
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Adds a data row; short rows are padded with empty cells. */
+    void AddRow(std::vector<std::string> row);
+
+    /** Convenience: formats doubles to @p precision decimals. */
+    static std::string Num(double value, int precision = 2);
+
+    /** Renders the table with a separator under the header. */
+    std::string Render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace parbs
+
+#endif // PARBS_STATS_TABLE_HH

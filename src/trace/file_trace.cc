@@ -1,0 +1,154 @@
+#include "trace/file_trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hh"
+
+namespace parbs {
+namespace {
+
+[[noreturn]] void
+ParseError(const std::string& origin, std::size_t line,
+           const std::string& what)
+{
+    PARBS_FATAL("trace " + origin + ":" + std::to_string(line) + ": " +
+                what);
+}
+
+} // namespace
+
+std::vector<TraceEntry>
+ParseTrace(std::istream& in, const std::string& origin)
+{
+    std::vector<TraceEntry> entries;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        line_number += 1;
+        // Strip comments and surrounding whitespace.
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream fields(line);
+        std::string compute_text;
+        if (!(fields >> compute_text)) {
+            continue; // Blank or comment-only line.
+        }
+
+        TraceEntry entry;
+        try {
+            std::size_t consumed = 0;
+            const unsigned long compute =
+                std::stoul(compute_text, &consumed, 0);
+            if (consumed != compute_text.size()) {
+                throw std::invalid_argument(compute_text);
+            }
+            entry.compute_instructions =
+                static_cast<std::uint32_t>(compute);
+        } catch (const std::exception&) {
+            ParseError(origin, line_number,
+                       "bad instruction count '" + compute_text + "'");
+        }
+
+        std::string kind;
+        if (!(fields >> kind) || (kind != "R" && kind != "W")) {
+            ParseError(origin, line_number,
+                       "expected access type R or W");
+        }
+        entry.is_write = kind == "W";
+
+        std::string addr_text;
+        if (!(fields >> addr_text)) {
+            ParseError(origin, line_number, "missing address");
+        }
+        try {
+            std::size_t consumed = 0;
+            entry.addr = std::stoull(addr_text, &consumed, 0);
+            if (consumed != addr_text.size()) {
+                throw std::invalid_argument(addr_text);
+            }
+        } catch (const std::exception&) {
+            ParseError(origin, line_number,
+                       "bad address '" + addr_text + "'");
+        }
+
+        std::string flag;
+        if (fields >> flag) {
+            if (flag != "D") {
+                ParseError(origin, line_number,
+                           "unexpected trailing field '" + flag + "'");
+            }
+            entry.depends_on_prev = true;
+        }
+        entries.push_back(entry);
+    }
+    return entries;
+}
+
+std::vector<TraceEntry>
+LoadTraceFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        PARBS_FATAL("cannot open trace file: " + path);
+    }
+    return ParseTrace(in, path);
+}
+
+void
+WriteTrace(std::ostream& out, const std::vector<TraceEntry>& entries)
+{
+    for (const TraceEntry& entry : entries) {
+        out << entry.compute_instructions << " "
+            << (entry.is_write ? "W" : "R") << " 0x" << std::hex
+            << entry.addr << std::dec;
+        if (entry.depends_on_prev) {
+            out << " D";
+        }
+        out << "\n";
+    }
+}
+
+void
+SaveTraceFile(const std::string& path,
+              const std::vector<TraceEntry>& entries)
+{
+    std::ofstream out(path);
+    if (!out) {
+        PARBS_FATAL("cannot open trace file for writing: " + path);
+    }
+    WriteTrace(out, entries);
+    if (!out) {
+        PARBS_FATAL("failed while writing trace file: " + path);
+    }
+}
+
+FileTraceSource::FileTraceSource(std::vector<TraceEntry> entries, bool loop)
+    : entries_(std::move(entries)), loop_(loop)
+{
+    if (loop_ && entries_.empty()) {
+        PARBS_FATAL("cannot loop an empty trace");
+    }
+}
+
+FileTraceSource
+FileTraceSource::FromFile(const std::string& path, bool loop)
+{
+    return FileTraceSource(LoadTraceFile(path), loop);
+}
+
+std::optional<TraceEntry>
+FileTraceSource::Next()
+{
+    if (position_ >= entries_.size()) {
+        if (!loop_) {
+            return std::nullopt;
+        }
+        position_ = 0;
+    }
+    return entries_[position_++];
+}
+
+} // namespace parbs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * File-based traces: load memory-request traces from disk so that real
+ * application traces (e.g. captured from a binary-instrumentation tool, as
+ * the paper did with Pin/iDNA) can drive the simulator in place of the
+ * synthetic generator.
+ *
+ * Format: plain text, one record per line,
+ *
+ *     <compute-instructions> <R|W> <hex-or-dec address> [D]
+ *
+ * where the optional trailing `D` marks the access as dependent on all
+ * prior accesses (TraceEntry::depends_on_prev).  Blank lines and lines
+ * starting with `#` are ignored.  Example:
+ *
+ *     # libquantum-like stream
+ *     20 R 0x1a2400
+ *     20 R 0x1a2440 D
+ *     3  W 0x7fe000
+ */
+
+#ifndef PARBS_TRACE_FILE_TRACE_HH
+#define PARBS_TRACE_FILE_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace parbs {
+
+/** Parses a trace from a stream. @throws ConfigError on malformed input. */
+std::vector<TraceEntry> ParseTrace(std::istream& in,
+                                   const std::string& origin = "<stream>");
+
+/** Loads a trace file. @throws ConfigError if unreadable or malformed. */
+std::vector<TraceEntry> LoadTraceFile(const std::string& path);
+
+/** Writes entries in the text format above (round-trips with ParseTrace). */
+void WriteTrace(std::ostream& out, const std::vector<TraceEntry>& entries);
+
+/** Writes a trace file. @throws ConfigError if the file cannot be opened. */
+void SaveTraceFile(const std::string& path,
+                   const std::vector<TraceEntry>& entries);
+
+/**
+ * A trace source backed by a loaded trace.  With `loop` set, the trace
+ * restarts from the beginning when exhausted (useful for driving
+ * fixed-duration experiments from short trace files).
+ */
+class FileTraceSource : public TraceSource {
+  public:
+    explicit FileTraceSource(std::vector<TraceEntry> entries,
+                             bool loop = false);
+
+    /** Convenience: load from @p path. */
+    static FileTraceSource FromFile(const std::string& path,
+                                    bool loop = false);
+
+    std::optional<TraceEntry> Next() override;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<TraceEntry> entries_;
+    bool loop_;
+    std::size_t position_ = 0;
+};
+
+} // namespace parbs
+
+#endif // PARBS_TRACE_FILE_TRACE_HH

@@ -1,0 +1,161 @@
+#include "trace/spec_profiles.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs {
+namespace {
+
+/**
+ * Generator parameters fitted by tools/calibrate.cpp: an iterative
+ * adjustment of (row_run_length, burst_banks, dependent_fraction) against
+ * the measured alone-run characteristics on the baseline 4-core system,
+ * starting from the closed-form estimates run ~ 1/(1 - RB hit) and
+ * banks ~ BLP.  The fit is needed because episode overlap and inter-episode
+ * bank collisions shift the measured statistics away from the closed form.
+ */
+SyntheticParams
+Calibrated(double mpki, double run, double banks, double sw, double dep)
+{
+    SyntheticParams params;
+    params.mpki = mpki;
+    params.row_run_length = run;
+    params.burst_banks = banks;
+    params.bank_switch_prob = sw;
+    params.dependent_fraction = dep;
+    params.write_fraction = 0.15;
+    return params;
+}
+
+BenchmarkProfile
+Row(std::string_view name, std::string_view type, int category, double mcpi,
+    double mpki, double rb_hit_percent, double blp, double ast, double run,
+    double banks, double sw, double dep)
+{
+    BenchmarkProfile profile;
+    profile.name = name;
+    profile.type = type;
+    profile.category = category;
+    profile.paper_mcpi = mcpi;
+    profile.paper_mpki = mpki;
+    profile.paper_rb_hit = rb_hit_percent / 100.0;
+    profile.paper_blp = blp;
+    profile.paper_ast_per_req = ast;
+    profile.synth = Calibrated(mpki, run, banks, sw, dep);
+    return profile;
+}
+
+std::vector<BenchmarkProfile>
+BuildProfiles()
+{
+    // Table 3, in paper order.  Columns: name, type, category, MCPI,
+    // L2 MPKI, RB hit rate (%), BLP, AST/req, then the calibrated
+    // generator knobs (row run, burst banks, bank switch probability,
+    // dependent fraction) from tools/calibrate.cpp.
+    return {
+        Row("437.leslie3d", "FP", 7, 7.30, 51.52, 62.8, 1.90, 139,
+            3.699, 1.900, 0.576, 0.048),
+        Row("450.soplex", "FP", 7, 6.18, 47.58, 78.8, 1.81, 125,
+            6.392, 1.810, 0.938, 0.048),
+        Row("470.lbm", "FP", 7, 3.57, 43.59, 61.1, 3.37, 77,
+            3.124, 5.370, 1.000, 0.000),
+        Row("482.sphinx3", "FP", 7, 3.05, 24.89, 75.0, 1.89, 117,
+            4.787, 1.929, 0.992, 0.000),
+        Row("matlab", "DSK", 6, 15.4, 78.36, 93.7, 1.08, 192,
+            32.000, 1.080, 0.332, 0.347),
+        Row("462.libquantum", "INT", 6, 9.10, 50.00, 98.4, 1.10, 181,
+            32.000, 1.100, 0.797, 0.326),
+        Row("433.milc", "FP", 6, 4.65, 32.48, 86.4, 1.51, 139,
+            8.973, 1.573, 1.000, 0.106),
+        Row("xml-parser", "DSK", 6, 2.92, 18.23, 95.3, 1.32, 158,
+            26.690, 1.546, 1.000, 0.240),
+        Row("429.mcf", "INT", 5, 6.45, 98.68, 41.5, 4.75, 64,
+            4.511, 6.750, 1.000, 0.000),
+        Row("459.GemsFDTD", "FP", 5, 4.08, 29.95, 20.4, 2.40, 126,
+            1.313, 2.400, 0.543, 0.000),
+        Row("483.xalancbmk", "INT", 5, 2.80, 23.52, 59.8, 2.27, 113,
+            2.893, 2.487, 1.000, 0.000),
+        Row("436.cactusADM", "FP", 4, 2.78, 11.68, 6.75, 1.60, 219,
+            1.085, 3.011, 1.000, 0.606),
+        Row("403.gcc", "INT", 3, 0.05, 0.37, 63.9, 1.87, 127,
+            2.918, 3.870, 1.000, 0.523),
+        Row("465.tonto", "FP", 3, 0.02, 0.13, 70.7, 1.92, 108,
+            3.749, 3.920, 1.000, 0.422),
+        Row("453.povray", "FP", 3, 0.00, 0.03, 79.9, 1.75, 123,
+            6.490, 3.750, 1.000, 0.498),
+        Row("464.h264ref", "INT", 2, 0.48, 2.65, 76.5, 1.29, 161,
+            4.762, 2.247, 1.000, 0.743),
+        Row("445.gobmk", "INT", 2, 0.11, 0.60, 61.1, 1.46, 162,
+            2.788, 3.049, 1.000, 0.674),
+        Row("447.dealII", "FP", 2, 0.07, 0.41, 90.3, 1.21, 133,
+            11.680, 1.846, 1.000, 0.668),
+        Row("444.namd", "FP", 2, 0.06, 0.33, 86.6, 1.27, 160,
+            8.170, 2.870, 1.000, 0.821),
+        Row("481.wrf", "FP", 2, 0.05, 0.28, 83.6, 1.20, 164,
+            6.666, 2.039, 1.000, 0.821),
+        Row("454.calculix", "FP", 2, 0.04, 0.19, 75.9, 1.30, 157,
+            4.299, 2.506, 1.000, 0.754),
+        Row("400.perlbench", "INT", 2, 0.02, 0.13, 75.4, 1.69, 128,
+            4.387, 3.690, 1.000, 0.575),
+        Row("471.omnetpp", "INT", 1, 1.96, 22.15, 26.7, 3.78, 86,
+            1.414, 5.780, 1.000, 0.000),
+        Row("401.bzip2", "INT", 1, 0.49, 3.56, 52.0, 2.05, 127,
+            2.206, 4.050, 1.000, 0.434),
+        Row("473.astar", "INT", 0, 1.82, 9.25, 50.2, 1.45, 177,
+            2.213, 2.417, 1.000, 0.654),
+        Row("456.hmmer", "INT", 0, 1.50, 5.67, 33.8, 1.26, 231,
+            1.594, 1.646, 1.000, 0.790),
+        Row("435.gromacs", "FP", 0, 0.18, 0.68, 58.2, 1.04, 220,
+            2.696, 1.109, 1.000, 0.913),
+        Row("458.sjeng", "INT", 0, 0.10, 0.41, 16.8, 1.53, 192,
+            1.210, 2.881, 1.000, 0.509),
+    };
+}
+
+/** Strips a leading SPEC number prefix ("429.mcf" -> "mcf"). */
+std::string_view
+StripPrefix(std::string_view name)
+{
+    const std::size_t dot = name.find('.');
+    if (dot != std::string_view::npos &&
+        name.find_first_not_of("0123456789") == dot) {
+        return name.substr(dot + 1);
+    }
+    return name;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile>&
+SpecProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = BuildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile&
+FindProfile(std::string_view name)
+{
+    const std::string_view wanted = StripPrefix(name);
+    for (const BenchmarkProfile& profile : SpecProfiles()) {
+        if (profile.name == name || StripPrefix(profile.name) == wanted) {
+            return profile;
+        }
+    }
+    PARBS_FATAL("unknown benchmark profile: " + std::string(name));
+}
+
+std::vector<const BenchmarkProfile*>
+ProfilesInCategory(int category)
+{
+    std::vector<const BenchmarkProfile*> out;
+    for (const BenchmarkProfile& profile : SpecProfiles()) {
+        if (profile.category == category) {
+            out.push_back(&profile);
+        }
+    }
+    return out;
+}
+
+} // namespace parbs

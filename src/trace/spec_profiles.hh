@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Benchmark profiles reproducing Table 3 of the paper.
+ *
+ * Each profile couples the paper-reported characteristics of one benchmark
+ * (SPEC CPU2006 plus the two Windows desktop applications) with synthetic
+ * trace parameters tuned so that, run alone on the baseline 4-core system,
+ * the generated trace lands in the same Table 3 category: memory
+ * intensiveness (MCPI / L2 MPKI), row-buffer locality (RB hit rate), and
+ * bank-level parallelism (BLP).
+ *
+ * Tuning rules (see DESIGN.md §3):
+ *   - `mpki` is taken directly from Table 3.
+ *   - `row_run_length` ~= 1 / (1 - paper RB hit rate), capped at the 32
+ *     cache lines a 2 KB row holds.
+ *   - `burst_banks` ~= paper BLP; threads with paper BLP <= 1.35 are
+ *     generated with serialized (dependent) episodes.
+ */
+
+#ifndef PARBS_TRACE_SPEC_PROFILES_HH
+#define PARBS_TRACE_SPEC_PROFILES_HH
+
+#include <string_view>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace parbs {
+
+/** One Table 3 row: paper-reported stats plus tuned generator parameters. */
+struct BenchmarkProfile {
+    std::string_view name;
+    std::string_view type; ///< "INT", "FP", or "DSK" (desktop).
+    /** Table 3 category: bit2 = MCPI high, bit1 = RB-hit high, bit0 = BLP
+     *  high (category 7 = "111"). */
+    int category;
+
+    // Paper-reported characteristics (Table 3).
+    double paper_mcpi;
+    double paper_mpki;
+    double paper_rb_hit; ///< Fraction in [0, 1].
+    double paper_blp;
+    double paper_ast_per_req; ///< Average stall time per DRAM request.
+
+    /** Generator parameters calibrated to the above. */
+    SyntheticParams synth;
+};
+
+/** All 28 Table 3 profiles, in the paper's order. */
+const std::vector<BenchmarkProfile>& SpecProfiles();
+
+/**
+ * Looks a profile up by name (e.g. "mcf", "429.mcf", "libquantum").
+ * Matching ignores the SPEC numeric prefix.
+ * @throws ConfigError if no profile matches.
+ */
+const BenchmarkProfile& FindProfile(std::string_view name);
+
+/** Profiles belonging to a Table 3 category (0..7). */
+std::vector<const BenchmarkProfile*> ProfilesInCategory(int category);
+
+} // namespace parbs
+
+#endif // PARBS_TRACE_SPEC_PROFILES_HH

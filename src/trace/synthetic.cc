@@ -1,0 +1,171 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+void
+SyntheticParams::Validate() const
+{
+    if (mpki <= 0.0) {
+        PARBS_FATAL("synthetic trace: mpki must be positive");
+    }
+    if (row_run_length < 1.0) {
+        PARBS_FATAL("synthetic trace: row_run_length must be >= 1");
+    }
+    if (burst_banks < 1.0) {
+        PARBS_FATAL("synthetic trace: burst_banks must be >= 1");
+    }
+    if (write_fraction < 0.0 || write_fraction >= 1.0) {
+        PARBS_FATAL("synthetic trace: write_fraction must be in [0, 1)");
+    }
+    if (dependent_fraction < 0.0 || dependent_fraction > 1.0) {
+        PARBS_FATAL("synthetic trace: dependent_fraction must be in [0, 1]");
+    }
+    if (bank_switch_prob < 0.0 || bank_switch_prob > 1.0) {
+        PARBS_FATAL("synthetic trace: bank_switch_prob must be in [0, 1]");
+    }
+    if (intra_episode_gap_cap < 0.0) {
+        PARBS_FATAL("synthetic trace: intra_episode_gap_cap must be >= 0");
+    }
+}
+
+SyntheticTraceSource::SyntheticTraceSource(const SyntheticParams& params,
+                                           const dram::AddressMapper& mapper,
+                                           ThreadId thread,
+                                           std::uint32_t num_threads,
+                                           std::uint64_t seed)
+    : params_(params), mapper_(mapper), thread_(thread), rng_(seed)
+{
+    params_.Validate();
+    const dram::Geometry& geometry = mapper_.geometry();
+    PARBS_ASSERT(num_threads > 0, "num_threads must be positive");
+    rows_per_thread_ = geometry.rows_per_bank / num_threads;
+    if (rows_per_thread_ < 2) {
+        PARBS_FATAL("synthetic trace: too many threads for the row space");
+    }
+    row_base_ = thread * rows_per_thread_;
+    next_row_.assign(geometry.TotalBanks(), 0);
+    bank_cursor_ = thread % geometry.TotalBanks();
+}
+
+std::optional<TraceEntry>
+SyntheticTraceSource::Next()
+{
+    if (pending_.empty()) {
+        GenerateEpisode();
+    }
+    PARBS_ASSERT(!pending_.empty(), "episode generation produced nothing");
+    TraceEntry entry = pending_.front();
+    pending_.pop_front();
+    return entry;
+}
+
+std::uint32_t
+SyntheticTraceSource::SampleCount(double mean, std::uint32_t lo,
+                                  std::uint32_t hi)
+{
+    // Integer sample with expected value `mean`: floor(mean) plus a
+    // Bernoulli trial on the fractional part, then clamped.
+    const double base = std::floor(mean);
+    const double frac = mean - base;
+    std::uint64_t value = static_cast<std::uint64_t>(base);
+    if (rng_.NextBool(frac)) {
+        value += 1;
+    }
+    return static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(value, lo, hi));
+}
+
+void
+SyntheticTraceSource::GenerateEpisode()
+{
+    const dram::Geometry& geometry = mapper_.geometry();
+    const std::uint32_t total_banks = geometry.TotalBanks();
+    const std::uint32_t lines_per_row = geometry.LinesPerRow();
+
+    const std::uint32_t burst =
+        SampleCount(params_.burst_banks, 1, total_banks);
+    const std::uint32_t run =
+        SampleCount(params_.row_run_length, 1, lines_per_row);
+    const std::uint32_t accesses = burst * run;
+
+    // Instruction-gap budget.  The average instruction distance between
+    // accesses must come out at 1000/mpki (counting the access itself).
+    // Bank-level parallelism only requires one access *per bank* of the
+    // burst to co-reside in the instruction window, so the intra-episode
+    // gap is capped at ~window/burst; the row run itself may unfold over
+    // time (a steady stream), and the remaining budget is paid up front.
+    const double per_access = std::max(0.0, 1000.0 / params_.mpki - 1.0);
+    const double window_cap = 96.0 / static_cast<double>(burst);
+    const double intra_mean = std::min(
+        {per_access, params_.intra_episode_gap_cap, window_cap});
+    const double inter_mean = std::max(
+        0.0, static_cast<double>(accesses) * per_access -
+                 static_cast<double>(accesses - 1) * intra_mean);
+
+    // Pick `burst` distinct banks: consecutive flat indices from a starting
+    // point (distinctness by construction).  With probability
+    // bank_switch_prob the episode jumps to a random fresh spot; otherwise
+    // it camps on the previous episode's banks (streaming behaviour).
+    if (rng_.NextBool(params_.bank_switch_prob)) {
+        bank_cursor_ = static_cast<std::uint32_t>(
+            rng_.NextBelow(total_banks));
+    }
+    const std::uint32_t start = bank_cursor_;
+
+    struct Stream {
+        dram::DecodedAddr coords;
+    };
+    std::vector<Stream> streams;
+    streams.reserve(burst);
+    const std::uint32_t banks_per_rank = geometry.banks_per_rank;
+    const std::uint32_t banks_per_channel =
+        geometry.ranks_per_channel * banks_per_rank;
+    for (std::uint32_t i = 0; i < burst; ++i) {
+        const std::uint32_t flat = (start + i) % total_banks;
+        Stream stream;
+        stream.coords.channel = flat / banks_per_channel;
+        stream.coords.rank = (flat % banks_per_channel) / banks_per_rank;
+        stream.coords.bank = flat % banks_per_rank;
+        stream.coords.row = row_base_ + next_row_[flat];
+        next_row_[flat] = (next_row_[flat] + 1) % rows_per_thread_;
+        stream.coords.column =
+            run >= lines_per_row
+                ? 0
+                : static_cast<std::uint32_t>(
+                      rng_.NextBelow(lines_per_row - run + 1));
+        streams.push_back(stream);
+    }
+
+    // Interleave the streams column-by-column so the banks are touched in
+    // parallel from the core's point of view.
+    bool first = true;
+    for (std::uint32_t k = 0; k < run; ++k) {
+        for (Stream& stream : streams) {
+            TraceEntry entry;
+            dram::DecodedAddr coords = stream.coords;
+            coords.column += k;
+            entry.addr = mapper_.Encode(coords);
+            entry.is_write = rng_.NextBool(params_.write_fraction);
+            entry.depends_on_prev =
+                rng_.NextBool(params_.dependent_fraction);
+            if (first) {
+                entry.compute_instructions = static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(rng_.NextGeometric(inter_mean),
+                                            1u << 20));
+                first = false;
+            } else {
+                entry.compute_instructions = static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(rng_.NextGeometric(intra_mean),
+                                            1u << 20));
+            }
+            pending_.push_back(entry);
+        }
+    }
+}
+
+} // namespace parbs

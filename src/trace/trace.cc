@@ -1,0 +1,19 @@
+#include "trace/trace.hh"
+
+namespace parbs {
+
+VectorTraceSource::VectorTraceSource(std::vector<TraceEntry> entries)
+    : entries_(std::move(entries))
+{
+}
+
+std::optional<TraceEntry>
+VectorTraceSource::Next()
+{
+    if (position_ >= entries_.size()) {
+        return std::nullopt;
+    }
+    return entries_[position_++];
+}
+
+} // namespace parbs

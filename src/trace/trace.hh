@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The trace abstraction feeding the processor core model.
+ *
+ * A trace is a stream of entries, each describing a run of non-memory
+ * instructions followed by one memory operation that misses the last-level
+ * cache (the paper's frontend is likewise a memory-request-level trace: the
+ * cores replay L2 misses against the shared DRAM system).  Sources may be
+ * infinite (the synthetic generator) or finite (fixed scripted traces used
+ * by tests).
+ */
+
+#ifndef PARBS_TRACE_TRACE_HH
+#define PARBS_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace parbs {
+
+/** One trace record: compute run, then a memory access. */
+struct TraceEntry {
+    /** Non-memory instructions preceding the access. */
+    std::uint32_t compute_instructions = 0;
+    /** Physical address of the cache line accessed. */
+    Addr addr = 0;
+    /** True for a store miss / writeback (does not block commit). */
+    bool is_write = false;
+    /**
+     * True if this access depends on every earlier memory access (e.g. a
+     * pointer-chasing load): the core may not issue it until all previous
+     * memory operations have completed.  This is how the synthetic
+     * generator produces low-bank-level-parallelism threads.
+     */
+    bool depends_on_prev = false;
+};
+
+/** Abstract source of trace entries. */
+class TraceSource {
+  public:
+    virtual ~TraceSource() = default;
+
+    /** @return the next entry, or nullopt when the trace is exhausted. */
+    virtual std::optional<TraceEntry> Next() = 0;
+};
+
+/** A finite, scripted trace — used by unit tests and the examples. */
+class VectorTraceSource : public TraceSource {
+  public:
+    explicit VectorTraceSource(std::vector<TraceEntry> entries);
+
+    std::optional<TraceEntry> Next() override;
+
+    /** Entries remaining to be consumed. */
+    std::size_t Remaining() const { return entries_.size() - position_; }
+
+  private:
+    std::vector<TraceEntry> entries_;
+    std::size_t position_ = 0;
+};
+
+} // namespace parbs
+
+#endif // PARBS_TRACE_TRACE_HH

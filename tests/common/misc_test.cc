@@ -1,0 +1,119 @@
+/** @file Tests for error handling, logging, histogram, and table rendering. */
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hh"
+#include "common/log.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace parbs {
+namespace {
+
+TEST(Assert, FatalThrowsConfigError)
+{
+    EXPECT_THROW(PARBS_FATAL("bad config"), ConfigError);
+    try {
+        PARBS_FATAL("specific message");
+    } catch (const ConfigError& e) {
+        EXPECT_STREQ(e.what(), "specific message");
+    }
+}
+
+TEST(Assert, AssertPassesOnTrue)
+{
+    PARBS_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(Assert, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(PARBS_ASSERT(false, "intentional failure"),
+                 "intentional failure");
+}
+
+TEST(Log, LevelRoundTrip)
+{
+    const LogLevel before = GetLogLevel();
+    SetLogLevel(LogLevel::kDebug);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+    SetLogLevel(LogLevel::kOff);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+    SetLogLevel(before);
+}
+
+TEST(Histogram, CountsAndMoments)
+{
+    Histogram h(10, 10);
+    for (std::uint64_t v : {5u, 15u, 15u, 25u, 99u}) {
+        h.Add(v);
+    }
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 99u);
+    EXPECT_DOUBLE_EQ(h.Mean(), (5.0 + 15 + 15 + 25 + 99) / 5.0);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(10, 4); // Covers [0, 40); larger values overflow.
+    h.Add(1000);
+    h.Add(39);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(Histogram, PercentileBucketGranular)
+{
+    Histogram h(10, 100);
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        h.Add(v * 10);
+    }
+    // Median should land near the middle bucket.
+    EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 500.0, 20.0);
+    EXPECT_GE(h.Percentile(1.0), h.Percentile(0.5));
+}
+
+TEST(Histogram, EmptyMeanIsZero)
+{
+    Histogram h(10, 10);
+    EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(10, 4);
+    h.Add(5);
+    h.Add(5);
+    const std::string render = h.Render();
+    EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.AddRow({"x", "1"});
+    t.AddRow({"longer-name", "2.5"});
+    const std::string out = t.Render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.AddRow({"only-one"});
+    EXPECT_NO_THROW(t.Render());
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::Num(1.23456, 0), "1");
+    EXPECT_EQ(Table::Num(-0.5, 1), "-0.5");
+}
+
+} // namespace
+} // namespace parbs

@@ -1,0 +1,181 @@
+/** @file Tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace parbs {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.Next64(), b.Next64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.Next64() == b.Next64()) {
+            equal += 1;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i) {
+        seen.insert(rng.Next64());
+    }
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.NextBelow(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(rng.NextBelow(1), 0u);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        seen.insert(rng.NextBelow(8));
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.NextInRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.NextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolEdgeCases)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.NextBool(0.0));
+        EXPECT_TRUE(rng.NextBool(1.0));
+        EXPECT_FALSE(rng.NextBool(-0.5));
+        EXPECT_TRUE(rng.NextBool(1.5));
+    }
+}
+
+TEST(Rng, NextBoolProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+        hits += rng.NextBool(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(23);
+    for (double mean : {0.5, 2.0, 10.0, 100.0}) {
+        double sum = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            sum += static_cast<double>(rng.NextGeometric(mean));
+        }
+        EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.05)
+            << "mean=" << mean;
+    }
+}
+
+TEST(Rng, GeometricZeroAndNegativeMean)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.NextGeometric(0.0), 0u);
+    EXPECT_EQ(rng.NextGeometric(-1.0), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(31);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = v;
+    rng.Shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes)
+{
+    Rng rng(37);
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i) {
+        v[i] = i;
+    }
+    std::vector<int> shuffled = v;
+    rng.Shuffle(shuffled);
+    EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(41);
+    Rng child = parent.Fork();
+    // The child's stream should not replicate the parent's.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.Next64() == child.Next64()) {
+            equal += 1;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+} // namespace
+} // namespace parbs

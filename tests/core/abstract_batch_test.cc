@@ -1,0 +1,178 @@
+/** @file Tests for the Figure 3 abstract within-batch model — including the
+ *  exact reproduction of the paper's completion-time tables. */
+
+#include <gtest/gtest.h>
+
+#include "core/abstract_batch.hh"
+
+namespace parbs::abstract {
+namespace {
+
+TEST(Figure3, FcfsCompletionTimesMatchPaper)
+{
+    const AbstractResult r = ScheduleBatch(Figure3Batch(),
+                                           AbstractPolicy::kFcfs);
+    ASSERT_EQ(r.completion.size(), 4u);
+    EXPECT_DOUBLE_EQ(r.completion[0], 4.0);
+    EXPECT_DOUBLE_EQ(r.completion[1], 4.0);
+    EXPECT_DOUBLE_EQ(r.completion[2], 5.0);
+    EXPECT_DOUBLE_EQ(r.completion[3], 7.0);
+    EXPECT_DOUBLE_EQ(r.AverageCompletion(), 5.0);
+}
+
+TEST(Figure3, FrFcfsCompletionTimesMatchPaper)
+{
+    const AbstractResult r = ScheduleBatch(Figure3Batch(),
+                                           AbstractPolicy::kFrFcfs);
+    EXPECT_DOUBLE_EQ(r.completion[0], 5.5);
+    EXPECT_DOUBLE_EQ(r.completion[1], 3.0);
+    EXPECT_DOUBLE_EQ(r.completion[2], 4.5);
+    EXPECT_DOUBLE_EQ(r.completion[3], 4.5);
+    EXPECT_DOUBLE_EQ(r.AverageCompletion(), 4.375);
+}
+
+TEST(Figure3, ParBsCompletionTimesMatchPaper)
+{
+    const AbstractResult r = ScheduleBatch(Figure3Batch(),
+                                           AbstractPolicy::kParBs);
+    EXPECT_DOUBLE_EQ(r.completion[0], 1.0);
+    EXPECT_DOUBLE_EQ(r.completion[1], 2.0);
+    EXPECT_DOUBLE_EQ(r.completion[2], 4.0);
+    EXPECT_DOUBLE_EQ(r.completion[3], 5.5);
+    EXPECT_DOUBLE_EQ(r.AverageCompletion(), 3.125);
+}
+
+TEST(Figure3, BatchMatchesPaperDescription)
+{
+    const AbstractBatch batch = Figure3Batch();
+    ASSERT_EQ(batch.num_threads, 4u);
+    ASSERT_EQ(batch.banks.size(), 4u);
+
+    std::vector<std::uint32_t> total(4, 0);
+    std::vector<std::uint32_t> max_bank(4, 0);
+    for (const auto& bank : batch.banks) {
+        std::vector<std::uint32_t> here(4, 0);
+        for (const auto& request : bank) {
+            here[request.thread] += 1;
+        }
+        for (int t = 0; t < 4; ++t) {
+            total[t] += here[t];
+            max_bank[t] = std::max(max_bank[t], here[t]);
+        }
+    }
+    // "Thread 1 has only three requests that are all intended for
+    // different banks."
+    EXPECT_EQ(total[0], 3u);
+    EXPECT_EQ(max_bank[0], 1u);
+    // "Both Threads 2 and 3 have a max-bank-load of two, but Thread 2 has
+    // fewer total number of requests."
+    EXPECT_EQ(max_bank[1], 2u);
+    EXPECT_EQ(max_bank[2], 2u);
+    EXPECT_LT(total[1], total[2]);
+    // "Thread 4 is ranked the lowest because it has a max-bank-load of 5."
+    EXPECT_EQ(max_bank[3], 5u);
+}
+
+TEST(Figure3, MaxTotalRankingMatchesPaper)
+{
+    const auto rank = MaxTotalRanking(Figure3Batch());
+    EXPECT_EQ(rank[0], 0u); // Thread 1 highest.
+    EXPECT_EQ(rank[1], 1u); // Thread 2.
+    EXPECT_EQ(rank[2], 2u); // Thread 3.
+    EXPECT_EQ(rank[3], 3u); // Thread 4 lowest.
+}
+
+TEST(AbstractBatch, PolicyOrderingHolds)
+{
+    // The figure's headline: PAR-BS < FR-FCFS < FCFS in average
+    // completion time.
+    const AbstractBatch batch = Figure3Batch();
+    const double fcfs =
+        ScheduleBatch(batch, AbstractPolicy::kFcfs).AverageCompletion();
+    const double frfcfs =
+        ScheduleBatch(batch, AbstractPolicy::kFrFcfs).AverageCompletion();
+    const double parbs =
+        ScheduleBatch(batch, AbstractPolicy::kParBs).AverageCompletion();
+    EXPECT_LT(parbs, frfcfs);
+    EXPECT_LT(frfcfs, fcfs);
+}
+
+TEST(AbstractBatch, SingleRequestCostsOneConflict)
+{
+    AbstractBatch batch;
+    batch.num_threads = 1;
+    batch.banks = {{{0, 5}}};
+    for (AbstractPolicy policy :
+         {AbstractPolicy::kFcfs, AbstractPolicy::kFrFcfs,
+          AbstractPolicy::kParBs}) {
+        const AbstractResult r = ScheduleBatch(batch, policy);
+        EXPECT_DOUBLE_EQ(r.completion[0], 1.0);
+    }
+}
+
+TEST(AbstractBatch, RowHitsCostHalf)
+{
+    AbstractBatch batch;
+    batch.num_threads = 1;
+    batch.banks = {{{0, 5}, {0, 5}, {0, 5}}};
+    const AbstractResult r = ScheduleBatch(batch, AbstractPolicy::kFcfs);
+    EXPECT_DOUBLE_EQ(r.completion[0], 2.0); // 1 + 0.5 + 0.5.
+}
+
+TEST(AbstractBatch, CustomLatenciesRespected)
+{
+    AbstractBatch batch;
+    batch.num_threads = 1;
+    batch.banks = {{{0, 5}, {0, 5}}};
+    const AbstractResult r =
+        ScheduleBatch(batch, AbstractPolicy::kFcfs, 10.0, 2.0);
+    EXPECT_DOUBLE_EQ(r.completion[0], 12.0);
+}
+
+TEST(AbstractBatch, FrFcfsReordersForRowHits)
+{
+    AbstractBatch batch;
+    batch.num_threads = 2;
+    // Arrival: t0 row1, t1 row2, t0 row1.  FR-FCFS bundles the row-1 pair.
+    batch.banks = {{{0, 1}, {1, 2}, {0, 1}}};
+    const AbstractResult fcfs = ScheduleBatch(batch, AbstractPolicy::kFcfs);
+    EXPECT_DOUBLE_EQ(fcfs.completion[0], 3.0);
+    const AbstractResult fr = ScheduleBatch(batch, AbstractPolicy::kFrFcfs);
+    EXPECT_DOUBLE_EQ(fr.completion[0], 1.5);
+    EXPECT_DOUBLE_EQ(fr.completion[1], 2.5);
+}
+
+TEST(AbstractBatch, BanksProgressInParallel)
+{
+    AbstractBatch batch;
+    batch.num_threads = 2;
+    batch.banks = {{{0, 1}}, {{1, 2}}};
+    const AbstractResult r = ScheduleBatch(batch, AbstractPolicy::kFcfs);
+    // Both complete at time 1: banks are independent timelines.
+    EXPECT_DOUBLE_EQ(r.completion[0], 1.0);
+    EXPECT_DOUBLE_EQ(r.completion[1], 1.0);
+}
+
+TEST(AbstractBatch, ServiceOrderRecorded)
+{
+    AbstractBatch batch;
+    batch.num_threads = 2;
+    batch.banks = {{{0, 1}, {1, 2}, {0, 1}}};
+    const AbstractResult r = ScheduleBatch(batch, AbstractPolicy::kFrFcfs);
+    ASSERT_EQ(r.service_order.size(), 1u);
+    EXPECT_EQ(r.service_order[0], (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(AbstractBatch, ThreadsWithoutRequestsCompleteAtZero)
+{
+    AbstractBatch batch;
+    batch.num_threads = 3;
+    batch.banks = {{{0, 1}}};
+    const AbstractResult r = ScheduleBatch(batch, AbstractPolicy::kParBs);
+    EXPECT_DOUBLE_EQ(r.completion[1], 0.0);
+    EXPECT_DOUBLE_EQ(r.completion[2], 0.0);
+    EXPECT_DOUBLE_EQ(r.AverageCompletion(), 1.0);
+}
+
+} // namespace
+} // namespace parbs::abstract

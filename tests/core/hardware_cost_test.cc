@@ -1,0 +1,77 @@
+/** @file Tests for the Table 1 hardware-cost accounting. */
+
+#include <gtest/gtest.h>
+
+#include "core/hardware_cost.hh"
+
+namespace parbs {
+namespace {
+
+TEST(HardwareCost, PaperReferencePointIs1412Bits)
+{
+    // "Assuming an 8-core CMP, 128-entry request buffer and 8 DRAM banks,
+    // the extra hardware state ... required to implement PAR-BS (beyond
+    // FR-FCFS) is 1412 bits."
+    const HardwareCostBreakdown cost = ParBsHardwareCost({});
+    EXPECT_EQ(cost.TotalBits(), 1412u);
+}
+
+TEST(HardwareCost, BreakdownMatchesTableOne)
+{
+    const HardwareCostBreakdown cost = ParBsHardwareCost({});
+    // Per request: Marked (1) + thread-rank (3) + Thread-ID (3) = 7 bits,
+    // for 128 entries.
+    EXPECT_EQ(cost.per_request_bits, 128u * 7);
+    // ReqsInBankPerThread: log2(128) = 7 bits x 8 threads x 8 banks.
+    EXPECT_EQ(cost.per_thread_per_bank_bits, 7u * 8 * 8);
+    // ReqsPerThread: 7 bits x 8 threads.
+    EXPECT_EQ(cost.per_thread_bits, 7u * 8);
+    // TotalMarkedRequests (7) + Marking-Cap (5).
+    EXPECT_EQ(cost.individual_bits, 12u);
+}
+
+TEST(HardwareCost, ScalesWithThreads)
+{
+    HardwareCostParams params;
+    params.num_threads = 16;
+    const HardwareCostBreakdown cost = ParBsHardwareCost(params);
+    // log2(16) = 4-bit thread ids and ranks.
+    EXPECT_EQ(cost.per_request_bits, 128u * (1 + 4 + 4));
+    EXPECT_EQ(cost.per_thread_per_bank_bits, 7u * 16 * 8);
+}
+
+TEST(HardwareCost, ScalesWithBufferSize)
+{
+    HardwareCostParams params;
+    params.request_buffer_entries = 256;
+    const HardwareCostBreakdown cost = ParBsHardwareCost(params);
+    // log2(256) = 8-bit counters.
+    EXPECT_EQ(cost.per_thread_per_bank_bits, 8u * 8 * 8);
+    EXPECT_EQ(cost.individual_bits, 8u + 5);
+}
+
+TEST(HardwareCost, CeilLog2)
+{
+    EXPECT_EQ(CeilLog2(1), 0u);
+    EXPECT_EQ(CeilLog2(2), 1u);
+    EXPECT_EQ(CeilLog2(3), 2u);
+    EXPECT_EQ(CeilLog2(8), 3u);
+    EXPECT_EQ(CeilLog2(9), 4u);
+    EXPECT_EQ(CeilLog2(128), 7u);
+    EXPECT_EQ(CeilLog2(129), 8u);
+}
+
+TEST(HardwareCost, CostIsModest)
+{
+    // The paper's implementability argument: even at 16 cores with a
+    // 512-entry buffer the additional state stays well under a kilobyte
+    // of storage per controller.
+    HardwareCostParams params;
+    params.num_threads = 16;
+    params.request_buffer_entries = 512;
+    params.num_banks = 16;
+    EXPECT_LT(ParBsHardwareCost(params).TotalBits(), 8192u);
+}
+
+} // namespace
+} // namespace parbs

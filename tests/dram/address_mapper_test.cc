@@ -1,0 +1,146 @@
+/** @file Tests for the address mapping, including the XOR bank permutation. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "dram/address_mapper.hh"
+
+namespace parbs::dram {
+namespace {
+
+Geometry
+BaselineGeometry(std::uint32_t channels = 1)
+{
+    Geometry g;
+    g.channels = channels;
+    g.ranks_per_channel = 1;
+    g.banks_per_rank = 8;
+    g.rows_per_bank = 16384;
+    g.row_bytes = 2048;
+    g.line_bytes = 64;
+    return g;
+}
+
+TEST(AddressMapper, DecodeEncodeRoundTripsAddresses)
+{
+    for (bool hash : {false, true}) {
+        AddressMapper mapper(BaselineGeometry(2), hash);
+        Rng rng(99);
+        for (int i = 0; i < 2000; ++i) {
+            // Line-aligned addresses within the geometry's range
+            // (6 offset + 5 column + 1 channel + 3 bank + 14 row bits).
+            const Addr addr = (rng.Next64() % (1ull << 29)) & ~Addr{63};
+            const DecodedAddr coords = mapper.Decode(addr);
+            EXPECT_EQ(mapper.Encode(coords), addr) << "hash=" << hash;
+        }
+    }
+}
+
+TEST(AddressMapper, EncodeDecodeRoundTripsCoordinates)
+{
+    for (bool hash : {false, true}) {
+        AddressMapper mapper(BaselineGeometry(4), hash);
+        Rng rng(7);
+        for (int i = 0; i < 2000; ++i) {
+            DecodedAddr coords;
+            coords.channel = static_cast<std::uint32_t>(rng.NextBelow(4));
+            coords.bank = static_cast<std::uint32_t>(rng.NextBelow(8));
+            coords.row = static_cast<std::uint32_t>(rng.NextBelow(16384));
+            coords.column = static_cast<std::uint32_t>(rng.NextBelow(32));
+            EXPECT_EQ(mapper.Decode(mapper.Encode(coords)), coords);
+        }
+    }
+}
+
+TEST(AddressMapper, ConsecutiveLinesFillARow)
+{
+    AddressMapper mapper(BaselineGeometry(), false);
+    const DecodedAddr first = mapper.Decode(0);
+    for (Addr line = 1; line < 32; ++line) {
+        const DecodedAddr coords = mapper.Decode(line * 64);
+        EXPECT_EQ(coords.row, first.row);
+        EXPECT_EQ(coords.bank, first.bank);
+        EXPECT_EQ(coords.column, line);
+    }
+}
+
+TEST(AddressMapper, PlainMappingRowStrideHitsSameBank)
+{
+    // Without the XOR hash, a row-sized stride pounds one bank.
+    AddressMapper mapper(BaselineGeometry(), false);
+    const Addr row_stride = 2048ull * 8; // row_bytes * banks
+    const std::uint32_t bank0 = mapper.Decode(0).bank;
+    for (int i = 1; i < 16; ++i) {
+        EXPECT_EQ(mapper.Decode(i * row_stride).bank, bank0);
+    }
+}
+
+TEST(AddressMapper, XorHashSpreadsRowStride)
+{
+    // With the XOR permutation the same stride touches many banks.
+    AddressMapper mapper(BaselineGeometry(), true);
+    const Addr row_stride = 2048ull * 8;
+    std::set<std::uint32_t> banks;
+    for (int i = 0; i < 16; ++i) {
+        banks.insert(mapper.Decode(i * row_stride).bank);
+    }
+    EXPECT_GE(banks.size(), 4u);
+}
+
+TEST(AddressMapper, XorHashIsAPermutationWithinRow)
+{
+    // For a fixed row, the bank mapping must remain a bijection.
+    AddressMapper mapper(BaselineGeometry(), true);
+    for (std::uint32_t row : {0u, 1u, 5u, 16383u}) {
+        std::set<std::uint32_t> banks;
+        for (std::uint32_t bank = 0; bank < 8; ++bank) {
+            DecodedAddr coords;
+            coords.bank = bank;
+            coords.row = row;
+            banks.insert(mapper.Decode(mapper.Encode(coords)).bank);
+        }
+        EXPECT_EQ(banks.size(), 8u);
+    }
+}
+
+TEST(AddressMapper, SameRowHelper)
+{
+    DecodedAddr a{0, 0, 3, 7, 1};
+    DecodedAddr b{0, 0, 3, 7, 30};
+    DecodedAddr c{0, 0, 3, 8, 1};
+    EXPECT_TRUE(a.SameRow(b));
+    EXPECT_FALSE(a.SameRow(c));
+}
+
+TEST(AddressMapper, OutOfRangeEncodeAborts)
+{
+    AddressMapper mapper(BaselineGeometry(), true);
+    DecodedAddr coords;
+    coords.bank = 8; // Only 8 banks: 0..7.
+    EXPECT_DEATH(mapper.Encode(coords), "out of range");
+}
+
+TEST(AddressMapper, SingleChannelDecodesChannelZero)
+{
+    AddressMapper mapper(BaselineGeometry(1), true);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const Addr addr = rng.Next64() % (1ull << 30);
+        EXPECT_EQ(mapper.Decode(addr).channel, 0u);
+    }
+}
+
+TEST(AddressMapper, ChannelsCoverAllValues)
+{
+    AddressMapper mapper(BaselineGeometry(4), true);
+    std::set<std::uint32_t> channels;
+    for (Addr line = 0; line < 1024; ++line) {
+        channels.insert(mapper.Decode(line * 64).channel);
+    }
+    EXPECT_EQ(channels.size(), 4u);
+}
+
+} // namespace
+} // namespace parbs::dram

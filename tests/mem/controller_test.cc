@@ -1,0 +1,250 @@
+/** @file Tests for the memory controller: service, stats, writes, refresh. */
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hh"
+#include "sched/frfcfs.hh"
+#include "sched/fcfs.hh"
+#include "test_util.hh"
+
+namespace parbs {
+namespace {
+
+using test::ControllerHarness;
+
+TEST(Controller, SingleReadCompletesWithClosedLatency)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    const dram::TimingParams t = test::TestTiming();
+    h.Enqueue(0, 0, 1);
+    h.RunUntilIdle();
+    ASSERT_EQ(h.completed().size(), 1u);
+    // ACT at cycle 0 is not possible (tick order: the request is enqueued
+    // at cycle 0 and picked that same tick); data = ACT + tRCD + tCL +
+    // tBURST.
+    EXPECT_LE(h.now(), t.ClosedLatency() + t.tBURST + 3);
+}
+
+TEST(Controller, RowHitClassification)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    h.Enqueue(0, 0, 1, 0);
+    h.Enqueue(0, 0, 1, 1); // Same row: serviced as a hit.
+    h.Enqueue(0, 0, 2, 0); // Different row: conflict.
+    h.RunUntilIdle();
+    const ControllerThreadStats& stats = h.controller().thread_stats(0);
+    EXPECT_EQ(stats.reads_completed, 3u);
+    EXPECT_EQ(stats.read_row_closed, 1u);
+    EXPECT_EQ(stats.read_row_hits, 1u);
+    EXPECT_EQ(stats.read_row_conflicts, 1u);
+    EXPECT_NEAR(stats.RowHitRate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Controller, CompletionOrderRowHitFirst)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    const RequestId a = h.Enqueue(0, 0, 1); // Opens row 1.
+    h.Tick(3);
+    const RequestId conflict = h.Enqueue(1, 0, 2);
+    const RequestId hit = h.Enqueue(2, 0, 1);
+    h.RunUntilIdle();
+    ASSERT_EQ(h.completed().size(), 3u);
+    EXPECT_EQ(h.completed()[0], a);
+    // FR-FCFS services the younger row-hit before the older conflict.
+    EXPECT_EQ(h.completed()[1], hit);
+    EXPECT_EQ(h.completed()[2], conflict);
+}
+
+TEST(Controller, FcfsServicesInArrivalOrder)
+{
+    ControllerHarness h(std::make_unique<FcfsScheduler>());
+    const RequestId a = h.Enqueue(0, 0, 1);
+    h.Tick(3);
+    const RequestId conflict = h.Enqueue(1, 0, 2);
+    const RequestId hit = h.Enqueue(2, 0, 1);
+    h.RunUntilIdle();
+    ASSERT_EQ(h.completed().size(), 3u);
+    EXPECT_EQ(h.completed()[0], a);
+    EXPECT_EQ(h.completed()[1], conflict);
+    EXPECT_EQ(h.completed()[2], hit);
+}
+
+TEST(Controller, BankParallelismOverlapsServce)
+{
+    // Two requests to different banks finish much sooner than two
+    // conflicting requests to the same bank.
+    const dram::TimingParams t = test::TestTiming();
+
+    ControllerHarness parallel(std::make_unique<FrFcfsScheduler>());
+    parallel.Enqueue(0, 0, 1);
+    parallel.Enqueue(0, 1, 1);
+    parallel.RunUntilIdle();
+    const DramCycle parallel_time = parallel.now();
+
+    ControllerHarness serial(std::make_unique<FrFcfsScheduler>());
+    serial.Enqueue(0, 0, 1);
+    serial.Enqueue(0, 0, 2);
+    serial.RunUntilIdle();
+    const DramCycle serial_time = serial.now();
+
+    EXPECT_LT(parallel_time, serial_time);
+    EXPECT_LE(parallel_time, t.ClosedLatency() + t.tBURST + t.tRRD + 4);
+}
+
+TEST(Controller, BlpStatsReflectParallelService)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    for (std::uint32_t bank = 0; bank < 4; ++bank) {
+        h.Enqueue(0, bank, 1);
+    }
+    h.RunUntilIdle();
+    EXPECT_GT(h.controller().thread_stats(0).AverageBlp(), 1.8);
+}
+
+TEST(Controller, SerialRequestsHaveBlpNearOne)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    h.Enqueue(0, 0, 1, 0);
+    h.Enqueue(0, 0, 1, 1);
+    h.Enqueue(0, 0, 1, 2);
+    h.RunUntilIdle();
+    EXPECT_LE(h.controller().thread_stats(0).AverageBlp(), 1.01);
+}
+
+TEST(Controller, ReadsPrioritizedOverWrites)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    h.Enqueue(0, 0, 2, 0, true); // Write, enqueued first.
+    const RequestId read = h.Enqueue(1, 0, 3);
+    h.RunUntilIdle();
+    // The read completes first despite being younger and conflicting.
+    ASSERT_EQ(h.completed().size(), 1u);
+    EXPECT_EQ(h.completed()[0], read);
+    EXPECT_EQ(h.controller().thread_stats(0).writes_completed, 1u);
+}
+
+TEST(Controller, WritesDrainWhenNoReads)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    for (int i = 0; i < 5; ++i) {
+        h.Enqueue(0, i, 1, 0, true);
+    }
+    h.RunUntilIdle();
+    EXPECT_EQ(h.controller().thread_stats(0).writes_completed, 5u);
+    EXPECT_EQ(h.controller().pending_writes(), 0u);
+}
+
+TEST(Controller, ForcedDrainProtectsWriteQueue)
+{
+    // Keep a stream of ready reads while pushing writes past the high
+    // watermark: the drain must still make write progress.
+    ControllerConfig config = ControllerHarness::DefaultConfig();
+    config.write_queue_capacity = 16;
+    config.write_drain_high = 8;
+    config.write_drain_low = 2;
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>(), 4, config);
+
+    std::uint32_t column = 0;
+    for (int i = 0; i < 10; ++i) {
+        h.Enqueue(0, 0, 1, column++ % 32, true);
+    }
+    // Sustained same-row reads that would otherwise always win.
+    for (int burst = 0; burst < 30; ++burst) {
+        h.Enqueue(1, 1, 7, burst % 32);
+        h.Tick(8);
+    }
+    h.RunUntilIdle();
+    EXPECT_EQ(h.controller().pending_writes(), 0u);
+    EXPECT_EQ(h.controller().thread_stats(0).writes_completed, 10u);
+}
+
+TEST(Controller, LatencyStatsTrackWorstCase)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    h.Enqueue(0, 0, 1);
+    h.Enqueue(0, 0, 2);
+    h.Enqueue(0, 0, 3);
+    h.RunUntilIdle();
+    const ControllerThreadStats& stats = h.controller().thread_stats(0);
+    EXPECT_GT(stats.read_latency_max, stats.AverageReadLatency() * 0.99);
+    EXPECT_GT(stats.read_latency_max,
+              test::TestTiming().ConflictLatency());
+}
+
+TEST(Controller, CommandCountsAreConsistent)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    h.Enqueue(0, 0, 1, 0);
+    h.Enqueue(0, 0, 1, 1);
+    h.Enqueue(0, 0, 2, 0);
+    h.RunUntilIdle();
+    // 3 reads, 2 activates (rows 1 and 2), 1 precharge (conflict).
+    EXPECT_EQ(h.controller().commands_issued(dram::CommandType::kRead), 3u);
+    EXPECT_EQ(h.controller().commands_issued(dram::CommandType::kActivate),
+              2u);
+    EXPECT_EQ(h.controller().commands_issued(dram::CommandType::kPrecharge),
+              1u);
+}
+
+TEST(Controller, RefreshIsPerformedAndBlocksTraffic)
+{
+    ControllerConfig config;
+    config.enable_refresh = true;
+    dram::TimingParams timing = test::TestTiming();
+    timing.tREFI = 200; // Short interval so the test sees refreshes.
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>(), 4, config,
+                        timing);
+    // Sustained traffic across the refresh boundary.
+    for (int i = 0; i < 40; ++i) {
+        h.Enqueue(0, i % 8, 1 + i / 8);
+        h.Tick(25);
+    }
+    h.RunUntilIdle();
+    EXPECT_GE(h.controller().commands_issued(dram::CommandType::kRefresh),
+              4u);
+    EXPECT_EQ(h.controller().thread_stats(0).reads_completed, 40u);
+}
+
+TEST(Controller, RefreshClosesOpenRows)
+{
+    ControllerConfig config;
+    config.enable_refresh = true;
+    dram::TimingParams timing = test::TestTiming();
+    timing.tREFI = 100;
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>(), 4, config,
+                        timing);
+    h.Enqueue(0, 0, 5); // Opens row 5 in bank 0.
+    h.RunUntilIdle();
+    h.Tick(300); // Cross the refresh boundary (quiesce + refresh).
+    // A new request to the same row must be a closed access, not a hit.
+    h.Enqueue(0, 0, 5);
+    h.RunUntilIdle();
+    const ControllerThreadStats& stats = h.controller().thread_stats(0);
+    EXPECT_EQ(stats.read_row_hits, 0u);
+    EXPECT_EQ(stats.read_row_closed, 2u);
+}
+
+TEST(Controller, PerThreadStatsAreIsolated)
+{
+    ControllerHarness h(std::make_unique<FrFcfsScheduler>());
+    h.Enqueue(0, 0, 1);
+    h.Enqueue(1, 1, 1);
+    h.Enqueue(1, 2, 1);
+    h.RunUntilIdle();
+    EXPECT_EQ(h.controller().thread_stats(0).reads_completed, 1u);
+    EXPECT_EQ(h.controller().thread_stats(1).reads_completed, 2u);
+}
+
+TEST(Controller, InvalidDrainWatermarksRejected)
+{
+    ControllerConfig config;
+    config.write_drain_low = 60;
+    config.write_drain_high = 40;
+    EXPECT_THROW(
+        Controller(config, test::TestTiming(), test::TestGeometry(), 2,
+                   std::make_unique<FrFcfsScheduler>()),
+        ConfigError);
+}
+
+} // namespace
+} // namespace parbs

@@ -1,0 +1,108 @@
+/** @file Tests for the request buffer and its occupancy counters. */
+
+#include <gtest/gtest.h>
+
+#include "mem/request_queue.hh"
+
+namespace parbs {
+namespace {
+
+std::unique_ptr<MemRequest>
+Make(RequestId id, ThreadId thread, std::uint32_t bank,
+     std::uint32_t rank = 0)
+{
+    auto request = std::make_unique<MemRequest>();
+    request->id = id;
+    request->thread = thread;
+    request->coords.rank = rank;
+    request->coords.bank = bank;
+    return request;
+}
+
+TEST(RequestQueue, AddRemoveTracksSize)
+{
+    RequestQueue queue(4, 2, 1, 8);
+    EXPECT_TRUE(queue.Empty());
+    queue.Add(Make(1, 0, 0));
+    queue.Add(Make(2, 1, 3));
+    EXPECT_EQ(queue.size(), 2u);
+    auto removed = queue.Remove(1);
+    EXPECT_EQ(removed->id, 1u);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(RequestQueue, FullAtCapacity)
+{
+    RequestQueue queue(2, 1, 1, 8);
+    queue.Add(Make(1, 0, 0));
+    EXPECT_FALSE(queue.Full());
+    queue.Add(Make(2, 0, 1));
+    EXPECT_TRUE(queue.Full());
+}
+
+TEST(RequestQueue, ZeroCapacityIsUnbounded)
+{
+    RequestQueue queue(0, 1, 1, 8);
+    for (RequestId id = 1; id <= 500; ++id) {
+        queue.Add(Make(id, 0, id % 8));
+    }
+    EXPECT_FALSE(queue.Full());
+    EXPECT_EQ(queue.size(), 500u);
+}
+
+TEST(RequestQueue, OverflowAborts)
+{
+    RequestQueue queue(1, 1, 1, 8);
+    queue.Add(Make(1, 0, 0));
+    EXPECT_DEATH(queue.Add(Make(2, 0, 1)), "overflow");
+}
+
+TEST(RequestQueue, OccupancyCountersFollowContents)
+{
+    RequestQueue queue(16, 2, 1, 8);
+    queue.Add(Make(1, 0, 3));
+    queue.Add(Make(2, 0, 3));
+    queue.Add(Make(3, 0, 5));
+    queue.Add(Make(4, 1, 3));
+    EXPECT_EQ(queue.ReqsInBankPerThread(0, 3), 2u);
+    EXPECT_EQ(queue.ReqsInBankPerThread(0, 5), 1u);
+    EXPECT_EQ(queue.ReqsInBankPerThread(1, 3), 1u);
+    EXPECT_EQ(queue.ReqsPerThread(0), 3u);
+    EXPECT_EQ(queue.ReqsPerThread(1), 1u);
+
+    queue.Remove(2);
+    EXPECT_EQ(queue.ReqsInBankPerThread(0, 3), 1u);
+    EXPECT_EQ(queue.ReqsPerThread(0), 2u);
+}
+
+TEST(RequestQueue, MultiRankFlatBankIndexing)
+{
+    RequestQueue queue(16, 1, 2, 4); // 2 ranks x 4 banks = 8 flat banks.
+    EXPECT_EQ(queue.num_banks(), 8u);
+    queue.Add(Make(1, 0, 2, 0)); // rank 0 bank 2 -> flat 2
+    queue.Add(Make(2, 0, 2, 1)); // rank 1 bank 2 -> flat 6
+    EXPECT_EQ(queue.ReqsInBankPerThread(0, 2), 1u);
+    EXPECT_EQ(queue.ReqsInBankPerThread(0, 6), 1u);
+}
+
+TEST(RequestQueue, ViewIsArrivalOrdered)
+{
+    RequestQueue queue(16, 1, 1, 8);
+    queue.Add(Make(10, 0, 0));
+    queue.Add(Make(11, 0, 1));
+    queue.Add(Make(12, 0, 2));
+    queue.Remove(11);
+    ASSERT_EQ(queue.requests().size(), 2u);
+    EXPECT_EQ(queue.requests()[0]->id, 10u);
+    EXPECT_EQ(queue.requests()[1]->id, 12u);
+}
+
+TEST(RequestQueue, RemoveMissingAborts)
+{
+    RequestQueue queue(16, 1, 1, 8);
+    queue.Add(Make(1, 0, 0));
+    EXPECT_DEATH(queue.Remove(99), "not in the buffer");
+}
+
+} // namespace
+} // namespace parbs

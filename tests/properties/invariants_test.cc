@@ -1,0 +1,252 @@
+/** @file Property-based tests: invariants that must hold for every
+ *  scheduler under randomized traffic (parameterized across the lineup),
+ *  plus PAR-BS-specific starvation-freedom guarantees. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "common/rng.hh"
+#include "sched/factory.hh"
+#include "test_util.hh"
+
+namespace parbs {
+namespace {
+
+using test::ControllerHarness;
+
+SchedulerConfig
+ConfigFor(SchedulerKind kind)
+{
+    SchedulerConfig config;
+    config.kind = kind;
+    return config;
+}
+
+/** Parameterized over every scheduler in the library. */
+class AnySchedulerTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, AnySchedulerTest,
+    ::testing::Values(SchedulerKind::kFcfs, SchedulerKind::kFrFcfs,
+                      SchedulerKind::kNfq, SchedulerKind::kStfm,
+                      SchedulerKind::kParBs, SchedulerKind::kParBsStatic,
+                      SchedulerKind::kParBsEslot,
+                      SchedulerKind::kParBsAdaptive),
+    [](const auto& info) {
+        std::string name = SchedulerKindName(info.param);
+        std::string out;
+        for (char c : name) {
+            if (std::isalnum(static_cast<unsigned char>(c))) {
+                out += c;
+            }
+        }
+        return out;
+    });
+
+TEST_P(AnySchedulerTest, EveryRequestEventuallyCompletes)
+{
+    ControllerHarness h(MakeScheduler(ConfigFor(GetParam())), 4);
+    Rng rng(123);
+    std::uint64_t issued = 0;
+    for (int round = 0; round < 200; ++round) {
+        if (h.controller().pending_reads() < 100) {
+            h.Enqueue(static_cast<ThreadId>(rng.NextBelow(4)),
+                      static_cast<std::uint32_t>(rng.NextBelow(8)),
+                      static_cast<std::uint32_t>(rng.NextBelow(16)),
+                      static_cast<std::uint32_t>(rng.NextBelow(32)),
+                      rng.NextBool(0.2));
+            issued += 1;
+        }
+        h.Tick(static_cast<std::uint64_t>(rng.NextBelow(6)));
+    }
+    h.RunUntilIdle(200000);
+    EXPECT_EQ(h.controller().pending_reads(), 0u);
+    EXPECT_EQ(h.controller().pending_writes(), 0u);
+    std::uint64_t completed = 0;
+    for (ThreadId t = 0; t < 4; ++t) {
+        completed += h.controller().thread_stats(t).reads_completed +
+                     h.controller().thread_stats(t).writes_completed;
+    }
+    EXPECT_EQ(completed, issued);
+}
+
+TEST_P(AnySchedulerTest, StatsConserveRowBufferOutcomes)
+{
+    ControllerHarness h(MakeScheduler(ConfigFor(GetParam())), 4);
+    Rng rng(77);
+    std::uint64_t reads = 0;
+    for (int round = 0; round < 150; ++round) {
+        if (h.controller().pending_reads() < 100) {
+            h.Enqueue(static_cast<ThreadId>(rng.NextBelow(4)),
+                      static_cast<std::uint32_t>(rng.NextBelow(8)),
+                      static_cast<std::uint32_t>(rng.NextBelow(4)));
+            reads += 1;
+        }
+        h.Tick(static_cast<std::uint64_t>(rng.NextBelow(10)));
+    }
+    h.RunUntilIdle(200000);
+    std::uint64_t outcomes = 0;
+    for (ThreadId t = 0; t < 4; ++t) {
+        const auto& stats = h.controller().thread_stats(t);
+        outcomes += stats.read_row_hits + stats.read_row_closed +
+                    stats.read_row_conflicts;
+    }
+    EXPECT_EQ(outcomes, reads);
+}
+
+TEST_P(AnySchedulerTest, DeterministicServiceOrder)
+{
+    auto run = [this] {
+        ControllerHarness h(MakeScheduler(ConfigFor(GetParam())), 4);
+        Rng rng(31);
+        for (int round = 0; round < 120; ++round) {
+            if (h.controller().pending_reads() < 100) {
+                h.Enqueue(static_cast<ThreadId>(rng.NextBelow(4)),
+                          static_cast<std::uint32_t>(rng.NextBelow(8)),
+                          static_cast<std::uint32_t>(rng.NextBelow(8)));
+            }
+            h.Tick(static_cast<std::uint64_t>(rng.NextBelow(5)));
+        }
+        h.RunUntilIdle(200000);
+        return h.completed();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+/**
+ * The paper's central fairness guarantee: under PAR-BS, "the number of
+ * requests from a thread scheduled before requests of another thread is
+ * strictly bounded with the size of a batch" — no read waits longer than a
+ * bounded number of DRAM cycles regardless of how aggressively another
+ * thread streams row hits.
+ */
+namespace {
+
+/**
+ * Memory-performance-hog scenario (cf. Moscibroda & Mutlu, USENIX Security
+ * 2007): an attacker continuously streams row hits into bank 0; after the
+ * stream is established, a victim posts one conflicting request to the
+ * same bank.  Returns how long the victim waited, capped at @p horizon.
+ */
+DramCycle
+VictimWait(std::unique_ptr<Scheduler> scheduler, DramCycle horizon)
+{
+    ControllerHarness h(std::move(scheduler), 2);
+    std::uint32_t column = 0;
+    for (int i = 0; i < 30; ++i) {
+        h.Enqueue(0, 0, 1, column++ % 32);
+    }
+    h.Tick(10); // The stream is being serviced; row 1 is open.
+    const DramCycle victim_arrival = h.now();
+    const RequestId victim = h.Enqueue(1, 0, 999);
+    while (h.now() < victim_arrival + horizon) {
+        if (h.controller().pending_reads() < 40) {
+            h.Enqueue(0, 0, 1, column++ % 32); // Replenish the stream.
+        }
+        h.Tick();
+        if (std::find(h.completed().begin(), h.completed().end(), victim) !=
+            h.completed().end()) {
+            return h.now() - victim_arrival;
+        }
+    }
+    return horizon;
+}
+
+} // namespace
+
+TEST(ParBsProperty, StarvationFreeUnderRowHitFlood)
+{
+    ParBsConfig config;
+    config.marking_cap = 5;
+    const DramCycle wait =
+        VictimWait(std::make_unique<ParBsScheduler>(config), 5000);
+    // Bounded by roughly one batch: cap (5) requests of the attacker plus
+    // the in-flight batch when the victim arrived, each <= ~30 cycles.
+    EXPECT_LT(wait, 700u);
+}
+
+TEST(ParBsProperty, FrFcfsStarvesTheSameVictimLonger)
+{
+    const DramCycle parbs = VictimWait(
+        std::make_unique<ParBsScheduler>(ParBsConfig{}), 5000);
+    const DramCycle frfcfs =
+        VictimWait(MakeScheduler(ConfigFor(SchedulerKind::kFrFcfs)), 5000);
+    // The contrast the paper motivates: FR-FCFS lets the row-hit stream
+    // capture the bank; batching bounds the victim's delay.
+    EXPECT_GT(frfcfs, parbs * 4);
+}
+
+TEST(ParBsProperty, MarkedOutstandingNeverNegativeOrLeaking)
+{
+    ParBsConfig config;
+    config.marking_cap = 3;
+    auto owned = std::make_unique<ParBsScheduler>(config);
+    ParBsScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned), 4);
+    Rng rng(55);
+    for (int round = 0; round < 400; ++round) {
+        if (h.controller().pending_reads() < 100) {
+            h.Enqueue(static_cast<ThreadId>(rng.NextBelow(4)),
+                      static_cast<std::uint32_t>(rng.NextBelow(8)),
+                      static_cast<std::uint32_t>(rng.NextBelow(6)));
+        }
+        h.Tick(static_cast<std::uint64_t>(rng.NextBelow(4)));
+        EXPECT_LE(scheduler->marked_outstanding(),
+                  h.controller().pending_reads());
+    }
+    h.RunUntilIdle(200000);
+    EXPECT_EQ(scheduler->marked_outstanding(), 0u);
+}
+
+/** Marking-Cap sweep: batches honour the cap for every value. */
+class MarkingCapTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Caps, MarkingCapTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u));
+
+TEST_P(MarkingCapTest, FirstBatchRespectsCap)
+{
+    ParBsConfig config;
+    config.marking_cap = GetParam();
+    auto owned = std::make_unique<ParBsScheduler>(config);
+    ParBsScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned), 2);
+    // 20 requests from one thread to one bank; 4 to another bank.
+    for (int i = 0; i < 20; ++i) {
+        h.Enqueue(0, 0, 1 + i);
+    }
+    for (int i = 0; i < 4; ++i) {
+        h.Enqueue(0, 1, 1 + i);
+    }
+    h.Tick();
+    const std::uint64_t expected =
+        std::min<std::uint64_t>(GetParam(), 20) +
+        std::min<std::uint64_t>(GetParam(), 4);
+    EXPECT_EQ(scheduler->marked_outstanding(), expected);
+}
+
+TEST_P(MarkingCapTest, AllTrafficDrains)
+{
+    ParBsConfig config;
+    config.marking_cap = GetParam();
+    ControllerHarness h(std::make_unique<ParBsScheduler>(config), 4);
+    Rng rng(GetParam());
+    int issued = 0;
+    for (int round = 0; round < 150; ++round) {
+        if (h.controller().pending_reads() < 100) {
+            h.Enqueue(static_cast<ThreadId>(rng.NextBelow(4)),
+                      static_cast<std::uint32_t>(rng.NextBelow(8)),
+                      static_cast<std::uint32_t>(rng.NextBelow(8)));
+            issued += 1;
+        }
+        h.Tick(static_cast<std::uint64_t>(rng.NextBelow(4)));
+    }
+    h.RunUntilIdle(200000);
+    EXPECT_EQ(static_cast<int>(h.completed().size()), issued);
+}
+
+} // namespace
+} // namespace parbs

@@ -1,0 +1,140 @@
+/** @file Tests for the adaptive Marking-Cap extension. */
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hh"
+#include "sched/factory.hh"
+#include "test_util.hh"
+
+namespace parbs {
+namespace {
+
+using test::ControllerHarness;
+
+struct AdaptiveHarness {
+    explicit AdaptiveHarness(AdaptiveCapConfig config = {})
+    {
+        auto owned = std::make_unique<AdaptiveParBsScheduler>(config);
+        scheduler = owned.get();
+        harness = std::make_unique<ControllerHarness>(std::move(owned), 4);
+    }
+    AdaptiveParBsScheduler* scheduler = nullptr;
+    std::unique_ptr<ControllerHarness> harness;
+};
+
+TEST(AdaptiveCap, StartsAtInitialCap)
+{
+    AdaptiveCapConfig config;
+    config.initial_cap = 7;
+    AdaptiveHarness h(config);
+    EXPECT_EQ(h.scheduler->current_cap(), 7u);
+    EXPECT_EQ(h.scheduler->name(), "PAR-BS(adaptive-cap)");
+}
+
+TEST(AdaptiveCap, InvalidConfigRejected)
+{
+    AdaptiveCapConfig bad;
+    bad.min_cap = 10;
+    bad.max_cap = 5;
+    EXPECT_THROW(AdaptiveParBsScheduler{bad}, ConfigError);
+
+    AdaptiveCapConfig bad2;
+    bad2.initial_cap = 100;
+    bad2.max_cap = 20;
+    EXPECT_THROW(AdaptiveParBsScheduler{bad2}, ConfigError);
+
+    AdaptiveCapConfig bad3;
+    bad3.window_reads = 0;
+    EXPECT_THROW(AdaptiveParBsScheduler{bad3}, ConfigError);
+}
+
+TEST(AdaptiveCap, LowHitRateRaisesCap)
+{
+    AdaptiveCapConfig config;
+    config.initial_cap = 4;
+    config.window_reads = 16;
+    config.hit_low = 0.9;       // Nearly any traffic looks "low locality".
+    config.latency_high = 1u << 30; // Never triggers.
+    AdaptiveHarness h(config);
+    // All-conflict traffic: the hit rate stays near zero.
+    for (int i = 0; i < 80; ++i) {
+        h.harness->Enqueue(static_cast<ThreadId>(i % 4),
+                           static_cast<std::uint32_t>(i % 8),
+                           10 + static_cast<std::uint32_t>(i));
+        h.harness->Tick(6);
+    }
+    h.harness->RunUntilIdle();
+    EXPECT_GT(h.scheduler->current_cap(), 4u);
+    EXPECT_GT(h.scheduler->adaptations(), 0u);
+}
+
+TEST(AdaptiveCap, HighWorstLatencyLowersCap)
+{
+    AdaptiveCapConfig config;
+    config.initial_cap = 8;
+    config.window_reads = 16;
+    config.hit_low = 0.0;    // Never raises.
+    config.latency_high = 1; // Any completed read looks "too slow".
+    AdaptiveHarness h(config);
+    for (int i = 0; i < 80; ++i) {
+        h.harness->Enqueue(static_cast<ThreadId>(i % 4),
+                           static_cast<std::uint32_t>(i % 8), 10);
+        h.harness->Tick(6);
+    }
+    h.harness->RunUntilIdle();
+    EXPECT_LT(h.scheduler->current_cap(), 8u);
+}
+
+TEST(AdaptiveCap, CapStaysWithinBounds)
+{
+    AdaptiveCapConfig config;
+    config.initial_cap = 3;
+    config.min_cap = 2;
+    config.max_cap = 4;
+    config.window_reads = 8;
+    config.latency_high = 1; // Pushes down every window.
+    AdaptiveHarness h(config);
+    for (int i = 0; i < 200; ++i) {
+        h.harness->Enqueue(static_cast<ThreadId>(i % 4),
+                           static_cast<std::uint32_t>(i % 8),
+                           10 + static_cast<std::uint32_t>(i % 3));
+        h.harness->Tick(5);
+        EXPECT_GE(h.scheduler->current_cap(), 2u);
+        EXPECT_LE(h.scheduler->current_cap(), 4u);
+    }
+}
+
+TEST(AdaptiveCap, FactoryBuildsIt)
+{
+    SchedulerConfig config;
+    config.kind = SchedulerKind::kParBsAdaptive;
+    auto scheduler = MakeScheduler(config);
+    EXPECT_EQ(scheduler->name(), "PAR-BS(adaptive-cap)");
+    EXPECT_STREQ(SchedulerKindName(SchedulerKind::kParBsAdaptive),
+                 "PAR-BS(adaptive-cap)");
+}
+
+TEST(AdaptiveCap, BatchingGuaranteesStillHold)
+{
+    // The adaptive variant must keep PAR-BS's starvation freedom: marked
+    // requests drain and traffic completes.
+    AdaptiveCapConfig config;
+    config.window_reads = 32;
+    AdaptiveHarness h(config);
+    int issued = 0;
+    for (int i = 0; i < 300; ++i) {
+        if (h.harness->controller().pending_reads() < 100) {
+            h.harness->Enqueue(static_cast<ThreadId>(i % 4),
+                               static_cast<std::uint32_t>((i * 3) % 8),
+                               static_cast<std::uint32_t>(i % 16));
+            issued += 1;
+        }
+        h.harness->Tick(2);
+    }
+    h.harness->RunUntilIdle(200000);
+    EXPECT_EQ(static_cast<int>(h.harness->completed().size()), issued);
+    EXPECT_EQ(h.scheduler->marked_outstanding(), 0u);
+}
+
+} // namespace
+} // namespace parbs

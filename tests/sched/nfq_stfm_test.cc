@@ -1,0 +1,189 @@
+/** @file Tests for the NFQ (FQ-VFTF) and STFM comparison schedulers. */
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hh"
+#include "sched/nfq.hh"
+#include "sched/stfm.hh"
+#include "test_util.hh"
+
+namespace parbs {
+namespace {
+
+using test::ControllerHarness;
+
+TEST(Nfq, VirtualClockAdvancesWithRequests)
+{
+    auto owned = std::make_unique<NfqScheduler>();
+    NfqScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned));
+    EXPECT_EQ(scheduler->VirtualClock(0, 0), 0u);
+    h.Enqueue(0, 0, 1);
+    const std::uint64_t after_one = scheduler->VirtualClock(0, 0);
+    EXPECT_GT(after_one, 0u);
+    h.Enqueue(0, 0, 1, 1);
+    EXPECT_GT(scheduler->VirtualClock(0, 0), after_one);
+}
+
+TEST(Nfq, WeightScalesVirtualServiceTime)
+{
+    auto owned = std::make_unique<NfqScheduler>();
+    NfqScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned));
+    h.controller().scheduler().SetThreadWeight(1, 4.0);
+    h.Enqueue(0, 0, 1);
+    h.Enqueue(1, 1, 1);
+    // Heavier thread accumulates virtual time 4x slower.
+    EXPECT_GT(scheduler->VirtualClock(0, 0),
+              scheduler->VirtualClock(1, 1));
+}
+
+TEST(Nfq, EarliestVirtualFinishTimeWins)
+{
+    // Backlogged thread 0 accumulates virtual time; thread 1's first
+    // request gets an earlier deadline and jumps ahead (the idleness
+    // behaviour the PAR-BS paper describes).
+    ControllerHarness h(std::make_unique<NfqScheduler>());
+    std::vector<RequestId> backlog;
+    for (int i = 0; i < 4; ++i) {
+        backlog.push_back(h.Enqueue(0, 0, 1 + i)); // Conflicts.
+    }
+    const RequestId fresh = h.Enqueue(1, 0, 99);
+    h.RunUntilIdle();
+    const auto& done = h.completed();
+    ASSERT_EQ(done.size(), 5u);
+    const auto pos = [&](RequestId id) {
+        return std::find(done.begin(), done.end(), id) - done.begin();
+    };
+    // The fresh thread's request finishes before the backlog's tail.
+    EXPECT_LT(pos(fresh), pos(backlog[3]));
+}
+
+TEST(Nfq, RowHitProtectionWithinTras)
+{
+    ControllerHarness h(std::make_unique<NfqScheduler>());
+    // Open row 1 with thread 0, then race a same-row hit from thread 0
+    // against an earlier-deadline request of an idle thread: within tRAS
+    // of the activate, the hit is protected.
+    h.Enqueue(0, 0, 1);
+    h.Tick(8); // ACT + READ issued; row open, still within tRAS.
+    const RequestId hit = h.Enqueue(0, 0, 1, 1);
+    const RequestId other = h.Enqueue(1, 0, 2);
+    h.RunUntilIdle();
+    const auto& done = h.completed();
+    const auto pos = [&](RequestId id) {
+        return std::find(done.begin(), done.end(), id) - done.begin();
+    };
+    EXPECT_LT(pos(hit), pos(other));
+}
+
+TEST(Stfm, StartsInFrFcfsMode)
+{
+    auto owned = std::make_unique<StfmScheduler>();
+    StfmScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned));
+    h.Enqueue(0, 0, 1);
+    h.Tick();
+    EXPECT_FALSE(scheduler->fairness_mode());
+    EXPECT_DOUBLE_EQ(scheduler->EstimatedUnfairness(), 1.0);
+}
+
+TEST(Stfm, SlowdownGrowsUnderInterference)
+{
+    auto owned = std::make_unique<StfmScheduler>();
+    StfmScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned));
+    // Thread 1 queues behind thread 0's stream in the same bank.
+    for (int i = 0; i < 12; ++i) {
+        h.Enqueue(0, 0, 1, i % 32);
+    }
+    h.Enqueue(1, 0, 50);
+    h.Tick(60);
+    EXPECT_GT(scheduler->EstimatedSlowdown(1), 1.0);
+}
+
+TEST(Stfm, FairnessModeTriggersAboveAlpha)
+{
+    StfmConfig config;
+    config.alpha = 1.05;
+    auto owned = std::make_unique<StfmScheduler>(config);
+    StfmScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned));
+    // Sustained asymmetric interference: thread 0 streams row hits,
+    // thread 1's conflicting requests wait.
+    for (int round = 0; round < 30; ++round) {
+        h.Enqueue(0, 0, 1, round % 32);
+        h.Enqueue(0, 0, 1, (round + 7) % 32);
+        h.Enqueue(1, 0, 2 + round);
+        h.Tick(20);
+    }
+    EXPECT_TRUE(scheduler->fairness_mode());
+    EXPECT_GT(scheduler->EstimatedUnfairness(), 1.05);
+}
+
+TEST(Stfm, FairnessModeBoostsTheVictimMidStream)
+{
+    StfmConfig config;
+    config.alpha = 1.05;
+    auto owned = std::make_unique<StfmScheduler>(config);
+    StfmScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned));
+    // The attacker keeps ~8 row-hit requests standing in bank 0; the
+    // victim's lone conflicting request would wait behind the entire
+    // stream under plain FR-FCFS.
+    std::uint32_t column = 0;
+    for (int i = 0; i < 8; ++i) {
+        h.Enqueue(0, 0, 1, column++ % 32);
+    }
+    h.Tick(5);
+    const RequestId victim = h.Enqueue(1, 0, 999);
+    bool saw_fairness_mode = false;
+    DramCycle victim_done = 0;
+    for (int round = 0; round < 2000 && victim_done == 0; ++round) {
+        if (h.controller().pending_reads() < 12) {
+            h.Enqueue(0, 0, 1, column++ % 32);
+        }
+        h.Tick();
+        saw_fairness_mode |= scheduler->fairness_mode();
+        if (std::find(h.completed().begin(), h.completed().end(), victim) !=
+            h.completed().end()) {
+            victim_done = h.now();
+        }
+    }
+    // STFM's slowdown estimate for the victim grows until fairness mode
+    // engages and pushes the victim's request through.
+    EXPECT_TRUE(saw_fairness_mode);
+    ASSERT_GT(victim_done, 0u);
+    EXPECT_GT(scheduler->EstimatedSlowdown(1), 1.0);
+}
+
+TEST(Stfm, InvalidConfigRejected)
+{
+    StfmConfig bad_alpha;
+    bad_alpha.alpha = 0.9;
+    EXPECT_THROW(StfmScheduler{bad_alpha}, ConfigError);
+    StfmConfig bad_interval;
+    bad_interval.interval_length = 0;
+    EXPECT_THROW(StfmScheduler{bad_interval}, ConfigError);
+}
+
+TEST(Stfm, AgingHalvesEstimates)
+{
+    StfmConfig config;
+    config.interval_length = 64;
+    auto owned = std::make_unique<StfmScheduler>(config);
+    StfmScheduler* scheduler = owned.get();
+    ControllerHarness h(std::move(owned));
+    for (int i = 0; i < 10; ++i) {
+        h.Enqueue(0, 0, 1 + i);
+        h.Enqueue(1, 0, 100 + i);
+    }
+    h.Tick(40);
+    const double before = scheduler->EstimatedSlowdown(1);
+    h.RunUntilIdle();
+    h.Tick(200); // Crosses aging boundaries with no new interference.
+    EXPECT_LE(scheduler->EstimatedSlowdown(1), before + 1e-9);
+}
+
+} // namespace
+} // namespace parbs

@@ -1,0 +1,275 @@
+/** @file Tests for PAR-BS: batching (Rule 1), prioritization (Rule 2),
+ *  Max-Total ranking (Rule 3), and Marking-Cap behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "sched/parbs_sched.hh"
+#include "test_util.hh"
+
+namespace parbs {
+namespace {
+
+using test::ControllerHarness;
+
+/** Harness wrapper that keeps a typed handle to the PAR-BS scheduler. */
+struct ParBsHarness {
+    explicit ParBsHarness(ParBsConfig config = {},
+                          std::uint32_t threads = 4)
+        : harness(MakeScheduler(config, &scheduler), threads)
+    {
+    }
+
+    static std::unique_ptr<Scheduler>
+    MakeScheduler(const ParBsConfig& config, ParBsScheduler** out)
+    {
+        auto scheduler = std::make_unique<ParBsScheduler>(config);
+        *out = scheduler.get();
+        return scheduler;
+    }
+
+    ParBsScheduler* scheduler = nullptr;
+    ControllerHarness harness;
+};
+
+TEST(ParBs, BatchFormsWhenRequestsArrive)
+{
+    ParBsHarness h;
+    EXPECT_EQ(h.scheduler->batch_stats().batches_formed, 0u);
+    h.harness.Enqueue(0, 0, 1);
+    h.harness.Tick();
+    EXPECT_EQ(h.scheduler->batch_stats().batches_formed, 1u);
+    EXPECT_EQ(h.scheduler->marked_outstanding(), 1u);
+}
+
+TEST(ParBs, EmptyBufferFormsNoBatches)
+{
+    ParBsHarness h;
+    h.harness.Tick(100);
+    EXPECT_EQ(h.scheduler->batch_stats().batches_formed, 0u);
+}
+
+TEST(ParBs, NewBatchOnlyAfterAllMarkedServiced)
+{
+    ParBsHarness h;
+    h.harness.Enqueue(0, 0, 1);
+    h.harness.Enqueue(1, 1, 1);
+    h.harness.Tick();
+    EXPECT_EQ(h.scheduler->batch_stats().batches_formed, 1u);
+    EXPECT_EQ(h.scheduler->marked_outstanding(), 2u);
+    // A late request does not join or restart the batch...
+    h.harness.Enqueue(2, 2, 1);
+    h.harness.Tick(2);
+    EXPECT_EQ(h.scheduler->batch_stats().batches_formed, 1u);
+    h.harness.RunUntilIdle();
+    // ...but since its bank held no marked requests, it was serviced
+    // opportunistically within batch 1 ("PAR-BS neither wastes bandwidth
+    // nor unnecessarily delays requests"), so no second batch was needed.
+    EXPECT_EQ(h.scheduler->batch_stats().batches_formed, 1u);
+    EXPECT_EQ(h.harness.completed().size(), 3u);
+}
+
+TEST(ParBs, LateRequestInContendedBankWaitsForNextBatch)
+{
+    ParBsHarness h;
+    // Batch 1: five same-bank conflicts from thread 0 (slow to drain).
+    for (int i = 0; i < 5; ++i) {
+        h.harness.Enqueue(0, 0, 1 + i);
+    }
+    h.harness.Tick();
+    EXPECT_EQ(h.scheduler->marked_outstanding(), 5u);
+    // Late request from thread 1 to the *same* bank: unmarked, and the
+    // bank still holds marked requests, so it must wait out the batch.
+    const RequestId late = h.harness.Enqueue(1, 0, 50);
+    h.harness.RunUntilIdle();
+    ASSERT_EQ(h.harness.completed().size(), 6u);
+    EXPECT_EQ(h.harness.completed().back(), late);
+}
+
+TEST(ParBs, MarkingCapLimitsPerThreadPerBank)
+{
+    ParBsConfig config;
+    config.marking_cap = 2;
+    ParBsHarness h(config);
+    for (int i = 0; i < 5; ++i) {
+        h.harness.Enqueue(0, 0, 1, i); // 5 requests, same bank.
+    }
+    h.harness.Enqueue(0, 1, 1); // Different bank: own cap.
+    h.harness.Tick();
+    // 2 marked in bank 0 + 1 in bank 1.
+    EXPECT_EQ(h.scheduler->marked_outstanding(), 3u);
+}
+
+TEST(ParBs, NoCapMarksEverything)
+{
+    ParBsConfig config;
+    config.marking_cap = 0;
+    ParBsHarness h(config);
+    for (int i = 0; i < 7; ++i) {
+        h.harness.Enqueue(0, 0, 1, i);
+    }
+    h.harness.Tick();
+    EXPECT_EQ(h.scheduler->marked_outstanding(), 7u);
+}
+
+TEST(ParBs, MarkedRequestsBeatUnmarkedRowHits)
+{
+    // Rule 2.1 (BS) dominates Rule 2.2 (RH): a marked row-conflict is
+    // serviced before an unmarked row-hit in the same bank.
+    ParBsHarness h;
+    const RequestId opener = h.harness.Enqueue(0, 0, 1);
+    h.harness.Tick(); // Batch 1: just the opener.
+    h.harness.RunUntilIdle();
+
+    // Seed the next batch: a conflict from thread 1.
+    const RequestId marked_conflict = h.harness.Enqueue(1, 0, 2);
+    h.harness.Tick(); // Batch 2 forms with the conflict marked.
+    // Now a row-hit arrives from thread 2 (row 1 may still be open).
+    const RequestId unmarked_hit = h.harness.Enqueue(2, 0, 1);
+    h.harness.RunUntilIdle();
+
+    ASSERT_EQ(h.harness.completed().size(), 3u);
+    EXPECT_EQ(h.harness.completed()[0], opener);
+    EXPECT_EQ(h.harness.completed()[1], marked_conflict);
+    EXPECT_EQ(h.harness.completed()[2], unmarked_hit);
+}
+
+TEST(ParBs, WithinBatchRowHitFirst)
+{
+    ParBsHarness h;
+    // Open row 1 in bank 0 via a first batch.
+    h.harness.Enqueue(0, 0, 1);
+    h.harness.RunUntilIdle();
+    // Next batch: an older conflict and a younger hit, both marked.
+    const RequestId conflict = h.harness.Enqueue(1, 0, 2);
+    const RequestId hit = h.harness.Enqueue(2, 0, 1);
+    h.harness.RunUntilIdle();
+    ASSERT_EQ(h.harness.completed().size(), 3u);
+    EXPECT_EQ(h.harness.completed()[1], hit);
+    EXPECT_EQ(h.harness.completed()[2], conflict);
+}
+
+TEST(ParBs, MaxTotalRankingMaxRule)
+{
+    ParBsHarness h;
+    // Thread 0: one request per bank in 3 banks (max-bank-load 1).
+    h.harness.Enqueue(0, 0, 10);
+    h.harness.Enqueue(0, 1, 10);
+    h.harness.Enqueue(0, 2, 10);
+    // Thread 1: three requests in one bank (max-bank-load 3).
+    h.harness.Enqueue(1, 3, 10, 0);
+    h.harness.Enqueue(1, 3, 10, 1);
+    h.harness.Enqueue(1, 3, 10, 2);
+    h.harness.Tick();
+    EXPECT_LT(h.scheduler->ThreadRank(0), h.scheduler->ThreadRank(1));
+}
+
+TEST(ParBs, MaxTotalRankingTotalTieBreak)
+{
+    ParBsHarness h;
+    // Both threads have max-bank-load 2; thread 1 has the larger total.
+    h.harness.Enqueue(0, 0, 10, 0);
+    h.harness.Enqueue(0, 0, 10, 1);
+    h.harness.Enqueue(1, 1, 10, 0);
+    h.harness.Enqueue(1, 1, 10, 1);
+    h.harness.Enqueue(1, 2, 10, 0);
+    h.harness.Tick();
+    EXPECT_LT(h.scheduler->ThreadRank(0), h.scheduler->ThreadRank(1));
+}
+
+TEST(ParBs, ThreadsWithoutMarkedRequestsGetWorstRank)
+{
+    ParBsHarness h;
+    h.harness.Enqueue(0, 0, 10);
+    h.harness.Tick();
+    EXPECT_EQ(h.scheduler->ThreadRank(3), 4u);
+    EXPECT_LT(h.scheduler->ThreadRank(0), 4u);
+}
+
+TEST(ParBs, RankingOrdersServiceAcrossBanks)
+{
+    // The highest-ranked thread's requests go first in *every* bank, which
+    // is exactly what preserves its bank-level parallelism.
+    ParBsHarness h;
+    // Thread 1 (intensive): two requests in each of banks 0 and 1.
+    h.harness.Enqueue(1, 0, 20, 0);
+    h.harness.Enqueue(1, 0, 20, 1);
+    h.harness.Enqueue(1, 1, 20, 0);
+    h.harness.Enqueue(1, 1, 20, 1);
+    // Thread 0 (light): one request in each bank, arriving later.
+    const RequestId a = h.harness.Enqueue(0, 0, 30);
+    const RequestId b = h.harness.Enqueue(0, 1, 30);
+    h.harness.RunUntilIdle();
+    ASSERT_EQ(h.harness.completed().size(), 6u);
+    // Thread 0's two requests complete before any of thread 1's.
+    EXPECT_TRUE((h.harness.completed()[0] == a &&
+                 h.harness.completed()[1] == b) ||
+                (h.harness.completed()[0] == b &&
+                 h.harness.completed()[1] == a));
+}
+
+TEST(ParBs, UnmarkedServicedWhenBankHasNoMarked)
+{
+    ParBsHarness h;
+    // Batch forms with thread 0's request to bank 0.
+    h.harness.Enqueue(0, 0, 1);
+    h.harness.Tick();
+    // Thread 1's unmarked request to bank 5: no marked request there, so
+    // it is serviced during the current batch, not postponed.
+    h.harness.Enqueue(1, 5, 1);
+    h.harness.RunUntilIdle(2000);
+    EXPECT_EQ(h.harness.completed().size(), 2u);
+    EXPECT_LE(h.harness.now(), 100u);
+}
+
+TEST(ParBs, BatchStatsAccumulate)
+{
+    ParBsHarness h;
+    for (int batch = 0; batch < 3; ++batch) {
+        h.harness.Enqueue(0, 0, 1 + batch);
+        h.harness.Enqueue(1, 1, 1 + batch);
+        h.harness.RunUntilIdle();
+    }
+    const BatchStats& stats = h.scheduler->batch_stats();
+    EXPECT_EQ(stats.batches_formed, 3u);
+    EXPECT_EQ(stats.marked_total, 6u);
+    EXPECT_NEAR(stats.AverageBatchSize(), 2.0, 1e-9);
+    EXPECT_GT(stats.AverageBatchDuration(), 0.0);
+}
+
+TEST(ParBs, WritesAreNeverMarked)
+{
+    ParBsHarness h;
+    h.harness.Enqueue(0, 0, 1, 0, true);
+    h.harness.Enqueue(0, 1, 1, 0, true);
+    h.harness.Tick();
+    EXPECT_EQ(h.scheduler->marked_outstanding(), 0u);
+    h.harness.RunUntilIdle();
+    EXPECT_EQ(h.harness.controller().thread_stats(0).writes_completed, 2u);
+}
+
+TEST(ParBs, NameReflectsConfiguration)
+{
+    EXPECT_EQ(ParBsScheduler(ParBsConfig{}).name(), "PAR-BS");
+    ParBsConfig custom;
+    custom.marking_cap = 3;
+    EXPECT_EQ(ParBsScheduler(custom).name(), "PAR-BS(max-total,cap=3)");
+    ParBsConfig nocap;
+    nocap.marking_cap = 0;
+    EXPECT_EQ(ParBsScheduler(nocap).name(), "PAR-BS(max-total,cap=none)");
+}
+
+TEST(ParBs, RankingPolicyNames)
+{
+    EXPECT_STREQ(RankingPolicyName(RankingPolicy::kMaxTotal), "max-total");
+    EXPECT_STREQ(RankingPolicyName(RankingPolicy::kTotalMax), "total-max");
+    EXPECT_STREQ(RankingPolicyName(RankingPolicy::kRandom), "random");
+    EXPECT_STREQ(RankingPolicyName(RankingPolicy::kRoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(RankingPolicyName(RankingPolicy::kNoRankFrFcfs),
+                 "no-rank-frfcfs");
+    EXPECT_STREQ(RankingPolicyName(RankingPolicy::kNoRankFcfs),
+                 "no-rank-fcfs");
+}
+
+} // namespace
+} // namespace parbs

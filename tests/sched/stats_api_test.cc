@@ -1,0 +1,84 @@
+/** @file Tests for the Scheduler::Stats() diagnostics API. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/factory.hh"
+#include "test_util.hh"
+
+namespace parbs {
+namespace {
+
+using test::ControllerHarness;
+
+std::map<std::string, double>
+AsMap(const Scheduler& scheduler)
+{
+    std::map<std::string, double> out;
+    for (const auto& [key, value] : scheduler.Stats()) {
+        out[key] = value;
+    }
+    return out;
+}
+
+TEST(SchedulerStats, BaseSchedulersReportNothing)
+{
+    for (SchedulerKind kind : {SchedulerKind::kFcfs, SchedulerKind::kFrFcfs,
+                               SchedulerKind::kNfq}) {
+        SchedulerConfig config;
+        config.kind = kind;
+        EXPECT_TRUE(MakeScheduler(config)->Stats().empty())
+            << SchedulerKindName(kind);
+    }
+}
+
+TEST(SchedulerStats, ParBsReportsBatching)
+{
+    SchedulerConfig config;
+    config.kind = SchedulerKind::kParBs;
+    ControllerHarness h(MakeScheduler(config));
+    h.Enqueue(0, 0, 1);
+    h.Enqueue(1, 1, 1);
+    h.RunUntilIdle();
+    const auto stats = AsMap(h.controller().scheduler());
+    ASSERT_TRUE(stats.count("batches_formed"));
+    EXPECT_GE(stats.at("batches_formed"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.at("avg_batch_size"), 2.0);
+    EXPECT_DOUBLE_EQ(stats.at("marked_outstanding"), 0.0);
+    EXPECT_DOUBLE_EQ(stats.at("marking_cap"), 5.0);
+}
+
+TEST(SchedulerStats, AdaptiveAddsAdaptationCount)
+{
+    SchedulerConfig config;
+    config.kind = SchedulerKind::kParBsAdaptive;
+    ControllerHarness h(MakeScheduler(config));
+    h.Enqueue(0, 0, 1);
+    h.RunUntilIdle();
+    const auto stats = AsMap(h.controller().scheduler());
+    EXPECT_TRUE(stats.count("adaptations"));
+    EXPECT_TRUE(stats.count("batches_formed"));
+}
+
+TEST(SchedulerStats, StfmReportsSlowdownsAndDutyCycle)
+{
+    SchedulerConfig config;
+    config.kind = SchedulerKind::kStfm;
+    ControllerHarness h(MakeScheduler(config), 3);
+    h.Enqueue(0, 0, 1);
+    h.Enqueue(1, 0, 2);
+    h.RunUntilIdle();
+    const auto stats = AsMap(h.controller().scheduler());
+    ASSERT_TRUE(stats.count("estimated_unfairness"));
+    EXPECT_GE(stats.at("estimated_unfairness"), 1.0);
+    ASSERT_TRUE(stats.count("fairness_mode_fraction"));
+    EXPECT_GE(stats.at("fairness_mode_fraction"), 0.0);
+    EXPECT_LE(stats.at("fairness_mode_fraction"), 1.0);
+    EXPECT_TRUE(stats.count("slowdown_t0"));
+    EXPECT_TRUE(stats.count("slowdown_t1"));
+    EXPECT_TRUE(stats.count("slowdown_t2"));
+}
+
+} // namespace
+} // namespace parbs

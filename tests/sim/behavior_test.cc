@@ -1,0 +1,191 @@
+/** @file System-level behaviour tests: the paper's mechanisms observed
+ *  end-to-end through full CMP simulations (slower than unit tests but
+ *  still sub-second each). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/experiment.hh"
+
+namespace parbs {
+namespace {
+
+ExperimentConfig
+SmallConfig()
+{
+    ExperimentConfig config;
+    config.cores = 4;
+    config.run_cycles = 400'000;
+    return config;
+}
+
+SchedulerConfig
+Kind(SchedulerKind kind)
+{
+    SchedulerConfig config;
+    config.kind = kind;
+    return config;
+}
+
+TEST(Behavior, ParBsPreservesHighBlpThreadBetterThanNfq)
+{
+    // Case Study I's mcf story: NFQ balances per bank without cross-bank
+    // coordination and serializes mcf's parallel requests; PAR-BS ranks
+    // threads consistently across banks.
+    ExperimentRunner runner(SmallConfig());
+    const WorkloadSpec workload = CaseStudy1();
+    const SharedRun nfq = runner.RunShared(workload, Kind(SchedulerKind::kNfq));
+    const SharedRun parbs =
+        runner.RunShared(workload, Kind(SchedulerKind::kParBs));
+    // Thread 1 is mcf.
+    EXPECT_GT(parbs.shared[1].blp, nfq.shared[1].blp * 0.95);
+    // And mcf's stall per request should not be worse under PAR-BS.
+    EXPECT_LE(parbs.shared[1].ast_per_req,
+              nfq.shared[1].ast_per_req * 1.1);
+}
+
+TEST(Behavior, ParBsThroughputAtLeastFrFcfs)
+{
+    // The headline throughput claim, at case-study scale.
+    ExperimentRunner runner(SmallConfig());
+    for (const WorkloadSpec& workload : {CaseStudy1(), CaseStudy2()}) {
+        const double frfcfs =
+            runner.RunShared(workload, Kind(SchedulerKind::kFrFcfs))
+                .metrics.weighted_speedup;
+        const double parbs =
+            runner.RunShared(workload, Kind(SchedulerKind::kParBs))
+                .metrics.weighted_speedup;
+        EXPECT_GT(parbs, frfcfs * 0.99) << workload.name;
+    }
+}
+
+TEST(Behavior, ParBsFairerThanFrFcfs)
+{
+    ExperimentRunner runner(SmallConfig());
+    for (const WorkloadSpec& workload : {CaseStudy1(), CaseStudy2()}) {
+        const double frfcfs =
+            runner.RunShared(workload, Kind(SchedulerKind::kFrFcfs))
+                .metrics.unfairness;
+        const double parbs =
+            runner.RunShared(workload, Kind(SchedulerKind::kParBs))
+                .metrics.unfairness;
+        EXPECT_LT(parbs, frfcfs * 1.02) << workload.name;
+    }
+}
+
+TEST(Behavior, PrioritiesOrderSlowdowns)
+{
+    // Figure 14 left: equal programs at priorities 1,1,2,8 must come out
+    // with monotonically ordered slowdowns.
+    ExperimentRunner runner(SmallConfig());
+    const std::vector<ThreadPriority> priorities{1, 1, 2, 8};
+    const SharedRun run = runner.RunShared(
+        Copies("470.lbm", 4), Kind(SchedulerKind::kParBs), &priorities);
+    const auto& s = run.metrics.memory_slowdown;
+    EXPECT_LT(std::max(s[0], s[1]), s[2]);
+    EXPECT_LT(s[2], s[3]);
+}
+
+TEST(Behavior, OpportunisticThreadsBarelyHurtTheForegroundThread)
+{
+    // Figure 14 right: with the background demoted to level L, the
+    // foreground thread approaches its alone-run performance.
+    ExperimentRunner runner(SmallConfig());
+    WorkloadSpec workload;
+    workload.name = "fg-bg";
+    workload.benchmarks = {"471.omnetpp", "462.libquantum", "429.mcf",
+                           "matlab"};
+    const SharedRun equal =
+        runner.RunShared(workload, Kind(SchedulerKind::kParBs));
+    const std::vector<ThreadPriority> priorities{
+        1, kOpportunisticPriority, kOpportunisticPriority,
+        kOpportunisticPriority};
+    const SharedRun qos = runner.RunShared(
+        workload, Kind(SchedulerKind::kParBs), &priorities);
+    EXPECT_LT(qos.metrics.memory_slowdown[0],
+              equal.metrics.memory_slowdown[0]);
+    EXPECT_LT(qos.metrics.memory_slowdown[0], 1.8);
+}
+
+TEST(Behavior, NfqWeightsShiftBandwidth)
+{
+    ExperimentRunner runner(SmallConfig());
+    const WorkloadSpec workload = Copies("470.lbm", 4);
+    const std::vector<double> weights{8, 1, 1, 1};
+    const SharedRun run = runner.RunShared(
+        workload, Kind(SchedulerKind::kNfq), nullptr, &weights);
+    // The weight-8 copy must be slowed least.
+    for (int t = 1; t < 4; ++t) {
+        EXPECT_LT(run.metrics.memory_slowdown[0],
+                  run.metrics.memory_slowdown[t]) << "thread " << t;
+    }
+}
+
+TEST(Behavior, StfmWeightsShiftBandwidth)
+{
+    ExperimentRunner runner(SmallConfig());
+    const WorkloadSpec workload = Copies("470.lbm", 4);
+    const std::vector<double> weights{8, 1, 1, 1};
+    const SharedRun run = runner.RunShared(
+        workload, Kind(SchedulerKind::kStfm), nullptr, &weights);
+    for (int t = 1; t < 4; ++t) {
+        EXPECT_LT(run.metrics.memory_slowdown[0],
+                  run.metrics.memory_slowdown[t]) << "thread " << t;
+    }
+}
+
+TEST(Behavior, CustomizeHookChangesTheSystem)
+{
+    ExperimentConfig config = SmallConfig();
+    config.customize = [](SystemConfig& system) {
+        system.geometry.channels = 2;
+    };
+    ExperimentRunner runner(config);
+    // More channels => less contention => strictly better throughput.
+    ExperimentRunner baseline(SmallConfig());
+    const double one_channel =
+        baseline.RunShared(CaseStudy1(), Kind(SchedulerKind::kFrFcfs))
+            .metrics.weighted_speedup;
+    const double two_channels =
+        runner.RunShared(CaseStudy1(), Kind(SchedulerKind::kFrFcfs))
+            .metrics.weighted_speedup;
+    EXPECT_GT(two_channels, one_channel);
+}
+
+TEST(Behavior, AdaptiveCapTracksFixedCapQuality)
+{
+    ExperimentRunner runner(SmallConfig());
+    const SharedRun fixed =
+        runner.RunShared(CaseStudy2(), Kind(SchedulerKind::kParBs));
+    const SharedRun adaptive = runner.RunShared(
+        CaseStudy2(), Kind(SchedulerKind::kParBsAdaptive));
+    // Within 10% of the default cap on both axes.
+    EXPECT_LT(adaptive.metrics.unfairness, fixed.metrics.unfairness * 1.1);
+    EXPECT_GT(adaptive.metrics.weighted_speedup,
+              fixed.metrics.weighted_speedup * 0.9);
+}
+
+TEST(Behavior, SchedulersAgreeOnTotalWorkDone)
+{
+    // Request conservation at system scale: the same workload completes a
+    // similar instruction volume under every scheduler (within 2x), and
+    // no scheduler loses requests.
+    ExperimentRunner runner(SmallConfig());
+    std::vector<std::uint64_t> instructions;
+    for (const auto& scheduler : ComparisonSchedulers()) {
+        const SharedRun run = runner.RunShared(CaseStudy1(), scheduler);
+        std::uint64_t total = 0;
+        for (const auto& m : run.shared) {
+            EXPECT_GT(m.requests, 0u);
+            total += m.instructions;
+        }
+        instructions.push_back(total);
+    }
+    const auto [min_it, max_it] =
+        std::minmax_element(instructions.begin(), instructions.end());
+    EXPECT_LT(*max_it, *min_it * 2);
+}
+
+} // namespace
+} // namespace parbs

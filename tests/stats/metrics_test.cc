@@ -1,0 +1,126 @@
+/** @file Tests for the Section 7.1 evaluation metrics. */
+
+#include <gtest/gtest.h>
+
+#include "stats/metrics.hh"
+
+namespace parbs {
+namespace {
+
+ThreadMeasurement
+Meas(double mcpi, double ipc, std::uint64_t requests = 100)
+{
+    ThreadMeasurement m;
+    m.mcpi = mcpi;
+    m.ipc = ipc;
+    m.requests = requests;
+    return m;
+}
+
+TEST(Metrics, SlowdownIsMcpiRatio)
+{
+    EXPECT_DOUBLE_EQ(MemorySlowdown(Meas(2.0, 0.5), Meas(1.0, 1.0)), 2.0);
+    EXPECT_DOUBLE_EQ(MemorySlowdown(Meas(9.0, 0.1), Meas(3.0, 0.4)), 3.0);
+}
+
+TEST(Metrics, SlowdownClampedAtOne)
+{
+    // A thread cannot be "sped up" by interference under this metric.
+    EXPECT_DOUBLE_EQ(MemorySlowdown(Meas(0.5, 1.0), Meas(1.0, 1.0)), 1.0);
+}
+
+TEST(Metrics, SlowdownFloorsTinyAloneMcpi)
+{
+    // Nearly compute-bound threads do not produce unbounded slowdowns.
+    const double s = MemorySlowdown(Meas(0.1, 1.0), Meas(1e-9, 1.0));
+    EXPECT_LE(s, 10.0 + 1e-9);
+}
+
+TEST(Metrics, UnfairnessIsMaxOverMin)
+{
+    std::vector<ThreadMeasurement> alone{Meas(1.0, 1.0), Meas(1.0, 1.0)};
+    std::vector<ThreadMeasurement> shared{Meas(4.0, 0.25), Meas(2.0, 0.5)};
+    const WorkloadMetrics m = ComputeMetrics(shared, alone);
+    EXPECT_DOUBLE_EQ(m.unfairness, 2.0);
+    EXPECT_EQ(m.memory_slowdown.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.memory_slowdown[0], 4.0);
+}
+
+TEST(Metrics, PerfectFairnessIsOne)
+{
+    std::vector<ThreadMeasurement> alone{Meas(1.0, 1.0), Meas(2.0, 0.5)};
+    std::vector<ThreadMeasurement> shared{Meas(3.0, 0.33), Meas(6.0, 0.17)};
+    EXPECT_DOUBLE_EQ(ComputeMetrics(shared, alone).unfairness, 1.0);
+}
+
+TEST(Metrics, WeightedSpeedupSumsIpcRatios)
+{
+    std::vector<ThreadMeasurement> alone{Meas(1.0, 1.0), Meas(1.0, 2.0)};
+    std::vector<ThreadMeasurement> shared{Meas(2.0, 0.5), Meas(2.0, 1.0)};
+    const WorkloadMetrics m = ComputeMetrics(shared, alone);
+    EXPECT_DOUBLE_EQ(m.weighted_speedup, 0.5 + 0.5);
+}
+
+TEST(Metrics, HmeanSpeedupBalances)
+{
+    // Equal speedups: hmean == the common value.
+    std::vector<ThreadMeasurement> alone{Meas(1.0, 1.0), Meas(1.0, 1.0)};
+    std::vector<ThreadMeasurement> shared{Meas(1.0, 0.5), Meas(1.0, 0.5)};
+    EXPECT_NEAR(ComputeMetrics(shared, alone).hmean_speedup, 0.5, 1e-9);
+}
+
+TEST(Metrics, HmeanPenalizesImbalance)
+{
+    std::vector<ThreadMeasurement> alone{Meas(1.0, 1.0), Meas(1.0, 1.0)};
+    std::vector<ThreadMeasurement> balanced{Meas(1.0, 0.5), Meas(1.0, 0.5)};
+    std::vector<ThreadMeasurement> skewed{Meas(1.0, 0.9), Meas(1.0, 0.1)};
+    EXPECT_GT(ComputeMetrics(balanced, alone).hmean_speedup,
+              ComputeMetrics(skewed, alone).hmean_speedup);
+}
+
+TEST(Metrics, WorstCaseLatencyIsMax)
+{
+    std::vector<ThreadMeasurement> alone{Meas(1, 1), Meas(1, 1)};
+    std::vector<ThreadMeasurement> shared{Meas(1, 1), Meas(1, 1)};
+    shared[0].worst_case_latency = 500;
+    shared[1].worst_case_latency = 900;
+    EXPECT_EQ(ComputeMetrics(shared, alone).worst_case_latency, 900u);
+}
+
+TEST(Metrics, AstAveragesOnlyActiveThreads)
+{
+    std::vector<ThreadMeasurement> alone{Meas(1, 1), Meas(1, 1)};
+    std::vector<ThreadMeasurement> shared{Meas(1, 1, 100), Meas(1, 1, 0)};
+    shared[0].ast_per_req = 200.0;
+    shared[1].ast_per_req = 0.0; // No requests: excluded from the average.
+    EXPECT_DOUBLE_EQ(ComputeMetrics(shared, alone).avg_ast_per_req, 200.0);
+}
+
+TEST(Metrics, GeometricMeanBasics)
+{
+    EXPECT_DOUBLE_EQ(GeometricMean({4.0}), 4.0);
+    EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Metrics, GeometricMeanBelowArithmetic)
+{
+    std::vector<double> v{1.0, 2.0, 8.0, 16.0};
+    EXPECT_LT(GeometricMean(v), ArithmeticMean(v));
+}
+
+TEST(Metrics, ArithmeticMeanBasics)
+{
+    EXPECT_DOUBLE_EQ(ArithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(ArithmeticMean({-1.0, 1.0}), 0.0);
+}
+
+TEST(Metrics, MismatchedSizesAbort)
+{
+    std::vector<ThreadMeasurement> alone{Meas(1, 1)};
+    std::vector<ThreadMeasurement> shared{Meas(1, 1), Meas(1, 1)};
+    EXPECT_DEATH(ComputeMetrics(shared, alone), "matching");
+}
+
+} // namespace
+} // namespace parbs

@@ -1,0 +1,139 @@
+/** @file Tests for file-based trace loading, saving, and replay. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hh"
+#include "trace/file_trace.hh"
+
+namespace parbs {
+namespace {
+
+TEST(FileTrace, ParsesBasicRecords)
+{
+    std::istringstream in("10 R 0x1000\n3 W 4096 D\n0 R 0\n");
+    const auto entries = ParseTrace(in);
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].compute_instructions, 10u);
+    EXPECT_FALSE(entries[0].is_write);
+    EXPECT_EQ(entries[0].addr, 0x1000u);
+    EXPECT_FALSE(entries[0].depends_on_prev);
+
+    EXPECT_TRUE(entries[1].is_write);
+    EXPECT_EQ(entries[1].addr, 4096u);
+    EXPECT_TRUE(entries[1].depends_on_prev);
+
+    EXPECT_EQ(entries[2].addr, 0u);
+}
+
+TEST(FileTrace, SkipsCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "# header comment\n\n10 R 0x40 # trailing comment\n\n# end\n");
+    const auto entries = ParseTrace(in);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].addr, 0x40u);
+}
+
+TEST(FileTrace, RejectsMalformedInput)
+{
+    {
+        std::istringstream in("x R 0x40\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+    {
+        std::istringstream in("10 Q 0x40\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+    {
+        std::istringstream in("10 R\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+    {
+        std::istringstream in("10 R zzz\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+    {
+        std::istringstream in("10 R 0x40 X\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+}
+
+TEST(FileTrace, ErrorMessagesNameTheLine)
+{
+    std::istringstream in("10 R 0x40\nbad line here\n");
+    try {
+        ParseTrace(in, "demo.trace");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("demo.trace:2"),
+                  std::string::npos);
+    }
+}
+
+TEST(FileTrace, WriteParseRoundTrip)
+{
+    std::vector<TraceEntry> entries{
+        {7, 0xdeadbe40, false, false},
+        {0, 0x80, true, true},
+        {1000000, 0x123456789ab0, false, true},
+    };
+    std::ostringstream out;
+    WriteTrace(out, entries);
+    std::istringstream in(out.str());
+    const auto parsed = ParseTrace(in);
+    ASSERT_EQ(parsed.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(parsed[i].compute_instructions,
+                  entries[i].compute_instructions);
+        EXPECT_EQ(parsed[i].addr, entries[i].addr);
+        EXPECT_EQ(parsed[i].is_write, entries[i].is_write);
+        EXPECT_EQ(parsed[i].depends_on_prev, entries[i].depends_on_prev);
+    }
+}
+
+TEST(FileTrace, SaveAndLoadFile)
+{
+    const std::string path = ::testing::TempDir() + "/parbs_trace_test.txt";
+    std::vector<TraceEntry> entries{{5, 0x40, false, false},
+                                    {6, 0x80, true, false}};
+    SaveTraceFile(path, entries);
+    const auto loaded = LoadTraceFile(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[1].addr, 0x80u);
+    std::remove(path.c_str());
+}
+
+TEST(FileTrace, MissingFileThrows)
+{
+    EXPECT_THROW(LoadTraceFile("/no/such/parbs/trace"), ConfigError);
+}
+
+TEST(FileTrace, SourceDrainsWithoutLoop)
+{
+    FileTraceSource source({{1, 0x40, false, false}}, false);
+    EXPECT_TRUE(source.Next().has_value());
+    EXPECT_FALSE(source.Next().has_value());
+}
+
+TEST(FileTrace, SourceLoopsWhenRequested)
+{
+    FileTraceSource source(
+        {{1, 0x40, false, false}, {2, 0x80, false, false}}, true);
+    for (int lap = 0; lap < 5; ++lap) {
+        const auto a = source.Next();
+        const auto b = source.Next();
+        ASSERT_TRUE(a.has_value() && b.has_value());
+        EXPECT_EQ(a->addr, 0x40u);
+        EXPECT_EQ(b->addr, 0x80u);
+    }
+}
+
+TEST(FileTrace, LoopingEmptyTraceRejected)
+{
+    EXPECT_THROW(FileTraceSource({}, true), ConfigError);
+}
+
+} // namespace
+} // namespace parbs

@@ -1,0 +1,280 @@
+/** @file Tests for the trace substrate: scripted traces, the synthetic
+ *  generator's statistics, and the Table 3 benchmark profiles. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/assert.hh"
+#include "dram/address_mapper.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+
+namespace parbs {
+namespace {
+
+dram::AddressMapper
+Mapper()
+{
+    dram::Geometry geometry;
+    geometry.channels = 1;
+    geometry.ranks_per_channel = 1;
+    geometry.banks_per_rank = 8;
+    geometry.rows_per_bank = 16384;
+    return dram::AddressMapper(geometry, true);
+}
+
+TEST(VectorTrace, DrainsInOrderThenEnds)
+{
+    VectorTraceSource trace({{1, 0x40, false, false},
+                             {2, 0x80, true, false}});
+    EXPECT_EQ(trace.Remaining(), 2u);
+    auto first = trace.Next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->addr, 0x40u);
+    auto second = trace.Next();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_TRUE(second->is_write);
+    EXPECT_FALSE(trace.Next().has_value());
+    EXPECT_FALSE(trace.Next().has_value());
+}
+
+TEST(Synthetic, DeterministicPerSeed)
+{
+    const auto mapper = Mapper();
+    SyntheticParams params;
+    SyntheticTraceSource a(params, mapper, 0, 4, 42);
+    SyntheticTraceSource b(params, mapper, 0, 4, 42);
+    for (int i = 0; i < 1000; ++i) {
+        const auto ea = a.Next();
+        const auto eb = b.Next();
+        ASSERT_TRUE(ea.has_value() && eb.has_value());
+        EXPECT_EQ(ea->addr, eb->addr);
+        EXPECT_EQ(ea->compute_instructions, eb->compute_instructions);
+        EXPECT_EQ(ea->is_write, eb->is_write);
+        EXPECT_EQ(ea->depends_on_prev, eb->depends_on_prev);
+    }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    const auto mapper = Mapper();
+    SyntheticParams params;
+    SyntheticTraceSource a(params, mapper, 0, 4, 1);
+    SyntheticTraceSource b(params, mapper, 0, 4, 2);
+    int same = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (a.Next()->addr == b.Next()->addr) {
+            same += 1;
+        }
+    }
+    EXPECT_LT(same, 50);
+}
+
+TEST(Synthetic, MpkiMatchesTarget)
+{
+    const auto mapper = Mapper();
+    for (double mpki : {1.0, 10.0, 50.0}) {
+        SyntheticParams params;
+        params.mpki = mpki;
+        SyntheticTraceSource trace(params, mapper, 0, 4, 7);
+        std::uint64_t instructions = 0;
+        const int accesses = 20000;
+        for (int i = 0; i < accesses; ++i) {
+            instructions += trace.Next()->compute_instructions + 1;
+        }
+        const double measured =
+            1000.0 * accesses / static_cast<double>(instructions);
+        EXPECT_NEAR(measured, mpki, mpki * 0.1) << "mpki=" << mpki;
+    }
+}
+
+TEST(Synthetic, WriteFractionMatches)
+{
+    const auto mapper = Mapper();
+    SyntheticParams params;
+    params.write_fraction = 0.3;
+    SyntheticTraceSource trace(params, mapper, 0, 4, 7);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        writes += trace.Next()->is_write ? 1 : 0;
+    }
+    EXPECT_NEAR(writes / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Synthetic, DependentFractionMatches)
+{
+    const auto mapper = Mapper();
+    SyntheticParams params;
+    params.dependent_fraction = 0.5;
+    SyntheticTraceSource trace(params, mapper, 0, 4, 7);
+    int dependent = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        dependent += trace.Next()->depends_on_prev ? 1 : 0;
+    }
+    EXPECT_NEAR(dependent / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(Synthetic, RowRunsProduceSequentialColumns)
+{
+    const auto mapper = Mapper();
+    SyntheticParams params;
+    params.row_run_length = 8;
+    params.burst_banks = 1;
+    params.bank_switch_prob = 1.0;
+    SyntheticTraceSource trace(params, mapper, 0, 4, 7);
+    // Count pairs of consecutive accesses that stay in the same row.
+    int same_row = 0;
+    const int n = 5000;
+    auto prev = mapper.Decode(trace.Next()->addr);
+    for (int i = 0; i < n; ++i) {
+        const auto coords = mapper.Decode(trace.Next()->addr);
+        if (coords.SameRow(prev) && coords.column == prev.column + 1) {
+            same_row += 1;
+        }
+        prev = coords;
+    }
+    // With mean run length 8, ~7/8 of transitions are sequential-in-row.
+    EXPECT_GT(same_row / static_cast<double>(n), 0.7);
+}
+
+TEST(Synthetic, BurstBanksSpreadAccesses)
+{
+    const auto mapper = Mapper();
+    SyntheticParams params;
+    params.burst_banks = 4;
+    params.row_run_length = 2;
+    SyntheticTraceSource trace(params, mapper, 0, 4, 7);
+    std::set<std::uint32_t> banks;
+    for (int i = 0; i < 200; ++i) {
+        banks.insert(mapper.Decode(trace.Next()->addr).bank);
+    }
+    EXPECT_GE(banks.size(), 6u);
+}
+
+TEST(Synthetic, StickyBanksConcentrateAccesses)
+{
+    const auto mapper = Mapper();
+    SyntheticParams params;
+    params.burst_banks = 1;
+    params.bank_switch_prob = 0.02;
+    params.row_run_length = 4;
+    SyntheticTraceSource trace(params, mapper, 0, 4, 7);
+    std::map<std::uint32_t, int> bank_counts;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        bank_counts[mapper.Decode(trace.Next()->addr).bank] += 1;
+    }
+    // The most used bank dominates.
+    int max_count = 0;
+    for (const auto& [bank, count] : bank_counts) {
+        max_count = std::max(max_count, count);
+    }
+    EXPECT_GT(max_count, n / 2);
+}
+
+TEST(Synthetic, ThreadsUseDisjointRowPartitions)
+{
+    const auto mapper = Mapper();
+    SyntheticParams params;
+    SyntheticTraceSource t0(params, mapper, 0, 4, 1);
+    SyntheticTraceSource t3(params, mapper, 3, 4, 1);
+    std::set<std::uint32_t> rows0;
+    std::set<std::uint32_t> rows3;
+    for (int i = 0; i < 2000; ++i) {
+        rows0.insert(mapper.Decode(t0.Next()->addr).row);
+        rows3.insert(mapper.Decode(t3.Next()->addr).row);
+    }
+    for (std::uint32_t row : rows0) {
+        EXPECT_EQ(rows3.count(row), 0u);
+    }
+}
+
+TEST(Synthetic, InvalidParamsRejected)
+{
+    SyntheticParams params;
+    params.mpki = 0.0;
+    EXPECT_THROW(params.Validate(), ConfigError);
+    params = {};
+    params.row_run_length = 0.5;
+    EXPECT_THROW(params.Validate(), ConfigError);
+    params = {};
+    params.write_fraction = 1.0;
+    EXPECT_THROW(params.Validate(), ConfigError);
+    params = {};
+    params.dependent_fraction = 1.5;
+    EXPECT_THROW(params.Validate(), ConfigError);
+    params = {};
+    params.bank_switch_prob = -0.1;
+    EXPECT_THROW(params.Validate(), ConfigError);
+    params = {};
+    params.burst_banks = 0.5;
+    EXPECT_THROW(params.Validate(), ConfigError);
+}
+
+TEST(SpecProfiles, HasAllTwentyEight)
+{
+    EXPECT_EQ(SpecProfiles().size(), 28u);
+}
+
+TEST(SpecProfiles, LookupByFullAndShortName)
+{
+    EXPECT_EQ(FindProfile("429.mcf").name, "429.mcf");
+    EXPECT_EQ(FindProfile("mcf").name, "429.mcf");
+    EXPECT_EQ(FindProfile("matlab").name, "matlab");
+    EXPECT_EQ(FindProfile("libquantum").name, "462.libquantum");
+    EXPECT_THROW(FindProfile("no-such-benchmark"), ConfigError);
+}
+
+TEST(SpecProfiles, CategoriesPartitionTheSet)
+{
+    std::size_t total = 0;
+    for (int category = 0; category < 8; ++category) {
+        const auto members = ProfilesInCategory(category);
+        EXPECT_FALSE(members.empty()) << "category " << category;
+        total += members.size();
+    }
+    EXPECT_EQ(total, 28u);
+}
+
+TEST(SpecProfiles, CategoryBitsMatchPaperCharacteristics)
+{
+    // Category encoding: bit2 = intensive (MCPI), bit1 = high RB hit,
+    // bit0 = high BLP.  Verify the stored paper stats are consistent with
+    // the stored category for the threshold structure Table 3 implies.
+    for (const auto& profile : SpecProfiles()) {
+        const bool intensive = (profile.category & 4) != 0;
+        const bool high_rb = (profile.category & 2) != 0;
+        const bool high_blp = (profile.category & 1) != 0;
+        if (intensive) {
+            EXPECT_GE(profile.paper_mcpi, 1.9) << profile.name;
+        } else {
+            EXPECT_LT(profile.paper_mcpi, 2.0) << profile.name;
+        }
+        if (high_rb) {
+            EXPECT_GE(profile.paper_rb_hit, 0.60) << profile.name;
+        } else {
+            EXPECT_LT(profile.paper_rb_hit, 0.61) << profile.name;
+        }
+        if (high_blp) {
+            EXPECT_GE(profile.paper_blp, 1.74) << profile.name;
+        } else {
+            EXPECT_LT(profile.paper_blp, 1.75) << profile.name;
+        }
+    }
+}
+
+TEST(SpecProfiles, SynthParamsValidate)
+{
+    for (const auto& profile : SpecProfiles()) {
+        EXPECT_NO_THROW(profile.synth.Validate()) << profile.name;
+        EXPECT_DOUBLE_EQ(profile.synth.mpki, profile.paper_mpki)
+            << profile.name;
+    }
+}
+
+} // namespace
+} // namespace parbs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Iterative calibration of the synthetic-trace knobs against the Table 3
+ * targets, measured on alone runs of the baseline 4-core system.
+ *
+ * Knobs and the target they are fitted to:
+ *   row_run_length     <- row-buffer hit rate
+ *   burst_banks        <- BLP (threads with paper BLP >= 1.6)
+ *   bank_switch_prob   <- BLP (sticky/streaming threads, paper BLP < 1.6)
+ *   dependent_fraction <- AST/req (non-intensive threads only; intensive
+ *                         threads are streaming: dep = 0 so that their
+ *                         standing request queues exhibit the FR-FCFS
+ *                         capture behaviour the paper describes)
+ *
+ * Output is pasted into src/trace/spec_profiles.cc.
+ */
+#include <algorithm>
+#include <cstdio>
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+
+using namespace parbs;
+
+static ThreadMeasurement MeasureAlone(const SyntheticParams& params) {
+    SystemConfig config = SystemConfig::Baseline(4);
+    config.scheduler.kind = SchedulerKind::kFrFcfs;
+    dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(std::make_unique<SyntheticTraceSource>(
+        params, mapper, 0, 4, 0xCA11B));
+    System system(config, std::move(traces));
+    system.Run(2'000'000);
+    return system.Measure(0);
+}
+
+int main() {
+    const int rounds = 8;
+    struct Knobs { double run, banks, sw, dep; };
+    std::vector<Knobs> knobs;
+    for (const auto& p : SpecProfiles()) {
+        Knobs k;
+        k.run = std::clamp(p.paper_rb_hit >= 1.0 ? 32.0
+                           : 1.0 / (1.0 - p.paper_rb_hit), 1.0, 32.0);
+        k.banks = std::max(1.0, p.paper_blp);
+        k.sw = 0.5;
+        k.dep = p.paper_mpki > 15.0 ? 0.0 : 0.1;
+        knobs.push_back(k);
+    }
+    for (int r = 0; r < rounds; ++r) {
+        std::printf("--- round %d ---\n", r);
+        for (std::size_t i = 0; i < SpecProfiles().size(); ++i) {
+            const auto& p = SpecProfiles()[i];
+            SyntheticParams params;
+            params.mpki = p.paper_mpki;
+            params.row_run_length = knobs[i].run;
+            params.burst_banks = knobs[i].banks;
+            params.bank_switch_prob = knobs[i].sw;
+            params.dependent_fraction = knobs[i].dep;
+            params.write_fraction = 0.15;
+            ThreadMeasurement m = MeasureAlone(params);
+
+            double ht = p.paper_rb_hit, hm = m.row_hit_rate;
+            if (hm < 0.999 && ht < 0.999) {
+                knobs[i].run = std::clamp(
+                    knobs[i].run * (1.0 - hm) / (1.0 - ht), 1.0, 32.0);
+            }
+            // BLP rule: burst_banks stays anchored near the paper BLP so
+            // that a thread's traffic concentrates on that many hot banks
+            // (uniformly spreading over all banks would make the system
+            // bus-bound and scheduler-insensitive).  bank_switch_prob is
+            // the fine-tuning knob; banks grows only if stickiness tops
+            // out, and never beyond paper BLP + 2.
+            double bt = p.paper_blp, bm = std::max(m.blp, 1.0);
+            if (bm > bt) {
+                knobs[i].sw = std::clamp(
+                    knobs[i].sw * (bt - 0.98) / std::max(bm - 0.98, 0.02),
+                    0.02, 1.0);
+            } else if (knobs[i].sw < 0.99) {
+                knobs[i].sw = std::clamp(
+                    knobs[i].sw * (bt - 0.98) / std::max(bm - 0.98, 0.02),
+                    0.02, 1.0);
+            } else {
+                knobs[i].banks = std::clamp(knobs[i].banks * bt / bm, 1.0,
+                                            p.paper_blp + 2.0);
+            }
+            {
+                // Fit dependence to the AST/req target.  Intensive threads
+                // target half the paper value: keeping a standing request
+                // queue (MLP 3-6) preserves the FR-FCFS capture behaviour
+                // and queue contention that drive the paper's unfairness
+                // results, at the cost of a lower absolute alone-MCPI.
+                const double scale = p.paper_mpki > 15.0 ? 0.5 : 1.0;
+                double at = p.paper_ast_per_req * scale, am = m.ast_per_req;
+                knobs[i].dep = std::clamp(
+                    knobs[i].dep + 0.35 * (at - am) / at, 0.0, 0.95);
+            }
+            if (r == rounds - 1) {
+                std::printf("%-16s run=%5.2f banks=%5.2f sw=%4.2f dep=%4.2f"
+                            " | RB %.2f/%.2f BLP %.2f/%.2f MCPI %5.2f/%5.2f"
+                            " AST %3.0f/%3.0f\n",
+                            std::string(p.name).c_str(), knobs[i].run,
+                            knobs[i].banks, knobs[i].sw, knobs[i].dep,
+                            m.row_hit_rate, p.paper_rb_hit, m.blp,
+                            p.paper_blp, m.mcpi, p.paper_mcpi,
+                            m.ast_per_req, p.paper_ast_per_req);
+            }
+        }
+    }
+    std::printf("\n--- paste into spec_profiles.cc ---\n");
+    for (std::size_t i = 0; i < SpecProfiles().size(); ++i) {
+        const auto& p = SpecProfiles()[i];
+        std::printf("            %.4g, %.4g, %.4g, %.4g),  // %s\n",
+                    knobs[i].run, knobs[i].banks, knobs[i].sw,
+                    knobs[i].dep, std::string(p.name).c_str());
+    }
+    return 0;
+}
