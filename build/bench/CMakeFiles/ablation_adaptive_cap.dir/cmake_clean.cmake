@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_cap.dir/ablation_adaptive_cap.cc.o"
+  "CMakeFiles/ablation_adaptive_cap.dir/ablation_adaptive_cap.cc.o.d"
+  "ablation_adaptive_cap"
+  "ablation_adaptive_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_16core.dir/fig10_16core.cc.o"
+  "CMakeFiles/fig10_16core.dir/fig10_16core.cc.o.d"
+  "fig10_16core"
+  "fig10_16core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_16core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_marking_cap.dir/fig11_marking_cap.cc.o"
+  "CMakeFiles/fig11_marking_cap.dir/fig11_marking_cap.cc.o.d"
+  "fig11_marking_cap"
+  "fig11_marking_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_marking_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

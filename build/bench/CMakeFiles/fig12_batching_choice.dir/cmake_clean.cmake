@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_batching_choice.dir/fig12_batching_choice.cc.o"
+  "CMakeFiles/fig12_batching_choice.dir/fig12_batching_choice.cc.o.d"
+  "fig12_batching_choice"
+  "fig12_batching_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_batching_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

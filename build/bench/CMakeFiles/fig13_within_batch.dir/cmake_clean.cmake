@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_within_batch.dir/fig13_within_batch.cc.o"
+  "CMakeFiles/fig13_within_batch.dir/fig13_within_batch.cc.o.d"
+  "fig13_within_batch"
+  "fig13_within_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_within_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

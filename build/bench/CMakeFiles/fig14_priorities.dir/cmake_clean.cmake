@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_priorities.dir/fig14_priorities.cc.o"
+  "CMakeFiles/fig14_priorities.dir/fig14_priorities.cc.o.d"
+  "fig14_priorities"
+  "fig14_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

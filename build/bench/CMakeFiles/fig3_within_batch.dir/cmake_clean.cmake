@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_within_batch.dir/fig3_within_batch.cc.o"
+  "CMakeFiles/fig3_within_batch.dir/fig3_within_batch.cc.o.d"
+  "fig3_within_batch"
+  "fig3_within_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_within_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_case_study1.dir/fig5_case_study1.cc.o"
+  "CMakeFiles/fig5_case_study1.dir/fig5_case_study1.cc.o.d"
+  "fig5_case_study1"
+  "fig5_case_study1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_case_study1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_case_study2.dir/fig6_case_study2.cc.o"
+  "CMakeFiles/fig6_case_study2.dir/fig6_case_study2.cc.o.d"
+  "fig6_case_study2"
+  "fig6_case_study2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_case_study2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_case_study3.dir/fig7_case_study3.cc.o"
+  "CMakeFiles/fig7_case_study3.dir/fig7_case_study3.cc.o.d"
+  "fig7_case_study3"
+  "fig7_case_study3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_case_study3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

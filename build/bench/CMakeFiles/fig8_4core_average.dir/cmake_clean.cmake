@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_4core_average.dir/fig8_4core_average.cc.o"
+  "CMakeFiles/fig8_4core_average.dir/fig8_4core_average.cc.o.d"
+  "fig8_4core_average"
+  "fig8_4core_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_4core_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_4core_average.
+# This may be replaced when dependencies are built.

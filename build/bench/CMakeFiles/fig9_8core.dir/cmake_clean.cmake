@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_8core.dir/fig9_8core.cc.o"
+  "CMakeFiles/fig9_8core.dir/fig9_8core.cc.o.d"
+  "fig9_8core"
+  "fig9_8core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_8core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/parbs_bench_common.dir/bench_common.cc.o.d"
+  "libparbs_bench_common.a"
+  "libparbs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

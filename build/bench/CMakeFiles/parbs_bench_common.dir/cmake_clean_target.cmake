@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparbs_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_system_params.dir/sweep_system_params.cc.o"
+  "CMakeFiles/sweep_system_params.dir/sweep_system_params.cc.o.d"
+  "sweep_system_params"
+  "sweep_system_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_system_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

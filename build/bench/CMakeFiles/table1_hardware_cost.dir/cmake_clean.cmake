@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hardware_cost.dir/table1_hardware_cost.cc.o"
+  "CMakeFiles/table1_hardware_cost.dir/table1_hardware_cost.cc.o.d"
+  "table1_hardware_cost"
+  "table1_hardware_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hardware_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

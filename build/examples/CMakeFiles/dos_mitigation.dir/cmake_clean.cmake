@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_mitigation.dir/dos_mitigation.cpp.o"
+  "CMakeFiles/dos_mitigation.dir/dos_mitigation.cpp.o.d"
+  "dos_mitigation"
+  "dos_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

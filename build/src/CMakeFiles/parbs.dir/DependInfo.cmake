@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/assert.cc" "src/CMakeFiles/parbs.dir/common/assert.cc.o" "gcc" "src/CMakeFiles/parbs.dir/common/assert.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/parbs.dir/common/log.cc.o" "gcc" "src/CMakeFiles/parbs.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/parbs.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/parbs.dir/common/rng.cc.o.d"
+  "/root/repo/src/core/abstract_batch.cc" "src/CMakeFiles/parbs.dir/core/abstract_batch.cc.o" "gcc" "src/CMakeFiles/parbs.dir/core/abstract_batch.cc.o.d"
+  "/root/repo/src/core/hardware_cost.cc" "src/CMakeFiles/parbs.dir/core/hardware_cost.cc.o" "gcc" "src/CMakeFiles/parbs.dir/core/hardware_cost.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/parbs.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/parbs.dir/cpu/core.cc.o.d"
+  "/root/repo/src/dram/address_mapper.cc" "src/CMakeFiles/parbs.dir/dram/address_mapper.cc.o" "gcc" "src/CMakeFiles/parbs.dir/dram/address_mapper.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/parbs.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/parbs.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/CMakeFiles/parbs.dir/dram/channel.cc.o" "gcc" "src/CMakeFiles/parbs.dir/dram/channel.cc.o.d"
+  "/root/repo/src/dram/command.cc" "src/CMakeFiles/parbs.dir/dram/command.cc.o" "gcc" "src/CMakeFiles/parbs.dir/dram/command.cc.o.d"
+  "/root/repo/src/dram/rank.cc" "src/CMakeFiles/parbs.dir/dram/rank.cc.o" "gcc" "src/CMakeFiles/parbs.dir/dram/rank.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/parbs.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/parbs.dir/dram/timing.cc.o.d"
+  "/root/repo/src/mem/controller.cc" "src/CMakeFiles/parbs.dir/mem/controller.cc.o" "gcc" "src/CMakeFiles/parbs.dir/mem/controller.cc.o.d"
+  "/root/repo/src/mem/request_queue.cc" "src/CMakeFiles/parbs.dir/mem/request_queue.cc.o" "gcc" "src/CMakeFiles/parbs.dir/mem/request_queue.cc.o.d"
+  "/root/repo/src/sched/adaptive_parbs.cc" "src/CMakeFiles/parbs.dir/sched/adaptive_parbs.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/adaptive_parbs.cc.o.d"
+  "/root/repo/src/sched/batch_variants.cc" "src/CMakeFiles/parbs.dir/sched/batch_variants.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/batch_variants.cc.o.d"
+  "/root/repo/src/sched/factory.cc" "src/CMakeFiles/parbs.dir/sched/factory.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/factory.cc.o.d"
+  "/root/repo/src/sched/fcfs.cc" "src/CMakeFiles/parbs.dir/sched/fcfs.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/fcfs.cc.o.d"
+  "/root/repo/src/sched/frfcfs.cc" "src/CMakeFiles/parbs.dir/sched/frfcfs.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/frfcfs.cc.o.d"
+  "/root/repo/src/sched/nfq.cc" "src/CMakeFiles/parbs.dir/sched/nfq.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/nfq.cc.o.d"
+  "/root/repo/src/sched/parbs_sched.cc" "src/CMakeFiles/parbs.dir/sched/parbs_sched.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/parbs_sched.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/parbs.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/stfm.cc" "src/CMakeFiles/parbs.dir/sched/stfm.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sched/stfm.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/parbs.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/parbs.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/parbs.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/CMakeFiles/parbs.dir/sim/workloads.cc.o" "gcc" "src/CMakeFiles/parbs.dir/sim/workloads.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/parbs.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/parbs.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/CMakeFiles/parbs.dir/stats/metrics.cc.o" "gcc" "src/CMakeFiles/parbs.dir/stats/metrics.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/parbs.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/parbs.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/file_trace.cc" "src/CMakeFiles/parbs.dir/trace/file_trace.cc.o" "gcc" "src/CMakeFiles/parbs.dir/trace/file_trace.cc.o.d"
+  "/root/repo/src/trace/spec_profiles.cc" "src/CMakeFiles/parbs.dir/trace/spec_profiles.cc.o" "gcc" "src/CMakeFiles/parbs.dir/trace/spec_profiles.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/parbs.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/parbs.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/parbs.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/parbs.dir/trace/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

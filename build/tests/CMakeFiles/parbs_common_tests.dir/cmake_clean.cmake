@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_common_tests.dir/common/misc_test.cc.o"
+  "CMakeFiles/parbs_common_tests.dir/common/misc_test.cc.o.d"
+  "CMakeFiles/parbs_common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/parbs_common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/parbs_common_tests.dir/stats/metrics_test.cc.o"
+  "CMakeFiles/parbs_common_tests.dir/stats/metrics_test.cc.o.d"
+  "parbs_common_tests"
+  "parbs_common_tests.pdb"
+  "parbs_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_cpu_trace_tests.dir/cpu/core_test.cc.o"
+  "CMakeFiles/parbs_cpu_trace_tests.dir/cpu/core_test.cc.o.d"
+  "CMakeFiles/parbs_cpu_trace_tests.dir/trace/file_trace_test.cc.o"
+  "CMakeFiles/parbs_cpu_trace_tests.dir/trace/file_trace_test.cc.o.d"
+  "CMakeFiles/parbs_cpu_trace_tests.dir/trace/trace_test.cc.o"
+  "CMakeFiles/parbs_cpu_trace_tests.dir/trace/trace_test.cc.o.d"
+  "parbs_cpu_trace_tests"
+  "parbs_cpu_trace_tests.pdb"
+  "parbs_cpu_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_cpu_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

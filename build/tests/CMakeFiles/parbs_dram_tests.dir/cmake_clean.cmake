@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_dram_tests.dir/dram/address_mapper_test.cc.o"
+  "CMakeFiles/parbs_dram_tests.dir/dram/address_mapper_test.cc.o.d"
+  "CMakeFiles/parbs_dram_tests.dir/dram/bank_test.cc.o"
+  "CMakeFiles/parbs_dram_tests.dir/dram/bank_test.cc.o.d"
+  "CMakeFiles/parbs_dram_tests.dir/dram/rank_channel_test.cc.o"
+  "CMakeFiles/parbs_dram_tests.dir/dram/rank_channel_test.cc.o.d"
+  "CMakeFiles/parbs_dram_tests.dir/dram/timing_sweep_test.cc.o"
+  "CMakeFiles/parbs_dram_tests.dir/dram/timing_sweep_test.cc.o.d"
+  "parbs_dram_tests"
+  "parbs_dram_tests.pdb"
+  "parbs_dram_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_dram_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_mem_tests.dir/mem/controller_test.cc.o"
+  "CMakeFiles/parbs_mem_tests.dir/mem/controller_test.cc.o.d"
+  "CMakeFiles/parbs_mem_tests.dir/mem/request_queue_test.cc.o"
+  "CMakeFiles/parbs_mem_tests.dir/mem/request_queue_test.cc.o.d"
+  "parbs_mem_tests"
+  "parbs_mem_tests.pdb"
+  "parbs_mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_model_tests.dir/core/abstract_batch_test.cc.o"
+  "CMakeFiles/parbs_model_tests.dir/core/abstract_batch_test.cc.o.d"
+  "CMakeFiles/parbs_model_tests.dir/core/hardware_cost_test.cc.o"
+  "CMakeFiles/parbs_model_tests.dir/core/hardware_cost_test.cc.o.d"
+  "parbs_model_tests"
+  "parbs_model_tests.pdb"
+  "parbs_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_property_tests.dir/properties/invariants_test.cc.o"
+  "CMakeFiles/parbs_property_tests.dir/properties/invariants_test.cc.o.d"
+  "parbs_property_tests"
+  "parbs_property_tests.pdb"
+  "parbs_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/adaptive_parbs_test.cc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/adaptive_parbs_test.cc.o" "gcc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/adaptive_parbs_test.cc.o.d"
+  "/root/repo/tests/sched/batch_variants_test.cc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/batch_variants_test.cc.o" "gcc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/batch_variants_test.cc.o.d"
+  "/root/repo/tests/sched/nfq_stfm_test.cc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/nfq_stfm_test.cc.o" "gcc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/nfq_stfm_test.cc.o.d"
+  "/root/repo/tests/sched/ordering_test.cc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/ordering_test.cc.o" "gcc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/ordering_test.cc.o.d"
+  "/root/repo/tests/sched/parbs_test.cc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/parbs_test.cc.o" "gcc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/parbs_test.cc.o.d"
+  "/root/repo/tests/sched/priorities_test.cc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/priorities_test.cc.o" "gcc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/priorities_test.cc.o.d"
+  "/root/repo/tests/sched/stats_api_test.cc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/stats_api_test.cc.o" "gcc" "tests/CMakeFiles/parbs_sched_tests.dir/sched/stats_api_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parbs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

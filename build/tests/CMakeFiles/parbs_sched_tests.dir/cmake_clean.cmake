@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_sched_tests.dir/sched/adaptive_parbs_test.cc.o"
+  "CMakeFiles/parbs_sched_tests.dir/sched/adaptive_parbs_test.cc.o.d"
+  "CMakeFiles/parbs_sched_tests.dir/sched/batch_variants_test.cc.o"
+  "CMakeFiles/parbs_sched_tests.dir/sched/batch_variants_test.cc.o.d"
+  "CMakeFiles/parbs_sched_tests.dir/sched/nfq_stfm_test.cc.o"
+  "CMakeFiles/parbs_sched_tests.dir/sched/nfq_stfm_test.cc.o.d"
+  "CMakeFiles/parbs_sched_tests.dir/sched/ordering_test.cc.o"
+  "CMakeFiles/parbs_sched_tests.dir/sched/ordering_test.cc.o.d"
+  "CMakeFiles/parbs_sched_tests.dir/sched/parbs_test.cc.o"
+  "CMakeFiles/parbs_sched_tests.dir/sched/parbs_test.cc.o.d"
+  "CMakeFiles/parbs_sched_tests.dir/sched/priorities_test.cc.o"
+  "CMakeFiles/parbs_sched_tests.dir/sched/priorities_test.cc.o.d"
+  "CMakeFiles/parbs_sched_tests.dir/sched/stats_api_test.cc.o"
+  "CMakeFiles/parbs_sched_tests.dir/sched/stats_api_test.cc.o.d"
+  "parbs_sched_tests"
+  "parbs_sched_tests.pdb"
+  "parbs_sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

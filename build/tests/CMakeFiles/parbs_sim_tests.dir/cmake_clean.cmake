@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbs_sim_tests.dir/sim/behavior_test.cc.o"
+  "CMakeFiles/parbs_sim_tests.dir/sim/behavior_test.cc.o.d"
+  "CMakeFiles/parbs_sim_tests.dir/sim/system_test.cc.o"
+  "CMakeFiles/parbs_sim_tests.dir/sim/system_test.cc.o.d"
+  "parbs_sim_tests"
+  "parbs_sim_tests.pdb"
+  "parbs_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbs_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/parbs_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/parbs_dram_tests[1]_include.cmake")
+include("/root/repo/build/tests/parbs_mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/parbs_sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/parbs_cpu_trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/parbs_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/parbs_model_tests[1]_include.cmake")
+include("/root/repo/build/tests/parbs_property_tests[1]_include.cmake")

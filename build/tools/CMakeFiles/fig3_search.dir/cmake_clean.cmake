@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_search.dir/fig3_search.cpp.o"
+  "CMakeFiles/fig3_search.dir/fig3_search.cpp.o.d"
+  "fig3_search"
+  "fig3_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
