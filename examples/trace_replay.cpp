@@ -90,20 +90,21 @@ main(int argc, char** argv)
         config.scheduler.kind = kind;
 
         std::vector<std::unique_ptr<TraceSource>> traces;
+        std::unique_ptr<System> system;
         try {
             for (const auto& path : paths) {
                 traces.push_back(std::make_unique<FileTraceSource>(
                     FileTraceSource::FromFile(path, /*loop=*/true)));
             }
+            system = std::make_unique<System>(config, std::move(traces));
+            // A trace address beyond the configured geometry surfaces here.
+            system->Run(2'000'000);
         } catch (const ConfigError& e) {
             std::cerr << e.what() << "\n";
             return 2;
         }
-
-        System system(config, std::move(traces));
-        system.Run(2'000'000);
         for (ThreadId t = 0; t < paths.size(); ++t) {
-            const ThreadMeasurement m = system.Measure(t);
+            const ThreadMeasurement m = system->Measure(t);
             table.AddRow({std::string(SchedulerKindName(kind)),
                           std::to_string(t), Table::Num(m.ipc),
                           Table::Num(m.mcpi), Table::Num(m.row_hit_rate),

@@ -68,9 +68,24 @@ Channel::CanIssue(const Command& cmd, DramCycle now) const
     return ranks_[cmd.rank].CanIssue(cmd, now);
 }
 
+ProtocolChecker&
+Channel::EnableProtocolCheck(const TimingParams* reference,
+                             ProtocolChecker::Mode mode)
+{
+    checker_ = std::make_unique<ProtocolChecker>(
+        reference != nullptr ? *reference : timing_,
+        geometry_.ranks_per_channel, geometry_.banks_per_rank, mode);
+    return *checker_;
+}
+
 DramCycle
 Channel::Issue(const Command& cmd, DramCycle now)
 {
+    // The checker observes first so that a violation is reported with full
+    // context before the issuing FSMs' own assertions can abort.
+    if (checker_) {
+        checker_->Observe(cmd, now);
+    }
     PARBS_ASSERT(CanIssue(cmd, now), "channel-level timing violation");
     ranks_[cmd.rank].Issue(cmd, now);
     if (cmd.type == CommandType::kRead || cmd.type == CommandType::kWrite) {

@@ -12,10 +12,12 @@
 #define PARBS_DRAM_CHANNEL_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
 #include "dram/command.hh"
+#include "dram/protocol_checker.hh"
 #include "dram/rank.hh"
 #include "dram/timing.hh"
 
@@ -56,6 +58,20 @@ class Channel {
     /** @return the cycle the data bus becomes free (for stats/debug). */
     DramCycle bus_free_at() const { return bus_free_at_; }
 
+    /**
+     * Enables shadow re-validation of every issued command.  @p reference
+     * is the timing the checker validates against; it defaults to the
+     * channel's own parameters, but tests may pass the true device timing
+     * while the channel runs a deliberately corrupted copy to prove the
+     * corruption is caught.
+     */
+    ProtocolChecker& EnableProtocolCheck(
+        const TimingParams* reference = nullptr,
+        ProtocolChecker::Mode mode = ProtocolChecker::Mode::kThrow);
+
+    /** @return the attached checker, or nullptr when checking is off. */
+    const ProtocolChecker* protocol_checker() const { return checker_.get(); }
+
   private:
     TimingParams timing_;
     Geometry geometry_;
@@ -63,6 +79,8 @@ class Channel {
 
     /** Cycle at which the current data-bus burst (if any) ends. */
     DramCycle bus_free_at_ = 0;
+
+    std::unique_ptr<ProtocolChecker> checker_;
 };
 
 } // namespace parbs::dram

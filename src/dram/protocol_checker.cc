@@ -1,0 +1,387 @@
+#include "dram/protocol_checker.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hh"
+#include "common/log.hh"
+
+namespace parbs::dram {
+namespace {
+
+constexpr std::size_t kHistoryDepth = 32;
+
+/**
+ * JEDEC lets a device postpone up to eight refreshes; beyond 9 x tREFI
+ * without a REFRESH the rank is losing data and the model is broken.
+ */
+constexpr DramCycle kMaxPostponedRefreshes = 9;
+
+std::string
+Cyc(DramCycle value)
+{
+    return value == kNeverCycle ? "never" : std::to_string(value);
+}
+
+} // namespace
+
+ProtocolChecker::ProtocolChecker(const TimingParams& timing,
+                                 std::uint32_t num_ranks,
+                                 std::uint32_t banks_per_rank, Mode mode)
+    : timing_(timing), mode_(mode)
+{
+    PARBS_ASSERT(num_ranks > 0 && banks_per_rank > 0,
+                 "protocol checker needs at least one rank and bank");
+    ranks_.resize(num_ranks);
+    for (ShadowRank& rank : ranks_) {
+        rank.banks.resize(banks_per_rank);
+        rank.activate_history.fill(kNeverCycle);
+    }
+}
+
+void
+ProtocolChecker::Observe(const Command& cmd, DramCycle now)
+{
+    commands_checked_ += 1;
+    if (now < last_observed_) {
+        Report(cmd, now, "time-order",
+               "command observed at cycle " + std::to_string(now) +
+                   " after cycle " + std::to_string(last_observed_));
+    }
+    last_observed_ = std::max(last_observed_, now);
+
+    if (cmd.rank >= ranks_.size()) {
+        Report(cmd, now, "rank-range",
+               "rank " + std::to_string(cmd.rank) + " out of range (" +
+                   std::to_string(ranks_.size()) + " ranks)");
+        Remember(cmd, now);
+        return;
+    }
+    const ShadowRank& rank = ranks_[cmd.rank];
+    if (cmd.type != CommandType::kRefresh &&
+        cmd.bank >= rank.banks.size()) {
+        Report(cmd, now, "bank-range",
+               "bank " + std::to_string(cmd.bank) + " out of range (" +
+                   std::to_string(rank.banks.size()) + " banks)");
+        Remember(cmd, now);
+        return;
+    }
+
+    // tRFC: after a REFRESH the whole rank is dead until refresh completes.
+    if (now < rank.refresh_blocked_until) {
+        Report(cmd, now, "tRFC",
+               "command during refresh: rank busy until cycle " +
+                   std::to_string(rank.refresh_blocked_until));
+    }
+
+    // Refresh starvation: the rank must be refreshed at least every
+    // kMaxPostponedRefreshes x tREFI cycles.
+    if (timing_.tREFI != 0 && cmd.type != CommandType::kRefresh) {
+        const DramCycle base =
+            rank.last_refresh_at == kNeverCycle ? 0 : rank.last_refresh_at;
+        if (now > base + kMaxPostponedRefreshes * timing_.tREFI) {
+            Report(cmd, now, "tREFI",
+                   "rank not refreshed since cycle " + Cyc(base) +
+                       " (limit " +
+                       std::to_string(kMaxPostponedRefreshes * timing_.tREFI) +
+                       " cycles)");
+        }
+    }
+
+    switch (cmd.type) {
+      case CommandType::kActivate:
+        CheckActivate(cmd, rank, rank.banks[cmd.bank], now);
+        break;
+      case CommandType::kPrecharge:
+        CheckPrecharge(cmd, rank.banks[cmd.bank], now);
+        break;
+      case CommandType::kRead:
+      case CommandType::kWrite:
+        CheckColumn(cmd, rank, rank.banks[cmd.bank], now);
+        break;
+      case CommandType::kRefresh:
+        CheckRefresh(cmd, rank, now);
+        break;
+    }
+
+    Apply(cmd, now);
+    Remember(cmd, now);
+}
+
+void
+ProtocolChecker::CheckActivate(const Command& cmd, const ShadowRank& rank,
+                               const ShadowBank& bank, DramCycle now)
+{
+    if (bank.open_row != kNoRow) {
+        Report(cmd, now, "ACT-open-row",
+               "ACTIVATE to a bank with row " +
+                   std::to_string(bank.open_row) + " already open");
+    }
+    if (bank.precharge_at != kNeverCycle &&
+        now < bank.precharge_at + timing_.tRP) {
+        Report(cmd, now, "tRP",
+               "ACTIVATE " + std::to_string(now - bank.precharge_at) +
+                   " cycles after PRECHARGE at " + Cyc(bank.precharge_at) +
+                   " (tRP=" + std::to_string(timing_.tRP) + ")");
+    }
+    if (bank.activate_at != kNeverCycle &&
+        now < bank.activate_at + timing_.tRC()) {
+        Report(cmd, now, "tRC",
+               "ACTIVATE " + std::to_string(now - bank.activate_at) +
+                   " cycles after same-bank ACTIVATE at " +
+                   Cyc(bank.activate_at) +
+                   " (tRC=" + std::to_string(timing_.tRC()) + ")");
+    }
+    if (rank.last_activate_at != kNeverCycle &&
+        now < rank.last_activate_at + timing_.tRRD) {
+        Report(cmd, now, "tRRD",
+               "ACTIVATE " + std::to_string(now - rank.last_activate_at) +
+                   " cycles after rank ACTIVATE at " +
+                   Cyc(rank.last_activate_at) +
+                   " (tRRD=" + std::to_string(timing_.tRRD) + ")");
+    }
+    const DramCycle oldest = rank.activate_history[rank.activate_head];
+    if (oldest != kNeverCycle && now < oldest + timing_.tFAW) {
+        Report(cmd, now, "tFAW",
+               "fifth ACTIVATE within the four-activate window opened at " +
+                   Cyc(oldest) + " (tFAW=" + std::to_string(timing_.tFAW) +
+                   ")");
+    }
+}
+
+void
+ProtocolChecker::CheckPrecharge(const Command& cmd, const ShadowBank& bank,
+                                DramCycle now)
+{
+    if (bank.open_row == kNoRow) {
+        Report(cmd, now, "PRE-closed",
+               "PRECHARGE to an already-closed bank");
+    }
+    if (bank.activate_at != kNeverCycle &&
+        now < bank.activate_at + timing_.tRAS) {
+        Report(cmd, now, "tRAS",
+               "PRECHARGE " + std::to_string(now - bank.activate_at) +
+                   " cycles after ACTIVATE at " + Cyc(bank.activate_at) +
+                   " (tRAS=" + std::to_string(timing_.tRAS) + ")");
+    }
+    if (bank.last_read_at != kNeverCycle &&
+        now < bank.last_read_at + timing_.tRTP) {
+        Report(cmd, now, "tRTP",
+               "PRECHARGE " + std::to_string(now - bank.last_read_at) +
+                   " cycles after READ at " + Cyc(bank.last_read_at) +
+                   " (tRTP=" + std::to_string(timing_.tRTP) + ")");
+    }
+    if (bank.last_write_at != kNeverCycle) {
+        const DramCycle earliest = bank.last_write_at + timing_.tCWD +
+                                   timing_.tBURST + timing_.tWR;
+        if (now < earliest) {
+            Report(cmd, now, "tWR",
+                   "PRECHARGE at " + std::to_string(now) +
+                       " before write recovery completes at " +
+                       std::to_string(earliest) +
+                       " (WRITE at " + Cyc(bank.last_write_at) +
+                       ", tWR=" + std::to_string(timing_.tWR) + ")");
+        }
+    }
+}
+
+void
+ProtocolChecker::CheckColumn(const Command& cmd, const ShadowRank& rank,
+                             const ShadowBank& bank, DramCycle now)
+{
+    const bool is_read = cmd.type == CommandType::kRead;
+    if (bank.open_row == kNoRow) {
+        Report(cmd, now, "column-closed",
+               std::string(CommandName(cmd.type)) +
+                   " issued to a precharged bank");
+    } else if (bank.open_row != cmd.row) {
+        Report(cmd, now, "row-mismatch",
+               std::string(CommandName(cmd.type)) + " to row " +
+                   std::to_string(cmd.row) + " while row " +
+                   std::to_string(bank.open_row) + " is open");
+    }
+    if (bank.activate_at != kNeverCycle &&
+        now < bank.activate_at + timing_.tRCD) {
+        Report(cmd, now, "tRCD",
+               std::string(CommandName(cmd.type)) + " " +
+                   std::to_string(now - bank.activate_at) +
+                   " cycles after ACTIVATE at " + Cyc(bank.activate_at) +
+                   " (tRCD=" + std::to_string(timing_.tRCD) + ")");
+    }
+    if (bank.last_column_at != kNeverCycle &&
+        now < bank.last_column_at + timing_.tCCD) {
+        Report(cmd, now, "tCCD",
+               "column command " +
+                   std::to_string(now - bank.last_column_at) +
+                   " cycles after column command at " +
+                   Cyc(bank.last_column_at) +
+                   " (tCCD=" + std::to_string(timing_.tCCD) + ")");
+    }
+    if (is_read && now < rank.write_burst_end + timing_.tWTR) {
+        Report(cmd, now, "tWTR",
+               "READ at " + std::to_string(now) +
+                   " before write-to-read turnaround completes at " +
+                   std::to_string(rank.write_burst_end + timing_.tWTR) +
+                   " (tWTR=" + std::to_string(timing_.tWTR) + ")");
+    }
+    const DramCycle data_start =
+        now + (is_read ? timing_.tCL : timing_.tCWD);
+    if (data_start < bus_busy_until_) {
+        Report(cmd, now, "data-bus",
+               "data burst would start at " + std::to_string(data_start) +
+                   " while the bus is occupied until " +
+                   std::to_string(bus_busy_until_));
+    }
+}
+
+void
+ProtocolChecker::CheckRefresh(const Command& cmd, const ShadowRank& rank,
+                              DramCycle now)
+{
+    for (std::size_t b = 0; b < rank.banks.size(); ++b) {
+        const ShadowBank& bank = rank.banks[b];
+        if (bank.open_row != kNoRow) {
+            Report(cmd, now, "REF-open-bank",
+                   "REFRESH while bank " + std::to_string(b) +
+                       " has row " + std::to_string(bank.open_row) +
+                       " open");
+        }
+        if (bank.precharge_at != kNeverCycle &&
+            now < bank.precharge_at + timing_.tRP) {
+            Report(cmd, now, "tRP",
+                   "REFRESH " + std::to_string(now - bank.precharge_at) +
+                       " cycles after bank " + std::to_string(b) +
+                       " PRECHARGE at " + Cyc(bank.precharge_at) +
+                       " (tRP=" + std::to_string(timing_.tRP) + ")");
+        }
+    }
+}
+
+void
+ProtocolChecker::Apply(const Command& cmd, DramCycle now)
+{
+    if (cmd.rank >= ranks_.size()) {
+        return;
+    }
+    ShadowRank& rank = ranks_[cmd.rank];
+
+    if (cmd.type == CommandType::kRefresh) {
+        rank.last_refresh_at = now;
+        rank.refresh_blocked_until =
+            std::max(rank.refresh_blocked_until, now + timing_.tRFC);
+        return;
+    }
+    if (cmd.bank >= rank.banks.size()) {
+        return;
+    }
+    ShadowBank& bank = rank.banks[cmd.bank];
+
+    switch (cmd.type) {
+      case CommandType::kActivate:
+        bank.open_row = cmd.row;
+        bank.activate_at = now;
+        rank.last_activate_at = now;
+        rank.activate_history[rank.activate_head] = now;
+        rank.activate_head =
+            (rank.activate_head + 1) % rank.activate_history.size();
+        break;
+      case CommandType::kPrecharge:
+        bank.open_row = kNoRow;
+        bank.precharge_at = now;
+        break;
+      case CommandType::kRead:
+        bank.last_read_at = now;
+        bank.last_column_at = now;
+        bus_busy_until_ = std::max(bus_busy_until_,
+                                   now + timing_.tCL + timing_.tBURST);
+        break;
+      case CommandType::kWrite:
+        bank.last_write_at = now;
+        bank.last_column_at = now;
+        rank.write_burst_end = std::max(
+            rank.write_burst_end, now + timing_.tCWD + timing_.tBURST);
+        bus_busy_until_ = std::max(bus_busy_until_,
+                                   now + timing_.tCWD + timing_.tBURST);
+        break;
+      case CommandType::kRefresh:
+        break;
+    }
+}
+
+void
+ProtocolChecker::Report(const Command& cmd, DramCycle now, const char* rule,
+                        std::string detail)
+{
+    ProtocolViolation violation;
+    violation.cycle = now;
+    violation.command = cmd;
+    violation.rule = rule;
+    violation.detail = std::move(detail);
+    violations_.push_back(violation);
+    PARBS_WARN("protocol violation [" << rule << "] at cycle " << now
+                                      << ": " << violations_.back().detail);
+    if (mode_ == Mode::kThrow) {
+        throw ProtocolError(FormatViolation(violations_.back()));
+    }
+}
+
+void
+ProtocolChecker::Remember(const Command& cmd, DramCycle now)
+{
+    history_.push_back({now, cmd});
+    if (history_.size() > kHistoryDepth) {
+        history_.pop_front();
+    }
+}
+
+std::string
+ProtocolChecker::HistoryReport() const
+{
+    std::ostringstream out;
+    out << "  last " << history_.size() << " commands (oldest first):\n";
+    for (const HistoryEntry& entry : history_) {
+        out << "    cycle " << entry.cycle << ": "
+            << CommandName(entry.command.type)
+            << " rank=" << entry.command.rank
+            << " bank=" << entry.command.bank
+            << " row=" << entry.command.row << "\n";
+    }
+    return out.str();
+}
+
+std::string
+ProtocolChecker::FormatViolation(const ProtocolViolation& violation) const
+{
+    std::ostringstream out;
+    out << "DRAM protocol violation [" << violation.rule << "] at cycle "
+        << violation.cycle << ": " << CommandName(violation.command.type)
+        << " rank=" << violation.command.rank
+        << " bank=" << violation.command.bank
+        << " row=" << violation.command.row << "\n  " << violation.detail
+        << "\n";
+    out << "  shadow state: bus busy until " << bus_busy_until_ << "\n";
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        const ShadowRank& rank = ranks_[r];
+        out << "  rank " << r << ": last ACT=" << Cyc(rank.last_activate_at)
+            << " wr-burst-end=" << rank.write_burst_end
+            << " last REF=" << Cyc(rank.last_refresh_at) << "\n";
+        for (std::size_t b = 0; b < rank.banks.size(); ++b) {
+            const ShadowBank& bank = rank.banks[b];
+            if (bank.open_row == kNoRow && bank.activate_at == kNeverCycle &&
+                bank.precharge_at == kNeverCycle) {
+                continue; // Untouched bank: skip for signal density.
+            }
+            out << "    bank " << b << ": row="
+                << (bank.open_row == kNoRow
+                        ? std::string("closed")
+                        : std::to_string(bank.open_row))
+                << " ACT@" << Cyc(bank.activate_at) << " PRE@"
+                << Cyc(bank.precharge_at) << " RD@" << Cyc(bank.last_read_at)
+                << " WR@" << Cyc(bank.last_write_at) << "\n";
+        }
+    }
+    out << HistoryReport();
+    return out.str();
+}
+
+} // namespace parbs::dram

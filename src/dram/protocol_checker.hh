@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Independent DRAM protocol checker (shadow model).
+ *
+ * The bank/rank/channel FSMs in bank.cc/rank.cc/channel.cc both *decide*
+ * when a command may issue and *enforce* that decision — a bug in their
+ * shared timing registers can therefore issue an illegal command and accept
+ * it without any check firing.  The ProtocolChecker closes that loop: it is
+ * a second, structurally independent model of the JEDEC constraints that
+ * re-validates every command the channel issues against its own shadow
+ * state (per-bank open row and command times, per-rank ACT history and
+ * write-recovery windows, channel-wide data-bus occupancy, refresh
+ * windows).  It shares nothing with the issuing FSMs except TimingParams.
+ *
+ * On a violation the checker reports *context* — the rule broken, the
+ * operands, and the recent command history — instead of a bare abort, so a
+ * model regression is diagnosable from the failure message alone.  The
+ * checker can validate against a reference TimingParams different from the
+ * one driving the device model, which lets the fault-injection harness seed
+ * deliberate timing corruptions and prove they are caught.
+ */
+
+#ifndef PARBS_DRAM_PROTOCOL_CHECKER_HH
+#define PARBS_DRAM_PROTOCOL_CHECKER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace parbs::dram {
+
+/** Thrown (in Mode::kThrow) when an issued command breaks the protocol. */
+class ProtocolError : public std::runtime_error {
+  public:
+    explicit ProtocolError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** One detected protocol violation. */
+struct ProtocolViolation {
+    DramCycle cycle = 0;
+    Command command;
+    /** Short rule identifier, e.g. "tRP", "tFAW", "data-bus". */
+    std::string rule;
+    /** Human-readable explanation with the operand cycle values. */
+    std::string detail;
+};
+
+/** Shadow model re-validating every issued DRAM command. */
+class ProtocolChecker {
+  public:
+    enum class Mode : std::uint8_t {
+        kThrow,  ///< First violation throws ProtocolError with full context.
+        kRecord, ///< Violations accumulate; the run continues (fuzzing).
+    };
+
+    /**
+     * @param timing reference timing the checker validates against (may
+     *        deliberately differ from the device model's own parameters)
+     * @param num_ranks ranks on the checked channel
+     * @param banks_per_rank banks in each rank
+     */
+    ProtocolChecker(const TimingParams& timing, std::uint32_t num_ranks,
+                    std::uint32_t banks_per_rank, Mode mode = Mode::kThrow);
+
+    /**
+     * Validates @p cmd issued at cycle @p now and folds it into the shadow
+     * state.  Cycles must be non-decreasing across calls.
+     * @throws ProtocolError in Mode::kThrow if any constraint is broken.
+     */
+    void Observe(const Command& cmd, DramCycle now);
+
+    /** All violations detected so far (also populated in Mode::kThrow). */
+    const std::vector<ProtocolViolation>& violations() const
+    {
+        return violations_;
+    }
+
+    std::uint64_t commands_checked() const { return commands_checked_; }
+
+    /** Recent command history, oldest first (for failure reports). */
+    std::string HistoryReport() const;
+
+    /** Formats one violation with the shadow state and command history. */
+    std::string FormatViolation(const ProtocolViolation& violation) const;
+
+    Mode mode() const { return mode_; }
+
+  private:
+    struct ShadowBank {
+        std::uint32_t open_row = kNoRow;
+        DramCycle activate_at = kNeverCycle;
+        DramCycle precharge_at = kNeverCycle;
+        DramCycle last_read_at = kNeverCycle;
+        DramCycle last_write_at = kNeverCycle;
+        DramCycle last_column_at = kNeverCycle;
+    };
+
+    struct ShadowRank {
+        std::vector<ShadowBank> banks;
+        /** Issue cycles of the last four ACTIVATEs (tFAW), oldest at head. */
+        std::array<DramCycle, 4> activate_history;
+        std::size_t activate_head = 0;
+        DramCycle last_activate_at = kNeverCycle;
+        /** End of the last write data burst (tWTR reference point). */
+        DramCycle write_burst_end = 0;
+        DramCycle last_refresh_at = kNeverCycle;
+        /** No command may reach the rank before this cycle (tRFC). */
+        DramCycle refresh_blocked_until = 0;
+    };
+
+    void CheckActivate(const Command& cmd, const ShadowRank& rank,
+                       const ShadowBank& bank, DramCycle now);
+    void CheckPrecharge(const Command& cmd, const ShadowBank& bank,
+                        DramCycle now);
+    void CheckColumn(const Command& cmd, const ShadowRank& rank,
+                     const ShadowBank& bank, DramCycle now);
+    void CheckRefresh(const Command& cmd, const ShadowRank& rank,
+                      DramCycle now);
+    void Apply(const Command& cmd, DramCycle now);
+
+    /** Records (and in kThrow mode raises) a violation. */
+    void Report(const Command& cmd, DramCycle now, const char* rule,
+                std::string detail);
+
+    /** Appends to the bounded command-history ring. */
+    void Remember(const Command& cmd, DramCycle now);
+
+    TimingParams timing_;
+    Mode mode_;
+    std::vector<ShadowRank> ranks_;
+    DramCycle bus_busy_until_ = 0;
+    DramCycle last_observed_ = 0;
+    std::uint64_t commands_checked_ = 0;
+
+    struct HistoryEntry {
+        DramCycle cycle;
+        Command command;
+    };
+    std::deque<HistoryEntry> history_;
+
+    std::vector<ProtocolViolation> violations_;
+};
+
+} // namespace parbs::dram
+
+#endif // PARBS_DRAM_PROTOCOL_CHECKER_HH

@@ -1,5 +1,7 @@
 #include "dram/timing.hh"
 
+#include <string>
+
 #include "common/assert.hh"
 
 namespace parbs::dram {
@@ -43,6 +45,18 @@ Geometry::Validate() const
         !is_pow2(row_bytes) || !is_pow2(line_bytes)) {
         PARBS_FATAL("DRAM geometry: all dimensions must be powers of two "
                     "(required by the bit-sliced address mapping)");
+    }
+    if (channels > 16 || ranks_per_channel > 16 || banks_per_rank > 64) {
+        PARBS_FATAL("DRAM geometry: out of range (max 16 channels, "
+                    "16 ranks/channel, 64 banks/rank); got channels=" +
+                    std::to_string(channels) + " ranks=" +
+                    std::to_string(ranks_per_channel) + " banks=" +
+                    std::to_string(banks_per_rank));
+    }
+    if (rows_per_bank > (1u << 24) || row_bytes > 65536) {
+        PARBS_FATAL("DRAM geometry: out of range (max 2^24 rows/bank, "
+                    "64 KB rows); got rows=" + std::to_string(rows_per_bank) +
+                    " row_bytes=" + std::to_string(row_bytes));
     }
 }
 

@@ -91,7 +91,17 @@ struct Geometry {
         return channels * ranks_per_channel * banks_per_rank;
     }
 
-    /** @throws ConfigError if fields are zero or inconsistent. */
+    /** Total addressable bytes across the whole memory system. */
+    std::uint64_t
+    CapacityBytes() const
+    {
+        return static_cast<std::uint64_t>(TotalBanks()) * rows_per_bank *
+               row_bytes;
+    }
+
+    /** @throws ConfigError if fields are zero, inconsistent, or outside
+     *  the supported ranges (the address mapping packs all dimensions into
+     *  a 64-bit physical address). */
     void Validate() const;
 };
 

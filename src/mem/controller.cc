@@ -6,6 +6,20 @@
 
 namespace parbs {
 
+void
+ControllerConfig::Validate() const
+{
+    if (read_queue_capacity == 0 || write_queue_capacity == 0) {
+        PARBS_FATAL("controller: queue capacities must be nonzero");
+    }
+    if (write_drain_low > write_drain_high ||
+        write_drain_high > write_queue_capacity) {
+        PARBS_FATAL("controller: write drain watermarks must satisfy "
+                    "low <= high <= capacity");
+    }
+    watchdog.Validate();
+}
+
 Controller::Controller(const ControllerConfig& config,
                        const dram::TimingParams& timing,
                        const dram::Geometry& geometry,
@@ -26,10 +40,14 @@ Controller::Controller(const ControllerConfig& config,
       busy_banks_(num_threads, 0)
 {
     PARBS_ASSERT(scheduler_ != nullptr, "controller needs a scheduler");
-    if (config_.write_drain_low > config_.write_drain_high ||
-        config_.write_drain_high > config_.write_queue_capacity) {
-        PARBS_FATAL("controller: write drain watermarks must satisfy "
-                    "low <= high <= capacity");
+    config_.Validate();
+    if (config_.protocol_check) {
+        channel_.EnableProtocolCheck();
+    }
+    if (config_.watchdog.enabled) {
+        watchdog_ = std::make_unique<ForwardProgressWatchdog>(
+            config_.watchdog, channel_.timing(),
+            config_.read_queue_capacity);
     }
     SchedulerContext context;
     context.read_queue = &read_queue_;
@@ -87,6 +105,11 @@ Controller::Tick(DramCycle now)
         if (chosen != nullptr) {
             IssueFor(*chosen, now);
         }
+    }
+
+    if (watchdog_) {
+        watchdog_->Check(now, read_queue_, write_queue_, *scheduler_,
+                         channel_, last_command_cycle_);
     }
 
     SampleBlp();
@@ -161,8 +184,7 @@ Controller::HandleRefresh(DramCycle now)
         if (rank.CanRefresh(now)) {
             dram::Command refresh{dram::CommandType::kRefresh, r, 0, 0};
             channel_.Issue(refresh, now);
-            commands_by_type_[static_cast<int>(
-                dram::CommandType::kRefresh)] += 1;
+            RecordCommand(dram::CommandType::kRefresh, now);
             return true;
         }
         // Quiesce: precharge one open bank that is ready for it.
@@ -170,8 +192,7 @@ Controller::HandleRefresh(DramCycle now)
             dram::Command precharge{dram::CommandType::kPrecharge, r, b, 0};
             if (channel_.CanIssue(precharge, now)) {
                 channel_.Issue(precharge, now);
-                commands_by_type_[static_cast<int>(
-                    dram::CommandType::kPrecharge)] += 1;
+                RecordCommand(dram::CommandType::kPrecharge, now);
                 return true;
             }
         }
@@ -259,7 +280,7 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
     dram::Command command{type, request.coords.rank, request.coords.bank,
                           request.coords.row};
     const DramCycle done = channel_.Issue(command, now);
-    commands_by_type_[static_cast<int>(type)] += 1;
+    RecordCommand(type, now);
 
     if (request.first_command_cycle == kNeverCycle) {
         request.first_command_cycle = now;
@@ -307,6 +328,37 @@ std::uint64_t
 Controller::commands_issued(dram::CommandType type) const
 {
     return commands_by_type_[static_cast<int>(type)];
+}
+
+std::uint64_t
+Controller::total_commands_issued() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t count : commands_by_type_) {
+        total += count;
+    }
+    return total;
+}
+
+void
+Controller::EnableProtocolCheck(const dram::TimingParams& reference,
+                                dram::ProtocolChecker::Mode mode)
+{
+    channel_.EnableProtocolCheck(&reference, mode);
+}
+
+std::string
+Controller::Diagnostics(DramCycle now) const
+{
+    return FormatControllerDiagnostics(now, read_queue_, write_queue_,
+                                       *scheduler_, channel_);
+}
+
+void
+Controller::RecordCommand(dram::CommandType type, DramCycle now)
+{
+    commands_by_type_[static_cast<int>(type)] += 1;
+    last_command_cycle_ = now;
 }
 
 std::uint32_t

@@ -12,12 +12,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 #include "dram/channel.hh"
 #include "mem/request.hh"
 #include "mem/request_queue.hh"
+#include "mem/watchdog.hh"
 #include "sched/scheduler.hh"
 
 namespace parbs {
@@ -39,6 +41,17 @@ struct ControllerConfig {
     std::size_t write_drain_low = 24;
     /** Model auto-refresh (tREFI/tRFC).  Disabled if timing.tREFI == 0. */
     bool enable_refresh = true;
+    /**
+     * Re-validate every issued DRAM command against an independent shadow
+     * model of the JEDEC constraints (see dram/protocol_checker.hh); a
+     * violation throws ProtocolError with full command-history context.
+     */
+    bool protocol_check = false;
+    /** Forward-progress watchdog (starvation / batch / deadlock bounds). */
+    WatchdogConfig watchdog;
+
+    /** @throws ConfigError on invalid sizing or watermarks. */
+    void Validate() const;
 };
 
 /** Per-thread statistics gathered at the controller. */
@@ -139,6 +152,27 @@ class Controller {
     /** Total DRAM commands issued, by type (ACT/PRE/RD/WR/REF). */
     std::uint64_t commands_issued(dram::CommandType type) const;
 
+    /** Total DRAM commands issued, all types. */
+    std::uint64_t total_commands_issued() const;
+
+    /**
+     * Enables shadow protocol checking against @p reference timing (which
+     * may deliberately differ from the timing driving the device model —
+     * the fault-injection seam).  The config flag covers the normal path.
+     */
+    void EnableProtocolCheck(
+        const dram::TimingParams& reference,
+        dram::ProtocolChecker::Mode mode = dram::ProtocolChecker::Mode::kThrow);
+
+    /** @return the attached checker, or nullptr when checking is off. */
+    const dram::ProtocolChecker* protocol_checker() const
+    {
+        return channel_.protocol_checker();
+    }
+
+    /** Structured state dump: queues, bank states, scheduler state. */
+    std::string Diagnostics(DramCycle now) const;
+
   private:
     ControllerConfig config_;
     dram::Channel channel_;
@@ -151,6 +185,10 @@ class Controller {
     ReadCompleteCallback read_complete_;
 
     bool write_drain_active_ = false;
+
+    std::unique_ptr<ForwardProgressWatchdog> watchdog_;
+    /** Cycle the last DRAM command (any type) was issued. */
+    DramCycle last_command_cycle_ = kNeverCycle;
 
     std::vector<ControllerThreadStats> stats_;
     std::uint64_t commands_by_type_[5] = {0, 0, 0, 0, 0};
@@ -180,6 +218,9 @@ class Controller {
      */
     MemRequest* SelectRequest(const RequestQueue& queue, DramCycle now);
     void IssueFor(MemRequest& request, DramCycle now);
+
+    /** Counts an issued command and feeds the progress tracker. */
+    void RecordCommand(dram::CommandType type, DramCycle now);
 
     std::uint32_t FlatBank(const MemRequest& request) const;
     void EnterService(const MemRequest& request);

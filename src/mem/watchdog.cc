@@ -1,0 +1,207 @@
+#include "mem/watchdog.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hh"
+#include "sched/scheduler.hh"
+
+namespace parbs {
+namespace {
+
+constexpr std::size_t kMaxDumpedRequests = 32;
+
+void
+DumpQueue(std::ostream& out, const char* label, const RequestQueue& queue,
+          DramCycle now)
+{
+    out << "  " << label << " queue (" << queue.size() << "/"
+        << queue.capacity() << "):\n";
+    std::size_t dumped = 0;
+    for (const MemRequest* request : queue.requests()) {
+        if (dumped++ == kMaxDumpedRequests) {
+            out << "    ... " << (queue.size() - kMaxDumpedRequests)
+                << " more\n";
+            break;
+        }
+        out << "    id=" << request->id << " thread=" << request->thread
+            << " rank=" << request->coords.rank
+            << " bank=" << request->coords.bank
+            << " row=" << request->coords.row << " state="
+            << (request->state == RequestState::kQueued
+                    ? "queued"
+                    : request->state == RequestState::kInBurst ? "in-burst"
+                                                               : "completed")
+            << (request->marked ? " marked" : "")
+            << " age=" << (now - request->arrival_dram) << "\n";
+    }
+}
+
+} // namespace
+
+void
+WatchdogConfig::Validate() const
+{
+    if (!enabled) {
+        return;
+    }
+    if (check_interval == 0) {
+        PARBS_FATAL("watchdog: check_interval must be nonzero");
+    }
+    if (batch_bound_factor <= 0.0) {
+        PARBS_FATAL("watchdog: batch_bound_factor must be positive");
+    }
+}
+
+ForwardProgressWatchdog::ForwardProgressWatchdog(
+    const WatchdogConfig& config, const dram::TimingParams& timing,
+    std::size_t read_queue_capacity)
+    : config_(config),
+      service_worst_(timing.tRC() + timing.tBURST)
+{
+    config_.Validate();
+    starvation_bound_ =
+        config_.starvation_bound != 0
+            ? config_.starvation_bound
+            : 4 * static_cast<DramCycle>(std::max<std::size_t>(
+                      read_queue_capacity, 1)) *
+                  service_worst_;
+    no_progress_bound_ = ResolveNoProgressBound(config_, timing);
+}
+
+DramCycle
+ResolveNoProgressBound(const WatchdogConfig& config,
+                       const dram::TimingParams& timing)
+{
+    return config.no_progress_bound != 0
+               ? config.no_progress_bound
+               : std::max<DramCycle>(512, 4 * (timing.tRFC + timing.tRC()));
+}
+
+void
+ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
+                               const RequestQueue& writes,
+                               const Scheduler& scheduler,
+                               const dram::Channel& channel,
+                               DramCycle last_command_cycle)
+{
+    // Batch accounting must observe every transition, so it runs before the
+    // rate limiter; it is O(1).
+    const std::uint64_t outstanding = scheduler.BatchOutstanding();
+    if (outstanding == 0) {
+        batch_deadline_ = kNeverCycle;
+    } else if (outstanding > prev_outstanding_ ||
+               batch_deadline_ == kNeverCycle) {
+        // A growing marked set means a new batch formed (PAR-BS only marks
+        // when no marked requests remain).
+        batch_size_ = outstanding;
+        const double span =
+            config_.batch_bound_factor *
+            static_cast<double>(outstanding * service_worst_ +
+                                2 * channel.timing().tRFC + 100);
+        batch_deadline_ = now + static_cast<DramCycle>(span);
+    }
+    prev_outstanding_ = outstanding;
+
+    if (now < next_check_) {
+        return;
+    }
+    next_check_ = now + config_.check_interval;
+
+    if (batch_deadline_ != kNeverCycle && now > batch_deadline_) {
+        std::ostringstream reason;
+        reason << "batch overdue: " << outstanding << " of " << batch_size_
+               << " marked requests still outstanding past the "
+                  "Marking-Cap-derived completion bound (deadline cycle "
+               << batch_deadline_
+               << ") — PAR-BS starvation-freedom violated";
+        Fail(reason.str(), now, reads, writes, scheduler, channel);
+    }
+
+    for (const RequestQueue* queue : {&reads, &writes}) {
+        for (const MemRequest* request : queue->requests()) {
+            const DramCycle age = now - request->arrival_dram;
+            if (age > starvation_bound_) {
+                std::ostringstream reason;
+                reason << "request starvation: id=" << request->id
+                       << " thread=" << request->thread << " ("
+                       << (request->is_write ? "write" : "read")
+                       << " rank=" << request->coords.rank
+                       << " bank=" << request->coords.bank
+                       << " row=" << request->coords.row << ") waited "
+                       << age << " cycles (bound " << starvation_bound_
+                       << ")";
+                Fail(reason.str(), now, reads, writes, scheduler, channel);
+            }
+        }
+    }
+
+    if ((!reads.Empty() || !writes.Empty())) {
+        const DramCycle last =
+            last_command_cycle == kNeverCycle ? 0 : last_command_cycle;
+        if (now > last + no_progress_bound_) {
+            std::ostringstream reason;
+            reason << "no forward progress: " << reads.size() << " reads / "
+                   << writes.size()
+                   << " writes pending but no DRAM command issued since "
+                      "cycle "
+                   << (last_command_cycle == kNeverCycle
+                           ? std::string("<never>")
+                           : std::to_string(last_command_cycle))
+                   << " (bound " << no_progress_bound_ << ")";
+            Fail(reason.str(), now, reads, writes, scheduler, channel);
+        }
+    }
+}
+
+void
+ForwardProgressWatchdog::Fail(const std::string& reason, DramCycle now,
+                              const RequestQueue& reads,
+                              const RequestQueue& writes,
+                              const Scheduler& scheduler,
+                              const dram::Channel& channel)
+{
+    std::ostringstream out;
+    out << "watchdog: " << reason << "\n"
+        << FormatControllerDiagnostics(now, reads, writes, scheduler,
+                                       channel);
+    throw WatchdogError(out.str());
+}
+
+std::string
+FormatControllerDiagnostics(DramCycle now, const RequestQueue& reads,
+                            const RequestQueue& writes,
+                            const Scheduler& scheduler,
+                            const dram::Channel& channel)
+{
+    std::ostringstream out;
+    out << "controller diagnostics at dram cycle " << now << ":\n";
+    DumpQueue(out, "read", reads, now);
+    DumpQueue(out, "write", writes, now);
+    out << "  bank states (bus free at " << channel.bus_free_at() << "):\n";
+    for (std::uint32_t r = 0; r < channel.num_ranks(); ++r) {
+        const dram::Rank& rank = channel.rank(r);
+        for (std::uint32_t b = 0; b < rank.num_banks(); ++b) {
+            const dram::Bank& bank = rank.bank(b);
+            out << "    rank " << r << " bank " << b << ": ";
+            if (bank.IsOpen()) {
+                out << "row " << bank.open_row() << " open since "
+                    << bank.open_since();
+            } else {
+                out << "closed";
+            }
+            out << " next-ACT@"
+                << bank.EarliestIssue(dram::CommandType::kActivate) << "\n";
+        }
+        out << "    rank " << r << " next refresh due @"
+            << rank.next_refresh_due() << "\n";
+    }
+    out << "  scheduler " << scheduler.name() << ":";
+    for (const auto& [key, value] : scheduler.Stats()) {
+        out << " " << key << "=" << value;
+    }
+    out << " batch_outstanding=" << scheduler.BatchOutstanding() << "\n";
+    return out.str();
+}
+
+} // namespace parbs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Forward-progress watchdog for the memory controller.
+ *
+ * PAR-BS's central guarantee (Section 4.1 of the paper) is starvation
+ * freedom: batching bounds how long any request can be delayed.  The
+ * simulator previously had no mechanism that would notice if that guarantee
+ * — or forward progress in general — were silently broken by a scheduler or
+ * model bug.  The watchdog runs three independent checks:
+ *
+ *  1. Request starvation: no buffered request may exceed a configurable
+ *     age bound.
+ *  2. Batch completion: when the attached scheduler exposes a batch
+ *     (Scheduler::BatchOutstanding), the batch must drain within a bound
+ *     derived from the number of marked requests and the worst-case
+ *     per-request service time — a direct runtime check of the paper's
+ *     starvation-freedom theorem at the Marking-Cap-derived bound.
+ *  3. Global progress: while work is pending, the controller must issue
+ *     *some* DRAM command within a bounded window (deadlock detection).
+ *
+ * A tripped check fails the run with a WatchdogError carrying a structured
+ * diagnostic dump: queue contents, bank states, and scheduler state.
+ */
+
+#ifndef PARBS_MEM_WATCHDOG_HH
+#define PARBS_MEM_WATCHDOG_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "mem/request_queue.hh"
+
+namespace parbs {
+
+class Scheduler;
+
+/** Watchdog knobs (all bounds in DRAM cycles; 0 derives a default). */
+struct WatchdogConfig {
+    bool enabled = false;
+    /**
+     * Maximum age of any buffered request.  0 derives
+     * 4 x read-queue-capacity x (tRC + tBURST): generous enough for every
+     * starvation-free scheduler, yet finite.
+     */
+    DramCycle starvation_bound = 0;
+    /** Safety factor applied to the per-batch completion bound. */
+    double batch_bound_factor = 4.0;
+    /**
+     * Longest tolerated window with pending work but no issued command.
+     * 0 derives max(512, 4 x (tRFC + tRC)).
+     */
+    DramCycle no_progress_bound = 0;
+    /** Cycles between watchdog sweeps (checks are O(queue occupancy)). */
+    DramCycle check_interval = 64;
+
+    /** @throws ConfigError on nonsensical values. */
+    void Validate() const;
+};
+
+/** Thrown when a forward-progress check fails; what() holds the dump. */
+class WatchdogError : public std::runtime_error {
+  public:
+    explicit WatchdogError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Per-controller forward-progress checker. */
+class ForwardProgressWatchdog {
+  public:
+    ForwardProgressWatchdog(const WatchdogConfig& config,
+                            const dram::TimingParams& timing,
+                            std::size_t read_queue_capacity);
+
+    /**
+     * Runs the checks (rate-limited to the configured interval).
+     * @param last_command_cycle cycle the controller last issued any
+     *        command (kNeverCycle if none yet)
+     * @throws WatchdogError with a diagnostic dump if a check trips.
+     */
+    void Check(DramCycle now, const RequestQueue& reads,
+               const RequestQueue& writes, const Scheduler& scheduler,
+               const dram::Channel& channel, DramCycle last_command_cycle);
+
+    DramCycle starvation_bound() const { return starvation_bound_; }
+    DramCycle no_progress_bound() const { return no_progress_bound_; }
+
+  private:
+    [[noreturn]] void Fail(const std::string& reason, DramCycle now,
+                           const RequestQueue& reads,
+                           const RequestQueue& writes,
+                           const Scheduler& scheduler,
+                           const dram::Channel& channel);
+
+    WatchdogConfig config_;
+    DramCycle starvation_bound_;
+    DramCycle no_progress_bound_;
+    /** Worst-case single-request service time (conflict + burst). */
+    DramCycle service_worst_;
+
+    DramCycle next_check_ = 0;
+    /** Batch tracking: deadline for the currently open batch. */
+    DramCycle batch_deadline_ = kNeverCycle;
+    std::uint64_t batch_size_ = 0;
+    std::uint64_t prev_outstanding_ = 0;
+};
+
+/** Effective no-progress bound: the configured value or the derived
+ *  default (shared with the System-level global progress detector). */
+DramCycle ResolveNoProgressBound(const WatchdogConfig& config,
+                                 const dram::TimingParams& timing);
+
+/**
+ * Formats one controller's full state (queues, bank states, scheduler
+ * diagnostics) — shared by the watchdog failure path and any caller that
+ * wants a structured dump.
+ */
+std::string FormatControllerDiagnostics(DramCycle now,
+                                        const RequestQueue& reads,
+                                        const RequestQueue& writes,
+                                        const Scheduler& scheduler,
+                                        const dram::Channel& channel);
+
+} // namespace parbs
+
+#endif // PARBS_MEM_WATCHDOG_HH

@@ -109,6 +109,12 @@ class ParBsScheduler : public ComparatorScheduler {
     /** Number of marked requests currently outstanding. */
     std::uint64_t marked_outstanding() const { return marked_outstanding_; }
 
+    /** The watchdog's view of the open batch: marked requests remaining. */
+    std::uint64_t BatchOutstanding() const override
+    {
+        return marked_outstanding_;
+    }
+
     /** Rank of @p thread in the current batch (0 = highest; threads with no
      *  marked requests get the worst rank, num_threads). */
     std::uint32_t ThreadRank(ThreadId thread) const;

@@ -111,6 +111,14 @@ class Scheduler {
      */
     virtual std::vector<std::pair<std::string, double>> Stats() const;
 
+    /**
+     * Requests outstanding in the scheduler's current service unit (PAR-BS:
+     * the open batch's marked requests); 0 for schedulers without batching
+     * semantics.  The forward-progress watchdog derives the batch-completion
+     * bound (the paper's starvation-freedom guarantee) from this.
+     */
+    virtual std::uint64_t BatchOutstanding() const { return 0; }
+
   protected:
     SchedulerContext context_;
     std::vector<ThreadPriority> priorities_;

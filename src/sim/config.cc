@@ -15,6 +15,7 @@ SystemConfig::Validate() const
     }
     timing.Validate();
     geometry.Validate();
+    controller.Validate();
     core.Validate();
 }
 

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <cstdlib>
 #include <functional>
 
 #include "common/assert.hh"
@@ -28,6 +29,13 @@ ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
     SystemConfig system = SystemConfig::Baseline(cores);
     system.scheduler = scheduler;
     system.seed = seed;
+    // PARBS_CHECK=1 re-validates every DRAM command of every experiment
+    // against the shadow protocol model (a model-validation run; a few
+    // percent slower, so opt-in from the environment).
+    const char* check = std::getenv("PARBS_CHECK");
+    if (check != nullptr && check[0] != '\0' && check[0] != '0') {
+        system.controller.protocol_check = true;
+    }
     if (customize) {
         customize(system);
     }

@@ -1,0 +1,768 @@
+#include "sim/fault_injector.hh"
+
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hh"
+#include "dram/protocol_checker.hh"
+#include "mem/controller.hh"
+#include "mem/watchdog.hh"
+#include "sched/factory.hh"
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "trace/file_trace.hh"
+
+#include <sstream>
+
+namespace parbs {
+namespace {
+
+/** Geometry used by the controller-level scenarios. */
+dram::Geometry
+ScenarioGeometry()
+{
+    dram::Geometry geometry;
+    geometry.channels = 1;
+    geometry.ranks_per_channel = 1;
+    geometry.banks_per_rank = 8;
+    geometry.rows_per_bank = 1024;
+    geometry.row_bytes = 2048;
+    geometry.line_bytes = 64;
+    return geometry;
+}
+
+/** Drives one Controller directly with hand-built requests. */
+class Driver {
+  public:
+    Driver(const ControllerConfig& config, const dram::TimingParams& timing,
+           std::uint32_t num_threads, std::unique_ptr<Scheduler> scheduler)
+        : controller_(config, timing, ScenarioGeometry(), num_threads,
+                      std::move(scheduler))
+    {
+    }
+
+    void
+    Enqueue(ThreadId thread, std::uint32_t bank, std::uint32_t row,
+            std::uint32_t column = 0, bool is_write = false)
+    {
+        auto request = std::make_unique<MemRequest>();
+        request->id = next_id_++;
+        request->thread = thread;
+        request->coords.channel = 0;
+        request->coords.rank = 0;
+        request->coords.bank = bank;
+        request->coords.row = row;
+        request->coords.column = column;
+        request->is_write = is_write;
+        controller_.Enqueue(std::move(request), now_);
+    }
+
+    void
+    Tick(std::uint64_t cycles = 1)
+    {
+        for (std::uint64_t i = 0; i < cycles; ++i) {
+            controller_.Tick(now_);
+            now_ += 1;
+        }
+    }
+
+    /** Runs until all buffered requests retire (or @p max_cycles pass). */
+    void
+    RunUntilIdle(std::uint64_t max_cycles = 50000)
+    {
+        std::uint64_t spent = 0;
+        while ((controller_.pending_reads() > 0 ||
+                controller_.pending_writes() > 0) &&
+               spent < max_cycles) {
+            Tick();
+            spent += 1;
+        }
+    }
+
+    Controller& controller() { return controller_; }
+    const Controller& controller() const { return controller_; }
+    DramCycle now() const { return now_; }
+
+  private:
+    Controller controller_;
+    DramCycle now_ = 0;
+    RequestId next_id_ = 1;
+};
+
+ControllerConfig
+ScenarioConfig()
+{
+    ControllerConfig config;
+    config.enable_refresh = false;
+    return config;
+}
+
+std::unique_ptr<Scheduler>
+FrFcfs()
+{
+    SchedulerConfig config;
+    config.kind = SchedulerKind::kFrFcfs;
+    return MakeScheduler(config);
+}
+
+// --- User-fault scenarios (must raise ConfigError) -----------------------
+
+void
+RunMalformedTrace(Rng& rng)
+{
+    static const char* const kBadLines[] = {
+        "R 0x1000",                      // missing instruction count
+        "20 X 0x1000",                   // unknown access type
+        "20 R",                          // missing address
+        "abc R 0x1000",                  // non-numeric count
+        "20 R zzz",                      // non-numeric address
+        "99999999999999999999 R 0x20",   // count overflows uint64
+        "5000000000 R 0x20",             // count overflows uint32
+        "20 R 0x1000 Q",                 // bad trailing flag
+        "20 R 0x1000 D D",               // duplicated flag
+        "20R0x1000",                     // fused fields
+        "0x R 0x1000",                   // bare hex prefix
+    };
+    std::ostringstream text;
+    // Valid prefix lines so the reported line number matters.
+    const std::uint64_t prefix = rng.NextBelow(3);
+    for (std::uint64_t i = 0; i < prefix; ++i) {
+        text << "10 R 0x" << std::hex << (0x1000 + i * 0x40) << std::dec
+             << "\n";
+    }
+    text << kBadLines[rng.NextBelow(std::size(kBadLines))] << "\n";
+    std::istringstream in(text.str());
+    ParseTrace(in, "<fuzz>");
+}
+
+void
+RunOutOfRangeAddress(Rng& rng)
+{
+    SystemConfig config;
+    config.num_cores = 1;
+    config.geometry.channels = 1;
+    System system(config, {});
+    const Addr capacity = config.geometry.CapacityBytes();
+    const Addr addr = capacity + rng.NextBelow(1ULL << 30);
+    if (rng.NextBool(0.5)) {
+        system.TryIssueRead(0, addr);
+    } else {
+        system.TryIssueWrite(0, addr);
+    }
+}
+
+void
+RunBadTiming(Rng& rng)
+{
+    dram::TimingParams timing;
+    switch (rng.NextBelow(6)) {
+    case 0: timing.tCL = 0; break;
+    case 1: timing.tRCD = 0; break;
+    case 2: timing.tRP = 0; break;
+    case 3: timing.tRAS = timing.tRCD - 1; break;
+    case 4: timing.tBURST = 0; break;
+    default: timing.tRFC = timing.tREFI + 1; break;
+    }
+    timing.Validate();
+}
+
+void
+RunBadGeometry(Rng& rng)
+{
+    dram::Geometry geometry;
+    switch (rng.NextBelow(6)) {
+    case 0: geometry.banks_per_rank = 0; break;
+    case 1: geometry.rows_per_bank = 6; break;   // not a power of two
+    case 2: geometry.line_bytes = 48; break;     // row % line != 0
+    case 3: geometry.channels = 32; break;       // beyond supported range
+    case 4: geometry.rows_per_bank = 1u << 25; break;
+    default: geometry.row_bytes = 1u << 17; break;
+    }
+    geometry.Validate();
+}
+
+void
+RunBadControllerConfig(Rng& rng)
+{
+    ControllerConfig config;
+    switch (rng.NextBelow(6)) {
+    case 0: config.read_queue_capacity = 0; break;
+    case 1: config.write_queue_capacity = 0; break;
+    case 2:
+        config.write_drain_low = 40;
+        config.write_drain_high = 20;
+        break;
+    case 3:
+        config.write_drain_high = config.write_queue_capacity + 1;
+        break;
+    case 4:
+        config.watchdog.enabled = true;
+        config.watchdog.check_interval = 0;
+        break;
+    default:
+        config.watchdog.enabled = true;
+        config.watchdog.batch_bound_factor = -1.0;
+        break;
+    }
+    if (rng.NextBool(0.5)) {
+        config.Validate();
+    } else {
+        // The constructor path must reject it the same way.
+        Driver driver(config, dram::TimingParams{}, 2, FrFcfs());
+    }
+}
+
+// --- Stress scenarios (must complete cleanly under the checker) ----------
+
+void
+RandomTraffic(Driver& driver, Rng& rng, std::uint32_t requests,
+              std::uint32_t num_threads, double write_fraction)
+{
+    for (std::uint32_t i = 0; i < requests; ++i) {
+        driver.Enqueue(static_cast<ThreadId>(rng.NextBelow(num_threads)),
+                       static_cast<std::uint32_t>(rng.NextBelow(8)),
+                       static_cast<std::uint32_t>(rng.NextBelow(16)),
+                       static_cast<std::uint32_t>(rng.NextBelow(32)),
+                       rng.NextBool(write_fraction));
+        if (rng.NextBool(0.3)) {
+            driver.Tick(rng.NextBelow(12));
+        }
+    }
+    driver.RunUntilIdle();
+}
+
+void
+AssertClean(const Driver& driver)
+{
+    const dram::ProtocolChecker* checker =
+        driver.controller().protocol_checker();
+    if (checker != nullptr && !checker->violations().empty()) {
+        // kRecord-mode leftovers count as a failed defense.
+        throw dram::ProtocolError(
+            checker->FormatViolation(checker->violations().front()));
+    }
+    if (driver.controller().pending_reads() > 0 ||
+        driver.controller().pending_writes() > 0) {
+        throw WatchdogError("stress scenario failed to drain");
+    }
+}
+
+void
+RunRefreshStorm(Rng& rng)
+{
+    ControllerConfig config;
+    config.enable_refresh = true;
+    config.protocol_check = true;
+    config.watchdog.enabled = true;
+    // Refresh consumes most of the bandwidth here, so legitimate queueing
+    // delays exceed the default starvation bound; scale it to match.
+    config.watchdog.starvation_bound = 100000;
+    dram::TimingParams timing;
+    // Aggressive refresh: tRFC consumes up to ~40% of every period (a
+    // tighter interval cannot even close a tRAS-bound row between
+    // refreshes, so nothing would drain).
+    timing.tREFI = timing.tRFC + 80 + rng.NextBelow(60);
+    Driver driver(config, timing, 4, FrFcfs());
+    RandomTraffic(driver, rng, 30, 4, 0.2);
+    AssertClean(driver);
+}
+
+void
+RunWritePressure(Rng& rng)
+{
+    ControllerConfig config;
+    config.enable_refresh = false;
+    config.protocol_check = true;
+    config.watchdog.enabled = true;
+    config.write_queue_capacity = 16;
+    config.write_drain_high = 12;
+    config.write_drain_low = 4;
+    Driver driver(config, dram::TimingParams{}, 4, FrFcfs());
+    for (std::uint32_t burst = 0; burst < 6; ++burst) {
+        // Pin the write buffer at capacity to force drain mode.
+        while (driver.controller().CanAcceptWrite()) {
+            driver.Enqueue(static_cast<ThreadId>(rng.NextBelow(4)),
+                           static_cast<std::uint32_t>(rng.NextBelow(8)),
+                           static_cast<std::uint32_t>(rng.NextBelow(16)),
+                           static_cast<std::uint32_t>(rng.NextBelow(32)),
+                           /*is_write=*/true);
+        }
+        driver.Enqueue(static_cast<ThreadId>(rng.NextBelow(4)),
+                       static_cast<std::uint32_t>(rng.NextBelow(8)),
+                       static_cast<std::uint32_t>(rng.NextBelow(16)), 0,
+                       /*is_write=*/false);
+        driver.Tick(20 + rng.NextBelow(100));
+    }
+    driver.RunUntilIdle();
+    AssertClean(driver);
+}
+
+void
+RunSchedulerChaos(Rng& rng)
+{
+    ControllerConfig config;
+    config.enable_refresh = rng.NextBool(0.5);
+    config.protocol_check = true;
+    config.watchdog.enabled = true;
+    SchedulerConfig inner;
+    inner.kind =
+        rng.NextBool(0.5) ? SchedulerKind::kParBs : SchedulerKind::kFrFcfs;
+    auto chaos = std::make_unique<ChaosScheduler>(
+        MakeScheduler(inner), rng.Next64(), 0.5 + rng.NextDouble() * 0.5);
+    Driver driver(config, dram::TimingParams{}, 4, std::move(chaos));
+    RandomTraffic(driver, rng, 80, 4, 0.3);
+    AssertClean(driver);
+}
+
+// --- Model-fault scenarios (checker / watchdog must fire) ----------------
+
+/**
+ * Services ACTIVATE candidates first (oldest request as the tie-break).
+ * API-legal but adversarial: it bunches row activations as tightly as the
+ * device model permits, which is exactly where a corrupted tRRD or tFAW
+ * register shows — FR-FCFS's row-hit preference paces activates too evenly
+ * for the four-activate window to ever bind.
+ */
+class ActFirstScheduler : public Scheduler {
+  public:
+    std::string name() const override { return "act-first"; }
+
+    MemRequest*
+    Pick(const std::vector<Candidate>& candidates, DramCycle now) override
+    {
+        (void)now;
+        const Candidate* best = nullptr;
+        for (const Candidate& candidate : candidates) {
+            if (best == nullptr ||
+                Precedes(candidate, *best)) {
+                best = &candidate;
+            }
+        }
+        return best == nullptr ? nullptr : best->request;
+    }
+
+  private:
+    static bool
+    Precedes(const Candidate& a, const Candidate& b)
+    {
+        const bool a_act = a.next_command == dram::CommandType::kActivate;
+        const bool b_act = b.next_command == dram::CommandType::kActivate;
+        if (a_act != b_act) {
+            return a_act;
+        }
+        return a.request->id < b.request->id;
+    }
+};
+
+/** One seeded device-timing corruption and traffic that exposes it. */
+struct Corruption {
+    const char* param;
+    void (*corrupt)(dram::TimingParams&);
+    void (*drive)(Driver&, Rng&);
+    /** Drive with the activate-bunching scheduler instead of FR-FCFS. */
+    bool act_first = false;
+};
+
+void
+ConflictChain(Driver& driver, Rng&)
+{
+    for (int i = 0; i < 12; ++i) {
+        driver.Enqueue(0, 2, (i % 2) != 0 ? 5 : 9);
+    }
+    driver.RunUntilIdle();
+}
+
+void
+SequentialConflict(Driver& driver, Rng&)
+{
+    // One request at a time, so FR-FCFS cannot reorder row hits ahead of
+    // the conflicting row: the precharge lands right after the read, where
+    // a shortened tRAS binds.
+    for (std::uint32_t round = 0; round < 4; ++round) {
+        driver.Enqueue(0, 4, 2 * round);
+        driver.Tick(8);
+        driver.Enqueue(0, 4, 2 * round + 1);
+        driver.RunUntilIdle();
+    }
+}
+
+void
+RowHitRunThenConflict(Driver& driver, Rng&)
+{
+    for (std::uint32_t c = 0; c < 8; ++c) {
+        driver.Enqueue(0, 1, 7, c);
+    }
+    driver.Enqueue(0, 1, 8);
+    driver.RunUntilIdle();
+}
+
+void
+RowHitRun(Driver& driver, Rng&)
+{
+    for (std::uint32_t c = 0; c < 10; ++c) {
+        driver.Enqueue(0, 1, 7, c);
+    }
+    driver.RunUntilIdle();
+}
+
+void
+ActivateBurst(Driver& driver, Rng&)
+{
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint32_t bank = 0; bank < 8; ++bank) {
+            driver.Enqueue(0, bank, 3 + bank + round);
+        }
+        driver.RunUntilIdle();
+    }
+}
+
+void
+WriteThenPrecharge(Driver& driver, Rng&)
+{
+    for (int round = 0; round < 4; ++round) {
+        for (std::uint32_t c = 0; c < 6; ++c) {
+            driver.Enqueue(0, 3, 10, c, /*is_write=*/true);
+        }
+        driver.RunUntilIdle();
+        // The conflicting row forces a precharge right after the last
+        // write burst, where tWR binds.
+        driver.Enqueue(0, 3, 11 + round);
+        driver.RunUntilIdle();
+    }
+}
+
+void
+WriteReadTurnaround(Driver& driver, Rng& rng)
+{
+    // Open both rows so later accesses are pure column commands.
+    driver.Enqueue(0, 0, 4);
+    driver.Enqueue(0, 1, 6);
+    driver.RunUntilIdle();
+    for (int phase = 0; phase < 10; ++phase) {
+        for (std::uint32_t c = 0; c < 3; ++c) {
+            driver.Enqueue(0, 0, 4, c, /*is_write=*/true);
+        }
+        driver.Tick(1 + rng.NextBelow(8));
+        driver.Enqueue(0, 1, 6, static_cast<std::uint32_t>(phase));
+        driver.RunUntilIdle();
+    }
+}
+
+const Corruption kCorruptions[] = {
+    {"tRP", [](dram::TimingParams& t) { t.tRP = 2; }, ConflictChain},
+    {"tRCD", [](dram::TimingParams& t) { t.tRCD = 2; }, ConflictChain},
+    {"tRAS", [](dram::TimingParams& t) { t.tRAS = t.tRCD; },
+     SequentialConflict},
+    {"tWR", [](dram::TimingParams& t) { t.tWR = 1; }, WriteThenPrecharge},
+    {"tWTR", [](dram::TimingParams& t) { t.tWTR = 0; }, WriteReadTurnaround},
+    {"tRRD", [](dram::TimingParams& t) { t.tRRD = 1; }, ActivateBurst,
+     /*act_first=*/true},
+    {"tFAW", [](dram::TimingParams& t) { t.tFAW = t.tRRD; }, ActivateBurst,
+     /*act_first=*/true},
+    {"tRTP", [](dram::TimingParams& t) { t.tRTP = 1; }, RowHitRunThenConflict},
+    {"tBURST", [](dram::TimingParams& t) { t.tBURST = 2; }, RowHitRun},
+};
+
+/** Raised when a seeded corruption escapes detection (always a failure —
+ *  classified as an unexpected exception, with the parameter named). */
+struct UncaughtCorruption : std::runtime_error {
+    explicit UncaughtCorruption(const std::string& param)
+        : std::runtime_error("timing corruption of " + param +
+                             " escaped the protocol checker")
+    {
+    }
+};
+
+void
+RunTimingCorruption(Rng& rng)
+{
+    const Corruption& corruption =
+        kCorruptions[rng.NextBelow(std::size(kCorruptions))];
+    dram::TimingParams device;   // what the model will (wrongly) enforce
+    dram::TimingParams reference; // what the checker validates against
+    corruption.corrupt(device);
+    device.Validate(); // the corruption must be plausible, not rejected
+    std::unique_ptr<Scheduler> scheduler =
+        corruption.act_first
+            ? std::unique_ptr<Scheduler>(std::make_unique<ActFirstScheduler>())
+            : FrFcfs();
+    Driver driver(ScenarioConfig(), device, 2, std::move(scheduler));
+    driver.controller().EnableProtocolCheck(reference);
+    corruption.drive(driver, rng);
+    // Reaching this point means the corruption escaped the checker.
+    throw UncaughtCorruption(corruption.param);
+}
+
+void
+RunServiceWithholding(Rng& rng)
+{
+    ControllerConfig config;
+    config.enable_refresh = false;
+    config.watchdog.enabled = true;
+    config.watchdog.starvation_bound = 1500;
+    auto withholding =
+        std::make_unique<WithholdingScheduler>(FrFcfs(), /*victim=*/0);
+    Driver driver(config, dram::TimingParams{}, 2, std::move(withholding));
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        driver.Enqueue(0, static_cast<std::uint32_t>(rng.NextBelow(8)),
+                       static_cast<std::uint32_t>(rng.NextBelow(16)));
+    }
+    const bool background = rng.NextBool(0.5);
+    for (int step = 0; step < 4000; ++step) {
+        // With background traffic the starvation bound trips; without it
+        // the no-progress bound trips.  Both are WatchdogError.
+        if (background && step % 30 == 0 &&
+            driver.controller().CanAcceptRead()) {
+            driver.Enqueue(1, static_cast<std::uint32_t>(rng.NextBelow(8)),
+                           static_cast<std::uint32_t>(rng.NextBelow(16)));
+        }
+        driver.Tick();
+    }
+}
+
+std::string
+FirstLine(const char* what)
+{
+    const std::string text(what);
+    const std::size_t newline = text.find('\n');
+    return newline == std::string::npos ? text : text.substr(0, newline);
+}
+
+} // namespace
+
+const char*
+FaultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kMalformedTrace: return "malformed-trace";
+    case FaultKind::kOutOfRangeAddress: return "out-of-range-address";
+    case FaultKind::kBadTiming: return "bad-timing";
+    case FaultKind::kBadGeometry: return "bad-geometry";
+    case FaultKind::kBadControllerConfig: return "bad-controller-config";
+    case FaultKind::kRefreshStorm: return "refresh-storm";
+    case FaultKind::kWritePressure: return "write-pressure";
+    case FaultKind::kSchedulerChaos: return "scheduler-chaos";
+    case FaultKind::kTimingCorruption: return "timing-corruption";
+    case FaultKind::kServiceWithholding: return "service-withholding";
+    }
+    return "?";
+}
+
+const char*
+DefenseName(Defense defense)
+{
+    switch (defense) {
+    case Defense::kNone: return "clean";
+    case Defense::kConfigError: return "config-error";
+    case Defense::kProtocolError: return "protocol-error";
+    case Defense::kWatchdogError: return "watchdog-error";
+    case Defense::kOther: return "unexpected-exception";
+    }
+    return "?";
+}
+
+Defense
+FaultInjector::ExpectedDefense(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kMalformedTrace:
+    case FaultKind::kOutOfRangeAddress:
+    case FaultKind::kBadTiming:
+    case FaultKind::kBadGeometry:
+    case FaultKind::kBadControllerConfig:
+        return Defense::kConfigError;
+    case FaultKind::kRefreshStorm:
+    case FaultKind::kWritePressure:
+    case FaultKind::kSchedulerChaos:
+        return Defense::kNone;
+    case FaultKind::kTimingCorruption:
+        return Defense::kProtocolError;
+    case FaultKind::kServiceWithholding:
+        return Defense::kWatchdogError;
+    }
+    return Defense::kOther;
+}
+
+FaultInjector::FaultInjector(std::uint64_t master_seed)
+    : master_seed_(master_seed)
+{
+}
+
+FaultOutcome
+FaultInjector::RunScenario(std::uint64_t index)
+{
+    FaultOutcome outcome;
+    outcome.index = index;
+    outcome.kind = static_cast<FaultKind>(index % kNumFaultKinds);
+    outcome.expected = ExpectedDefense(outcome.kind);
+    Rng rng(master_seed_ + 0x9e3779b97f4a7c15ULL * (index + 1));
+    try {
+        switch (outcome.kind) {
+        case FaultKind::kMalformedTrace: RunMalformedTrace(rng); break;
+        case FaultKind::kOutOfRangeAddress: RunOutOfRangeAddress(rng); break;
+        case FaultKind::kBadTiming: RunBadTiming(rng); break;
+        case FaultKind::kBadGeometry: RunBadGeometry(rng); break;
+        case FaultKind::kBadControllerConfig:
+            RunBadControllerConfig(rng);
+            break;
+        case FaultKind::kRefreshStorm: RunRefreshStorm(rng); break;
+        case FaultKind::kWritePressure: RunWritePressure(rng); break;
+        case FaultKind::kSchedulerChaos: RunSchedulerChaos(rng); break;
+        case FaultKind::kTimingCorruption: RunTimingCorruption(rng); break;
+        case FaultKind::kServiceWithholding:
+            RunServiceWithholding(rng);
+            break;
+        }
+        outcome.observed = Defense::kNone;
+    } catch (const ConfigError& error) {
+        outcome.observed = Defense::kConfigError;
+        outcome.detail = FirstLine(error.what());
+    } catch (const dram::ProtocolError& error) {
+        outcome.observed = Defense::kProtocolError;
+        outcome.detail = FirstLine(error.what());
+    } catch (const WatchdogError& error) {
+        outcome.observed = Defense::kWatchdogError;
+        outcome.detail = FirstLine(error.what());
+    } catch (const std::exception& error) {
+        outcome.observed = Defense::kOther;
+        outcome.detail = FirstLine(error.what());
+    }
+    return outcome;
+}
+
+// --- ChaosScheduler ------------------------------------------------------
+
+ChaosScheduler::ChaosScheduler(std::unique_ptr<Scheduler> inner,
+                               std::uint64_t seed, double chaos)
+    : inner_(std::move(inner)), rng_(seed), chaos_(chaos)
+{
+    PARBS_ASSERT(inner_ != nullptr, "chaos scheduler needs an inner one");
+}
+
+std::string
+ChaosScheduler::name() const
+{
+    return "chaos(" + inner_->name() + ")";
+}
+
+void
+ChaosScheduler::Attach(const SchedulerContext& context)
+{
+    Scheduler::Attach(context);
+    inner_->Attach(context);
+}
+
+MemRequest*
+ChaosScheduler::Pick(const std::vector<Candidate>& candidates, DramCycle now)
+{
+    if (!candidates.empty() && rng_.NextBool(chaos_)) {
+        return candidates[rng_.NextBelow(candidates.size())].request;
+    }
+    return inner_->Pick(candidates, now);
+}
+
+void
+ChaosScheduler::OnRequestQueued(MemRequest& request, DramCycle now)
+{
+    inner_->OnRequestQueued(request, now);
+}
+
+void
+ChaosScheduler::OnCommandIssued(const MemRequest& request,
+                                const dram::Command& command, DramCycle now)
+{
+    inner_->OnCommandIssued(request, command, now);
+}
+
+void
+ChaosScheduler::OnRequestComplete(const MemRequest& request, DramCycle now)
+{
+    inner_->OnRequestComplete(request, now);
+}
+
+void
+ChaosScheduler::OnDramCycle(DramCycle now)
+{
+    inner_->OnDramCycle(now);
+}
+
+std::uint64_t
+ChaosScheduler::BatchOutstanding() const
+{
+    return inner_->BatchOutstanding();
+}
+
+// --- WithholdingScheduler ------------------------------------------------
+
+WithholdingScheduler::WithholdingScheduler(std::unique_ptr<Scheduler> inner,
+                                           ThreadId victim)
+    : inner_(std::move(inner)), victim_(victim)
+{
+    PARBS_ASSERT(inner_ != nullptr,
+                 "withholding scheduler needs an inner one");
+}
+
+std::string
+WithholdingScheduler::name() const
+{
+    return "withholding(" + inner_->name() + ")";
+}
+
+void
+WithholdingScheduler::Attach(const SchedulerContext& context)
+{
+    Scheduler::Attach(context);
+    inner_->Attach(context);
+}
+
+MemRequest*
+WithholdingScheduler::Pick(const std::vector<Candidate>& candidates,
+                           DramCycle now)
+{
+    filtered_.clear();
+    for (const Candidate& candidate : candidates) {
+        if (candidate.request->thread != victim_) {
+            filtered_.push_back(candidate);
+        }
+    }
+    if (filtered_.empty()) {
+        return nullptr;
+    }
+    return inner_->Pick(filtered_, now);
+}
+
+void
+WithholdingScheduler::OnRequestQueued(MemRequest& request, DramCycle now)
+{
+    inner_->OnRequestQueued(request, now);
+}
+
+void
+WithholdingScheduler::OnCommandIssued(const MemRequest& request,
+                                      const dram::Command& command,
+                                      DramCycle now)
+{
+    inner_->OnCommandIssued(request, command, now);
+}
+
+void
+WithholdingScheduler::OnRequestComplete(const MemRequest& request,
+                                        DramCycle now)
+{
+    inner_->OnRequestComplete(request, now);
+}
+
+void
+WithholdingScheduler::OnDramCycle(DramCycle now)
+{
+    inner_->OnDramCycle(now);
+}
+
+std::uint64_t
+WithholdingScheduler::BatchOutstanding() const
+{
+    return inner_->BatchOutstanding();
+}
+
+} // namespace parbs

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deterministic fault-injection harness.
+ *
+ * Robustness claims need adversarial evidence: the harness replays seeded
+ * fault scenarios against the simulator and classifies how each one was
+ * defended.  Three scenario families:
+ *
+ *  - User faults (malformed traces, out-of-range addresses, impossible
+ *    timing/geometry/controller configurations) must raise ConfigError —
+ *    never std::abort, never silent acceptance.
+ *  - Model faults (a corrupted device timing register, a scheduler that
+ *    withholds service) must be caught by the protocol checker or the
+ *    forward-progress watchdog.
+ *  - Stress scenarios (refresh storms, write-buffer pressure, adversarially
+ *    randomized scheduling) must complete cleanly with zero protocol
+ *    violations — the model's constraints hold under any decision sequence.
+ *
+ * Every scenario derives its randomness from (master seed, scenario index),
+ * so a failing index reproduces exactly.  tools/fault_fuzz.cpp drives the
+ * harness from the command line; tests/sim/fault_injection_test.cc asserts
+ * the expected defense for every scenario family.
+ */
+
+#ifndef PARBS_SIM_FAULT_INJECTOR_HH
+#define PARBS_SIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "sched/scheduler.hh"
+
+namespace parbs {
+
+/** The fault families the harness can inject. */
+enum class FaultKind : std::uint8_t {
+    kMalformedTrace,      ///< Corrupted trace text fed to the parser.
+    kOutOfRangeAddress,   ///< Request beyond the configured DRAM capacity.
+    kBadTiming,           ///< Impossible TimingParams combination.
+    kBadGeometry,         ///< Zero / non-power-of-two / oversized geometry.
+    kBadControllerConfig, ///< Nonsensical queue sizing or watchdog knobs.
+    kRefreshStorm,        ///< Near-minimum tREFI under load (stress).
+    kWritePressure,       ///< Write bursts pinned at buffer capacity.
+    kSchedulerChaos,      ///< Randomized scheduling decisions (stress).
+    kTimingCorruption,    ///< Device model runs with a shortened constraint.
+    kServiceWithholding,  ///< Scheduler never services one thread.
+};
+
+inline constexpr std::size_t kNumFaultKinds = 10;
+
+/** @return a short name, e.g. "malformed-trace". */
+const char* FaultKindName(FaultKind kind);
+
+/** How a scenario was (or should be) defended. */
+enum class Defense : std::uint8_t {
+    kNone,          ///< Scenario must complete cleanly.
+    kConfigError,   ///< Rejected as a user configuration fault.
+    kProtocolError, ///< Caught by the DRAM protocol checker.
+    kWatchdogError, ///< Caught by the forward-progress watchdog.
+    kOther,         ///< Unexpected exception type (always a failure).
+};
+
+/** @return a short name, e.g. "config-error". */
+const char* DefenseName(Defense defense);
+
+/** Result of one injected scenario. */
+struct FaultOutcome {
+    std::uint64_t index = 0;
+    FaultKind kind = FaultKind::kMalformedTrace;
+    Defense expected = Defense::kNone;
+    Defense observed = Defense::kNone;
+    /** First line of the raised error (empty for clean completions). */
+    std::string detail;
+
+    bool Passed() const { return observed == expected; }
+};
+
+/** Seeded scenario generator + executor. */
+class FaultInjector {
+  public:
+    explicit FaultInjector(std::uint64_t master_seed);
+
+    /**
+     * Runs scenario @p index (deterministic in (seed, index)); the fault
+     * kind cycles through all families so any contiguous index range covers
+     * every family.  Never aborts: all defenses are catchable exceptions.
+     */
+    FaultOutcome RunScenario(std::uint64_t index);
+
+    /** The defense a given fault kind is required to trigger. */
+    static Defense ExpectedDefense(FaultKind kind);
+
+  private:
+    std::uint64_t master_seed_;
+};
+
+/**
+ * Wraps a scheduler and, with probability `chaos`, overrides its decision
+ * with a uniformly random ready candidate.  Because the controller only
+ * offers timing-ready candidates, *no* decision sequence may break the DRAM
+ * protocol — the chaos scenarios prove that under the protocol checker.
+ */
+class ChaosScheduler : public Scheduler {
+  public:
+    ChaosScheduler(std::unique_ptr<Scheduler> inner, std::uint64_t seed,
+                   double chaos = 0.5);
+
+    std::string name() const override;
+    void Attach(const SchedulerContext& context) override;
+    MemRequest* Pick(const std::vector<Candidate>& candidates,
+                     DramCycle now) override;
+    void OnRequestQueued(MemRequest& request, DramCycle now) override;
+    void OnCommandIssued(const MemRequest& request,
+                         const dram::Command& command,
+                         DramCycle now) override;
+    void OnRequestComplete(const MemRequest& request,
+                           DramCycle now) override;
+    void OnDramCycle(DramCycle now) override;
+    std::uint64_t BatchOutstanding() const override;
+
+  private:
+    std::unique_ptr<Scheduler> inner_;
+    Rng rng_;
+    double chaos_;
+};
+
+/**
+ * Wraps a scheduler but never services the victim thread's requests — a
+ * seeded starvation bug the forward-progress watchdog must catch.
+ */
+class WithholdingScheduler : public Scheduler {
+  public:
+    WithholdingScheduler(std::unique_ptr<Scheduler> inner, ThreadId victim);
+
+    std::string name() const override;
+    void Attach(const SchedulerContext& context) override;
+    MemRequest* Pick(const std::vector<Candidate>& candidates,
+                     DramCycle now) override;
+    void OnRequestQueued(MemRequest& request, DramCycle now) override;
+    void OnCommandIssued(const MemRequest& request,
+                         const dram::Command& command,
+                         DramCycle now) override;
+    void OnRequestComplete(const MemRequest& request,
+                           DramCycle now) override;
+    void OnDramCycle(DramCycle now) override;
+    std::uint64_t BatchOutstanding() const override;
+
+  private:
+    std::unique_ptr<Scheduler> inner_;
+    ThreadId victim_;
+    std::vector<Candidate> filtered_;
+};
+
+} // namespace parbs
+
+#endif // PARBS_SIM_FAULT_INJECTOR_HH

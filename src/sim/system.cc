@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
+#include <string>
 
 #include "common/assert.hh"
 
@@ -16,6 +18,15 @@ System::System(const SystemConfig& config,
     config_.Validate();
     if (traces_.size() > config_.num_cores) {
         PARBS_FATAL("more traces than cores");
+    }
+    capacity_bytes_ = config_.geometry.CapacityBytes();
+    if (config_.controller.watchdog.enabled) {
+        // The system-level bound wraps the per-controller one with slack
+        // for the clock-domain ratio and cross-controller skew.
+        progress_bound_cpu_ =
+            4 * config_.cpu_to_dram_ratio *
+            ResolveNoProgressBound(config_.controller.watchdog,
+                                   config_.timing);
     }
 
     // Per-channel geometry: each controller sees a single-channel slice.
@@ -61,10 +72,57 @@ System::Run(CpuCycle cpu_cycles)
             core->Tick();
         }
         cpu_cycle_ += 1;
+        if (progress_bound_cpu_ != 0 && cpu_cycle_ >= next_progress_check_) {
+            CheckGlobalProgress();
+        }
         if (AllDone()) {
             break;
         }
     }
+}
+
+std::uint64_t
+System::ProgressSignature() const
+{
+    std::uint64_t signature = 0;
+    for (const auto& core : cores_) {
+        signature += core->stats().instructions;
+    }
+    for (const auto& controller : controllers_) {
+        signature += controller->total_commands_issued();
+    }
+    return signature;
+}
+
+void
+System::CheckGlobalProgress()
+{
+    // Amortize the signature scan; the bound is thousands of cycles.
+    next_progress_check_ = cpu_cycle_ + 256;
+    const std::uint64_t signature = ProgressSignature();
+    if (signature != progress_signature_) {
+        progress_signature_ = signature;
+        progress_cycle_ = cpu_cycle_;
+        return;
+    }
+    if (cpu_cycle_ - progress_cycle_ <= progress_bound_cpu_) {
+        return;
+    }
+    if (AllDone()) {
+        return;
+    }
+    std::ostringstream out;
+    out << "watchdog: system deadlock: no instruction retired and no DRAM "
+           "command issued for "
+        << (cpu_cycle_ - progress_cycle_) << " CPU cycles (bound "
+        << progress_bound_cpu_ << ") with work still pending\n";
+    for (std::uint32_t channel = 0; channel < controllers_.size();
+         ++channel) {
+        out << "-- controller[" << channel << "] --\n"
+            << controllers_[channel]->Diagnostics(DramNow());
+    }
+    DumpStats(out);
+    throw WatchdogError(out.str());
 }
 
 void
@@ -248,6 +306,21 @@ System::DumpStats(std::ostream& out) const
     }
 }
 
+void
+System::CheckAddr(Addr addr) const
+{
+    // The bit-sliced mapper masks each field, so an out-of-range address
+    // would silently alias a valid one — reject it instead.
+    if (addr >= capacity_bytes_) {
+        std::ostringstream message;
+        message << "address 0x" << std::hex << addr << std::dec
+                << " is outside the " << capacity_bytes_
+                << "-byte memory system (check the trace against the "
+                   "configured DRAM geometry)";
+        PARBS_FATAL(message.str());
+    }
+}
+
 std::unique_ptr<MemRequest>
 System::MakeRequest(ThreadId thread, Addr addr, bool is_write)
 {
@@ -264,6 +337,7 @@ System::MakeRequest(ThreadId thread, Addr addr, bool is_write)
 std::optional<RequestId>
 System::TryIssueRead(ThreadId thread, Addr addr)
 {
+    CheckAddr(addr);
     const dram::DecodedAddr coords = mapper_.Decode(addr);
     Controller& controller = *controllers_[coords.channel];
     if (!controller.CanAcceptRead()) {
@@ -278,6 +352,7 @@ System::TryIssueRead(ThreadId thread, Addr addr)
 bool
 System::TryIssueWrite(ThreadId thread, Addr addr)
 {
+    CheckAddr(addr);
     const dram::DecodedAddr coords = mapper_.Decode(addr);
     Controller& controller = *controllers_[coords.channel];
     if (!controller.CanAcceptWrite()) {

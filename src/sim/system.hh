@@ -86,6 +86,27 @@ class System : public MemoryPort {
     CpuCycle cpu_cycle_ = 0;
     RequestId next_request_id_ = 1;
 
+    /** Total addressable bytes (cached from the geometry). */
+    std::uint64_t capacity_bytes_;
+
+    /**
+     * Global no-progress detection (active when the controller watchdog is
+     * enabled): a monotone progress signature — instructions retired plus
+     * DRAM commands issued — must advance within a bounded window while
+     * work remains, or the run fails with a WatchdogError carrying the
+     * full system statistics dump.
+     */
+    std::uint64_t progress_signature_ = 0;
+    CpuCycle progress_cycle_ = 0;
+    CpuCycle progress_bound_cpu_ = 0;
+    CpuCycle next_progress_check_ = 0;
+
+    void CheckGlobalProgress();
+    std::uint64_t ProgressSignature() const;
+
+    /** @throws ConfigError if @p addr exceeds the configured capacity. */
+    void CheckAddr(Addr addr) const;
+
     /** Read completions awaiting the fixed return-path latency. */
     struct PendingNotify {
         CpuCycle ready;

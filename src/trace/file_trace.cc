@@ -1,19 +1,81 @@
 #include "trace/file_trace.hh"
 
+#include <charconv>
+#include <cstdint>
 #include <fstream>
-#include <sstream>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <system_error>
 
 #include "common/assert.hh"
 
 namespace parbs {
 namespace {
 
+/**
+ * Splits a line into whitespace-separated tokens while tracking 1-based
+ * column positions, so parse errors can point at the offending field.
+ */
+class Tokenizer {
+  public:
+    explicit Tokenizer(const std::string& line) : line_(line) {}
+
+    /** @return false at end of line; otherwise fills token and column. */
+    bool
+    Next(std::string_view& token, std::size_t& column)
+    {
+        while (pos_ < line_.size() &&
+               (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+            pos_ += 1;
+        }
+        if (pos_ >= line_.size()) {
+            return false;
+        }
+        const std::size_t start = pos_;
+        while (pos_ < line_.size() && line_[pos_] != ' ' &&
+               line_[pos_] != '\t') {
+            pos_ += 1;
+        }
+        token = std::string_view(line_).substr(start, pos_ - start);
+        column = start + 1;
+        return true;
+    }
+
+  private:
+    const std::string& line_;
+    std::size_t pos_ = 0;
+};
+
 [[noreturn]] void
-ParseError(const std::string& origin, std::size_t line,
+ParseError(const std::string& origin, std::size_t line, std::size_t column,
            const std::string& what)
 {
-    PARBS_FATAL("trace " + origin + ":" + std::to_string(line) + ": " +
-                what);
+    PARBS_FATAL("trace " + origin + ":" + std::to_string(line) + ":" +
+                std::to_string(column) + ": " + what);
+}
+
+/**
+ * Parses an unsigned decimal or 0x-prefixed hex token via std::from_chars
+ * (never throws; malformed and out-of-range inputs are reported through
+ * the return value).  @return true and sets @p out on success.
+ */
+bool
+ParseUint64(std::string_view token, std::uint64_t& out)
+{
+    int base = 10;
+    if (token.size() > 2 && token[0] == '0' &&
+        (token[1] == 'x' || token[1] == 'X')) {
+        token.remove_prefix(2);
+        base = 16;
+    }
+    if (token.empty()) {
+        return false;
+    }
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out, base);
+    return ec == std::errc() && ptr == last;
 }
 
 } // namespace
@@ -26,61 +88,63 @@ ParseTrace(std::istream& in, const std::string& origin)
     std::size_t line_number = 0;
     while (std::getline(in, line)) {
         line_number += 1;
-        // Strip comments and surrounding whitespace.
+        // Strip comments.
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos) {
             line.erase(hash);
         }
-        std::istringstream fields(line);
-        std::string compute_text;
-        if (!(fields >> compute_text)) {
+        Tokenizer tokens(line);
+        std::string_view token;
+        std::size_t column = 0;
+        if (!tokens.Next(token, column)) {
             continue; // Blank or comment-only line.
         }
 
         TraceEntry entry;
-        try {
-            std::size_t consumed = 0;
-            const unsigned long compute =
-                std::stoul(compute_text, &consumed, 0);
-            if (consumed != compute_text.size()) {
-                throw std::invalid_argument(compute_text);
-            }
-            entry.compute_instructions =
-                static_cast<std::uint32_t>(compute);
-        } catch (const std::exception&) {
-            ParseError(origin, line_number,
-                       "bad instruction count '" + compute_text + "'");
+        std::uint64_t compute = 0;
+        if (!ParseUint64(token, compute)) {
+            ParseError(origin, line_number, column,
+                       "bad instruction count '" + std::string(token) + "'");
+        }
+        if (compute > std::numeric_limits<std::uint32_t>::max()) {
+            ParseError(origin, line_number, column,
+                       "instruction count " + std::to_string(compute) +
+                           " out of range (max 4294967295)");
+        }
+        entry.compute_instructions = static_cast<std::uint32_t>(compute);
+
+        if (!tokens.Next(token, column)) {
+            ParseError(origin, line_number, line.size() + 1,
+                       "missing access type (expected R or W)");
+        }
+        if (token != "R" && token != "W") {
+            ParseError(origin, line_number, column,
+                       "expected access type R or W, got '" +
+                           std::string(token) + "'");
+        }
+        entry.is_write = token == "W";
+
+        if (!tokens.Next(token, column)) {
+            ParseError(origin, line_number, line.size() + 1,
+                       "missing address");
+        }
+        if (!ParseUint64(token, entry.addr)) {
+            ParseError(origin, line_number, column,
+                       "bad address '" + std::string(token) + "'");
         }
 
-        std::string kind;
-        if (!(fields >> kind) || (kind != "R" && kind != "W")) {
-            ParseError(origin, line_number,
-                       "expected access type R or W");
-        }
-        entry.is_write = kind == "W";
-
-        std::string addr_text;
-        if (!(fields >> addr_text)) {
-            ParseError(origin, line_number, "missing address");
-        }
-        try {
-            std::size_t consumed = 0;
-            entry.addr = std::stoull(addr_text, &consumed, 0);
-            if (consumed != addr_text.size()) {
-                throw std::invalid_argument(addr_text);
-            }
-        } catch (const std::exception&) {
-            ParseError(origin, line_number,
-                       "bad address '" + addr_text + "'");
-        }
-
-        std::string flag;
-        if (fields >> flag) {
-            if (flag != "D") {
-                ParseError(origin, line_number,
-                           "unexpected trailing field '" + flag + "'");
+        if (tokens.Next(token, column)) {
+            if (token != "D") {
+                ParseError(origin, line_number, column,
+                           "unexpected trailing field '" +
+                               std::string(token) + "'");
             }
             entry.depends_on_prev = true;
+            if (tokens.Next(token, column)) {
+                ParseError(origin, line_number, column,
+                           "unexpected trailing field '" +
+                               std::string(token) + "'");
+            }
         }
         entries.push_back(entry);
     }

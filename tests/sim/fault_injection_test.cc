@@ -1,0 +1,88 @@
+/** @file Tests for the deterministic fault-injection harness. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/fault_injector.hh"
+
+namespace parbs {
+namespace {
+
+TEST(FaultInjector, ExpectedDefensePerFamily)
+{
+    using enum FaultKind;
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kMalformedTrace),
+              Defense::kConfigError);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kOutOfRangeAddress),
+              Defense::kConfigError);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kBadTiming),
+              Defense::kConfigError);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kBadGeometry),
+              Defense::kConfigError);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kBadControllerConfig),
+              Defense::kConfigError);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kRefreshStorm), Defense::kNone);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kWritePressure),
+              Defense::kNone);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kSchedulerChaos),
+              Defense::kNone);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kTimingCorruption),
+              Defense::kProtocolError);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kServiceWithholding),
+              Defense::kWatchdogError);
+}
+
+TEST(FaultInjector, ScenariosAreDeterministic)
+{
+    FaultInjector a(0xFA11);
+    FaultInjector b(0xFA11);
+    for (std::uint64_t index = 0; index < kNumFaultKinds; ++index) {
+        const FaultOutcome first = a.RunScenario(index);
+        const FaultOutcome second = b.RunScenario(index);
+        EXPECT_EQ(first.observed, second.observed) << "index " << index;
+        EXPECT_EQ(first.detail, second.detail) << "index " << index;
+    }
+}
+
+TEST(FaultInjector, EveryFamilyIsDefendedAsExpected)
+{
+    // Three full rotations through the ten families (the CI fuzz run covers
+    // far more; this keeps the tier-1 suite fast but representative).
+    FaultInjector injector(0xFA11);
+    for (std::uint64_t index = 0; index < 3 * kNumFaultKinds; ++index) {
+        const FaultOutcome outcome = injector.RunScenario(index);
+        EXPECT_TRUE(outcome.Passed())
+            << "index " << index << " (" << FaultKindName(outcome.kind)
+            << "): expected " << DefenseName(outcome.expected)
+            << ", observed " << DefenseName(outcome.observed) << "\n  "
+            << outcome.detail;
+    }
+}
+
+TEST(FaultInjector, ASecondSeedAlsoPasses)
+{
+    FaultInjector injector(0xC0FFEE);
+    for (std::uint64_t index = 0; index < kNumFaultKinds; ++index) {
+        const FaultOutcome outcome = injector.RunScenario(index);
+        EXPECT_TRUE(outcome.Passed())
+            << "index " << index << " (" << FaultKindName(outcome.kind)
+            << "): observed " << DefenseName(outcome.observed) << "\n  "
+            << outcome.detail;
+    }
+}
+
+TEST(FaultInjector, UserFaultDetailNamesTheProblem)
+{
+    // The rejection message must carry context, not just a type.
+    FaultInjector injector(0xFA11);
+    const FaultOutcome outcome =
+        injector.RunScenario(static_cast<std::uint64_t>(
+            FaultKind::kMalformedTrace));
+    ASSERT_EQ(outcome.observed, Defense::kConfigError);
+    EXPECT_NE(outcome.detail.find("trace"), std::string::npos)
+        << outcome.detail;
+}
+
+} // namespace
+} // namespace parbs

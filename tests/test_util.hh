@@ -54,12 +54,17 @@ class ControllerHarness {
             });
     }
 
-    /** Refresh off by default: most tests want deterministic schedules. */
+    /**
+     * Refresh off by default: most tests want deterministic schedules.
+     * The protocol checker is ON so the entire suite doubles as shadow-model
+     * validation — any illegal command issued anywhere throws ProtocolError.
+     */
     static ControllerConfig
     DefaultConfig()
     {
         ControllerConfig config;
         config.enable_refresh = false;
+        config.protocol_check = true;
         return config;
     }
 

@@ -72,6 +72,80 @@ TEST(FileTrace, ErrorMessagesNameTheLine)
     }
 }
 
+TEST(FileTrace, ErrorMessagesNameTheColumn)
+{
+    // The bad access type 'Q' starts at column 4 of line 2.
+    std::istringstream in("10 R 0x40\n20 Q 0x80\n");
+    try {
+        ParseTrace(in, "demo.trace");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("demo.trace:2:4"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FileTrace, ErrorColumnTracksLeadingWhitespace)
+{
+    std::istringstream in("   7 R bogus\n");
+    try {
+        ParseTrace(in, "t");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        // "bogus" starts at column 8.
+        EXPECT_NE(std::string(e.what()).find("t:1:8"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FileTrace, RejectsInstructionCountOverflow)
+{
+    // Fits in uint64 but not uint32: must be a ConfigError, not silent
+    // truncation.
+    std::istringstream in("5000000000 R 0x40\n");
+    try {
+        ParseTrace(in, "t");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("out of range"),
+                  std::string::npos)
+            << e.what();
+    }
+    // And a value too large even for uint64 must not throw anything else.
+    std::istringstream in2("99999999999999999999 R 0x40\n");
+    EXPECT_THROW(ParseTrace(in2), ConfigError);
+}
+
+TEST(FileTrace, AcceptsHexAndDecimalAddresses)
+{
+    std::istringstream in("1 R 0XAB40\n2 W 256\n");
+    const auto entries = ParseTrace(in);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].addr, 0xAB40u);
+    EXPECT_EQ(entries[1].addr, 256u);
+}
+
+TEST(FileTrace, RejectsBareHexPrefixAndFusedFields)
+{
+    {
+        std::istringstream in("0x R 0x40\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+    {
+        std::istringstream in("10R0x40\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+    {
+        std::istringstream in("10 R 0x40 D D\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+    {
+        std::istringstream in("10 R -5\n");
+        EXPECT_THROW(ParseTrace(in), ConfigError);
+    }
+}
+
 TEST(FileTrace, WriteParseRoundTrip)
 {
     std::vector<TraceEntry> entries{
