@@ -40,25 +40,37 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Ablation", "adaptive Marking-Cap vs fixed caps");
-    ExperimentRunner runner = bench::MakeRunner(options, 4);
+    bench::Session session(argc, argv, "Ablation",
+                           "adaptive Marking-Cap vs fixed caps");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
+    const std::vector<Variant> variants = Variants();
 
-    const std::uint32_t count = options.Count(4, 12, 50);
-    const auto mixes = RandomMixes(count, 4, options.seed);
+    const std::uint32_t count = session.options().Count(4, 12, 50);
+    const auto mixes = RandomMixes(count, 4, session.options().seed);
     std::cout << "Average over " << mixes.size() << " 4-core workloads:\n\n";
+    std::vector<bench::RunTask> tasks;
+    tasks.reserve(variants.size() * mixes.size());
+    for (const Variant& variant : variants) {
+        for (const auto& workload : mixes) {
+            tasks.push_back({workload, variant.config, {}, {}});
+        }
+    }
+    const std::vector<SharedRun> population =
+        bench::RunTasks(session, runner, tasks);
     Table averages({"cap policy", "unfairness(gmean)", "weighted-sp",
                     "hmean-sp"});
-    for (const Variant& variant : Variants()) {
-        std::vector<SharedRun> runs;
-        for (const auto& workload : mixes) {
-            runs.push_back(runner.RunShared(workload, variant.config));
-        }
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const std::vector<SharedRun> runs(
+            population.begin() +
+                static_cast<std::ptrdiff_t>(v * mixes.size()),
+            population.begin() +
+                static_cast<std::ptrdiff_t>((v + 1) * mixes.size()));
         const AggregateMetrics agg = ExperimentRunner::Aggregate(runs);
-        averages.AddRow({variant.name,
+        averages.AddRow({variants[v].name,
                          Table::Num(agg.unfairness_gmean, 3),
                          Table::Num(agg.weighted_speedup_gmean, 3),
                          Table::Num(agg.hmean_speedup_gmean, 3)});
+        session.RecordAggregate("population", variants[v].name, agg);
     }
     std::cout << averages.Render() << "\n";
 
@@ -66,12 +78,18 @@ main(int argc, char** argv)
         std::cout << "Unfairness / weighted speedup, " << workload.name
                   << ":\n\n";
         Table table({"cap policy", "unfairness", "weighted-sp"});
-        for (const Variant& variant : Variants()) {
-            const SharedRun run =
-                runner.RunShared(workload, variant.config);
-            table.AddRow({variant.name,
-                          Table::Num(run.metrics.unfairness),
-                          Table::Num(run.metrics.weighted_speedup)});
+        std::vector<bench::RunTask> study_tasks;
+        study_tasks.reserve(variants.size());
+        for (const Variant& variant : variants) {
+            study_tasks.push_back({workload, variant.config, {}, {}});
+        }
+        const std::vector<SharedRun> runs =
+            bench::RunTasks(session, runner, study_tasks);
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            table.AddRow({variants[v].name,
+                          Table::Num(runs[v].metrics.unfairness),
+                          Table::Num(runs[v].metrics.weighted_speedup)});
+            session.RecordRun(workload.name, runs[v]);
         }
         std::cout << table.Render() << "\n";
     }

@@ -16,24 +16,28 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 10", "16-core workloads: samples + GMEAN");
-    ExperimentRunner runner = bench::MakeRunner(options, 16);
+    bench::Session session(argc, argv, "Figure 10",
+                           "16-core workloads: samples + GMEAN");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 16);
 
     std::cout << "Sample workloads (unfairness per scheduler):\n\n";
     Table samples({"workload", "FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS"});
-    for (const WorkloadSpec& workload : SixteenCoreSamples()) {
-        std::vector<std::string> row{workload.name};
-        for (const auto& scheduler : ComparisonSchedulers()) {
-            row.push_back(Table::Num(
-                runner.RunShared(workload, scheduler).metrics.unfairness));
+    const std::vector<WorkloadSpec> sample_workloads = SixteenCoreSamples();
+    const auto matrix = bench::RunMatrix(
+        session, runner, ComparisonSchedulers(), sample_workloads);
+    for (std::size_t w = 0; w < sample_workloads.size(); ++w) {
+        std::vector<std::string> row{sample_workloads[w].name};
+        for (std::size_t s = 0; s < matrix.size(); ++s) {
+            row.push_back(Table::Num(matrix[s][w].metrics.unfairness));
+            session.RecordRun("samples", matrix[s][w]);
         }
         samples.AddRow(std::move(row));
     }
     std::cout << samples.Render() << "\n";
 
-    const std::uint32_t count = options.Count(3, 7, 12);
-    bench::RunAggregate(runner, RandomMixes(count, 16, options.seed),
+    const std::uint32_t count = session.options().Count(3, 7, 12);
+    bench::RunAggregate(session, runner,
+                        RandomMixes(count, 16, session.options().seed),
                         "Population aggregate");
     return 0;
 }

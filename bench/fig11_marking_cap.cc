@@ -39,27 +39,39 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 11", "effect of Marking-Cap");
-    ExperimentRunner runner = bench::MakeRunner(options, 4);
+    bench::Session session(argc, argv, "Figure 11",
+                           "effect of Marking-Cap");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
 
     const std::vector<std::uint32_t> caps{1, 2, 3, 4,  5,  6,
                                           7, 8, 9, 10, 20, 0};
 
     // Left: population averages.
-    const std::uint32_t count = options.Count(4, 12, 100);
-    const auto mixes = RandomMixes(count, 4, options.seed);
+    const std::uint32_t count = session.options().Count(4, 12, 100);
+    const auto mixes = RandomMixes(count, 4, session.options().seed);
     std::cout << "Average over " << mixes.size() << " 4-core workloads:\n\n";
-    Table averages({"cap", "unfairness(gmean)", "weighted-sp", "hmean-sp"});
+    std::vector<bench::RunTask> tasks;
+    tasks.reserve(caps.size() * mixes.size());
     for (std::uint32_t cap : caps) {
-        std::vector<SharedRun> runs;
         for (const auto& workload : mixes) {
-            runs.push_back(runner.RunShared(workload, ParBsWithCap(cap)));
+            tasks.push_back({workload, ParBsWithCap(cap), {}, {}});
         }
+    }
+    const std::vector<SharedRun> population =
+        bench::RunTasks(session, runner, tasks);
+    Table averages({"cap", "unfairness(gmean)", "weighted-sp", "hmean-sp"});
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+        const std::vector<SharedRun> runs(
+            population.begin() +
+                static_cast<std::ptrdiff_t>(c * mixes.size()),
+            population.begin() +
+                static_cast<std::ptrdiff_t>((c + 1) * mixes.size()));
         const AggregateMetrics agg = ExperimentRunner::Aggregate(runs);
-        averages.AddRow({CapName(cap), Table::Num(agg.unfairness_gmean, 3),
+        averages.AddRow({CapName(caps[c]),
+                         Table::Num(agg.unfairness_gmean, 3),
                          Table::Num(agg.weighted_speedup_gmean, 3),
                          Table::Num(agg.hmean_speedup_gmean, 3)});
+        session.RecordAggregate("population", CapName(caps[c]), agg);
     }
     std::cout << averages.Render() << "\n";
 
@@ -71,14 +83,20 @@ main(int argc, char** argv)
             header.push_back(benchmark);
         }
         Table slowdowns(std::move(header));
+        std::vector<bench::RunTask> study_tasks;
+        study_tasks.reserve(caps.size());
         for (std::uint32_t cap : caps) {
-            const SharedRun run =
-                runner.RunShared(workload, ParBsWithCap(cap));
-            std::vector<std::string> row{CapName(cap)};
-            for (double slowdown : run.metrics.memory_slowdown) {
+            study_tasks.push_back({workload, ParBsWithCap(cap), {}, {}});
+        }
+        const std::vector<SharedRun> runs =
+            bench::RunTasks(session, runner, study_tasks);
+        for (std::size_t c = 0; c < caps.size(); ++c) {
+            std::vector<std::string> row{CapName(caps[c])};
+            for (double slowdown : runs[c].metrics.memory_slowdown) {
                 row.push_back(Table::Num(slowdown));
             }
             slowdowns.AddRow(std::move(row));
+            session.RecordRun(workload.name, runs[c]);
         }
         std::cout << slowdowns.Render() << "\n";
     }

@@ -52,23 +52,35 @@ Variants()
 }
 
 void
-Sweep(parbs::ExperimentRunner& runner,
+Sweep(parbs::bench::Session& session, parbs::ExperimentRunner& runner,
       const std::vector<parbs::WorkloadSpec>& workloads,
       const std::string& label)
 {
     using namespace parbs;
+    const std::vector<Variant> variants = Variants();
     std::cout << label << ":\n\n";
+    std::vector<bench::RunTask> tasks;
+    tasks.reserve(variants.size() * workloads.size());
+    for (const Variant& variant : variants) {
+        for (const auto& workload : workloads) {
+            tasks.push_back({workload, variant.config, {}, {}});
+        }
+    }
+    const std::vector<SharedRun> flat =
+        bench::RunTasks(session, runner, tasks);
     Table table({"within-batch policy", "unfairness(gmean)", "weighted-sp",
                  "hmean-sp"});
-    for (const Variant& variant : Variants()) {
-        std::vector<SharedRun> runs;
-        for (const auto& workload : workloads) {
-            runs.push_back(runner.RunShared(workload, variant.config));
-        }
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const std::vector<SharedRun> runs(
+            flat.begin() +
+                static_cast<std::ptrdiff_t>(v * workloads.size()),
+            flat.begin() +
+                static_cast<std::ptrdiff_t>((v + 1) * workloads.size()));
         const AggregateMetrics agg = ExperimentRunner::Aggregate(runs);
-        table.AddRow({variant.name, Table::Num(agg.unfairness_gmean, 3),
+        table.AddRow({variants[v].name, Table::Num(agg.unfairness_gmean, 3),
                       Table::Num(agg.weighted_speedup_gmean, 3),
                       Table::Num(agg.hmean_speedup_gmean, 3)});
+        session.RecordAggregate(label, variants[v].name, agg);
     }
     std::cout << table.Render() << "\n";
 }
@@ -79,14 +91,17 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 13", "effect of the within-batch policy");
-    ExperimentRunner runner = bench::MakeRunner(options, 4);
+    bench::Session session(argc, argv, "Figure 13",
+                           "effect of the within-batch policy");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
 
-    const std::uint32_t count = options.Count(4, 12, 100);
-    Sweep(runner, RandomMixes(count, 4, options.seed),
+    const std::uint32_t count = session.options().Count(4, 12, 100);
+    Sweep(session, runner,
+          RandomMixes(count, 4, session.options().seed),
           "Average over the workload population");
-    Sweep(runner, {Copies("470.lbm", 4)}, "4 copies of lbm (high BLP)");
-    Sweep(runner, {Copies("matlab", 4)}, "4 copies of matlab (low BLP)");
+    Sweep(session, runner, {Copies("470.lbm", 4)},
+          "4 copies of lbm (high BLP)");
+    Sweep(session, runner, {Copies("matlab", 4)},
+          "4 copies of matlab (low BLP)");
     return 0;
 }

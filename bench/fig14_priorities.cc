@@ -22,16 +22,51 @@ void
 PrintRun(const parbs::SharedRun& run, const std::string& label)
 {
     using parbs::Table;
-    std::vector<std::string> header{"scheduler"};
-    for (const auto& benchmark : run.benchmarks) {
-        header.push_back(benchmark);
-    }
-    static_cast<void>(header);
     std::cout << "  " << label << ":";
     for (std::size_t t = 0; t < run.benchmarks.size(); ++t) {
         std::cout << "  " << Table::Num(run.metrics.memory_slowdown[t]);
     }
     std::cout << "\n";
+}
+
+/**
+ * Builds the five-scheduler task list for one panel: PAR-BS gets the
+ * priorities, NFQ/STFM get the weights, the rest run unmodified.
+ */
+std::vector<parbs::bench::RunTask>
+PanelTasks(const parbs::WorkloadSpec& workload,
+           const std::vector<parbs::ThreadPriority>& priorities,
+           const std::vector<double>& weights)
+{
+    using namespace parbs;
+    std::vector<bench::RunTask> tasks;
+    for (const auto& scheduler : ComparisonSchedulers()) {
+        const bool weighted = scheduler.kind == SchedulerKind::kNfq ||
+                              scheduler.kind == SchedulerKind::kStfm;
+        const bool prioritized = scheduler.kind == SchedulerKind::kParBs;
+        tasks.push_back({workload, scheduler,
+                         prioritized ? priorities
+                                     : std::vector<ThreadPriority>{},
+                         weighted ? weights : std::vector<double>{}});
+    }
+    return tasks;
+}
+
+void
+PrintPanel(parbs::bench::Session& session,
+           const std::vector<parbs::bench::RunTask>& tasks,
+           const std::vector<parbs::SharedRun>& runs,
+           const std::string& section)
+{
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const bool weighted = !tasks[i].weights.empty();
+        const bool prioritized = !tasks[i].priorities.empty();
+        PrintRun(runs[i], runs[i].scheduler + (weighted ? " (weights)"
+                                               : prioritized
+                                                   ? " (priorities)"
+                                                   : " (none)"));
+        session.RecordRun(section, runs[i]);
+    }
 }
 
 } // namespace
@@ -40,9 +75,9 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 14", "thread priorities and opportunistic service");
-    ExperimentRunner runner = bench::MakeRunner(options, 4);
+    bench::Session session(argc, argv, "Figure 14",
+                           "thread priorities and opportunistic service");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
 
     // Left: 4 x lbm with distinct priorities.
     {
@@ -50,22 +85,10 @@ main(int argc, char** argv)
         std::cout << "4 x lbm; PAR-BS priorities 1,1,2,8; NFQ/STFM weights "
                      "8,8,4,1\n(memory slowdowns; copies in thread "
                      "order):\n\n";
-        const std::vector<double> weights{8, 8, 4, 1};
-        const std::vector<ThreadPriority> priorities{1, 1, 2, 8};
-        for (const auto& scheduler : ComparisonSchedulers()) {
-            const bool weighted =
-                scheduler.kind == SchedulerKind::kNfq ||
-                scheduler.kind == SchedulerKind::kStfm;
-            const bool prioritized =
-                scheduler.kind == SchedulerKind::kParBs;
-            const SharedRun run = runner.RunShared(
-                workload, scheduler,
-                prioritized ? &priorities : nullptr,
-                weighted ? &weights : nullptr);
-            PrintRun(run, run.scheduler + (weighted   ? " (weights)"
-                                           : prioritized ? " (priorities)"
-                                                         : " (none)"));
-        }
+        const std::vector<bench::RunTask> tasks =
+            PanelTasks(workload, {1, 1, 2, 8}, {8, 8, 4, 1});
+        PrintPanel(session, tasks,
+                   bench::RunTasks(session, runner, tasks), "priorities");
         std::cout << "\n";
     }
 
@@ -78,24 +101,14 @@ main(int argc, char** argv)
         std::cout << "omnetpp prioritized; libquantum/milc/astar "
                      "opportunistic\n(PAR-BS: level L = never marked; "
                      "NFQ/STFM: weights 1,1,8192,1):\n\n";
-        const std::vector<double> weights{1, 1, 8192, 1};
-        const std::vector<ThreadPriority> priorities{
-            kOpportunisticPriority, kOpportunisticPriority, 1,
-            kOpportunisticPriority};
-        for (const auto& scheduler : ComparisonSchedulers()) {
-            const bool weighted =
-                scheduler.kind == SchedulerKind::kNfq ||
-                scheduler.kind == SchedulerKind::kStfm;
-            const bool prioritized =
-                scheduler.kind == SchedulerKind::kParBs;
-            const SharedRun run = runner.RunShared(
-                workload, scheduler,
-                prioritized ? &priorities : nullptr,
-                weighted ? &weights : nullptr);
-            PrintRun(run, run.scheduler + (weighted   ? " (weights)"
-                                           : prioritized ? " (priorities)"
-                                                         : " (none)"));
-        }
+        const std::vector<bench::RunTask> tasks = PanelTasks(
+            workload,
+            {kOpportunisticPriority, kOpportunisticPriority, 1,
+             kOpportunisticPriority},
+            {1, 1, 8192, 1});
+        PrintPanel(session, tasks,
+                   bench::RunTasks(session, runner, tasks),
+                   "opportunistic");
         std::cout << "\nFirst number pairs with the first benchmark; "
                      "omnetpp is the third column.\n";
     }

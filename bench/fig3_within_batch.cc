@@ -18,9 +18,9 @@ main(int argc, char** argv)
 {
     using namespace parbs;
     using namespace parbs::abstract;
-    bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 3",
-                  "within-batch scheduling example (abstract model)");
+    bench::Session session(argc, argv, "Figure 3",
+                           "within-batch scheduling example (abstract "
+                           "model)");
 
     const AbstractBatch batch = Figure3Batch();
 
@@ -54,6 +54,10 @@ main(int argc, char** argv)
         bool match = true;
         for (int t = 0; t < 4; ++t) {
             match &= result.completion[t] == row.paper[t];
+            session.RecordValue("completion times",
+                                std::string(row.name) + "/T" +
+                                    std::to_string(t + 1),
+                                result.completion[t]);
         }
         all_match &= match;
         table.AddRow({row.name, Table::Num(result.completion[0], 1),
@@ -63,6 +67,9 @@ main(int argc, char** argv)
                       Table::Num(result.AverageCompletion(), 3),
                       Table::Num(row.paper_avg, 3),
                       match ? "exact" : "MISMATCH"});
+        session.RecordValue("completion times",
+                            std::string(row.name) + "/avg",
+                            result.AverageCompletion());
     }
     std::cout << table.Render() << "\n";
 
@@ -79,5 +86,7 @@ main(int argc, char** argv)
     std::cout << (all_match ? "\nAll completion times match the paper "
                               "exactly.\n"
                             : "\nWARNING: mismatch vs the paper.\n");
+    session.RecordValue("completion times", "all_match",
+                        all_match ? 1.0 : 0.0);
     return all_match ? 0 : 1;
 }

@@ -15,9 +15,8 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 5", "Case Study I: memory-intensive workload");
-    ExperimentRunner runner = bench::MakeRunner(options, 4);
-    bench::RunCaseStudy(runner, CaseStudy1());
+    bench::Session session(argc, argv, "Figure 5", "Case Study I: memory-intensive workload");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
+    bench::RunCaseStudy(session, runner, CaseStudy1());
     return 0;
 }

@@ -14,9 +14,8 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 6", "Case Study II: non-intensive workload");
-    ExperimentRunner runner = bench::MakeRunner(options, 4);
-    bench::RunCaseStudy(runner, CaseStudy2());
+    bench::Session session(argc, argv, "Figure 6", "Case Study II: non-intensive workload");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
+    bench::RunCaseStudy(session, runner, CaseStudy2());
     return 0;
 }

@@ -12,10 +12,9 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 7",
-                  "Case Study III: 4 copies of lbm (uniform mix)");
-    ExperimentRunner runner = bench::MakeRunner(options, 4);
-    bench::RunCaseStudy(runner, CaseStudy3());
+    bench::Session session(argc, argv, "Figure 7",
+                           "Case Study III: 4 copies of lbm (uniform mix)");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
+    bench::RunCaseStudy(session, runner, CaseStudy3());
     return 0;
 }

@@ -18,27 +18,30 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 8",
-                  "4-core workload population: samples + GMEAN");
-    ExperimentRunner runner = bench::MakeRunner(options, 4);
+    bench::Session session(argc, argv, "Figure 8",
+                           "4-core workload population: samples + GMEAN");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
 
     // Left panel: the ten sample mixes, unfairness per scheduler.
     std::cout << "Sample workloads (unfairness per scheduler):\n\n";
     Table samples({"workload", "FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS"});
-    for (const WorkloadSpec& workload : Fig8SampleWorkloads()) {
-        std::vector<std::string> row{workload.name};
-        for (const auto& scheduler : ComparisonSchedulers()) {
-            row.push_back(Table::Num(
-                runner.RunShared(workload, scheduler).metrics.unfairness));
+    const std::vector<WorkloadSpec> sample_workloads = Fig8SampleWorkloads();
+    const auto matrix = bench::RunMatrix(
+        session, runner, ComparisonSchedulers(), sample_workloads);
+    for (std::size_t w = 0; w < sample_workloads.size(); ++w) {
+        std::vector<std::string> row{sample_workloads[w].name};
+        for (std::size_t s = 0; s < matrix.size(); ++s) {
+            row.push_back(Table::Num(matrix[s][w].metrics.unfairness));
+            session.RecordRun("samples", matrix[s][w]);
         }
         samples.AddRow(std::move(row));
     }
     std::cout << samples.Render() << "\n";
 
     // Right panel: aggregates over the random population.
-    const std::uint32_t count = options.Count(8, 32, 100);
-    bench::RunAggregate(runner, RandomMixes(count, 4, options.seed),
+    const std::uint32_t count = session.options().Count(8, 32, 100);
+    bench::RunAggregate(session, runner,
+                        RandomMixes(count, 4, session.options().seed),
                         "Population aggregate");
     return 0;
 }

@@ -14,9 +14,8 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Figure 9", "mixed 8-core workload");
-    ExperimentRunner runner = bench::MakeRunner(options, 8);
-    bench::RunCaseStudy(runner, EightCoreMixed());
+    bench::Session session(argc, argv, "Figure 9", "mixed 8-core workload");
+    ExperimentRunner runner = bench::MakeRunner(session.options(), 8);
+    bench::RunCaseStudy(session, runner, EightCoreMixed());
     return 0;
 }

@@ -6,6 +6,11 @@
  * unlike STFM's slowdown estimation (which the hardware proposal implements
  * with dividers).  This measures the software decision cost of each policy
  * under an identical standing request mix.
+ *
+ * The *_scan variants disable the controller's next-event fast path, so
+ * the pairwise deltas report exactly what the skip-ahead machinery costs
+ * (bound maintenance on busy ticks) and saves (skipped ticks; see
+ * BM_IdleTick_* for the pure skip path).
  */
 
 #include <benchmark/benchmark.h>
@@ -19,12 +24,14 @@ namespace {
 
 /** A controller pre-loaded with a reproducible mixed request population. */
 std::unique_ptr<Controller>
-LoadedController(SchedulerKind kind, std::uint32_t requests)
+LoadedController(SchedulerKind kind, std::uint32_t requests,
+                 bool fast_path = true)
 {
     SchedulerConfig scheduler_config;
     scheduler_config.kind = kind;
     ControllerConfig config;
     config.enable_refresh = false;
+    config.fast_path = fast_path;
     dram::Geometry geometry;
     geometry.rows_per_bank = 1024;
     auto controller = std::make_unique<Controller>(
@@ -44,9 +51,10 @@ LoadedController(SchedulerKind kind, std::uint32_t requests)
 }
 
 void
-SchedulerTick(benchmark::State& state, SchedulerKind kind)
+SchedulerTick(benchmark::State& state, SchedulerKind kind,
+              bool fast_path = true)
 {
-    auto controller = LoadedController(kind, 96);
+    auto controller = LoadedController(kind, 96, fast_path);
     DramCycle now = 0;
     for (auto _ : state) {
         controller->Tick(now);
@@ -54,10 +62,27 @@ SchedulerTick(benchmark::State& state, SchedulerKind kind)
         // Keep the buffer populated so every tick makes real decisions.
         if (controller->pending_reads() < 48) {
             state.PauseTiming();
-            controller = LoadedController(kind, 96);
+            controller = LoadedController(kind, 96, fast_path);
             now = 0;
             state.ResumeTiming();
         }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/**
+ * Per-tick cost on a drained controller: with the fast path the first
+ * tick computes a kNever bound and every further tick is a pure skip;
+ * without it, every tick re-scans the empty queues.
+ */
+void
+IdleTick(benchmark::State& state, bool fast_path)
+{
+    auto controller = LoadedController(SchedulerKind::kParBs, 0, fast_path);
+    DramCycle now = 0;
+    for (auto _ : state) {
+        controller->Tick(now);
+        now += 1;
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -73,12 +98,26 @@ void BM_ParBs(benchmark::State& s)
 {
     SchedulerTick(s, SchedulerKind::kParBs);
 }
+void BM_FrFcfs_scan(benchmark::State& s)
+{
+    SchedulerTick(s, SchedulerKind::kFrFcfs, /*fast_path=*/false);
+}
+void BM_ParBs_scan(benchmark::State& s)
+{
+    SchedulerTick(s, SchedulerKind::kParBs, /*fast_path=*/false);
+}
+void BM_IdleTick_skip(benchmark::State& s) { IdleTick(s, true); }
+void BM_IdleTick_scan(benchmark::State& s) { IdleTick(s, false); }
 
 BENCHMARK(BM_Fcfs);
 BENCHMARK(BM_FrFcfs);
 BENCHMARK(BM_Nfq);
 BENCHMARK(BM_Stfm);
 BENCHMARK(BM_ParBs);
+BENCHMARK(BM_FrFcfs_scan);
+BENCHMARK(BM_ParBs_scan);
+BENCHMARK(BM_IdleTick_skip);
+BENCHMARK(BM_IdleTick_scan);
 
 } // namespace
 } // namespace parbs

@@ -16,10 +16,10 @@ namespace {
 using namespace parbs;
 
 void
-SweepRow(Table& table, const std::string& label,
-         const bench::Options& options,
+SweepRow(bench::Session& session, Table& table, const std::string& label,
          const std::function<void(SystemConfig&)>& customize)
 {
+    const bench::Options& options = session.options();
     ExperimentConfig config;
     config.cores = 4;
     config.run_cycles = options.cycles;
@@ -35,14 +35,23 @@ SweepRow(Table& table, const std::string& label,
     SchedulerConfig parbs_config;
     parbs_config.kind = SchedulerKind::kParBs;
 
-    std::vector<SharedRun> base_runs;
-    std::vector<SharedRun> parbs_runs;
+    std::vector<bench::RunTask> tasks;
+    tasks.reserve(2 * workloads.size());
     for (const auto& workload : workloads) {
-        base_runs.push_back(runner.RunShared(workload, frfcfs));
-        parbs_runs.push_back(runner.RunShared(workload, parbs_config));
+        tasks.push_back({workload, frfcfs, {}, {}});
     }
-    const AggregateMetrics base = ExperimentRunner::Aggregate(base_runs);
-    const AggregateMetrics ours = ExperimentRunner::Aggregate(parbs_runs);
+    for (const auto& workload : workloads) {
+        tasks.push_back({workload, parbs_config, {}, {}});
+    }
+    const std::vector<SharedRun> runs =
+        bench::RunTasks(session, runner, tasks);
+    const auto half = static_cast<std::ptrdiff_t>(workloads.size());
+    const AggregateMetrics base = ExperimentRunner::Aggregate(
+        {runs.begin(), runs.begin() + half});
+    const AggregateMetrics ours = ExperimentRunner::Aggregate(
+        {runs.begin() + half, runs.end()});
+    session.RecordAggregate(label, "FR-FCFS", base);
+    session.RecordAggregate(label, "PAR-BS", ours);
 
     table.AddRow({label, Table::Num(base.unfairness_gmean, 3),
                   Table::Num(ours.unfairness_gmean, 3),
@@ -61,41 +70,41 @@ SweepRow(Table& table, const std::string& label,
 int
 main(int argc, char** argv)
 {
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Ablation",
-                  "FR-FCFS vs PAR-BS across system parameters (4 cores)");
+    bench::Session session(argc, argv, "Ablation",
+                           "FR-FCFS vs PAR-BS across system parameters "
+                           "(4 cores)");
 
     Table table({"configuration", "unfair FR-FCFS", "unfair PAR-BS",
                  "WS FR-FCFS", "WS PAR-BS", "PAR-BS WS gain"});
 
-    SweepRow(table, "baseline (8 banks, 2KB rows, 1 ch)", options,
+    SweepRow(session, table, "baseline (8 banks, 2KB rows, 1 ch)",
              [](SystemConfig&) {});
-    SweepRow(table, "4 banks", options, [](SystemConfig& c) {
+    SweepRow(session, table, "4 banks", [](SystemConfig& c) {
         c.geometry.banks_per_rank = 4;
     });
-    SweepRow(table, "16 banks", options, [](SystemConfig& c) {
+    SweepRow(session, table, "16 banks", [](SystemConfig& c) {
         c.geometry.banks_per_rank = 16;
     });
-    SweepRow(table, "1KB rows", options, [](SystemConfig& c) {
+    SweepRow(session, table, "1KB rows", [](SystemConfig& c) {
         c.geometry.row_bytes = 1024;
     });
-    SweepRow(table, "4KB rows", options, [](SystemConfig& c) {
+    SweepRow(session, table, "4KB rows", [](SystemConfig& c) {
         c.geometry.row_bytes = 4096;
     });
-    SweepRow(table, "2 channels", options, [](SystemConfig& c) {
+    SweepRow(session, table, "2 channels", [](SystemConfig& c) {
         c.geometry.channels = 2;
     });
-    SweepRow(table, "2 ranks", options, [](SystemConfig& c) {
+    SweepRow(session, table, "2 ranks", [](SystemConfig& c) {
         c.geometry.ranks_per_channel = 2;
     });
     // Note: the synthetic generator picks DRAM coordinates directly and
     // encodes them through the same mapper, so the XOR permutation is
     // identity-equivalent for these traces; the row is kept as a sanity
     // check (it must match the baseline exactly).
-    SweepRow(table, "no XOR bank hash", options, [](SystemConfig& c) {
+    SweepRow(session, table, "no XOR bank hash", [](SystemConfig& c) {
         c.xor_bank_hash = false;
     });
-    SweepRow(table, "64-entry request buffer", options,
+    SweepRow(session, table, "64-entry request buffer",
              [](SystemConfig& c) {
                  c.controller.read_queue_capacity = 64;
              });

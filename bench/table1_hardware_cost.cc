@@ -13,8 +13,8 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    bench::ParseOptions(argc, argv);
-    bench::Banner("Table 1", "PAR-BS implementation cost in register bits");
+    bench::Session session(argc, argv, "Table 1",
+                           "PAR-BS implementation cost in register bits");
 
     Table table({"cores", "buffer", "banks", "per-request", "per-thr/bank",
                  "per-thread", "individual", "total bits"});
@@ -37,6 +37,11 @@ main(int argc, char** argv)
                       std::to_string(cost.per_thread_bits),
                       std::to_string(cost.individual_bits),
                       std::to_string(cost.TotalBits())});
+        session.RecordValue("hardware cost",
+                            std::to_string(c.threads) + "c/" +
+                                std::to_string(c.buffer) + "e/" +
+                                std::to_string(c.banks) + "b total bits",
+                            static_cast<double>(cost.TotalBits()));
     }
     std::cout << table.Render() << "\n";
 
@@ -45,5 +50,7 @@ main(int argc, char** argv)
                  "bits; computed: "
               << reference << " — "
               << (reference == 1412 ? "exact match" : "MISMATCH") << "\n";
+    session.RecordValue("hardware cost", "paper reference match",
+                        reference == 1412 ? 1.0 : 0.0);
     return reference == 1412 ? 0 : 1;
 }

@@ -15,8 +15,8 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    bench::ParseOptions(argc, argv);
-    bench::Banner("Table 2", "baseline CMP and memory-system configuration");
+    bench::Session session(argc, argv, "Table 2",
+                           "baseline CMP and memory-system configuration");
 
     const SystemConfig config = SystemConfig::Baseline(4);
     const dram::TimingParams& t = config.timing;
@@ -55,18 +55,24 @@ main(int argc, char** argv)
 
     const std::uint32_t ratio = config.cpu_to_dram_ratio;
     const std::uint64_t fixed = config.extra_read_latency_cpu;
-    row("round trip, row hit",
-        std::to_string((t.HitLatency() + t.tBURST) * ratio + fixed) +
-            " cpu cycles",
+    const std::uint64_t hit =
+        (t.HitLatency() + t.tBURST) * ratio + fixed;
+    const std::uint64_t closed =
+        (t.ClosedLatency() + t.tBURST) * ratio + fixed;
+    const std::uint64_t conflict =
+        (t.ConflictLatency() + t.tBURST) * ratio + fixed;
+    row("round trip, row hit", std::to_string(hit) + " cpu cycles",
         "160 (40 ns)");
-    row("round trip, closed",
-        std::to_string((t.ClosedLatency() + t.tBURST) * ratio + fixed) +
-            " cpu cycles",
+    row("round trip, closed", std::to_string(closed) + " cpu cycles",
         "240 (60 ns)");
-    row("round trip, conflict",
-        std::to_string((t.ConflictLatency() + t.tBURST) * ratio + fixed) +
-            " cpu cycles",
+    row("round trip, conflict", std::to_string(conflict) + " cpu cycles",
         "320 (80 ns)");
+    session.RecordValue("round trips", "row hit",
+                        static_cast<double>(hit));
+    session.RecordValue("round trips", "closed",
+                        static_cast<double>(closed));
+    session.RecordValue("round trips", "conflict",
+                        static_cast<double>(conflict));
 
     std::cout << table.Render() << "\n";
     return 0;

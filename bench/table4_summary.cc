@@ -17,9 +17,9 @@ int
 main(int argc, char** argv)
 {
     using namespace parbs;
-    const bench::Options options = bench::ParseOptions(argc, argv);
-    bench::Banner("Table 4",
-                  "scheduler summary on 4-, 8-, and 16-core systems");
+    bench::Session session(argc, argv, "Table 4",
+                           "scheduler summary on 4-, 8-, and 16-core "
+                           "systems");
 
     const struct {
         std::uint32_t cores;
@@ -27,11 +27,13 @@ main(int argc, char** argv)
     } sizes[] = {{4, 6, 16, 100}, {8, 4, 8, 16}, {16, 3, 6, 12}};
 
     for (const auto& size : sizes) {
-        ExperimentRunner runner = bench::MakeRunner(options, size.cores);
+        ExperimentRunner runner =
+            bench::MakeRunner(session.options(), size.cores);
         const std::uint32_t count =
-            options.Count(size.quick, size.normal, size.full);
+            session.options().Count(size.quick, size.normal, size.full);
         bench::RunAggregate(
-            runner, RandomMixes(count, size.cores, options.seed),
+            session, runner,
+            RandomMixes(count, size.cores, session.options().seed),
             std::to_string(size.cores) + "-core system");
     }
     return 0;

@@ -1,0 +1,511 @@
+#include "common/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hh"
+
+namespace parbs::json {
+namespace {
+
+[[noreturn]] void
+Fail(std::size_t offset, const std::string& what)
+{
+    throw ParseError("json: at offset " + std::to_string(offset) + ": " +
+                     what);
+}
+
+/** Recursive-descent parser over a borrowed string. */
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Value
+    Document()
+    {
+        SkipSpace();
+        Value value = ParseValue(0);
+        SkipSpace();
+        if (pos_ != text_.size()) {
+            Fail(pos_, "trailing content after document");
+        }
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+
+    char
+    Peek() const
+    {
+        if (pos_ >= text_.size()) {
+            Fail(pos_, "unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void
+    Expect(char c)
+    {
+        if (Peek() != c) {
+            Fail(pos_, std::string("expected '") + c + "'");
+        }
+        pos_ += 1;
+    }
+
+    void
+    SkipSpace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+                break;
+            }
+            pos_ += 1;
+        }
+    }
+
+    bool
+    Consume(const char* literal)
+    {
+        std::size_t n = 0;
+        while (literal[n] != '\0') {
+            n += 1;
+        }
+        if (text_.compare(pos_, n, literal) != 0) {
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    ParseValue(int depth)
+    {
+        if (depth > kMaxDepth) {
+            Fail(pos_, "nesting too deep");
+        }
+        switch (Peek()) {
+          case '{':
+            return ParseObject(depth);
+          case '[':
+            return ParseArray(depth);
+          case '"':
+            return Value(ParseString());
+          case 't':
+            if (!Consume("true")) {
+                Fail(pos_, "invalid literal");
+            }
+            return Value(true);
+          case 'f':
+            if (!Consume("false")) {
+                Fail(pos_, "invalid literal");
+            }
+            return Value(false);
+          case 'n':
+            if (!Consume("null")) {
+                Fail(pos_, "invalid literal");
+            }
+            return Value();
+          default:
+            return ParseNumber();
+        }
+    }
+
+    Value
+    ParseObject(int depth)
+    {
+        Expect('{');
+        Value object = Value::Object();
+        SkipSpace();
+        if (Peek() == '}') {
+            pos_ += 1;
+            return object;
+        }
+        while (true) {
+            SkipSpace();
+            const std::string key = ParseString();
+            SkipSpace();
+            Expect(':');
+            SkipSpace();
+            object.Set(key, ParseValue(depth + 1));
+            SkipSpace();
+            if (Peek() == ',') {
+                pos_ += 1;
+                continue;
+            }
+            Expect('}');
+            return object;
+        }
+    }
+
+    Value
+    ParseArray(int depth)
+    {
+        Expect('[');
+        Value array = Value::Array();
+        SkipSpace();
+        if (Peek() == ']') {
+            pos_ += 1;
+            return array;
+        }
+        while (true) {
+            SkipSpace();
+            array.Append(ParseValue(depth + 1));
+            SkipSpace();
+            if (Peek() == ',') {
+                pos_ += 1;
+                continue;
+            }
+            Expect(']');
+            return array;
+        }
+    }
+
+    std::string
+    ParseString()
+    {
+        Expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                Fail(pos_, "unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                Fail(pos_, "unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    Fail(pos_, "truncated \\u escape");
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        Fail(pos_ - 1, "invalid \\u escape digit");
+                    }
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are not
+                // needed for the harness's ASCII-plus output).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                Fail(pos_ - 1, "invalid escape character");
+            }
+        }
+    }
+
+    Value
+    ParseNumber()
+    {
+        const std::size_t start = pos_;
+        if (Peek() == '-') {
+            pos_ += 1;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                c == 'E' || c == '+' || c == '-') {
+                pos_ += 1;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) {
+            Fail(start, "expected a value");
+        }
+        double value = 0.0;
+        const auto [end, ec] = std::from_chars(
+            text_.data() + start, text_.data() + pos_, value);
+        if (ec != std::errc() ||
+            end != text_.data() + pos_) {
+            Fail(start, "malformed number");
+        }
+        return Value(value);
+    }
+};
+
+} // namespace
+
+bool
+Value::AsBool() const
+{
+    PARBS_ASSERT(kind_ == Kind::kBool, "json: not a bool");
+    return bool_;
+}
+
+double
+Value::AsNumber() const
+{
+    PARBS_ASSERT(kind_ == Kind::kNumber, "json: not a number");
+    return number_;
+}
+
+const std::string&
+Value::AsString() const
+{
+    PARBS_ASSERT(kind_ == Kind::kString, "json: not a string");
+    return string_;
+}
+
+Value&
+Value::Append(Value value)
+{
+    PARBS_ASSERT(kind_ == Kind::kArray, "json: not an array");
+    array_.push_back(std::move(value));
+    return array_.back();
+}
+
+const std::vector<Value>&
+Value::items() const
+{
+    PARBS_ASSERT(kind_ == Kind::kArray, "json: not an array");
+    return array_;
+}
+
+std::vector<Value>&
+Value::items()
+{
+    PARBS_ASSERT(kind_ == Kind::kArray, "json: not an array");
+    return array_;
+}
+
+Value&
+Value::Set(const std::string& key, Value value)
+{
+    PARBS_ASSERT(kind_ == Kind::kObject, "json: not an object");
+    for (auto& [name, member] : object_) {
+        if (name == key) {
+            member = std::move(value);
+            return member;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+    return object_.back().second;
+}
+
+const Value*
+Value::Find(const std::string& key) const
+{
+    PARBS_ASSERT(kind_ == Kind::kObject, "json: not an object");
+    for (const auto& [name, member] : object_) {
+        if (name == key) {
+            return &member;
+        }
+    }
+    return nullptr;
+}
+
+Value*
+Value::Find(const std::string& key)
+{
+    return const_cast<Value*>(
+        static_cast<const Value*>(this)->Find(key));
+}
+
+const std::vector<std::pair<std::string, Value>>&
+Value::members() const
+{
+    PARBS_ASSERT(kind_ == Kind::kObject, "json: not an object");
+    return object_;
+}
+
+std::string
+FormatNumber(double value)
+{
+    PARBS_ASSERT(std::isfinite(value), "json: non-finite number");
+    // Integral values print without a fraction; everything else uses
+    // std::to_chars' shortest round-trip form.  Both are deterministic.
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        char buffer[32];
+        const auto [end, ec] = std::to_chars(
+            buffer, buffer + sizeof(buffer),
+            static_cast<std::int64_t>(value));
+        PARBS_ASSERT(ec == std::errc(), "json: integer format failure");
+        return std::string(buffer, end);
+    }
+    char buffer[64];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    PARBS_ASSERT(ec == std::errc(), "json: double format failure");
+    return std::string(buffer, end);
+}
+
+std::string
+Quote(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buffer;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+Value::DumpTo(std::string& out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              static_cast<std::size_t>(depth + 1),
+                          ' ');
+    const std::string close_pad(
+        static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+        ' ');
+    const char* newline = indent > 0 ? "\n" : "";
+    const char* colon = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::kNull:
+        out += "null";
+        break;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber:
+        out += FormatNumber(number_);
+        break;
+      case Kind::kString:
+        out += Quote(string_);
+        break;
+      case Kind::kArray: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += newline;
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            out += pad;
+            array_[i].DumpTo(out, indent, depth + 1);
+            if (i + 1 < array_.size()) {
+                out += ',';
+            }
+            out += newline;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case Kind::kObject: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += newline;
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            out += pad;
+            out += Quote(object_[i].first);
+            out += colon;
+            object_[i].second.DumpTo(out, indent, depth + 1);
+            if (i + 1 < object_.size()) {
+                out += ',';
+            }
+            out += newline;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::Dump(int indent) const
+{
+    std::string out;
+    DumpTo(out, indent, 0);
+    return out;
+}
+
+Value
+Value::Parse(const std::string& text)
+{
+    return Parser(text).Document();
+}
+
+bool
+Value::operator==(const Value& other) const
+{
+    if (kind_ != other.kind_) {
+        return false;
+    }
+    switch (kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kBool:
+        return bool_ == other.bool_;
+      case Kind::kNumber:
+        return number_ == other.number_;
+      case Kind::kString:
+        return string_ == other.string_;
+      case Kind::kArray:
+        return array_ == other.array_;
+      case Kind::kObject:
+        return object_ == other.object_;
+    }
+    return false;
+}
+
+} // namespace parbs::json

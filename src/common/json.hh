@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Minimal JSON document model used by the benchmark harness: a value type
+ * with insertion-ordered objects, a deterministic serializer, and a strict
+ * parser.  Determinism matters — the `--jobs 1` vs `--jobs N` regression
+ * test compares emitted bench results byte-for-byte, so object key order is
+ * preserved and doubles are printed with shortest-round-trip formatting
+ * (std::to_chars), which is identical across runs and thread counts.
+ *
+ * No external dependency: the container toolchain has no JSON library, and
+ * the needs here (bench output, golden comparison) are small.
+ */
+
+#ifndef PARBS_COMMON_JSON_HH
+#define PARBS_COMMON_JSON_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parbs::json {
+
+/** Exception thrown by Value::Parse on malformed input. */
+class ParseError : public std::runtime_error {
+  public:
+    explicit ParseError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * A JSON value: null, bool, number, string, array, or object.  Objects keep
+ * their keys in insertion order; Set() on an existing key updates in place.
+ */
+class Value {
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Value() : kind_(Kind::kNull) {}
+    Value(bool value) : kind_(Kind::kBool), bool_(value) {}
+    Value(double value) : kind_(Kind::kNumber), number_(value) {}
+    Value(std::int64_t value)
+        : kind_(Kind::kNumber), number_(static_cast<double>(value))
+    {
+    }
+    Value(std::uint64_t value)
+        : kind_(Kind::kNumber), number_(static_cast<double>(value))
+    {
+    }
+    Value(int value) : kind_(Kind::kNumber), number_(value) {}
+    Value(std::string value)
+        : kind_(Kind::kString), string_(std::move(value))
+    {
+    }
+    Value(const char* value) : kind_(Kind::kString), string_(value) {}
+
+    static Value Array() { return Value(Kind::kArray); }
+    static Value Object() { return Value(Kind::kObject); }
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::kNull; }
+
+    /** @pre kind() matches; asserts otherwise. */
+    bool AsBool() const;
+    double AsNumber() const;
+    const std::string& AsString() const;
+
+    // --- Array operations -------------------------------------------------
+
+    /** Appends an element. @pre kind() == kArray */
+    Value& Append(Value value);
+
+    /** Array elements. @pre kind() == kArray */
+    const std::vector<Value>& items() const;
+    std::vector<Value>& items();
+
+    // --- Object operations ------------------------------------------------
+
+    /** Sets @p key (appending or updating). @pre kind() == kObject */
+    Value& Set(const std::string& key, Value value);
+
+    /** @return the member value, or nullptr. @pre kind() == kObject */
+    const Value* Find(const std::string& key) const;
+    Value* Find(const std::string& key);
+
+    /** Object members in insertion order. @pre kind() == kObject */
+    const std::vector<std::pair<std::string, Value>>& members() const;
+
+    // --- Serialization ----------------------------------------------------
+
+    /**
+     * Serializes the value.  @p indent 0 produces compact single-line
+     * output; positive values pretty-print with that many spaces per level.
+     * Output is deterministic: member order is insertion order and numbers
+     * use shortest-round-trip formatting.
+     */
+    std::string Dump(int indent = 0) const;
+
+    /** Parses a complete JSON document. @throws ParseError */
+    static Value Parse(const std::string& text);
+
+    /** Deep structural equality (numbers compare exactly). */
+    bool operator==(const Value& other) const;
+    bool operator!=(const Value& other) const { return !(*this == other); }
+
+  private:
+    explicit Value(Kind kind) : kind_(kind) {}
+
+    void DumpTo(std::string& out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+/** Shortest-round-trip decimal rendering of @p value (JSON number syntax). */
+std::string FormatNumber(double value);
+
+/** Escapes and quotes @p text as a JSON string literal. */
+std::string Quote(const std::string& text);
+
+} // namespace parbs::json
+
+#endif // PARBS_COMMON_JSON_HH

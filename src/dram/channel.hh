@@ -48,6 +48,15 @@ class Channel {
     bool CanIssue(const Command& cmd, DramCycle now) const;
 
     /**
+     * Earliest cycle @p cmd passes every device and bus constraint,
+     * assuming no further command issues on this channel in between: for
+     * every t, CanIssue(cmd, t) == (t >= EarliestIssue(cmd)) until the
+     * next Issue().  This is the next-event function the controller's
+     * skip-ahead derives its bounds from.  @pre cmd.type != kRefresh
+     */
+    DramCycle EarliestIssue(const Command& cmd) const;
+
+    /**
      * Issues @p cmd at cycle @p now.
      * @return for column commands, the cycle at which the data burst
      *         completes (read data available / write retired); 0 otherwise.

@@ -35,6 +35,16 @@ class Rank {
      */
     bool CanIssue(const Command& cmd, DramCycle now) const;
 
+    /**
+     * Earliest cycle @p cmd passes the rank- and bank-level constraints,
+     * assuming no further command issues in between: for every t,
+     * CanIssue(cmd, t) == (t >= EarliestIssue(cmd)) until the next Issue()
+     * on this rank.  The controller's next-event skip-ahead is built on
+     * this equivalence.  @pre cmd.type != kRefresh (refresh legality
+     * depends on row-buffer state, not only on timers).
+     */
+    DramCycle EarliestIssue(const Command& cmd) const;
+
     /** Applies @p cmd at cycle @p now to rank and bank state. */
     void Issue(const Command& cmd, DramCycle now);
 

@@ -73,37 +73,59 @@ Controller::Enqueue(std::unique_ptr<MemRequest> request, DramCycle now)
     MemRequest& ref = request->is_write
                           ? write_queue_.Add(std::move(request))
                           : read_queue_.Add(std::move(request));
+    // A new candidate may be ready immediately: drop the skip-ahead bound.
+    next_select_cycle_ = 0;
     scheduler_->OnRequestQueued(ref, now);
 }
 
 void
 Controller::Tick(DramCycle now)
 {
-    RetireFinished(now);
+    // Retirement fast path: in-burst completion cycles are known at issue
+    // time, so the scan is pointless before the earliest of them.
+    if (!config_.fast_path || now >= next_retire_check_) {
+        RetireFinished(now);
+    }
     scheduler_->OnDramCycle(now);
 
     bool issued = HandleRefresh(now);
     if (!issued) {
-        // Write-drain hysteresis: strict read priority by default (the
-        // paper's policy), forced drain only as overflow protection.
-        if (write_queue_.size() >= config_.write_drain_high) {
-            write_drain_active_ = true;
-        } else if (write_queue_.size() <= config_.write_drain_low) {
-            write_drain_active_ = false;
-        }
+        // Selection fast path: while the cached bound proves no queued
+        // command can pass its timing checks, the whole two-level scan is
+        // skipped.  The bound stays valid because bank / rank / bus timers
+        // move only when a command issues and the candidate set grows only
+        // on arrival — both reset next_select_cycle_.  Skipping a cycle
+        // that issues nothing is observationally identical to scanning it:
+        // Pick() is side-effect-free across all schedulers, and the write-
+        // drain watermark state is kept cycle-exact by RetireFinished
+        // (retirement is the only event that changes queue sizes during a
+        // skip window; see the note there).
+        if (!config_.fast_path || now >= next_select_cycle_) {
+            fast_stats_.select_scans += 1;
+            UpdateWriteDrain();
 
-        MemRequest* chosen = nullptr;
-        if (write_drain_active_) {
-            chosen = SelectRequest(write_queue_, now);
-        }
-        if (chosen == nullptr) {
-            chosen = SelectRequest(read_queue_, now);
-        }
-        if (chosen == nullptr && !write_drain_active_) {
-            chosen = SelectRequest(write_queue_, now);
-        }
-        if (chosen != nullptr) {
-            IssueFor(*chosen, now);
+            MemRequest* chosen = nullptr;
+            if (write_drain_active_) {
+                chosen = SelectRequest(write_queue_, now);
+            }
+            if (chosen == nullptr) {
+                chosen = SelectRequest(read_queue_, now);
+            }
+            if (chosen == nullptr && !write_drain_active_) {
+                chosen = SelectRequest(write_queue_, now);
+            }
+            if (chosen != nullptr) {
+                IssueFor(*chosen, now);
+            } else if (config_.fast_path) {
+                next_select_cycle_ = NextReadyBound(now);
+            }
+        } else {
+            fast_stats_.select_skips += 1;
+            if (config_.verify_fast_path) {
+                PARBS_ASSERT(!AnyCommandReady(now),
+                             "fast path skipped a cycle with a ready "
+                             "command");
+            }
         }
     }
 
@@ -118,6 +140,7 @@ Controller::Tick(DramCycle now)
 void
 Controller::RetireFinished(DramCycle now)
 {
+    fast_stats_.retire_scans += 1;
     // Collect first, then remove: removal invalidates the queue's view.
     std::vector<RequestId> done_reads;
     std::vector<RequestId> done_writes;
@@ -167,6 +190,48 @@ Controller::RetireFinished(DramCycle now)
         request->state = RequestState::kCompleted;
         stats_[request->thread].writes_completed += 1;
         scheduler_->OnRequestComplete(*request, now);
+    }
+
+    // Keep the write-drain hysteresis exact across skipped selection scans:
+    // the watermark state is path-dependent (a dip to the low watermark must
+    // turn draining off even if the queue refills before the next scan), and
+    // during a skip window retirement is the only event that changes queue
+    // sizes.  Updating here — at the same point in the cycle the per-cycle
+    // scan would have sampled — reproduces the cycle-exact state machine;
+    // between size changes the update is a no-op, and arrivals already force
+    // a scan on their next cycle.
+    UpdateWriteDrain();
+
+    RecomputeNextRetire();
+}
+
+void
+Controller::UpdateWriteDrain()
+{
+    // Write-drain hysteresis: strict read priority by default (the paper's
+    // policy), forced drain only as overflow protection.
+    if (write_queue_.size() >= config_.write_drain_high) {
+        write_drain_active_ = true;
+    } else if (write_queue_.size() <= config_.write_drain_low) {
+        write_drain_active_ = false;
+    }
+}
+
+void
+Controller::RecomputeNextRetire()
+{
+    next_retire_check_ = kNeverCycle;
+    for (const MemRequest* request : read_queue_.requests()) {
+        if (request->state == RequestState::kInBurst) {
+            next_retire_check_ =
+                std::min(next_retire_check_, request->completion_cycle);
+        }
+    }
+    for (const MemRequest* request : write_queue_.requests()) {
+        if (request->state == RequestState::kInBurst) {
+            next_retire_check_ =
+                std::min(next_retire_check_, request->completion_cycle);
+        }
     }
 }
 
@@ -312,6 +377,7 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
         type == dram::CommandType::kWrite) {
         request.state = RequestState::kInBurst;
         request.completion_cycle = done;
+        next_retire_check_ = std::min(next_retire_check_, done);
     }
 
     scheduler_->OnCommandIssued(request, command, now);
@@ -359,6 +425,67 @@ Controller::RecordCommand(dram::CommandType type, DramCycle now)
 {
     commands_by_type_[static_cast<int>(type)] += 1;
     last_command_cycle_ = now;
+    // Every issue moves bank / rank / bus timers (and may close or open a
+    // row), so any cached readiness bound is stale.
+    next_select_cycle_ = 0;
+}
+
+DramCycle
+Controller::NextReadyBound(DramCycle now) const
+{
+    const bool refresh_active =
+        config_.enable_refresh && channel_.timing().tREFI != 0;
+    DramCycle bound = kNeverCycle;
+    for (const RequestQueue* queue : {&read_queue_, &write_queue_}) {
+        for (const MemRequest* request : queue->requests()) {
+            if (request->state != RequestState::kQueued) {
+                continue;
+            }
+            // A rank with an overdue refresh accepts no new commands until
+            // the refresh issues — and issuing it resets the cache, so the
+            // request contributes nothing to the bound until then.
+            if (refresh_active &&
+                channel_.rank(request->coords.rank).RefreshDue(now)) {
+                continue;
+            }
+            const dram::Bank& bank =
+                channel_.bank(request->coords.rank, request->coords.bank);
+            const dram::Command command{
+                bank.NextCommandFor(request->coords.row, request->is_write),
+                request->coords.rank, request->coords.bank,
+                request->coords.row};
+            bound = std::min(bound, channel_.EarliestIssue(command));
+        }
+    }
+    return bound;
+}
+
+bool
+Controller::AnyCommandReady(DramCycle now) const
+{
+    const bool refresh_active =
+        config_.enable_refresh && channel_.timing().tREFI != 0;
+    for (const RequestQueue* queue : {&read_queue_, &write_queue_}) {
+        for (const MemRequest* request : queue->requests()) {
+            if (request->state != RequestState::kQueued) {
+                continue;
+            }
+            if (refresh_active &&
+                channel_.rank(request->coords.rank).RefreshDue(now)) {
+                continue;
+            }
+            const dram::Bank& bank =
+                channel_.bank(request->coords.rank, request->coords.bank);
+            const dram::Command command{
+                bank.NextCommandFor(request->coords.row, request->is_write),
+                request->coords.rank, request->coords.bank,
+                request->coords.row};
+            if (channel_.CanIssue(command, now)) {
+                return true;
+            }
+        }
+    }
+    return false;
 }
 
 std::uint32_t

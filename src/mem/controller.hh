@@ -47,6 +47,21 @@ struct ControllerConfig {
      * violation throws ProtocolError with full command-history context.
      */
     bool protocol_check = false;
+    /**
+     * Per-cycle fast path: skip the candidate scan on cycles where the
+     * cached next-event bound proves no command can become ready, and skip
+     * the retirement scan until the earliest in-flight burst completes.
+     * Exactness-preserving (the bound is derived from the same bank / rank
+     * / bus timers CanIssue checks), so this is only ever disabled to
+     * cross-check the fast path against the exhaustive per-cycle scan.
+     */
+    bool fast_path = true;
+    /**
+     * On every cycle the fast path skips, re-scan exhaustively and abort
+     * if a ready command was skippable — the skip-ahead analogue of the
+     * protocol checker, enabled alongside it in validation runs.
+     */
+    bool verify_fast_path = false;
     /** Forward-progress watchdog (starvation / batch / deadlock bounds). */
     WatchdogConfig watchdog;
 
@@ -173,6 +188,18 @@ class Controller {
     /** Structured state dump: queues, bank states, scheduler state. */
     std::string Diagnostics(DramCycle now) const;
 
+    /** Fast-path effectiveness counters (micro_scheduler_cost / tests). */
+    struct FastPathStats {
+        /** Cycles that ran the full candidate scan. */
+        std::uint64_t select_scans = 0;
+        /** Cycles the cached next-event bound skipped the scan. */
+        std::uint64_t select_skips = 0;
+        /** Cycles that ran the retirement scan. */
+        std::uint64_t retire_scans = 0;
+    };
+
+    const FastPathStats& fast_path_stats() const { return fast_stats_; }
+
   private:
     ControllerConfig config_;
     dram::Channel channel_;
@@ -202,6 +229,24 @@ class Controller {
     std::vector<std::vector<Candidate>> per_bank_;
     std::vector<Candidate> finalists_;
 
+    /**
+     * Next-event caches (see DESIGN.md "Hot-loop fast path").  Both are
+     * conservative lower bounds on when the guarded scan can next do work;
+     * kNeverCycle means "not until an invalidating event".
+     *
+     * `next_select_cycle_`: no queued request's next command can pass
+     * CanIssue before this cycle.  Valid until a request arrives or any
+     * command issues (both reset it to 0) — the only events that move the
+     * bank / rank / bus timers or grow the candidate set.
+     *
+     * `next_retire_check_`: the earliest completion cycle among in-burst
+     * requests; maintained at issue time and recomputed on retirement.
+     */
+    DramCycle next_select_cycle_ = 0;
+    DramCycle next_retire_check_ = kNeverCycle;
+
+    FastPathStats fast_stats_;
+
     void RetireFinished(DramCycle now);
     /** @return true if a refresh-related command consumed this cycle. */
     bool HandleRefresh(DramCycle now);
@@ -218,6 +263,30 @@ class Controller {
      */
     MemRequest* SelectRequest(const RequestQueue& queue, DramCycle now);
     void IssueFor(MemRequest& request, DramCycle now);
+
+    /**
+     * Earliest cycle any currently-queued request's next command could
+     * pass every timing check, assuming no arrivals and no issues in the
+     * interim (either event resets the cache).  kNeverCycle if no queued
+     * candidates exist (or all sit behind an overdue refresh, which must
+     * issue — and therefore invalidate — first).
+     */
+    DramCycle NextReadyBound(DramCycle now) const;
+
+    /** @return true if any queued candidate passes CanIssue at @p now. */
+    bool AnyCommandReady(DramCycle now) const;
+
+    /** Recomputes next_retire_check_ from the in-burst requests. */
+    void RecomputeNextRetire();
+
+    /**
+     * Advances the write-drain watermark state machine from the current
+     * write-queue size.  Called wherever the per-cycle loop used to sample
+     * it: at every selection scan, and from RetireFinished so that a dip to
+     * the low watermark inside a skip window is never missed (hysteresis is
+     * path-dependent).
+     */
+    void UpdateWriteDrain();
 
     /** Counts an issued command and feeds the progress tracker. */
     void RecordCommand(dram::CommandType type, DramCycle now);

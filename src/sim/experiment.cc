@@ -35,6 +35,9 @@ ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
     const char* check = std::getenv("PARBS_CHECK");
     if (check != nullptr && check[0] != '\0' && check[0] != '0') {
         system.controller.protocol_check = true;
+        // The skip-ahead analogue of the protocol check: every skipped
+        // cycle is re-scanned to prove no ready command was skippable.
+        system.controller.verify_fast_path = true;
     }
     if (customize) {
         customize(system);
@@ -42,8 +45,35 @@ ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
     return system;
 }
 
+const ThreadMeasurement&
+AloneBaselineCache::GetOrCompute(const std::string& benchmark,
+                                 const ComputeFn& compute)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Entry& entry = entries_[benchmark];
+    if (entry.ready) {
+        return entry.value;
+    }
+    if (entry.computing) {
+        ready_.wait(lock, [&entry] { return entry.ready; });
+        return entry.value;
+    }
+    entry.computing = true;
+    lock.unlock();
+    // The simulation runs outside the lock so that baselines for
+    // *different* benchmarks compute concurrently; only same-benchmark
+    // callers block, and a compute failure would abort (PARBS_ASSERT
+    // semantics), so waiters cannot be stranded.
+    ThreadMeasurement value = compute();
+    lock.lock();
+    entry.value = value;
+    entry.ready = true;
+    ready_.notify_all();
+    return entry.value;
+}
+
 ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
-    : config_(config)
+    : config_(config), alone_cache_(std::make_shared<AloneBaselineCache>())
 {
 }
 
@@ -68,23 +98,19 @@ ExperimentRunner::MakeTraces(const WorkloadSpec& workload,
 const ThreadMeasurement&
 ExperimentRunner::AloneBaseline(const std::string& benchmark)
 {
-    auto it = alone_cache_.find(benchmark);
-    if (it != alone_cache_.end()) {
-        return it->second;
-    }
+    return alone_cache_->GetOrCompute(benchmark, [this, &benchmark] {
+        SchedulerConfig scheduler;
+        scheduler.kind = SchedulerKind::kFrFcfs;
+        const SystemConfig system_config =
+            config_.MakeSystemConfig(scheduler);
 
-    SchedulerConfig scheduler;
-    scheduler.kind = SchedulerKind::kFrFcfs;
-    const SystemConfig system_config = config_.MakeSystemConfig(scheduler);
-
-    WorkloadSpec solo;
-    solo.name = "alone-" + benchmark;
-    solo.benchmarks = {benchmark};
-    System system(system_config, MakeTraces(solo, system_config));
-    system.Run(config_.run_cycles);
-
-    auto [inserted, _] = alone_cache_.emplace(benchmark, system.Measure(0));
-    return inserted->second;
+        WorkloadSpec solo;
+        solo.name = "alone-" + benchmark;
+        solo.benchmarks = {benchmark};
+        System system(system_config, MakeTraces(solo, system_config));
+        system.Run(config_.run_cycles);
+        return system.Measure(0);
+    });
 }
 
 SharedRun

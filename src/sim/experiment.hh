@@ -9,9 +9,11 @@
 #ifndef PARBS_SIM_EXPERIMENT_HH
 #define PARBS_SIM_EXPERIMENT_HH
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,7 +62,42 @@ struct AggregateMetrics {
     double worst_case_latency_mean = 0.0;
 };
 
-/** Runs alone baselines (cached) and shared workloads. */
+/**
+ * Thread-safe memoization of alone-run baselines, shared between runner
+ * copies and across the TaskPool's workers.  The first caller for a
+ * benchmark computes it (outside the lock); concurrent callers for the
+ * same benchmark block until the value is ready.  The measurement is a
+ * pure function of (config, benchmark), so which thread computes it never
+ * affects results — part of the runner determinism contract (DESIGN.md).
+ */
+class AloneBaselineCache {
+  public:
+    using ComputeFn = std::function<ThreadMeasurement()>;
+
+    /** @return the cached measurement, computing it via @p compute once. */
+    const ThreadMeasurement& GetOrCompute(const std::string& benchmark,
+                                          const ComputeFn& compute);
+
+  private:
+    struct Entry {
+        bool ready = false;
+        bool computing = false;
+        ThreadMeasurement value;
+    };
+
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    /** Node-based map: entry references stay valid across insertions. */
+    std::map<std::string, Entry> entries_;
+};
+
+/**
+ * Runs alone baselines (cached) and shared workloads.
+ *
+ * Safe to use from multiple threads concurrently: RunShared builds an
+ * independent System per call and the alone cache synchronizes itself.
+ * Copies share the alone-baseline cache.
+ */
 class ExperimentRunner {
   public:
     explicit ExperimentRunner(const ExperimentConfig& config);
@@ -96,7 +133,7 @@ class ExperimentRunner {
 
   private:
     ExperimentConfig config_;
-    std::map<std::string, ThreadMeasurement> alone_cache_;
+    std::shared_ptr<AloneBaselineCache> alone_cache_;
 };
 
 /**

@@ -1,0 +1,94 @@
+/** @file Tests for the minimal JSON library backing the bench harness. */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+namespace parbs::json {
+namespace {
+
+TEST(Json, BuildsAndDumpsObjects)
+{
+    Value root = Value::Object();
+    root.Set("name", "fig8");
+    root.Set("count", static_cast<std::uint64_t>(3));
+    root.Set("unfair", 1.25);
+    root.Set("quick", true);
+    Value list = Value::Array();
+    list.Append(1.0);
+    list.Append(2.5);
+    root.Set("slowdowns", std::move(list));
+
+    EXPECT_EQ(root.Dump(),
+              "{\"name\":\"fig8\",\"count\":3,\"unfair\":1.25,"
+              "\"quick\":true,\"slowdowns\":[1,2.5]}");
+}
+
+TEST(Json, PreservesInsertionOrder)
+{
+    Value root = Value::Object();
+    root.Set("z", 1.0);
+    root.Set("a", 2.0);
+    root.Set("m", 3.0);
+    const auto& members = root.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, ParseRoundTripsExactly)
+{
+    // Doubles use shortest-round-trip formatting, so parse(dump(x)) must
+    // reproduce x bit-for-bit — the property the golden check relies on.
+    Value root = Value::Object();
+    root.Set("pi", 3.141592653589793);
+    root.Set("tiny", 1e-300);
+    root.Set("neg", -0.0625);
+    root.Set("big", static_cast<std::uint64_t>(1) << 62);
+    root.Set("text", "a\"b\\c\n\t\x01");
+    const Value reparsed = Value::Parse(root.Dump(2));
+    EXPECT_TRUE(reparsed == root);
+    EXPECT_EQ(reparsed.Dump(), root.Dump());
+}
+
+TEST(Json, FindAndItems)
+{
+    Value root = Value::Parse(R"({"runs":[{"x":1},{"x":2}],"n":2})");
+    ASSERT_NE(root.Find("runs"), nullptr);
+    EXPECT_EQ(root.Find("missing"), nullptr);
+    EXPECT_EQ(root.Find("runs")->items().size(), 2u);
+    EXPECT_EQ(root.Find("runs")->items()[1].Find("x")->AsNumber(), 2.0);
+}
+
+TEST(Json, EqualityIsDeep)
+{
+    const Value a = Value::Parse(R"({"s":[{"k":[1,2,{"v":true}]}]})");
+    const Value b = Value::Parse(R"({"s":[{"k":[1,2,{"v":true}]}]})");
+    const Value c = Value::Parse(R"({"s":[{"k":[1,2,{"v":false}]}]})");
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(Value::Parse(""), ParseError);
+    EXPECT_THROW(Value::Parse("{"), ParseError);
+    EXPECT_THROW(Value::Parse("{\"a\":}"), ParseError);
+    EXPECT_THROW(Value::Parse("[1,]"), ParseError);
+    EXPECT_THROW(Value::Parse("nul"), ParseError);
+    EXPECT_THROW(Value::Parse("1 2"), ParseError);
+    EXPECT_THROW(Value::Parse("\"unterminated"), ParseError);
+}
+
+TEST(Json, RejectsRunawayNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i) {
+        deep += "[";
+    }
+    EXPECT_THROW(Value::Parse(deep), ParseError);
+}
+
+} // namespace
+} // namespace parbs::json

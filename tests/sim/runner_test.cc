@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the work-stealing TaskPool and the bench harness's
+ * determinism contract: results and emitted JSON are bit-identical for
+ * every --jobs value (DESIGN.md "Parallel runner").
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hh"
+#include "common/json.hh"
+#include "sim/runner.hh"
+
+namespace parbs {
+namespace {
+
+TEST(TaskPool, HardwareJobsIsAtLeastOne)
+{
+    EXPECT_GE(HardwareJobs(), 1u);
+    EXPECT_GE(TaskPool(0).jobs(), 1u);
+}
+
+TEST(TaskPool, RunsEveryTaskExactlyOnce)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        TaskPool pool(jobs);
+        constexpr std::size_t kTasks = 100;
+        std::vector<std::atomic<int>> hits(kTasks);
+        pool.ParallelFor(kTasks, [&](std::size_t i) { hits[i] += 1; });
+        for (std::size_t i = 0; i < kTasks; ++i) {
+            EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+        }
+    }
+}
+
+TEST(TaskPool, ResultsLandAtSubmissionIndex)
+{
+    auto compute = [](unsigned jobs) {
+        TaskPool pool(jobs);
+        std::vector<std::uint64_t> out(257);
+        pool.ParallelFor(out.size(), [&](std::size_t i) {
+            out[i] = i * i + 7;
+        });
+        return out;
+    };
+    EXPECT_EQ(compute(1), compute(4));
+    EXPECT_EQ(compute(1), compute(8));
+}
+
+TEST(TaskPool, ReusableAcrossBatches)
+{
+    TaskPool pool(3);
+    std::atomic<int> total{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        pool.ParallelFor(10, [&](std::size_t) { total += 1; });
+    }
+    EXPECT_EQ(total.load(), 50);
+    pool.RunAll({}); // Empty batch is a no-op.
+}
+
+TEST(TaskPool, FirstExceptionPropagatesAfterBatchCompletes)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        TaskPool pool(jobs);
+        std::atomic<int> ran{0};
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 20; ++i) {
+            tasks.push_back([&ran, i] {
+                ran += 1;
+                if (i % 7 == 3) {
+                    throw std::runtime_error("task failed");
+                }
+            });
+        }
+        EXPECT_THROW(pool.RunAll(std::move(tasks)), std::runtime_error);
+        // The failing task does not cancel the rest of the batch.
+        EXPECT_EQ(ran.load(), 20);
+        // The pool stays usable after a failed batch.
+        std::atomic<int> after{0};
+        pool.ParallelFor(4, [&](std::size_t) { after += 1; });
+        EXPECT_EQ(after.load(), 4);
+    }
+}
+
+TEST(TaskPool, IdleWorkersStealFromLoadedOnes)
+{
+    TaskPool pool(4);
+    // Round-robin distribution puts every sleeping task on worker 0; the
+    // other three workers' deques hold only no-ops, so they must steal to
+    // keep the batch moving.
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+        if (i % 4 == 0) {
+            tasks.push_back([] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            });
+        } else {
+            tasks.push_back([] {});
+        }
+    }
+    pool.RunAll(std::move(tasks));
+    EXPECT_GT(pool.steal_count(), 0u);
+}
+
+/** Runs a small 4-core workload set through a full bench Session. */
+std::string
+RunSuiteJson(unsigned jobs, const std::string& path)
+{
+    std::vector<std::string> args = {
+        "runner_test", "--cycles", "100000", "--jobs",
+        std::to_string(jobs), "--json", path,
+    };
+    std::vector<char*> argv;
+    for (std::string& arg : args) {
+        argv.push_back(arg.data());
+    }
+
+    {
+        bench::Session session(static_cast<int>(argv.size()), argv.data(),
+                               "Runner test", "determinism check");
+        ExperimentRunner runner = bench::MakeRunner(session.options(), 4);
+        SchedulerConfig frfcfs;
+        frfcfs.kind = SchedulerKind::kFrFcfs;
+        SchedulerConfig parbs_config;
+        parbs_config.kind = SchedulerKind::kParBs;
+        const auto matrix =
+            bench::RunMatrix(session, runner, {frfcfs, parbs_config},
+                             RandomMixes(2, 4, /*seed=*/1));
+        for (const auto& runs : matrix) {
+            for (const SharedRun& run : runs) {
+                session.RecordRun("determinism", run);
+            }
+        }
+    } // ~Session writes the JSON file.
+
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(RunnerDeterminism, JsonRunSubtreeIsByteIdenticalAcrossJobs)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string serial = RunSuiteJson(1, dir + "/runner_j1.json");
+    const std::string parallel = RunSuiteJson(8, dir + "/runner_j8.json");
+    ASSERT_FALSE(serial.empty());
+    ASSERT_FALSE(parallel.empty());
+
+    // The files differ only in the volatile "env" subtree (wall clock,
+    // jobs); the deterministic "run" subtree must match byte-for-byte.
+    const json::Value a = json::Value::Parse(serial);
+    const json::Value b = json::Value::Parse(parallel);
+    ASSERT_NE(a.Find("run"), nullptr);
+    ASSERT_NE(b.Find("run"), nullptr);
+    EXPECT_EQ(a.Find("run")->Dump(2), b.Find("run")->Dump(2));
+}
+
+} // namespace
+} // namespace parbs

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Aggregates the per-binary JSON files the bench harness writes (one per
+ * `--json` invocation, conventionally under bench/out/) into a single
+ * BENCH_results.json, and optionally checks them against the checked-in
+ * golden results:
+ *
+ *   bench_report --dir bench/out --out BENCH_results.json
+ *   bench_report --dir bench/out --check bench/golden [--wall-tolerance 0.2]
+ *
+ * The check compares each file's deterministic "run" subtree exactly
+ * (any metric drift fails) and its wall clock against the golden wall
+ * clock with a relative tolerance (default +20%) — the perf-regression
+ * gate in CI.  Exit status: 0 clean, 1 regression/drift, 2 usage error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace fs = std::filesystem;
+using parbs::json::Value;
+
+namespace {
+
+/** Sorted *.json paths directly inside @p dir. */
+std::vector<fs::path>
+JsonFiles(const fs::path& dir)
+{
+    std::vector<fs::path> files;
+    if (!fs::is_directory(dir)) {
+        return files;
+    }
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json") {
+            files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+bool
+LoadJson(const fs::path& path, Value& out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_report: cannot read %s\n",
+                     path.string().c_str());
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        out = Value::Parse(buffer.str());
+    } catch (const parbs::json::ParseError& error) {
+        std::fprintf(stderr, "bench_report: %s: %s\n",
+                     path.string().c_str(), error.what());
+        return false;
+    }
+    return true;
+}
+
+double
+WallSeconds(const Value& root)
+{
+    const Value* env = root.Find("env");
+    const Value* wall = env != nullptr ? env->Find("wall_seconds") : nullptr;
+    return wall != nullptr ? wall->AsNumber() : 0.0;
+}
+
+/**
+ * Compares one result file against its golden counterpart.  @return true
+ * when the run subtree matches exactly and the wall clock is within
+ * tolerance.
+ */
+bool
+CheckAgainstGolden(const std::string& name, const Value& result,
+                   const Value& golden, double wall_tolerance)
+{
+    bool ok = true;
+    const Value* run = result.Find("run");
+    const Value* golden_run = golden.Find("run");
+    if (run == nullptr || golden_run == nullptr) {
+        std::fprintf(stderr, "FAIL %s: missing \"run\" subtree\n",
+                     name.c_str());
+        return false;
+    }
+    if (!(*run == *golden_run)) {
+        std::fprintf(stderr,
+                     "FAIL %s: simulated metrics drifted from golden "
+                     "(the \"run\" subtree differs)\n",
+                     name.c_str());
+        ok = false;
+    }
+    const double wall = WallSeconds(result);
+    const double golden_wall = WallSeconds(golden);
+    if (golden_wall > 0.0 && wall > golden_wall * (1.0 + wall_tolerance)) {
+        std::fprintf(stderr,
+                     "FAIL %s: wall clock %.2fs exceeds golden %.2fs by "
+                     "more than %.0f%%\n",
+                     name.c_str(), wall, golden_wall,
+                     wall_tolerance * 100.0);
+        ok = false;
+    }
+    if (ok) {
+        std::fprintf(stderr, "ok   %s (wall %.2fs, golden %.2fs)\n",
+                     name.c_str(), wall, golden_wall);
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string dir = "bench/out";
+    std::string out_path = "BENCH_results.json";
+    std::string golden_dir;
+    double wall_tolerance = 0.20;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dir" && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--check" && i + 1 < argc) {
+            golden_dir = argv[++i];
+        } else if (arg == "--wall-tolerance" && i + 1 < argc) {
+            wall_tolerance = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "usage: %s [--dir DIR] [--out PATH] "
+                         "[--check GOLDEN_DIR] [--wall-tolerance F]\n",
+                         argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "bench_report: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    const std::vector<fs::path> files = JsonFiles(dir);
+    if (files.empty()) {
+        std::fprintf(stderr, "bench_report: no .json files in %s\n",
+                     dir.c_str());
+        return 2;
+    }
+
+    Value benchmarks = Value::Array();
+    double total_wall = 0.0;
+    for (const fs::path& path : files) {
+        Value root;
+        if (!LoadJson(path, root)) {
+            return 2;
+        }
+        total_wall += WallSeconds(root);
+        Value entry = Value::Object();
+        entry.Set("file", path.filename().string());
+        entry.Set("env", std::move(*root.Find("env")));
+        entry.Set("run", std::move(*root.Find("run")));
+        benchmarks.Append(std::move(entry));
+    }
+
+    Value report = Value::Object();
+    Value summary = Value::Object();
+    summary.Set("benchmarks",
+                static_cast<std::uint64_t>(benchmarks.items().size()));
+    summary.Set("total_wall_seconds", total_wall);
+    report.Set("summary", std::move(summary));
+    report.Set("benchmarks", std::move(benchmarks));
+
+    {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "bench_report: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        out << report.Dump(2) << "\n";
+    }
+    std::fprintf(stderr, "bench_report: wrote %s (%zu benchmarks, "
+                         "%.1fs total)\n",
+                 out_path.c_str(), files.size(), total_wall);
+
+    if (golden_dir.empty()) {
+        return 0;
+    }
+
+    // Gate mode: every golden file must have a fresh, matching result.
+    const std::vector<fs::path> golden_files = JsonFiles(golden_dir);
+    if (golden_files.empty()) {
+        std::fprintf(stderr, "bench_report: no golden files in %s\n",
+                     golden_dir.c_str());
+        return 2;
+    }
+    bool all_ok = true;
+    for (const fs::path& golden_path : golden_files) {
+        const std::string name = golden_path.filename().string();
+        const fs::path result_path = fs::path(dir) / name;
+        Value golden;
+        if (!LoadJson(golden_path, golden)) {
+            return 2;
+        }
+        if (!fs::is_regular_file(result_path)) {
+            std::fprintf(stderr, "FAIL %s: no result in %s\n",
+                         name.c_str(), dir.c_str());
+            all_ok = false;
+            continue;
+        }
+        Value result;
+        if (!LoadJson(result_path, result)) {
+            return 2;
+        }
+        all_ok &= CheckAgainstGolden(name, result, golden, wall_tolerance);
+    }
+    std::fprintf(stderr, "bench_report: golden check %s\n",
+                 all_ok ? "passed" : "FAILED");
+    return all_ok ? 0 : 1;
+}
