@@ -7,10 +7,16 @@
  * with dividers).  This measures the software decision cost of each policy
  * under an identical standing request mix.
  *
- * The *_scan variants disable the controller's next-event fast path, so
- * the pairwise deltas report exactly what the skip-ahead machinery costs
- * (bound maintenance on busy ticks) and saves (skipped ticks; see
- * BM_IdleTick_* for the pure skip path).
+ * Three families:
+ *
+ *  - BM_<policy> — default-path per-tick cost at the historical 8-thread /
+ *    96-request operating point (the perf-trajectory series).
+ *  - BM_<policy>_indexed / BM_<policy>_scan at 4/8/16 cores with the read
+ *    buffer loaded to capacity — indexed per-bank selection (DESIGN.md §5e)
+ *    against the full-buffer scan, same workload, same scheduler.  The CI
+ *    perf gate requires indexed to beat scan on the 16-core config.
+ *  - BM_<policy>_nofastpath / BM_IdleTick_* — next-event skip-ahead cost
+ *    and savings (PR 3's machinery), unchanged series.
  */
 
 #include <benchmark/benchmark.h>
@@ -25,26 +31,28 @@ namespace {
 /** A controller pre-loaded with a reproducible mixed request population. */
 std::unique_ptr<Controller>
 LoadedController(SchedulerKind kind, std::uint32_t requests,
-                 bool fast_path = true)
+                 bool fast_path = true, std::uint32_t threads = 8,
+                 bool indexed = true, double write_fraction = 0.2)
 {
     SchedulerConfig scheduler_config;
     scheduler_config.kind = kind;
     ControllerConfig config;
     config.enable_refresh = false;
     config.fast_path = fast_path;
+    config.indexed_selection = indexed;
     dram::Geometry geometry;
     geometry.rows_per_bank = 1024;
     auto controller = std::make_unique<Controller>(
-        config, dram::TimingParams{}, geometry, 8,
+        config, dram::TimingParams{}, geometry, threads,
         MakeScheduler(scheduler_config));
     Rng rng(42);
     for (std::uint32_t i = 0; i < requests; ++i) {
         auto request = std::make_unique<MemRequest>();
         request->id = i + 1;
-        request->thread = static_cast<ThreadId>(rng.NextBelow(8));
+        request->thread = static_cast<ThreadId>(rng.NextBelow(threads));
         request->coords.bank = static_cast<std::uint32_t>(rng.NextBelow(8));
         request->coords.row = static_cast<std::uint32_t>(rng.NextBelow(64));
-        request->is_write = rng.NextBool(0.2);
+        request->is_write = rng.NextBool(write_fraction);
         controller->Enqueue(std::move(request), 0);
     }
     return controller;
@@ -63,6 +71,37 @@ SchedulerTick(benchmark::State& state, SchedulerKind kind,
         if (controller->pending_reads() < 48) {
             state.PauseTiming();
             controller = LoadedController(kind, 96, fast_path);
+            now = 0;
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/**
+ * Selection-path cost at a fully-loaded read buffer (128 standing reads —
+ * the paper's buffer capacity) spread over `cores` threads: the candidate
+ * gather + two-level pick dominates the tick, so the indexed-vs-scan pair
+ * isolates what the per-bank restructuring buys as cores scale.
+ */
+void
+SelectionTick(benchmark::State& state, SchedulerKind kind,
+              std::uint32_t cores, bool indexed)
+{
+    constexpr std::uint32_t kFullBuffer = 128;
+    auto controller = LoadedController(kind, kFullBuffer, /*fast_path=*/true,
+                                       cores, indexed,
+                                       /*write_fraction=*/0.0);
+    DramCycle now = 0;
+    for (auto _ : state) {
+        controller->Tick(now);
+        now += 1;
+        // Stay near capacity so every selection walks a loaded buffer.
+        if (controller->pending_reads() < kFullBuffer / 2) {
+            state.PauseTiming();
+            controller = LoadedController(kind, kFullBuffer,
+                                          /*fast_path=*/true, cores, indexed,
+                                          /*write_fraction=*/0.0);
             now = 0;
             state.ResumeTiming();
         }
@@ -98,24 +137,43 @@ void BM_ParBs(benchmark::State& s)
 {
     SchedulerTick(s, SchedulerKind::kParBs);
 }
-void BM_FrFcfs_scan(benchmark::State& s)
+void BM_FrFcfs_nofastpath(benchmark::State& s)
 {
     SchedulerTick(s, SchedulerKind::kFrFcfs, /*fast_path=*/false);
 }
-void BM_ParBs_scan(benchmark::State& s)
+void BM_ParBs_nofastpath(benchmark::State& s)
 {
     SchedulerTick(s, SchedulerKind::kParBs, /*fast_path=*/false);
 }
 void BM_IdleTick_skip(benchmark::State& s) { IdleTick(s, true); }
 void BM_IdleTick_scan(benchmark::State& s) { IdleTick(s, false); }
 
+#define PARBS_SELECTION_PAIR(Name, Kind)                                    \
+    void BM_##Name##_indexed(benchmark::State& s)                           \
+    {                                                                       \
+        SelectionTick(s, SchedulerKind::Kind,                               \
+                      static_cast<std::uint32_t>(s.range(0)), true);        \
+    }                                                                       \
+    void BM_##Name##_scan(benchmark::State& s)                              \
+    {                                                                       \
+        SelectionTick(s, SchedulerKind::Kind,                               \
+                      static_cast<std::uint32_t>(s.range(0)), false);       \
+    }                                                                       \
+    BENCHMARK(BM_##Name##_indexed)->Arg(4)->Arg(8)->Arg(16);                \
+    BENCHMARK(BM_##Name##_scan)->Arg(4)->Arg(8)->Arg(16)
+
 BENCHMARK(BM_Fcfs);
 BENCHMARK(BM_FrFcfs);
 BENCHMARK(BM_Nfq);
 BENCHMARK(BM_Stfm);
 BENCHMARK(BM_ParBs);
-BENCHMARK(BM_FrFcfs_scan);
-BENCHMARK(BM_ParBs_scan);
+PARBS_SELECTION_PAIR(Fcfs, kFcfs);
+PARBS_SELECTION_PAIR(FrFcfs, kFrFcfs);
+PARBS_SELECTION_PAIR(Nfq, kNfq);
+PARBS_SELECTION_PAIR(Stfm, kStfm);
+PARBS_SELECTION_PAIR(ParBs, kParBs);
+BENCHMARK(BM_FrFcfs_nofastpath);
+BENCHMARK(BM_ParBs_nofastpath);
 BENCHMARK(BM_IdleTick_skip);
 BENCHMARK(BM_IdleTick_scan);
 

@@ -41,6 +41,17 @@ class BlpFirstScheduler : public ParBsScheduler {
         return config;
     }
 
+    /**
+     * Opt back out of the per-bank pick memo ParBsScheduler enables:
+     * Better() below reads the *live* ReqsInBankPerThread counters, which
+     * change on any bank's arrivals and completions without this bank's
+     * chain generation moving — a memoized winner could silently go stale.
+     * This is the contract every PickMemoStable() == true scheduler signs:
+     * the order may depend only on the candidates, the bank's row state,
+     * and scheduler state announced through InvalidateBankPicks().
+     */
+    bool PickMemoStable() const override { return false; }
+
     bool
     Better(const Candidate& a, const Candidate& b,
            DramCycle now) const override

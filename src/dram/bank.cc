@@ -75,6 +75,7 @@ Bank::Issue(const Command& cmd, DramCycle now)
                      "ACTIVATE issued to a bank with an open row");
         open_row_ = cmd.row;
         open_since_ = now;
+        row_gen_ += 1;
         // Column commands must respect tRCD; the earliest precharge must
         // respect tRAS; the next activate to this bank respects tRC.
         next_read_ = std::max(next_read_, now + timing_.tRCD);
@@ -88,6 +89,7 @@ Bank::Issue(const Command& cmd, DramCycle now)
                      "PRECHARGE issued to an already-closed bank");
         open_row_ = kNoRow;
         open_since_ = kNeverCycle;
+        row_gen_ += 1;
         next_activate_ = std::max(next_activate_, now + timing_.tRP);
         break;
 

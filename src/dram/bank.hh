@@ -73,11 +73,20 @@ class Bank {
      *          if closed); used by NFQ's priority-inversion-prevention. */
     DramCycle open_since() const { return open_since_; }
 
+    /**
+     * Monotonic generation of the row-buffer state: bumped whenever
+     * open_row() changes (ACTIVATE / PRECHARGE).  Schedulers key memoized
+     * per-bank picks on it, so that row-hit status cached with a pick is
+     * known stale the moment the open row changes (DESIGN.md §5e).
+     */
+    std::uint64_t row_generation() const { return row_gen_; }
+
   private:
     const TimingParams& timing_;
 
     std::uint32_t open_row_ = kNoRow;
     DramCycle open_since_ = kNeverCycle;
+    std::uint64_t row_gen_ = 1;
 
     /** Earliest legal issue cycle per command class. */
     DramCycle next_activate_ = 0;

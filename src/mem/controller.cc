@@ -51,6 +51,8 @@ Controller::Controller(const ControllerConfig& config,
     }
     SchedulerContext context;
     context.read_queue = &read_queue_;
+    context.write_queue = &write_queue_;
+    context.channel = &channel_;
     context.num_threads = num_threads;
     context.num_ranks = geometry.ranks_per_channel;
     context.banks_per_rank = geometry.banks_per_rank;
@@ -141,24 +143,18 @@ void
 Controller::RetireFinished(DramCycle now)
 {
     fast_stats_.retire_scans += 1;
-    // Collect first, then remove: removal invalidates the queue's view.
-    std::vector<RequestId> done_reads;
-    std::vector<RequestId> done_writes;
-    for (const MemRequest* request : read_queue_.requests()) {
-        if (request->state == RequestState::kInBurst &&
-            request->completion_cycle <= now) {
-            done_reads.push_back(request->id);
-        }
-    }
-    for (const MemRequest* request : write_queue_.requests()) {
-        if (request->state == RequestState::kInBurst &&
-            request->completion_cycle <= now) {
-            done_writes.push_back(request->id);
-        }
-    }
-
-    for (RequestId id : done_reads) {
+    // The in-burst FIFOs hold completions in order, so retirement is a
+    // front-pop per completed request instead of a full-buffer scan.  The
+    // pop order (completion order, reads before writes) matches the old
+    // scan: per-queue completion cycles are distinct and the check runs
+    // every cycle one is due, so at most one request per queue retires per
+    // call.
+    while (!inburst_reads_.empty() && inburst_reads_.front().first <= now) {
+        const RequestId id = inburst_reads_.front().second;
+        inburst_reads_.pop_front();
         std::unique_ptr<MemRequest> request = read_queue_.Remove(id);
+        PARBS_ASSERT(request->state == RequestState::kInBurst,
+                     "retire FIFO out of sync with request state");
         request->state = RequestState::kCompleted;
         LeaveService(*request);
 
@@ -185,8 +181,13 @@ Controller::RetireFinished(DramCycle now)
         }
     }
 
-    for (RequestId id : done_writes) {
+    while (!inburst_writes_.empty() &&
+           inburst_writes_.front().first <= now) {
+        const RequestId id = inburst_writes_.front().second;
+        inburst_writes_.pop_front();
         std::unique_ptr<MemRequest> request = write_queue_.Remove(id);
+        PARBS_ASSERT(request->state == RequestState::kInBurst,
+                     "retire FIFO out of sync with request state");
         request->state = RequestState::kCompleted;
         stats_[request->thread].writes_completed += 1;
         scheduler_->OnRequestComplete(*request, now);
@@ -220,18 +221,15 @@ Controller::UpdateWriteDrain()
 void
 Controller::RecomputeNextRetire()
 {
+    // The FIFO fronts are the earliest in-flight completions.
     next_retire_check_ = kNeverCycle;
-    for (const MemRequest* request : read_queue_.requests()) {
-        if (request->state == RequestState::kInBurst) {
-            next_retire_check_ =
-                std::min(next_retire_check_, request->completion_cycle);
-        }
+    if (!inburst_reads_.empty()) {
+        next_retire_check_ =
+            std::min(next_retire_check_, inburst_reads_.front().first);
     }
-    for (const MemRequest* request : write_queue_.requests()) {
-        if (request->state == RequestState::kInBurst) {
-            next_retire_check_ =
-                std::min(next_retire_check_, request->completion_cycle);
-        }
+    if (!inburst_writes_.empty()) {
+        next_retire_check_ =
+            std::min(next_retire_check_, inburst_writes_.front().first);
     }
 }
 
@@ -269,6 +267,103 @@ Controller::HandleRefresh(DramCycle now)
 
 MemRequest*
 Controller::SelectRequest(const RequestQueue& queue, DramCycle now)
+{
+    MemRequest* chosen = config_.indexed_selection
+                             ? SelectIndexed(queue, now)
+                             : SelectScan(queue, now);
+    // Cross-check: both paths must agree on every pick.  Sound only for
+    // deterministic schedulers — a chaos wrapper draws fresh randomness on
+    // each Pick(), so re-running selection would change its stream.
+    if (config_.verify_indexed_selection && scheduler_->DeterministicPick()) {
+        MemRequest* reference = config_.indexed_selection
+                                    ? SelectScan(queue, now)
+                                    : SelectIndexed(queue, now);
+        PARBS_ASSERT(chosen == reference,
+                     "indexed selection diverged from the full-scan path");
+    }
+    return chosen;
+}
+
+Controller::BankIssueOptions
+Controller::BankCouldIssue(const dram::Bank& bank, std::uint32_t rank,
+                           std::uint32_t bank_in_rank, bool is_write_queue,
+                           DramCycle now) const
+{
+    // Timing legality does not depend on the row, so probe with row 0.
+    BankIssueOptions options;
+    if (!bank.IsOpen()) {
+        // Every candidate's next command is kActivate.
+        options.activate = channel_.CanIssue(
+            {dram::CommandType::kActivate, rank, bank_in_rank, 0}, now);
+        return options;
+    }
+    // A row is open: candidates are row hits (column command; the queue is
+    // homogeneous, so the type is fixed) or conflicts (kPrecharge).
+    const dram::CommandType column = is_write_queue
+                                         ? dram::CommandType::kWrite
+                                         : dram::CommandType::kRead;
+    options.column = channel_.CanIssue({column, rank, bank_in_rank, 0}, now);
+    options.precharge = channel_.CanIssue(
+        {dram::CommandType::kPrecharge, rank, bank_in_rank, 0}, now);
+    return options;
+}
+
+MemRequest*
+Controller::SelectIndexed(const RequestQueue& queue, DramCycle now)
+{
+    if (queue.Empty()) {
+        return nullptr;
+    }
+    const bool refresh_active =
+        config_.enable_refresh && channel_.timing().tREFI != 0;
+    const bool is_write_queue = &queue == &write_queue_;
+    const std::uint32_t banks_per_rank = channel_.rank(0).num_banks();
+
+    finalists_.clear();
+    for (std::uint32_t bank = 0; bank < queue.num_banks(); ++bank) {
+        if (queue.QueuedInBank(bank) == 0) {
+            continue;
+        }
+        const std::uint32_t rank = bank / banks_per_rank;
+        const std::uint32_t bank_in_rank = bank % banks_per_rank;
+        // A rank with an overdue refresh accepts no new commands until the
+        // refresh has been performed (starvation-free refresh guarantee).
+        if (refresh_active && channel_.rank(rank).RefreshDue(now)) {
+            continue;
+        }
+        const dram::Bank& state = channel_.bank(rank, bank_in_rank);
+        // Skipping a timing-blocked bank cannot change the outcome: the
+        // bank winner's next command is one of the probed types, so it
+        // would fail the Allows() finalist check below anyway (and Pick()
+        // is side-effect-free for every deterministic scheduler).
+        const BankIssueOptions options =
+            BankCouldIssue(state, rank, bank_in_rank, is_write_queue, now);
+        if (!options.Any()) {
+            continue;
+        }
+        MemRequest* winner = scheduler_->PickInBank(queue, bank, now);
+        if (winner == nullptr) {
+            continue;
+        }
+        Candidate candidate;
+        candidate.request = winner;
+        candidate.next_command =
+            state.NextCommandFor(winner->coords.row, winner->is_write);
+        candidate.row_hit = state.open_row() == winner->coords.row;
+        candidate.row_open_since = state.open_since();
+        // Legality per type was already probed above; no repeat CanIssue.
+        if (options.Allows(candidate.next_command)) {
+            finalists_.push_back(candidate);
+        }
+    }
+    if (finalists_.empty()) {
+        return nullptr;
+    }
+    return scheduler_->Pick(finalists_, now);
+}
+
+MemRequest*
+Controller::SelectScan(const RequestQueue& queue, DramCycle now)
 {
     if (queue.Empty()) {
         return nullptr;
@@ -375,8 +470,16 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
 
     if (type == dram::CommandType::kRead ||
         type == dram::CommandType::kWrite) {
+        // Leaving kQueued: drop the request from its bank's chain so the
+        // indexed gather never visits in-burst requests.
+        (request.is_write ? write_queue_ : read_queue_)
+            .BeginService(request);
         request.state = RequestState::kInBurst;
         request.completion_cycle = done;
+        auto& fifo = request.is_write ? inburst_writes_ : inburst_reads_;
+        PARBS_ASSERT(fifo.empty() || fifo.back().first <= done,
+                     "in-burst completions must be pushed in order");
+        fifo.push_back({done, request.id});
         next_retire_check_ = std::min(next_retire_check_, done);
     }
 
@@ -433,59 +536,75 @@ Controller::RecordCommand(dram::CommandType type, DramCycle now)
 DramCycle
 Controller::NextReadyBound(DramCycle now) const
 {
+    // One walk over the per-bank chains serves both the selection
+    // skip-ahead bound and (via AnyCommandReady) the fast-path verifier:
+    // the chains hold exactly the queued requests, so the bound equals the
+    // old full-buffer scan's, while empty banks and in-burst requests cost
+    // nothing.
     const bool refresh_active =
         config_.enable_refresh && channel_.timing().tREFI != 0;
+    const std::uint32_t banks_per_rank = channel_.rank(0).num_banks();
     DramCycle bound = kNeverCycle;
     for (const RequestQueue* queue : {&read_queue_, &write_queue_}) {
-        for (const MemRequest* request : queue->requests()) {
-            if (request->state != RequestState::kQueued) {
+        for (std::uint32_t bank = 0; bank < queue->num_banks(); ++bank) {
+            if (queue->QueuedInBank(bank) == 0) {
                 continue;
             }
+            const std::uint32_t rank = bank / banks_per_rank;
             // A rank with an overdue refresh accepts no new commands until
             // the refresh issues — and issuing it resets the cache, so the
-            // request contributes nothing to the bound until then.
-            if (refresh_active &&
-                channel_.rank(request->coords.rank).RefreshDue(now)) {
+            // bank contributes nothing to the bound until then.
+            if (refresh_active && channel_.rank(rank).RefreshDue(now)) {
                 continue;
             }
-            const dram::Bank& bank =
-                channel_.bank(request->coords.rank, request->coords.bank);
-            const dram::Command command{
-                bank.NextCommandFor(request->coords.row, request->is_write),
-                request->coords.rank, request->coords.bank,
-                request->coords.row};
-            bound = std::min(bound, channel_.EarliestIssue(command));
+            const dram::Bank& state =
+                channel_.bank(rank, bank % banks_per_rank);
+            const std::uint32_t bank_in_rank = bank % banks_per_rank;
+            // EarliestIssue depends only on the command *type* (the bank,
+            // rank and bus timers are row-independent), so the per-request
+            // minimum within one bank collapses to at most two probes: a
+            // closed bank needs kActivate for every request; an open bank
+            // needs the column command iff any request targets the open
+            // row and kPrecharge iff any request misses it.  The chain
+            // walk is plain row compares with an early exit — no channel
+            // probes — so the bound stays bit-exact with the old
+            // per-request scan at O(banks) probes total.
+            if (!state.IsOpen()) {
+                bound = std::min(
+                    bound, channel_.EarliestIssue(
+                               {dram::CommandType::kActivate, rank,
+                                bank_in_rank, 0}));
+                continue;
+            }
+            bool any_hit = false;
+            bool any_miss = false;
+            for (const MemRequest* request : queue->BankQueued(bank)) {
+                (request->coords.row == state.open_row() ? any_hit
+                                                         : any_miss) = true;
+                if (any_hit && any_miss) {
+                    break;
+                }
+            }
+            if (any_hit) {
+                // Queues are homogeneous (reads vs writes), so the column
+                // command type is a property of the queue, not the request.
+                const dram::CommandType column =
+                    queue == &write_queue_ ? dram::CommandType::kWrite
+                                           : dram::CommandType::kRead;
+                bound = std::min(bound,
+                                 channel_.EarliestIssue({column, rank,
+                                                         bank_in_rank,
+                                                         state.open_row()}));
+            }
+            if (any_miss) {
+                bound = std::min(
+                    bound, channel_.EarliestIssue(
+                               {dram::CommandType::kPrecharge, rank,
+                                bank_in_rank, 0}));
+            }
         }
     }
     return bound;
-}
-
-bool
-Controller::AnyCommandReady(DramCycle now) const
-{
-    const bool refresh_active =
-        config_.enable_refresh && channel_.timing().tREFI != 0;
-    for (const RequestQueue* queue : {&read_queue_, &write_queue_}) {
-        for (const MemRequest* request : queue->requests()) {
-            if (request->state != RequestState::kQueued) {
-                continue;
-            }
-            if (refresh_active &&
-                channel_.rank(request->coords.rank).RefreshDue(now)) {
-                continue;
-            }
-            const dram::Bank& bank =
-                channel_.bank(request->coords.rank, request->coords.bank);
-            const dram::Command command{
-                bank.NextCommandFor(request->coords.row, request->is_write),
-                request->coords.rank, request->coords.bank,
-                request->coords.row};
-            if (channel_.CanIssue(command, now)) {
-                return true;
-            }
-        }
-    }
-    return false;
 }
 
 std::uint32_t

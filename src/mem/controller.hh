@@ -10,9 +10,11 @@
 #define PARBS_MEM_CONTROLLER_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -62,6 +64,22 @@ struct ControllerConfig {
      * protocol checker, enabled alongside it in validation runs.
      */
     bool verify_fast_path = false;
+    /**
+     * Per-bank indexed selection (DESIGN.md §5e): gather candidates from
+     * the request buffer's per-bank chains, skip banks whose timing FSM
+     * cannot issue any candidate command this cycle, and let the scheduler
+     * memoize per-bank winners.  Exactness-preserving (same winner as the
+     * full-buffer scan every cycle), so this is only ever disabled to
+     * cross-check or to benchmark the scan path.
+     */
+    bool indexed_selection = true;
+    /**
+     * Run *both* selection paths every selection cycle and abort if they
+     * disagree — the selection analogue of verify_fast_path, enabled
+     * alongside it in validation runs.  Skipped automatically for
+     * schedulers whose Pick() is not deterministic (scheduler chaos).
+     */
+    bool verify_indexed_selection = false;
     /** Forward-progress watchdog (starvation / batch / deadlock bounds). */
     WatchdogConfig watchdog;
 
@@ -245,6 +263,15 @@ class Controller {
     DramCycle next_select_cycle_ = 0;
     DramCycle next_retire_check_ = kNeverCycle;
 
+    /**
+     * In-burst requests per queue, in completion order.  Burst latency is
+     * a per-queue constant (tCL+tBURST for reads, tCWL+tBURST for writes)
+     * and commands issue on distinct cycles, so issue order is completion
+     * order — retirement pops fronts instead of scanning the buffers.
+     */
+    std::deque<std::pair<DramCycle, RequestId>> inburst_reads_;
+    std::deque<std::pair<DramCycle, RequestId>> inburst_writes_;
+
     FastPathStats fast_stats_;
 
     void RetireFinished(DramCycle now);
@@ -259,9 +286,68 @@ class Controller {
      * request-level prioritization is what lets a stream of row hits
      * capture a bank under FR-FCFS and lets PAR-BS's marked requests own
      * their banks.
+     *
+     * Dispatches to SelectIndexed or SelectScan per the config, and under
+     * verify_indexed_selection runs both and asserts they agree.
      * @return the chosen request, or nullptr if nothing can issue.
      */
     MemRequest* SelectRequest(const RequestQueue& queue, DramCycle now);
+
+    /**
+     * Indexed selection (DESIGN.md §5e): walk the queue's per-bank chains,
+     * skip refresh-blocked and timing-blocked banks (BankCouldIssue), ask
+     * the scheduler for each remaining bank's memoized winner, and pick
+     * among the ready winners.  O(banks + queued-in-contending-banks) per
+     * cycle instead of O(buffered requests).
+     */
+    MemRequest* SelectIndexed(const RequestQueue& queue, DramCycle now);
+
+    /** Reference selection: the original full-buffer scan. */
+    MemRequest* SelectScan(const RequestQueue& queue, DramCycle now);
+
+    /**
+     * Per-command-type issue legality for one bank.  Timing legality is
+     * row-independent, so one probe per type answers for every candidate
+     * in the bank: kActivate when the bank is closed; the queue's column
+     * command and kPrecharge when a row is open.
+     */
+    struct BankIssueOptions {
+        bool activate = false;
+        bool column = false;
+        bool precharge = false;
+
+        bool Any() const { return activate || column || precharge; }
+        bool Allows(dram::CommandType type) const
+        {
+            switch (type) {
+              case dram::CommandType::kActivate:
+                return activate;
+              case dram::CommandType::kRead:
+              case dram::CommandType::kWrite:
+                return column;
+              case dram::CommandType::kPrecharge:
+                return precharge;
+              case dram::CommandType::kRefresh:
+                return false;
+            }
+            return false;
+        }
+    };
+
+    /**
+     * Bank-ready prefilter: which commands a candidate from this queue
+     * could need pass every timing check at @p now.  Exact: an all-false
+     * return implies CanIssue is false for every candidate's next command
+     * in this bank, because each candidate's next command is one of the
+     * probed types, and the finalist check reduces to Allows() on the
+     * winner's command type — no repeated channel probe.
+     */
+    BankIssueOptions BankCouldIssue(const dram::Bank& bank,
+                                    std::uint32_t rank,
+                                    std::uint32_t bank_in_rank,
+                                    bool is_write_queue,
+                                    DramCycle now) const;
+
     void IssueFor(MemRequest& request, DramCycle now);
 
     /**
@@ -269,12 +355,22 @@ class Controller {
      * pass every timing check, assuming no arrivals and no issues in the
      * interim (either event resets the cache).  kNeverCycle if no queued
      * candidates exist (or all sit behind an overdue refresh, which must
-     * issue — and therefore invalidate — first).
+     * issue — and therefore invalidate — first).  Walks the per-bank
+     * chains, so empty banks cost nothing and in-burst requests are never
+     * visited.
      */
     DramCycle NextReadyBound(DramCycle now) const;
 
-    /** @return true if any queued candidate passes CanIssue at @p now. */
-    bool AnyCommandReady(DramCycle now) const;
+    /**
+     * @return true if any queued candidate passes CanIssue at @p now.
+     * Exactly NextReadyBound(now) <= now by the channel's EarliestIssue
+     * contract (CanIssue(cmd, t) == (t >= EarliestIssue(cmd)) until the
+     * next issue).
+     */
+    bool AnyCommandReady(DramCycle now) const
+    {
+        return NextReadyBound(now) <= now;
+    }
 
     /** Recomputes next_retire_check_ from the in-burst requests. */
     void RecomputeNextRetire();

@@ -61,6 +61,20 @@ struct MemRequest {
     /** NFQ: virtual finish time of this request (0 = not yet computed). */
     std::uint64_t virtual_finish_time = 0;
 
+    // --- Request-buffer indexing (owned by RequestQueue) ----------------
+
+    /**
+     * Intrusive links of the per-(rank,bank) chain of *queued* requests,
+     * kept in arrival order by RequestQueue.  A request is on its bank's
+     * chain exactly while it is schedulable (state == kQueued and still
+     * buffered); the links let the controller gather candidates bank by
+     * bank in O(queued-in-bank) and unlink in O(1).
+     */
+    MemRequest* bank_prev = nullptr;
+    MemRequest* bank_next = nullptr;
+    /** True while the request is linked into its bank chain. */
+    bool bank_linked = false;
+
     /** @return latency from arrival to completion, in DRAM cycles.
      *  @pre the request has completed. */
     DramCycle

@@ -3,6 +3,14 @@
  * The memory request buffer: bounded storage for outstanding requests plus
  * the per-thread, per-bank occupancy counters that the paper's schedulers
  * consult (Table 1: ReqsInBankPerThread, ReqsPerThread).
+ *
+ * Beyond the flat arrival-ordered view, the buffer maintains a per-bank
+ * *index*: an intrusive, arrival-ordered chain of the queued (schedulable)
+ * requests of every (rank, bank), plus per-bank occupancy counters and
+ * modification generations.  The controller's per-cycle candidate
+ * gathering and the schedulers' memoized per-bank picks (DESIGN.md §5e)
+ * are built on this index, making selection cost proportional to the bank
+ * count rather than buffer occupancy.
  */
 
 #ifndef PARBS_MEM_REQUEST_QUEUE_HH
@@ -26,6 +34,39 @@ namespace parbs {
  */
 class RequestQueue {
   public:
+    /** Arrival-ordered forward range over one bank's queued requests. */
+    class BankChain {
+      public:
+        class Iterator {
+          public:
+            explicit Iterator(MemRequest* request) : request_(request) {}
+            MemRequest* operator*() const { return request_; }
+            Iterator&
+            operator++()
+            {
+                request_ = request_->bank_next;
+                return *this;
+            }
+            bool
+            operator!=(const Iterator& other) const
+            {
+                return request_ != other.request_;
+            }
+
+          private:
+            MemRequest* request_;
+        };
+
+        explicit BankChain(MemRequest* head) : head_(head) {}
+        Iterator begin() const { return Iterator(head_); }
+        Iterator end() const { return Iterator(nullptr); }
+        bool empty() const { return head_ == nullptr; }
+        MemRequest* front() const { return head_; }
+
+      private:
+        MemRequest* head_;
+    };
+
     /**
      * @param capacity maximum simultaneous requests (0 = unbounded)
      * @param num_threads number of threads whose counters to track
@@ -50,8 +91,46 @@ class RequestQueue {
      */
     std::unique_ptr<MemRequest> Remove(RequestId id);
 
+    /**
+     * Unlinks @p request from its bank chain when service begins (state
+     * left kQueued): the request stays buffered but is no longer a
+     * scheduling candidate.  Called by the controller when the first
+     * column command for the request issues.
+     * @pre the request is in this buffer and currently linked.
+     */
+    void BeginService(MemRequest& request);
+
     /** All buffered requests, in arrival order (includes in-burst ones). */
     const std::vector<MemRequest*>& requests() const { return view_; }
+
+    /** Oldest buffered request (front of arrival order), or nullptr. */
+    MemRequest*
+    Oldest() const
+    {
+        return view_.empty() ? nullptr : view_.front();
+    }
+
+    // --- Per-bank index --------------------------------------------------
+
+    /** Queued (schedulable) requests of @p bank, in arrival order. */
+    BankChain BankQueued(std::uint32_t bank) const;
+
+    /** Number of queued requests in controller-local flat @p bank. */
+    std::uint32_t QueuedInBank(std::uint32_t bank) const;
+
+    /**
+     * Monotonic modification generation of @p bank's chain: bumped on
+     * every link/unlink.  Schedulers key memoized per-bank picks on it
+     * (see ComparatorScheduler::PickInBank).
+     */
+    std::uint64_t BankGeneration(std::uint32_t bank) const;
+
+    /**
+     * Cross-checks the per-bank index, chains, and occupancy counters
+     * against a from-scratch rebuild of the buffer contents; aborts on any
+     * divergence.  O(size x banks) — validation/test hook only.
+     */
+    void CheckIndex() const;
 
     /** Paper counter: requests from @p thread to controller-local @p bank. */
     std::uint32_t ReqsInBankPerThread(ThreadId thread,
@@ -73,14 +152,24 @@ class RequestQueue {
     std::uint32_t num_banks_;
 
     std::vector<std::unique_ptr<MemRequest>> requests_;
-    /** Cached raw-pointer view handed to schedulers (rebuilt on mutation). */
+    /** Cached raw-pointer view handed to schedulers (kept on mutation). */
     std::vector<MemRequest*> view_;
 
     /** [thread * num_banks + bank] occupancy. */
     std::vector<std::uint32_t> per_thread_bank_;
     std::vector<std::uint32_t> per_thread_;
 
-    void RebuildView();
+    /** Per-bank chain endpoints over the queued subset (arrival order). */
+    std::vector<MemRequest*> chain_head_;
+    std::vector<MemRequest*> chain_tail_;
+    /** Per-bank queued (schedulable) request counts. */
+    std::vector<std::uint32_t> queued_in_bank_;
+    /** Per-bank chain modification generations (start at 1; 0 is never a
+     *  valid generation, so zero-initialized memo slots read as stale). */
+    std::vector<std::uint64_t> bank_gen_;
+
+    void Link(MemRequest& request);
+    void Unlink(MemRequest& request);
 };
 
 } // namespace parbs

@@ -118,8 +118,12 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
         Fail(reason.str(), now, reads, writes, scheduler, channel);
     }
 
+    // The buffers are arrival-ordered, so the front request has the
+    // maximal age: checking it alone is equivalent to the old full-buffer
+    // scan (which would have tripped on the front first anyway), at O(1).
     for (const RequestQueue* queue : {&reads, &writes}) {
-        for (const MemRequest* request : queue->requests()) {
+        const MemRequest* request = queue->Oldest();
+        if (request != nullptr) {
             const DramCycle age = now - request->arrival_dram;
             if (age > starvation_bound_) {
                 std::ostringstream reason;

@@ -73,6 +73,8 @@ StaticBatchScheduler::MarkStatic(DramCycle now)
         batch_stats_.batches_completed += 1;
         batch_start_cycle_ = now;
         ComputeRanking();
+        // Marked bits and ranks changed under the memoized picks' feet.
+        InvalidateBankPicks();
     }
 }
 

@@ -30,6 +30,9 @@ class FcfsScheduler : public ComparatorScheduler {
   protected:
     bool Better(const Candidate& a, const Candidate& b,
                 DramCycle now) const override;
+
+    /** Order is pure arrival order, so per-bank picks are memoizable. */
+    bool PickMemoStable() const override { return true; }
 };
 
 } // namespace parbs

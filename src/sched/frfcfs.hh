@@ -24,6 +24,10 @@ class FrFcfsScheduler : public ComparatorScheduler {
   protected:
     bool Better(const Candidate& a, const Candidate& b,
                 DramCycle now) const override;
+
+    /** Order depends only on row-hit status (bank row generation) and
+     *  arrival id (chain generation), so per-bank picks are memoizable. */
+    bool PickMemoStable() const override { return true; }
 };
 
 } // namespace parbs

@@ -48,6 +48,11 @@ class NfqScheduler : public ComparatorScheduler {
     std::uint64_t VirtualClock(ThreadId thread, std::uint32_t bank) const;
 
   protected:
+    // NFQ deliberately does NOT opt into the per-bank pick memo
+    // (PickMemoStable stays false): Better() compares `now` against
+    // row_open_since + tRAS for the priority-inversion-prevention rule, so
+    // the winner can change with the passage of time alone.  Selection
+    // still runs over the per-bank chains — just re-walked each cycle.
     bool Better(const Candidate& a, const Candidate& b,
                 DramCycle now) const override;
 

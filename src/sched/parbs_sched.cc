@@ -197,6 +197,8 @@ ParBsScheduler::FormBatch(DramCycle now)
     batch_open_ = true;
 
     ComputeRanking();
+    // Marked bits and ranks changed under the memoized picks' feet.
+    InvalidateBankPicks();
     return marked;
 }
 

@@ -131,6 +131,15 @@ class ParBsScheduler : public ComparatorScheduler {
     bool Better(const Candidate& a, const Candidate& b,
                 DramCycle now) const override;
 
+    /**
+     * Better() reads marked bits, priorities, row-hit status, and rank_of_.
+     * Marked bits change only at batch formation / late-join marking (which
+     * call InvalidateBankPicks or happen together with a chain-generation
+     * bump), rank_of_ only in ComputeRanking, priorities only through the
+     * knob hook — so memoized per-bank picks stay sound.
+     */
+    bool PickMemoStable() const override { return true; }
+
     /** Marks eligible requests for a new batch and recomputes ranks.
      *  @return number of requests marked. */
     std::uint64_t FormBatch(DramCycle now);

@@ -1,6 +1,7 @@
 #include "sched/scheduler.hh"
 
 #include "common/assert.hh"
+#include "dram/channel.hh"
 
 namespace parbs {
 
@@ -14,6 +15,43 @@ Scheduler::Attach(const SchedulerContext& context)
     context_ = context;
     priorities_.assign(context.num_threads, kHighestPriority);
     weights_.assign(context.num_threads, 1.0);
+}
+
+const dram::Bank&
+Scheduler::BankState(std::uint32_t flat_bank) const
+{
+    PARBS_ASSERT(context_.channel != nullptr,
+                 "per-bank pick needs a channel in the scheduler context");
+    return context_.channel->bank(flat_bank / context_.banks_per_rank,
+                                  flat_bank % context_.banks_per_rank);
+}
+
+Candidate
+Scheduler::MakeCandidate(MemRequest& request, const dram::Bank& bank) const
+{
+    Candidate candidate;
+    candidate.request = &request;
+    candidate.next_command =
+        bank.NextCommandFor(request.coords.row, request.is_write);
+    candidate.row_hit = bank.open_row() == request.coords.row;
+    candidate.row_open_since = bank.open_since();
+    return candidate;
+}
+
+MemRequest*
+Scheduler::PickInBank(const RequestQueue& queue, std::uint32_t bank,
+                      DramCycle now)
+{
+    const RequestQueue::BankChain chain = queue.BankQueued(bank);
+    if (chain.empty()) {
+        return nullptr;
+    }
+    const dram::Bank& state = BankState(bank);
+    bank_scratch_.clear();
+    for (MemRequest* request : chain) {
+        bank_scratch_.push_back(MakeCandidate(*request, state));
+    }
+    return Pick(bank_scratch_, now);
 }
 
 void
@@ -48,6 +86,7 @@ Scheduler::SetThreadPriority(ThreadId thread, ThreadPriority priority)
     PARBS_ASSERT(thread < priorities_.size(),
                  "SetThreadPriority before Attach or out of range");
     priorities_[thread] = priority;
+    OnSchedulingKnobChanged();
 }
 
 void
@@ -59,6 +98,7 @@ Scheduler::SetThreadWeight(ThreadId thread, double weight)
         PARBS_FATAL("thread weight must be positive");
     }
     weights_[thread] = weight;
+    OnSchedulingKnobChanged();
 }
 
 ThreadPriority
@@ -75,8 +115,17 @@ Scheduler::thread_weight(ThreadId thread) const
     return weights_[thread];
 }
 
+void
+ComparatorScheduler::Attach(const SchedulerContext& context)
+{
+    Scheduler::Attach(context);
+    pick_memo_.assign(static_cast<std::size_t>(context.NumBanks()) * 2,
+                      PickMemo{});
+    pick_epoch_ = 1;
+}
+
 MemRequest*
-ComparatorScheduler::Pick(const std::vector<Candidate>& candidates,
+ComparatorScheduler::Pick(std::span<const Candidate> candidates,
                           DramCycle now)
 {
     PARBS_ASSERT(!candidates.empty(), "Pick called with no candidates");
@@ -101,6 +150,56 @@ ComparatorScheduler::Pick(const std::vector<Candidate>& candidates,
         }
     }
     return best->request;
+}
+
+MemRequest*
+ComparatorScheduler::PickInBank(const RequestQueue& queue, std::uint32_t bank,
+                                DramCycle now)
+{
+    const RequestQueue::BankChain chain = queue.BankQueued(bank);
+    if (chain.empty()) {
+        return nullptr;
+    }
+    const dram::Bank& state = BankState(bank);
+    if (!PickMemoStable()) {
+        return PickFromChain(queue, bank, state, now);
+    }
+
+    const std::size_t queue_index =
+        (context_.write_queue != nullptr && &queue == context_.write_queue)
+            ? 1
+            : 0;
+    PickMemo& memo =
+        pick_memo_[queue_index * context_.NumBanks() + bank];
+    const std::uint64_t queue_gen = queue.BankGeneration(bank);
+    const std::uint64_t row_gen = state.row_generation();
+    if (memo.queue_gen != queue_gen || memo.row_gen != row_gen ||
+        memo.epoch != pick_epoch_) {
+        memo.winner = PickFromChain(queue, bank, state, now);
+        memo.queue_gen = queue_gen;
+        memo.row_gen = row_gen;
+        memo.epoch = pick_epoch_;
+    }
+    return memo.winner;
+}
+
+MemRequest*
+ComparatorScheduler::PickFromChain(const RequestQueue& queue,
+                                   std::uint32_t bank,
+                                   const dram::Bank& state,
+                                   DramCycle now) const
+{
+    // Equivalent to Pick() over the materialized chain: one queue holds one
+    // kind of request, so the read-over-write arm of Pick() never fires and
+    // the winner is the chain's first Better()-maximal candidate.
+    Candidate best;
+    for (MemRequest* request : queue.BankQueued(bank)) {
+        Candidate candidate = MakeCandidate(*request, state);
+        if (best.request == nullptr || Better(candidate, best, now)) {
+            best = candidate;
+        }
+    }
+    return best.request;
 }
 
 } // namespace parbs

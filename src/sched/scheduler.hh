@@ -9,6 +9,12 @@
  * Rule 2 (request prioritization) and Rule 3 (thread ranking) map directly
  * onto OnDramCycle / Better / batch-formation code in ParBsScheduler.
  *
+ * Selection is two-level (DESIGN.md §5e): the controller asks the scheduler
+ * for each bank's best request via PickInBank() — which walks the request
+ * buffer's per-bank chain and, for comparator schedulers whose order is
+ * stable between invalidations, memoizes the winner — and then for the best
+ * among the ready per-bank winners via Pick().
+ *
  * Thread weights (NFQ, STFM) and thread priorities (PAR-BS, Section 5) are
  * part of the common interface so the benchmark harness can configure any
  * scheduler uniformly.
@@ -18,6 +24,7 @@
 #define PARBS_SCHED_SCHEDULER_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,9 +37,21 @@
 
 namespace parbs {
 
+namespace dram {
+class Bank;
+class Channel;
+} // namespace dram
+
 /** Environment handed to a scheduler when it is attached to a controller. */
 struct SchedulerContext {
     const RequestQueue* read_queue = nullptr;
+    /** The write buffer; lets a scheduler tell which queue a per-bank pick
+     *  is for (may be null in harnesses that drive Pick() directly). */
+    const RequestQueue* write_queue = nullptr;
+    /** Live bank state, used by PickInBank() to derive row-hit status and
+     *  next commands (may be null in harnesses that drive Pick() directly;
+     *  PickInBank() requires it). */
+    const dram::Channel* channel = nullptr;
     std::uint32_t num_threads = 0;
     std::uint32_t num_ranks = 0;
     std::uint32_t banks_per_rank = 0;
@@ -71,8 +90,30 @@ class Scheduler {
      * such as FCFS do this while the oldest request's command is not yet
      * ready).
      */
-    virtual MemRequest* Pick(const std::vector<Candidate>& candidates,
+    virtual MemRequest* Pick(std::span<const Candidate> candidates,
                              DramCycle now) = 0;
+
+    /**
+     * The scheduler's best request among @p bank's queued requests in
+     * @p queue, or nullptr to leave the bank idle.  The default walks the
+     * queue's per-bank chain, materializes candidates into a reused scratch
+     * buffer, and delegates to Pick(); ComparatorScheduler overrides it
+     * with a memoized chain walk.  Requires context.channel.
+     *
+     * Must agree with Pick() run over the same candidates: the controller's
+     * verify_indexed_selection mode cross-checks exactly that.
+     */
+    virtual MemRequest* PickInBank(const RequestQueue& queue,
+                                   std::uint32_t bank, DramCycle now);
+
+    /**
+     * True if Pick() is a pure function of (candidates, now, scheduler
+     * state) — no RNG draws or other side effects.  The controller's
+     * verify_indexed_selection cross-check re-runs selection and is only
+     * sound for deterministic schedulers; fault-injection wrappers that
+     * draw random numbers in Pick() return false.
+     */
+    virtual bool DeterministicPick() const { return true; }
 
     // --- Lifecycle hooks -------------------------------------------------
 
@@ -120,9 +161,27 @@ class Scheduler {
     virtual std::uint64_t BatchOutstanding() const { return 0; }
 
   protected:
+    /**
+     * Notification that a thread priority or weight changed; comparator
+     * schedulers use it to invalidate memoized per-bank picks whose order
+     * may depend on the knobs.
+     */
+    virtual void OnSchedulingKnobChanged() {}
+
+    /** Live state of controller-local flat @p bank (requires channel). */
+    const dram::Bank& BankState(std::uint32_t flat_bank) const;
+
+    /** Builds the Candidate record for @p request from live bank state. */
+    Candidate MakeCandidate(MemRequest& request,
+                            const dram::Bank& bank) const;
+
     SchedulerContext context_;
     std::vector<ThreadPriority> priorities_;
     std::vector<double> weights_;
+
+  private:
+    /** Reused candidate scratch for the default PickInBank(). */
+    std::vector<Candidate> bank_scratch_;
 };
 
 /**
@@ -130,11 +189,22 @@ class Scheduler {
  * candidates.  Implements Pick() as "best under Better(), with DRAM reads
  * preferred over DRAM writes" — every scheduler in the paper prioritizes
  * reads over writes because reads block the cores (Section 7.2).
+ *
+ * PickInBank() memoizes the per-bank winner for schedulers that declare
+ * their order stable (PickMemoStable()): the cached pick is reused while
+ * the bank's chain generation, the bank's row generation, and the
+ * scheduler's pick epoch are all unchanged, making steady-state selection
+ * O(1) per bank instead of O(queued-in-bank).
  */
 class ComparatorScheduler : public Scheduler {
   public:
-    MemRequest* Pick(const std::vector<Candidate>& candidates,
+    void Attach(const SchedulerContext& context) override;
+
+    MemRequest* Pick(std::span<const Candidate> candidates,
                      DramCycle now) final;
+
+    MemRequest* PickInBank(const RequestQueue& queue, std::uint32_t bank,
+                           DramCycle now) override;
 
   protected:
     /**
@@ -143,6 +213,45 @@ class ComparatorScheduler : public Scheduler {
      */
     virtual bool Better(const Candidate& a, const Candidate& b,
                         DramCycle now) const = 0;
+
+    /**
+     * Opt-in for the per-bank pick memo.  A subclass may return true only
+     * if Better() is a pure function of the candidates and of scheduler
+     * state whose every change is announced via InvalidateBankPicks() —
+     * in particular it must not read `now` or any per-cycle mutable state.
+     * Defaults to false (always re-walk the chain), which is always
+     * correct.
+     */
+    virtual bool PickMemoStable() const { return false; }
+
+    /**
+     * Declares every memoized per-bank pick stale.  Subclasses call this
+     * whenever comparator-visible state changes outside the request buffer
+     * (batch formation, re-marking, ranking or fairness-mode updates).
+     */
+    void InvalidateBankPicks() { pick_epoch_ += 1; }
+
+    void OnSchedulingKnobChanged() override { InvalidateBankPicks(); }
+
+  private:
+    /** Winner cache for one (queue, bank); validity is generation-keyed. */
+    struct PickMemo {
+        MemRequest* winner = nullptr;
+        /** Matching RequestQueue::BankGeneration (0 = never valid). */
+        std::uint64_t queue_gen = 0;
+        /** Matching dram::Bank::row_generation (0 = never valid). */
+        std::uint64_t row_gen = 0;
+        /** Matching pick_epoch_ (0 = never valid). */
+        std::uint64_t epoch = 0;
+    };
+
+    /** Best queued request of @p bank by Better(), via the bank chain. */
+    MemRequest* PickFromChain(const RequestQueue& queue, std::uint32_t bank,
+                              const dram::Bank& state, DramCycle now) const;
+
+    /** [queue_index * NumBanks + bank]; queue 0 = reads, 1 = writes. */
+    std::vector<PickMemo> pick_memo_;
+    std::uint64_t pick_epoch_ = 1;
 };
 
 } // namespace parbs

@@ -152,21 +152,27 @@ StfmScheduler::Stats() const
 void
 StfmScheduler::UpdateMode()
 {
+    const bool old_mode = fairness_mode_;
+    const ThreadId old_slowest = slowest_thread_;
     fairness_mode_ = EstimatedUnfairness() > config_.alpha;
     slowest_thread_ = kInvalidThread;
-    if (!fairness_mode_) {
-        return;
+    if (fairness_mode_) {
+        double max_slowdown = -1.0;
+        for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+            if (context_.read_queue->ReqsPerThread(thread) == 0) {
+                continue;
+            }
+            const double s = EffectiveSlowdown(thread);
+            if (s > max_slowdown) {
+                max_slowdown = s;
+                slowest_thread_ = thread;
+            }
+        }
     }
-    double max_slowdown = -1.0;
-    for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
-        if (context_.read_queue->ReqsPerThread(thread) == 0) {
-            continue;
-        }
-        const double s = EffectiveSlowdown(thread);
-        if (s > max_slowdown) {
-            max_slowdown = s;
-            slowest_thread_ = thread;
-        }
+    // The comparator's only inputs beyond the candidates changed: every
+    // memoized per-bank winner may now be wrong.
+    if (fairness_mode_ != old_mode || slowest_thread_ != old_slowest) {
+        InvalidateBankPicks();
     }
 }
 

@@ -74,6 +74,11 @@ class StfmScheduler : public ComparatorScheduler {
     bool Better(const Candidate& a, const Candidate& b,
                 DramCycle now) const override;
 
+    /** Better() reads only the (fairness mode, slowest thread) pair beyond
+     *  the candidates; UpdateMode() invalidates memoized picks whenever
+     *  that pair changes, so memoization is sound. */
+    bool PickMemoStable() const override { return true; }
+
   private:
     StfmConfig config_;
 

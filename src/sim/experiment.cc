@@ -38,6 +38,9 @@ ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
         // The skip-ahead analogue of the protocol check: every skipped
         // cycle is re-scanned to prove no ready command was skippable.
         system.controller.verify_fast_path = true;
+        // And the selection analogue: every pick made by the indexed
+        // per-bank path is cross-checked against the full-scan path.
+        system.controller.verify_indexed_selection = true;
     }
     if (customize) {
         customize(system);

@@ -329,7 +329,7 @@ class ActFirstScheduler : public Scheduler {
     std::string name() const override { return "act-first"; }
 
     MemRequest*
-    Pick(const std::vector<Candidate>& candidates, DramCycle now) override
+    Pick(std::span<const Candidate> candidates, DramCycle now) override
     {
         (void)now;
         const Candidate* best = nullptr;
@@ -654,7 +654,7 @@ ChaosScheduler::Attach(const SchedulerContext& context)
 }
 
 MemRequest*
-ChaosScheduler::Pick(const std::vector<Candidate>& candidates, DramCycle now)
+ChaosScheduler::Pick(std::span<const Candidate> candidates, DramCycle now)
 {
     if (!candidates.empty() && rng_.NextBool(chaos_)) {
         return candidates[rng_.NextBelow(candidates.size())].request;
@@ -717,7 +717,7 @@ WithholdingScheduler::Attach(const SchedulerContext& context)
 }
 
 MemRequest*
-WithholdingScheduler::Pick(const std::vector<Candidate>& candidates,
+WithholdingScheduler::Pick(std::span<const Candidate> candidates,
                            DramCycle now)
 {
     filtered_.clear();

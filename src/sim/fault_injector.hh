@@ -109,8 +109,12 @@ class ChaosScheduler : public Scheduler {
 
     std::string name() const override;
     void Attach(const SchedulerContext& context) override;
-    MemRequest* Pick(const std::vector<Candidate>& candidates,
+    MemRequest* Pick(std::span<const Candidate> candidates,
                      DramCycle now) override;
+    /** Pick() draws from the RNG, so re-running selection over the same
+     *  candidates changes the decision stream: the controller must not
+     *  cross-check indexed against scan selection under chaos. */
+    bool DeterministicPick() const override { return false; }
     void OnRequestQueued(MemRequest& request, DramCycle now) override;
     void OnCommandIssued(const MemRequest& request,
                          const dram::Command& command,
@@ -136,7 +140,7 @@ class WithholdingScheduler : public Scheduler {
 
     std::string name() const override;
     void Attach(const SchedulerContext& context) override;
-    MemRequest* Pick(const std::vector<Candidate>& candidates,
+    MemRequest* Pick(std::span<const Candidate> candidates,
                      DramCycle now) override;
     void OnRequestQueued(MemRequest& request, DramCycle now) override;
     void OnCommandIssued(const MemRequest& request,

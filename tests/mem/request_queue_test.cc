@@ -104,5 +104,95 @@ TEST(RequestQueue, RemoveMissingAborts)
     EXPECT_DEATH(queue.Remove(99), "not in the buffer");
 }
 
+TEST(RequestQueue, BankChainsAreArrivalOrderedPerBank)
+{
+    RequestQueue queue(16, 2, 1, 8);
+    queue.Add(Make(1, 0, 3));
+    queue.Add(Make(2, 1, 5));
+    queue.Add(Make(3, 0, 3));
+    queue.Add(Make(4, 1, 3));
+
+    std::vector<RequestId> bank3;
+    for (const MemRequest* request : queue.BankQueued(3)) {
+        bank3.push_back(request->id);
+    }
+    EXPECT_EQ(bank3, (std::vector<RequestId>{1, 3, 4}));
+    EXPECT_EQ(queue.QueuedInBank(3), 3u);
+    EXPECT_EQ(queue.QueuedInBank(5), 1u);
+    EXPECT_TRUE(queue.BankQueued(0).empty());
+    EXPECT_EQ(queue.BankQueued(3).front()->id, 1u);
+    queue.CheckIndex();
+}
+
+TEST(RequestQueue, BeginServiceUnlinksButKeepsBuffered)
+{
+    RequestQueue queue(16, 1, 1, 8);
+    queue.Add(Make(1, 0, 2));
+    MemRequest& middle = queue.Add(Make(2, 0, 2));
+    queue.Add(Make(3, 0, 2));
+
+    queue.BeginService(middle);
+    middle.state = RequestState::kInBurst;
+
+    std::vector<RequestId> chain;
+    for (const MemRequest* request : queue.BankQueued(2)) {
+        chain.push_back(request->id);
+    }
+    EXPECT_EQ(chain, (std::vector<RequestId>{1, 3}));
+    EXPECT_EQ(queue.QueuedInBank(2), 2u);
+    // Still buffered (occupancy counters include in-burst requests).
+    EXPECT_EQ(queue.size(), 3u);
+    EXPECT_EQ(queue.ReqsInBankPerThread(0, 2), 3u);
+    queue.CheckIndex();
+
+    // Removing the in-burst request must not touch the chain again.
+    queue.Remove(2);
+    EXPECT_EQ(queue.QueuedInBank(2), 2u);
+    queue.CheckIndex();
+}
+
+TEST(RequestQueue, BeginServiceUnlinkedAborts)
+{
+    RequestQueue queue(16, 1, 1, 8);
+    MemRequest& request = queue.Add(Make(1, 0, 0));
+    queue.BeginService(request);
+    request.state = RequestState::kInBurst;
+    EXPECT_DEATH(queue.BeginService(request), "not in its bank chain");
+}
+
+TEST(RequestQueue, BankGenerationsBumpOnChainChangesOnly)
+{
+    RequestQueue queue(16, 1, 1, 8);
+    const std::uint64_t gen2 = queue.BankGeneration(2);
+    const std::uint64_t gen4 = queue.BankGeneration(4);
+    EXPECT_GE(gen2, 1u); // generations start at 1: 0 is never valid, so
+                         // zero-initialized memo slots always read stale.
+
+    MemRequest& request = queue.Add(Make(1, 0, 2));
+    EXPECT_GT(queue.BankGeneration(2), gen2);
+    EXPECT_EQ(queue.BankGeneration(4), gen4); // untouched bank unchanged
+
+    const std::uint64_t after_add = queue.BankGeneration(2);
+    queue.BeginService(request);
+    request.state = RequestState::kInBurst;
+    EXPECT_GT(queue.BankGeneration(2), after_add);
+
+    const std::uint64_t after_service = queue.BankGeneration(2);
+    queue.Remove(1); // already unlinked: chain untouched
+    EXPECT_EQ(queue.BankGeneration(2), after_service);
+}
+
+TEST(RequestQueue, OldestIsFrontOfArrivalOrder)
+{
+    RequestQueue queue(16, 1, 1, 8);
+    EXPECT_EQ(queue.Oldest(), nullptr);
+    queue.Add(Make(7, 0, 0));
+    queue.Add(Make(8, 0, 1));
+    ASSERT_NE(queue.Oldest(), nullptr);
+    EXPECT_EQ(queue.Oldest()->id, 7u);
+    queue.Remove(7);
+    EXPECT_EQ(queue.Oldest()->id, 8u);
+}
+
 } // namespace
 } // namespace parbs

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Property tests for the per-bank index (DESIGN.md §5e): under randomized
+ * add / remove / begin-service sequences the intrusive chains, occupancy
+ * counters, and generations must always match a from-scratch rebuild of
+ * the buffer, and indexed selection must be observationally identical to
+ * the full-buffer scan for every deterministic scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/request_queue.hh"
+#include "sched/factory.hh"
+#include "sim/system.hh"
+#include "test_util.hh"
+#include "trace/synthetic.hh"
+
+namespace parbs {
+namespace {
+
+using test::ControllerHarness;
+
+// Same per-scenario seed derivation as the fault-injection harness, so a
+// failing scenario reproduces from (master seed, index) alone.
+constexpr std::uint64_t kMasterSeed = 0xbadb100d;
+
+std::uint64_t
+ScenarioSeed(std::uint64_t index)
+{
+    return kMasterSeed + 0x9e3779b97f4a7c15ULL * (index + 1);
+}
+
+constexpr std::uint32_t kRanks = 2;
+constexpr std::uint32_t kBanksPerRank = 4;
+constexpr std::uint32_t kThreads = 4;
+
+/** Shadow model: flat per-bank arrival-ordered id lists. */
+struct ShadowModel {
+    std::vector<std::vector<RequestId>> queued_ids{
+        std::vector<std::vector<RequestId>>(kRanks * kBanksPerRank)};
+    std::vector<RequestId> buffered; ///< arrival order, includes in-burst
+
+    void
+    ExpectMatches(const RequestQueue& queue) const
+    {
+        for (std::uint32_t bank = 0; bank < kRanks * kBanksPerRank; ++bank) {
+            ASSERT_EQ(queue.QueuedInBank(bank), queued_ids[bank].size())
+                << "bank " << bank;
+            std::vector<RequestId> chain;
+            for (const MemRequest* request : queue.BankQueued(bank)) {
+                chain.push_back(request->id);
+            }
+            ASSERT_EQ(chain, queued_ids[bank])
+                << "bank " << bank << " chain order diverged";
+        }
+        ASSERT_EQ(queue.size(), buffered.size());
+    }
+};
+
+TEST(IndexedQueueFuzz, IndexMatchesRebuildAfterEveryOperation)
+{
+    for (std::uint64_t scenario = 0; scenario < 8; ++scenario) {
+        Rng rng(ScenarioSeed(scenario));
+        RequestQueue queue(32, kThreads, kRanks, kBanksPerRank);
+        ShadowModel model;
+        RequestId next_id = 1;
+        std::vector<std::uint64_t> last_gen(kRanks * kBanksPerRank, 0);
+
+        for (int step = 0; step < 600; ++step) {
+            const std::uint64_t op = rng.NextBelow(4);
+            if (op <= 1 && !queue.Full()) {
+                // Add a fresh queued request.
+                auto request = std::make_unique<MemRequest>();
+                request->id = next_id++;
+                request->thread =
+                    static_cast<ThreadId>(rng.NextBelow(kThreads));
+                request->coords.rank =
+                    static_cast<std::uint32_t>(rng.NextBelow(kRanks));
+                request->coords.bank =
+                    static_cast<std::uint32_t>(rng.NextBelow(kBanksPerRank));
+                request->coords.row =
+                    static_cast<std::uint32_t>(rng.NextBelow(16));
+                const std::uint32_t flat = queue.FlatBank(*request);
+                const RequestId id = request->id;
+                queue.Add(std::move(request));
+                model.queued_ids[flat].push_back(id);
+                model.buffered.push_back(id);
+            } else if (op == 2 && !model.buffered.empty()) {
+                // Remove a random buffered request (queued or in-burst).
+                const std::size_t pick = static_cast<std::size_t>(
+                    rng.NextBelow(model.buffered.size()));
+                const RequestId id = model.buffered[pick];
+                std::unique_ptr<MemRequest> removed = queue.Remove(id);
+                ASSERT_EQ(removed->id, id);
+                model.buffered.erase(model.buffered.begin() +
+                                     static_cast<std::ptrdiff_t>(pick));
+                auto& chain = model.queued_ids[queue.FlatBank(*removed)];
+                chain.erase(std::remove(chain.begin(), chain.end(), id),
+                            chain.end());
+            } else if (op == 3) {
+                // Begin service on a random queued request ("issue"): the
+                // request leaves its chain but stays buffered, exactly as
+                // the controller does at column-command issue.
+                std::vector<std::uint32_t> nonempty;
+                for (std::uint32_t bank = 0;
+                     bank < kRanks * kBanksPerRank; ++bank) {
+                    if (!model.queued_ids[bank].empty()) {
+                        nonempty.push_back(bank);
+                    }
+                }
+                if (nonempty.empty()) {
+                    continue;
+                }
+                const std::uint32_t bank = nonempty[static_cast<std::size_t>(
+                    rng.NextBelow(nonempty.size()))];
+                auto& chain = model.queued_ids[bank];
+                const std::size_t pick = static_cast<std::size_t>(
+                    rng.NextBelow(chain.size()));
+                const RequestId id = chain[pick];
+                MemRequest* request = nullptr;
+                for (MemRequest* r : queue.BankQueued(bank)) {
+                    if (r->id == id) {
+                        request = r;
+                    }
+                }
+                ASSERT_NE(request, nullptr);
+                queue.BeginService(*request);
+                request->state = RequestState::kInBurst;
+                chain.erase(chain.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
+            } else {
+                continue;
+            }
+
+            // The buffer's own O(size x banks) rebuild cross-check...
+            queue.CheckIndex();
+            // ...plus the external shadow model (contents and order).
+            model.ExpectMatches(queue);
+            // Generations never move backwards (memo-key soundness).
+            for (std::uint32_t bank = 0; bank < kRanks * kBanksPerRank;
+                 ++bank) {
+                const std::uint64_t gen = queue.BankGeneration(bank);
+                ASSERT_GE(gen, std::max<std::uint64_t>(last_gen[bank], 1));
+                last_gen[bank] = gen;
+            }
+        }
+    }
+}
+
+SchedulerConfig
+ConfigFor(SchedulerKind kind)
+{
+    SchedulerConfig config;
+    config.kind = kind;
+    return config;
+}
+
+/** Parameterized over the deterministic scheduler lineup. */
+class IndexedSelectionExactness
+    : public ::testing::TestWithParam<SchedulerKind> {};
+
+std::vector<std::unique_ptr<TraceSource>>
+SyntheticTraces(const SystemConfig& config, std::uint32_t count, double mpki)
+{
+    dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (ThreadId t = 0; t < count; ++t) {
+        SyntheticParams params;
+        params.mpki = mpki;
+        traces.push_back(std::make_unique<SyntheticTraceSource>(
+            params, mapper, t, count, 4000 + t));
+    }
+    return traces;
+}
+
+/** Everything observable about a run that must not depend on the path. */
+std::vector<std::uint64_t>
+Fingerprint(SchedulerKind kind, bool indexed, double mpki)
+{
+    SystemConfig config = SystemConfig::Baseline(4);
+    config.scheduler.kind = kind;
+    config.controller.indexed_selection = indexed;
+    System system(config, SyntheticTraces(config, 4, mpki));
+    system.Run(200000);
+    std::vector<std::uint64_t> out;
+    for (ThreadId t = 0; t < 4; ++t) {
+        const ThreadMeasurement m = system.Measure(t);
+        out.push_back(m.requests);
+        out.push_back(m.instructions);
+        out.push_back(m.worst_case_latency);
+        out.push_back(static_cast<std::uint64_t>(m.row_hit_rate * 1e12));
+        out.push_back(static_cast<std::uint64_t>(m.blp * 1e12));
+    }
+    for (std::uint32_t c = 0; c < system.num_controllers(); ++c) {
+        const Controller& controller = system.controller(c);
+        out.push_back(
+            controller.commands_issued(dram::CommandType::kActivate));
+        out.push_back(
+            controller.commands_issued(dram::CommandType::kPrecharge));
+        out.push_back(controller.commands_issued(dram::CommandType::kRead));
+        out.push_back(controller.commands_issued(dram::CommandType::kWrite));
+    }
+    return out;
+}
+
+TEST_P(IndexedSelectionExactness, IndexedMatchesFullScanEndToEnd)
+{
+    // Saturated and idle-heavy traffic stress different memo lifetimes
+    // (standing chains vs constant link/unlink churn).
+    for (double mpki : {20.0, 2.0}) {
+        EXPECT_EQ(Fingerprint(GetParam(), true, mpki),
+                  Fingerprint(GetParam(), false, mpki))
+            << "indexed selection diverged at mpki " << mpki;
+    }
+}
+
+TEST_P(IndexedSelectionExactness, EveryPickCrossChecksUnderRandomTraffic)
+{
+    // verify_indexed_selection re-runs every pick through the full-scan
+    // path and asserts agreement — this exercises the memoized per-bank
+    // winners (and the row-hit state they embed) against a from-scratch
+    // recompute on every scheduling decision.
+    for (std::uint64_t scenario = 0; scenario < 4; ++scenario) {
+        ControllerConfig config = ControllerHarness::DefaultConfig();
+        config.verify_indexed_selection = true;
+        ControllerHarness h(MakeScheduler(ConfigFor(GetParam())), kThreads,
+                            config);
+        Rng rng(ScenarioSeed(scenario));
+        for (int round = 0; round < 400; ++round) {
+            if (h.controller().pending_reads() < 100 &&
+                h.controller().pending_writes() < 50) {
+                h.Enqueue(static_cast<ThreadId>(rng.NextBelow(kThreads)),
+                          static_cast<std::uint32_t>(rng.NextBelow(8)),
+                          static_cast<std::uint32_t>(rng.NextBelow(16)),
+                          static_cast<std::uint32_t>(rng.NextBelow(32)),
+                          rng.NextBool(0.2));
+            }
+            h.Tick(static_cast<std::uint64_t>(rng.NextBelow(6)));
+        }
+        h.RunUntilIdle(200000);
+        EXPECT_EQ(h.controller().pending_reads(), 0u);
+        EXPECT_EQ(h.controller().pending_writes(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, IndexedSelectionExactness,
+    ::testing::Values(SchedulerKind::kFrFcfs, SchedulerKind::kFcfs,
+                      SchedulerKind::kNfq, SchedulerKind::kStfm,
+                      SchedulerKind::kParBs),
+    [](const auto& info) {
+        const std::string name = SchedulerKindName(info.param);
+        std::string out;
+        for (char c : name) {
+            if (std::isalnum(static_cast<unsigned char>(c))) {
+                out += c;
+            }
+        }
+        return out;
+    });
+
+} // namespace
+} // namespace parbs

@@ -7,11 +7,17 @@
  *
  *   bench_report --dir bench/out --out BENCH_results.json
  *   bench_report --dir bench/out --check bench/golden [--wall-tolerance 0.2]
+ *   bench_report --dir bench/out --prev perf/BENCH_results-pr3.json
  *
  * The check compares each file's deterministic "run" subtree exactly
  * (any metric drift fails) and its wall clock against the golden wall
  * clock with a relative tolerance (default +20%) — the perf-regression
  * gate in CI.  Exit status: 0 clean, 1 regression/drift, 2 usage error.
+ *
+ * With --prev (a previously checked-in aggregate report, see perf/), a
+ * per-binary speedup-vs-previous-run line is printed for every benchmark
+ * present in both runs — the perf trajectory across PRs.  Informational
+ * only: wall clocks from different machines are not gated.
  */
 
 #include <algorithm>
@@ -78,6 +84,66 @@ WallSeconds(const Value& root)
 }
 
 /**
+ * Prints one "speedup" line per benchmark present in both the fresh
+ * aggregate @p report and the previous aggregate @p prev (matched by the
+ * per-entry "file" name): previous wall, current wall, and the ratio
+ * (>1x means this run is faster).
+ */
+void
+PrintSpeedups(const Value& report, const Value& prev)
+{
+    const Value* prev_benchmarks = prev.Find("benchmarks");
+    const Value* benchmarks = report.Find("benchmarks");
+    if (prev_benchmarks == nullptr || benchmarks == nullptr) {
+        std::fprintf(stderr,
+                     "bench_report: --prev file has no \"benchmarks\" "
+                     "array; skipping speedups\n");
+        return;
+    }
+    double prev_total = 0.0;
+    double total = 0.0;
+    std::size_t matched = 0;
+    for (const Value& entry : benchmarks->items()) {
+        const Value* file = entry.Find("file");
+        if (file == nullptr) {
+            continue;
+        }
+        const Value* prev_entry = nullptr;
+        for (const Value& candidate : prev_benchmarks->items()) {
+            const Value* candidate_file = candidate.Find("file");
+            if (candidate_file != nullptr &&
+                candidate_file->AsString() == file->AsString()) {
+                prev_entry = &candidate;
+                break;
+            }
+        }
+        if (prev_entry == nullptr) {
+            std::fprintf(stderr, "speedup %-28s (new benchmark, no "
+                                 "previous run)\n",
+                         file->AsString().c_str());
+            continue;
+        }
+        const double wall = WallSeconds(entry);
+        const double prev_wall = WallSeconds(*prev_entry);
+        if (wall <= 0.0 || prev_wall <= 0.0) {
+            continue;
+        }
+        matched += 1;
+        total += wall;
+        prev_total += prev_wall;
+        std::fprintf(stderr, "speedup %-28s %6.2fs -> %6.2fs  (%.2fx)\n",
+                     file->AsString().c_str(), prev_wall, wall,
+                     prev_wall / wall);
+    }
+    if (matched > 0) {
+        std::fprintf(stderr,
+                     "speedup total (%zu matched)          %6.2fs -> "
+                     "%6.2fs  (%.2fx)\n",
+                     matched, prev_total, total, prev_total / total);
+    }
+}
+
+/**
  * Compares one result file against its golden counterpart.  @return true
  * when the run subtree matches exactly and the wall clock is within
  * tolerance.
@@ -126,6 +192,7 @@ main(int argc, char** argv)
     std::string dir = "bench/out";
     std::string out_path = "BENCH_results.json";
     std::string golden_dir;
+    std::string prev_path;
     double wall_tolerance = 0.20;
 
     for (int i = 1; i < argc; ++i) {
@@ -136,12 +203,15 @@ main(int argc, char** argv)
             out_path = argv[++i];
         } else if (arg == "--check" && i + 1 < argc) {
             golden_dir = argv[++i];
+        } else if (arg == "--prev" && i + 1 < argc) {
+            prev_path = argv[++i];
         } else if (arg == "--wall-tolerance" && i + 1 < argc) {
             wall_tolerance = std::strtod(argv[++i], nullptr);
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--dir DIR] [--out PATH] "
-                         "[--check GOLDEN_DIR] [--wall-tolerance F]\n",
+                         "[--check GOLDEN_DIR] [--prev REPORT] "
+                         "[--wall-tolerance F]\n",
                          argv[0]);
             return 0;
         } else {
@@ -193,6 +263,14 @@ main(int argc, char** argv)
     std::fprintf(stderr, "bench_report: wrote %s (%zu benchmarks, "
                          "%.1fs total)\n",
                  out_path.c_str(), files.size(), total_wall);
+
+    if (!prev_path.empty()) {
+        Value prev;
+        if (!LoadJson(prev_path, prev)) {
+            return 2;
+        }
+        PrintSpeedups(report, prev);
+    }
 
     if (golden_dir.empty()) {
         return 0;
