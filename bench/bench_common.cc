@@ -46,10 +46,13 @@ ParseOptions(int argc, char** argv)
             }
         } else if (arg == "--json" && i + 1 < argc) {
             options.json_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            options.trace_path = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--quick|--full] [--cycles N] "
-                         "[--seed N] [--jobs N] [--json PATH]\n",
+                         "[--seed N] [--jobs N] [--json PATH] "
+                         "[--trace PATH]\n",
                          argv[0]);
             std::exit(0);
         } else {
@@ -67,6 +70,7 @@ MakeRunner(const Options& options, std::uint32_t cores)
     config.cores = cores;
     config.run_cycles = options.cycles;
     config.seed = options.seed;
+    config.trace_path = options.trace_path;
     return ExperimentRunner(config);
 }
 

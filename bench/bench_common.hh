@@ -14,6 +14,9 @@
  *                  N — see DESIGN.md "Parallel runner".
  *   --json PATH    write structured results (metrics per scheduler per
  *                  workload, wall clock, commit metadata) to PATH
+ *   --trace PATH   write a Chrome trace-event file per shared run, named
+ *                  <PATH minus .json>-<workload>-<scheduler>.json
+ *                  (equivalent to setting PARBS_TRACE=PATH)
  */
 
 #ifndef PARBS_BENCH_BENCH_COMMON_HH
@@ -40,6 +43,8 @@ struct Options {
     unsigned jobs = 1;
     /** Structured-output path; empty disables JSON. */
     std::string json_path;
+    /** Per-run trace-output stem; empty defers to PARBS_TRACE. */
+    std::string trace_path;
 
     /** Picks a workload count by mode: quick/default/full. */
     std::uint32_t

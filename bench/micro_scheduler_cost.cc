@@ -23,6 +23,8 @@
 
 #include "common/rng.hh"
 #include "mem/controller.hh"
+#include "obs/latency.hh"
+#include "obs/tracer.hh"
 #include "sched/factory.hh"
 
 namespace parbs {
@@ -110,6 +112,48 @@ SelectionTick(benchmark::State& state, SchedulerKind kind,
 }
 
 /**
+ * The observability overhead pair at the 16-core loaded operating point:
+ * obs_off is the same configuration as BM_ParBs_indexed/16 but built
+ * through the observability-aware construction path with null sinks (the
+ * CI gate holds it within 1% of BM_ParBs_indexed/16 — the zero-overhead-
+ * when-off claim of DESIGN.md §5f); obs_on attaches a live tracer ring and
+ * latency anatomy and is informational.
+ */
+void
+ObsTick(benchmark::State& state, bool attach)
+{
+    constexpr std::uint32_t kFullBuffer = 128;
+    constexpr std::uint32_t kCores = 16;
+    obs::Tracer tracer(std::size_t{1} << 16);
+    obs::LatencyAnatomy latency(kCores);
+    auto controller =
+        LoadedController(SchedulerKind::kParBs, kFullBuffer,
+                         /*fast_path=*/true, kCores, /*indexed=*/true,
+                         /*write_fraction=*/0.0);
+    if (attach) {
+        controller->AttachObservability(&tracer, &latency, 0);
+    }
+    DramCycle now = 0;
+    for (auto _ : state) {
+        controller->Tick(now);
+        now += 1;
+        if (controller->pending_reads() < kFullBuffer / 2) {
+            state.PauseTiming();
+            controller = LoadedController(SchedulerKind::kParBs, kFullBuffer,
+                                          /*fast_path=*/true, kCores,
+                                          /*indexed=*/true,
+                                          /*write_fraction=*/0.0);
+            if (attach) {
+                controller->AttachObservability(&tracer, &latency, 0);
+            }
+            now = 0;
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/**
  * Per-tick cost on a drained controller: with the fast path the first
  * tick computes a kNever bound and every further tick is a pure skip;
  * without it, every tick re-scans the empty queues.
@@ -147,6 +191,8 @@ void BM_ParBs_nofastpath(benchmark::State& s)
 }
 void BM_IdleTick_skip(benchmark::State& s) { IdleTick(s, true); }
 void BM_IdleTick_scan(benchmark::State& s) { IdleTick(s, false); }
+void BM_ParBs_obs_off(benchmark::State& s) { ObsTick(s, false); }
+void BM_ParBs_obs_on(benchmark::State& s) { ObsTick(s, true); }
 
 #define PARBS_SELECTION_PAIR(Name, Kind)                                    \
     void BM_##Name##_indexed(benchmark::State& s)                           \
@@ -176,6 +222,8 @@ BENCHMARK(BM_FrFcfs_nofastpath);
 BENCHMARK(BM_ParBs_nofastpath);
 BENCHMARK(BM_IdleTick_skip);
 BENCHMARK(BM_IdleTick_scan);
+BENCHMARK(BM_ParBs_obs_off);
+BENCHMARK(BM_ParBs_obs_on);
 
 } // namespace
 } // namespace parbs

@@ -76,6 +76,7 @@ Bank::Issue(const Command& cmd, DramCycle now)
         open_row_ = cmd.row;
         open_since_ = now;
         row_gen_ += 1;
+        activations_ += 1;
         // Column commands must respect tRCD; the earliest precharge must
         // respect tRAS; the next activate to this bank respects tRC.
         next_read_ = std::max(next_read_, now + timing_.tRCD);

@@ -81,12 +81,16 @@ class Bank {
      */
     std::uint64_t row_generation() const { return row_gen_; }
 
+    /** Total ACTIVATE commands issued to this bank (for time-series obs). */
+    std::uint64_t activations() const { return activations_; }
+
   private:
     const TimingParams& timing_;
 
     std::uint32_t open_row_ = kNoRow;
     DramCycle open_since_ = kNeverCycle;
     std::uint64_t row_gen_ = 1;
+    std::uint64_t activations_ = 0;
 
     /** Earliest legal issue cycle per command class. */
     DramCycle next_activate_ = 0;

@@ -112,6 +112,7 @@ Channel::Issue(const Command& cmd, DramCycle now)
                                       : timing_.tCWD;
         const DramCycle done = now + latency + timing_.tBURST;
         bus_free_at_ = std::max(bus_free_at_, done);
+        bus_busy_cycles_ += timing_.tBURST;
         return done;
     }
     return 0;

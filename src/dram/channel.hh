@@ -68,6 +68,12 @@ class Channel {
     DramCycle bus_free_at() const { return bus_free_at_; }
 
     /**
+     * Total cycles of data-bus occupancy committed so far (tBURST per
+     * column command).  Monotonic; interval deltas give bus utilization.
+     */
+    std::uint64_t bus_busy_cycles() const { return bus_busy_cycles_; }
+
+    /**
      * Enables shadow re-validation of every issued command.  @p reference
      * is the timing the checker validates against; it defaults to the
      * channel's own parameters, but tests may pass the true device timing
@@ -88,6 +94,8 @@ class Channel {
 
     /** Cycle at which the current data-bus burst (if any) ends. */
     DramCycle bus_free_at_ = 0;
+    /** Cumulative data-bus occupancy, tBURST per column command. */
+    std::uint64_t bus_busy_cycles_ = 0;
 
     std::unique_ptr<ProtocolChecker> checker_;
 };

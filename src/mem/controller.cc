@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.hh"
+#include "obs/latency.hh"
+#include "obs/tracer.hh"
 
 namespace parbs {
 
@@ -67,6 +69,16 @@ Controller::SetReadCompleteCallback(ReadCompleteCallback callback)
 }
 
 void
+Controller::AttachObservability(obs::Tracer* tracer,
+                                obs::LatencyAnatomy* latency,
+                                std::uint8_t channel_id)
+{
+    tracer_ = tracer;
+    latency_obs_ = latency;
+    channel_id_ = channel_id;
+}
+
+void
 Controller::Enqueue(std::unique_ptr<MemRequest> request, DramCycle now)
 {
     PARBS_ASSERT(request != nullptr, "null request enqueued");
@@ -77,6 +89,11 @@ Controller::Enqueue(std::unique_ptr<MemRequest> request, DramCycle now)
                           : read_queue_.Add(std::move(request));
     // A new candidate may be ready immediately: drop the skip-ahead bound.
     next_select_cycle_ = 0;
+    if (tracer_ != nullptr) {
+        tracer_->Emit({now, obs::EventKind::kRequestArrive, channel_id_,
+                       ref.thread, FlatBank(ref), ref.id,
+                       ref.is_write ? 1u : 0u});
+    }
     scheduler_->OnRequestQueued(ref, now);
 }
 
@@ -104,7 +121,10 @@ Controller::Tick(DramCycle now)
         // skip window; see the note there).
         if (!config_.fast_path || now >= next_select_cycle_) {
             fast_stats_.select_scans += 1;
-            UpdateWriteDrain();
+            if (tracer_ != nullptr) {
+                FlushSkipSpan();
+            }
+            UpdateWriteDrain(now);
 
             MemRequest* chosen = nullptr;
             if (write_drain_active_) {
@@ -123,6 +143,12 @@ Controller::Tick(DramCycle now)
             }
         } else {
             fast_stats_.select_skips += 1;
+            if (tracer_ != nullptr) {
+                if (skip_span_len_ == 0) {
+                    skip_span_start_ = now;
+                }
+                skip_span_len_ += 1;
+            }
             if (config_.verify_fast_path) {
                 PARBS_ASSERT(!AnyCommandReady(now),
                              "fast path skipped a cycle with a ready "
@@ -133,7 +159,7 @@ Controller::Tick(DramCycle now)
 
     if (watchdog_) {
         watchdog_->Check(now, read_queue_, write_queue_, *scheduler_,
-                         channel_, last_command_cycle_);
+                         channel_, last_command_cycle_, tracer_);
     }
 
     SampleBlp();
@@ -157,6 +183,14 @@ Controller::RetireFinished(DramCycle now)
                      "retire FIFO out of sync with request state");
         request->state = RequestState::kCompleted;
         LeaveService(*request);
+        if (tracer_ != nullptr) {
+            tracer_->Emit({now, obs::EventKind::kRequestRetire, channel_id_,
+                           request->thread, FlatBank(*request), request->id,
+                           request->Latency()});
+        }
+        if (latency_obs_ != nullptr) {
+            latency_obs_->RecordRead(*request);
+        }
 
         ControllerThreadStats& stats = stats_[request->thread];
         stats.reads_completed += 1;
@@ -190,6 +224,11 @@ Controller::RetireFinished(DramCycle now)
                      "retire FIFO out of sync with request state");
         request->state = RequestState::kCompleted;
         stats_[request->thread].writes_completed += 1;
+        if (tracer_ != nullptr) {
+            tracer_->Emit({now, obs::EventKind::kRequestRetire, channel_id_,
+                           request->thread, FlatBank(*request), request->id,
+                           request->Latency()});
+        }
         scheduler_->OnRequestComplete(*request, now);
     }
 
@@ -201,21 +240,43 @@ Controller::RetireFinished(DramCycle now)
     // scan would have sampled — reproduces the cycle-exact state machine;
     // between size changes the update is a no-op, and arrivals already force
     // a scan on their next cycle.
-    UpdateWriteDrain();
+    UpdateWriteDrain(now);
 
     RecomputeNextRetire();
 }
 
 void
-Controller::UpdateWriteDrain()
+Controller::UpdateWriteDrain(DramCycle now)
 {
     // Write-drain hysteresis: strict read priority by default (the paper's
     // policy), forced drain only as overflow protection.
     if (write_queue_.size() >= config_.write_drain_high) {
+        if (!write_drain_active_ && tracer_ != nullptr) {
+            tracer_->Emit({now, obs::EventKind::kWriteDrainEnter,
+                           channel_id_, kInvalidThread, obs::kNoFlatBank,
+                           write_queue_.size(), 0});
+        }
         write_drain_active_ = true;
     } else if (write_queue_.size() <= config_.write_drain_low) {
+        if (write_drain_active_ && tracer_ != nullptr) {
+            tracer_->Emit({now, obs::EventKind::kWriteDrainExit, channel_id_,
+                           kInvalidThread, obs::kNoFlatBank,
+                           write_queue_.size(), 0});
+        }
         write_drain_active_ = false;
     }
+}
+
+void
+Controller::FlushSkipSpan()
+{
+    if (skip_span_len_ == 0) {
+        return;
+    }
+    tracer_->Emit({skip_span_start_, obs::EventKind::kFastPathSkip,
+                   channel_id_, kInvalidThread, obs::kNoFlatBank,
+                   skip_span_len_, 0});
+    skip_span_len_ = 0;
 }
 
 void
@@ -247,7 +308,8 @@ Controller::HandleRefresh(DramCycle now)
         if (rank.CanRefresh(now)) {
             dram::Command refresh{dram::CommandType::kRefresh, r, 0, 0};
             channel_.Issue(refresh, now);
-            RecordCommand(dram::CommandType::kRefresh, now);
+            RecordCommand(dram::CommandType::kRefresh, now, kInvalidThread,
+                          obs::kNoFlatBank, 0);
             return true;
         }
         // Quiesce: precharge one open bank that is ready for it.
@@ -255,7 +317,9 @@ Controller::HandleRefresh(DramCycle now)
             dram::Command precharge{dram::CommandType::kPrecharge, r, b, 0};
             if (channel_.CanIssue(precharge, now)) {
                 channel_.Issue(precharge, now);
-                RecordCommand(dram::CommandType::kPrecharge, now);
+                RecordCommand(dram::CommandType::kPrecharge, now,
+                              kInvalidThread,
+                              r * channel_.rank(0).num_banks() + b, 0);
                 return true;
             }
         }
@@ -440,10 +504,16 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
     dram::Command command{type, request.coords.rank, request.coords.bank,
                           request.coords.row};
     const DramCycle done = channel_.Issue(command, now);
-    RecordCommand(type, now);
+    RecordCommand(type, now, request.thread, FlatBank(request),
+                  request.coords.row);
 
     if (request.first_command_cycle == kNeverCycle) {
         request.first_command_cycle = now;
+        if (tracer_ != nullptr) {
+            tracer_->Emit({now, obs::EventKind::kRequestFirstIssue,
+                           channel_id_, request.thread, FlatBank(request),
+                           request.id, static_cast<std::uint64_t>(type)});
+        }
         // The first command tells us what the row-buffer looked like when
         // service began: column command => hit, ACTIVATE => closed,
         // PRECHARGE => conflict.
@@ -475,7 +545,13 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
         (request.is_write ? write_queue_ : read_queue_)
             .BeginService(request);
         request.state = RequestState::kInBurst;
+        request.burst_issue_cycle = now;
         request.completion_cycle = done;
+        if (tracer_ != nullptr) {
+            tracer_->Emit({now, obs::EventKind::kRequestBurst, channel_id_,
+                           request.thread, FlatBank(request), request.id,
+                           done});
+        }
         auto& fifo = request.is_write ? inburst_writes_ : inburst_reads_;
         PARBS_ASSERT(fifo.empty() || fifo.back().first <= done,
                      "in-burst completions must be pushed in order");
@@ -524,13 +600,20 @@ Controller::Diagnostics(DramCycle now) const
 }
 
 void
-Controller::RecordCommand(dram::CommandType type, DramCycle now)
+Controller::RecordCommand(dram::CommandType type, DramCycle now,
+                          ThreadId thread, std::uint32_t flat_bank,
+                          std::uint32_t row)
 {
     commands_by_type_[static_cast<int>(type)] += 1;
     last_command_cycle_ = now;
     // Every issue moves bank / rank / bus timers (and may close or open a
     // row), so any cached readiness bound is stale.
     next_select_cycle_ = 0;
+    if (tracer_ != nullptr) {
+        FlushSkipSpan();
+        tracer_->Emit({now, obs::EventKind::kCommand, channel_id_, thread,
+                       flat_bank, static_cast<std::uint64_t>(type), row});
+    }
 }
 
 DramCycle

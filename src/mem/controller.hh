@@ -26,6 +26,11 @@
 
 namespace parbs {
 
+namespace obs {
+class Tracer;
+class LatencyAnatomy;
+} // namespace obs
+
 /** Controller sizing and policy knobs (paper baseline in defaults). */
 struct ControllerConfig {
     /** Memory request buffer entries (reads). */
@@ -176,6 +181,20 @@ class Controller {
     const Scheduler& scheduler() const { return *scheduler_; }
     const dram::Channel& channel() const { return channel_; }
 
+    const RequestQueue& read_queue() const { return read_queue_; }
+    const RequestQueue& write_queue() const { return write_queue_; }
+    std::uint32_t num_threads() const { return num_threads_; }
+
+    /**
+     * Attaches the observability sinks (DESIGN.md §5f).  Either pointer may
+     * be null; both default to null, in which case every emission site
+     * reduces to one predictable not-taken branch.  @p channel_id tags the
+     * emitted events with this controller's channel index.
+     */
+    void AttachObservability(obs::Tracer* tracer,
+                             obs::LatencyAnatomy* latency,
+                             std::uint8_t channel_id);
+
     const ControllerThreadStats& thread_stats(ThreadId thread) const;
 
     /** Number of reads currently buffered (queued or in burst). */
@@ -234,6 +253,14 @@ class Controller {
     std::unique_ptr<ForwardProgressWatchdog> watchdog_;
     /** Cycle the last DRAM command (any type) was issued. */
     DramCycle last_command_cycle_ = kNeverCycle;
+
+    /** Observability sinks; null when tracing is off (the gating branch). */
+    obs::Tracer* tracer_ = nullptr;
+    obs::LatencyAnatomy* latency_obs_ = nullptr;
+    std::uint8_t channel_id_ = 0;
+    /** Open fast-path skip span (traced runs only): start + length. */
+    DramCycle skip_span_start_ = 0;
+    std::uint64_t skip_span_len_ = 0;
 
     std::vector<ControllerThreadStats> stats_;
     std::uint64_t commands_by_type_[5] = {0, 0, 0, 0, 0};
@@ -380,12 +407,21 @@ class Controller {
      * write-queue size.  Called wherever the per-cycle loop used to sample
      * it: at every selection scan, and from RetireFinished so that a dip to
      * the low watermark inside a skip window is never missed (hysteresis is
-     * path-dependent).
+     * path-dependent).  @p now is only used for event timestamps.
      */
-    void UpdateWriteDrain();
+    void UpdateWriteDrain(DramCycle now);
 
-    /** Counts an issued command and feeds the progress tracker. */
-    void RecordCommand(dram::CommandType type, DramCycle now);
+    /**
+     * Counts an issued command and feeds the progress tracker; on traced
+     * runs also emits a kCommand event.  @p thread / @p flat_bank / @p row
+     * describe the command's target (sentinels for refresh).
+     */
+    void RecordCommand(dram::CommandType type, DramCycle now,
+                       ThreadId thread, std::uint32_t flat_bank,
+                       std::uint32_t row);
+
+    /** Emits and closes the open fast-path skip span, if any. */
+    void FlushSkipSpan();
 
     std::uint32_t FlatBank(const MemRequest& request) const;
     void EnterService(const MemRequest& request);

@@ -43,6 +43,8 @@ struct MemRequest {
 
     /** Cycle the first DRAM command for this request was issued. */
     DramCycle first_command_cycle = kNeverCycle;
+    /** Cycle the column (data) command was issued (valid once in kInBurst). */
+    DramCycle burst_issue_cycle = kNeverCycle;
     /** Cycle the data burst completes (valid once in kInBurst). */
     DramCycle completion_cycle = kNeverCycle;
 

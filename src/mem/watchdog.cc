@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/assert.hh"
+#include "obs/tracer.hh"
 #include "sched/scheduler.hh"
 
 namespace parbs {
@@ -83,7 +84,8 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
                                const RequestQueue& writes,
                                const Scheduler& scheduler,
                                const dram::Channel& channel,
-                               DramCycle last_command_cycle)
+                               DramCycle last_command_cycle,
+                               const obs::Tracer* tracer)
 {
     // Batch accounting must observe every transition, so it runs before the
     // rate limiter; it is O(1).
@@ -115,7 +117,8 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
                   "Marking-Cap-derived completion bound (deadline cycle "
                << batch_deadline_
                << ") — PAR-BS starvation-freedom violated";
-        Fail(reason.str(), now, reads, writes, scheduler, channel);
+        Fail(reason.str(), now, reads, writes, scheduler, channel, tracer,
+             kInvalidThread, obs::kNoFlatBank);
     }
 
     // The buffers are arrival-ordered, so the front request has the
@@ -135,7 +138,8 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
                        << " row=" << request->coords.row << ") waited "
                        << age << " cycles (bound " << starvation_bound_
                        << ")";
-                Fail(reason.str(), now, reads, writes, scheduler, channel);
+                Fail(reason.str(), now, reads, writes, scheduler, channel,
+                     tracer, request->thread, queue->FlatBank(*request));
             }
         }
     }
@@ -153,7 +157,8 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
                            ? std::string("<never>")
                            : std::to_string(last_command_cycle))
                    << " (bound " << no_progress_bound_ << ")";
-            Fail(reason.str(), now, reads, writes, scheduler, channel);
+            Fail(reason.str(), now, reads, writes, scheduler, channel,
+                 tracer, kInvalidThread, obs::kNoFlatBank);
         }
     }
 }
@@ -163,12 +168,17 @@ ForwardProgressWatchdog::Fail(const std::string& reason, DramCycle now,
                               const RequestQueue& reads,
                               const RequestQueue& writes,
                               const Scheduler& scheduler,
-                              const dram::Channel& channel)
+                              const dram::Channel& channel,
+                              const obs::Tracer* tracer, ThreadId thread,
+                              std::uint32_t flat_bank)
 {
     std::ostringstream out;
     out << "watchdog: " << reason << "\n"
         << FormatControllerDiagnostics(now, reads, writes, scheduler,
                                        channel);
+    if (tracer != nullptr) {
+        out << tracer->FormatTail(thread, flat_bank, 256);
+    }
     throw WatchdogError(out.str());
 }
 

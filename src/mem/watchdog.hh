@@ -37,6 +37,10 @@ namespace parbs {
 
 class Scheduler;
 
+namespace obs {
+class Tracer;
+} // namespace obs
+
 /** Watchdog knobs (all bounds in DRAM cycles; 0 derives a default). */
 struct WatchdogConfig {
     bool enabled = false;
@@ -80,21 +84,31 @@ class ForwardProgressWatchdog {
      * Runs the checks (rate-limited to the configured interval).
      * @param last_command_cycle cycle the controller last issued any
      *        command (kNeverCycle if none yet)
+     * @param tracer optional event tracer; when present, the failure dump
+     *        appends the recent event history of the offending (thread,
+     *        bank) so stall reports show the decision history.
      * @throws WatchdogError with a diagnostic dump if a check trips.
      */
     void Check(DramCycle now, const RequestQueue& reads,
                const RequestQueue& writes, const Scheduler& scheduler,
-               const dram::Channel& channel, DramCycle last_command_cycle);
+               const dram::Channel& channel, DramCycle last_command_cycle,
+               const obs::Tracer* tracer = nullptr);
 
     DramCycle starvation_bound() const { return starvation_bound_; }
     DramCycle no_progress_bound() const { return no_progress_bound_; }
 
   private:
+    /**
+     * @p thread / @p flat_bank identify the offender for the tracer tail
+     * filter (sentinels kInvalidThread / no-bank match every event).
+     */
     [[noreturn]] void Fail(const std::string& reason, DramCycle now,
                            const RequestQueue& reads,
                            const RequestQueue& writes,
                            const Scheduler& scheduler,
-                           const dram::Channel& channel);
+                           const dram::Channel& channel,
+                           const obs::Tracer* tracer, ThreadId thread,
+                           std::uint32_t flat_bank);
 
     WatchdogConfig config_;
     DramCycle starvation_bound_;

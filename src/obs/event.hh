@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The cycle-resolved observability event schema (DESIGN.md §5f).
+ *
+ * Every interesting simulator transition — request lifecycle, DRAM command
+ * issue, PAR-BS batch lifecycle, scheduler knob changes, controller mode
+ * changes — is describable as one fixed-size TraceEvent.  Events are plain
+ * data: the hot emission path copies 40 bytes into a ring buffer and does
+ * nothing else; all interpretation (Chrome trace-event export, watchdog
+ * tail dumps) happens offline at export time.
+ *
+ * The schema is deliberately lossy-friendly: every field is a scalar, so a
+ * bounded ring can drop the oldest events under overload without breaking
+ * any later event's meaning.
+ */
+
+#ifndef PARBS_OBS_EVENT_HH
+#define PARBS_OBS_EVENT_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.hh"
+
+namespace parbs::obs {
+
+/** Sentinel for "no bank associated with this event". */
+inline constexpr std::uint32_t kNoFlatBank =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** What happened.  The payload fields `a` / `b` are kind-specific. */
+enum class EventKind : std::uint8_t {
+    // --- Request lifecycle (controller) ---------------------------------
+    kRequestArrive,     ///< a = request id, b = 1 if write
+    kRequestFirstIssue, ///< a = request id, b = first command type
+    kRequestBurst,      ///< a = request id, b = burst completion cycle
+    kRequestRetire,     ///< a = request id, b = latency (DRAM cycles)
+
+    // --- DRAM commands (controller / channel) ---------------------------
+    kCommand, ///< a = dram::CommandType, b = row (thread may be unset)
+
+    // --- Scheduler (via SchedulerObserver) ------------------------------
+    kBatchFormed,   ///< a = batch id, b = marked request count
+    kBatchComplete, ///< a = batch id, b = duration (DRAM cycles)
+    kThreadRank,    ///< thread re-ranked; a = new rank
+    kMarkCapSkip,   ///< marking cap exhausted for (thread, bank); a = req id
+    kPriorityChange,///< a = new ThreadPriority
+    kWeightChange,  ///< a = new weight in 1/1000ths
+
+    // --- Controller mode changes ----------------------------------------
+    kWriteDrainEnter, ///< a = write queue occupancy at the high watermark
+    kWriteDrainExit,  ///< a = write queue occupancy at the low watermark
+    kFastPathSkip,    ///< cycle = first skipped cycle, a = span length
+};
+
+/** Short stable name for an event kind ("req-arrive", "cmd", ...). */
+const char* EventKindName(EventKind kind);
+
+/** One observability event.  Fixed-size, trivially copyable. */
+struct TraceEvent {
+    /** DRAM cycle the event occurred (for kFastPathSkip: span start). */
+    DramCycle cycle = 0;
+    EventKind kind = EventKind::kCommand;
+    /** Channel / controller index the event originated from. */
+    std::uint8_t channel = 0;
+    /** Originating thread, or kInvalidThread when not request-bound. */
+    ThreadId thread = kInvalidThread;
+    /** Controller-local flat bank, or kNoFlatBank. */
+    std::uint32_t bank = kNoFlatBank;
+    /** Kind-specific payload (see EventKind). */
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+} // namespace parbs::obs
+
+#endif // PARBS_OBS_EVENT_HH

@@ -1,0 +1,94 @@
+#include "obs/latency.hh"
+
+#include "common/assert.hh"
+#include "common/json.hh"
+#include "mem/request.hh"
+
+namespace parbs::obs {
+
+namespace {
+
+// Reads at the default timing resolve in a few tens of DRAM cycles when
+// unqueued; width 8 x 512 buckets covers [0, 4096) per component, with the
+// overflow bucket catching pathological stalls (still counted and reported).
+constexpr std::uint64_t kBucketWidth = 8;
+constexpr std::size_t kBucketCount = 512;
+
+json::Value HistogramJson(const Histogram& histogram) {
+    const Histogram::Summary summary = histogram.PercentileSummary();
+    json::Value out = json::Value::Object();
+    out.Set("count", histogram.count());
+    out.Set("mean", histogram.Mean());
+    out.Set("p50", summary.p50);
+    out.Set("p95", summary.p95);
+    out.Set("p99", summary.p99);
+    out.Set("max", summary.max);
+    out.Set("overflow", histogram.overflow());
+    return out;
+}
+
+} // namespace
+
+LatencyAnatomy::ThreadHistograms::ThreadHistograms()
+    : queueing(kBucketWidth, kBucketCount),
+      service(kBucketWidth, kBucketCount),
+      bus(kBucketWidth, kBucketCount),
+      total(kBucketWidth, kBucketCount)
+{
+}
+
+LatencyAnatomy::LatencyAnatomy(std::uint32_t num_threads)
+    : threads_(num_threads)
+{
+}
+
+void
+LatencyAnatomy::RecordRead(const MemRequest& request)
+{
+    PARBS_ASSERT(!request.is_write, "latency anatomy records reads only");
+    PARBS_ASSERT(request.first_command_cycle != kNeverCycle &&
+                     request.burst_issue_cycle != kNeverCycle &&
+                     request.completion_cycle != kNeverCycle,
+                 "request retired without full timestamp anatomy");
+    PARBS_ASSERT(request.thread < threads_.size(),
+                 "request thread out of range");
+    const std::uint64_t queueing =
+        request.first_command_cycle - request.arrival_dram;
+    const std::uint64_t service =
+        request.burst_issue_cycle - request.first_command_cycle;
+    const std::uint64_t bus =
+        request.completion_cycle - request.burst_issue_cycle;
+    ThreadHistograms& thread = threads_[request.thread];
+    thread.queueing.Add(queueing);
+    thread.service.Add(service);
+    thread.bus.Add(bus);
+    thread.total.Add(request.Latency());
+    all_.queueing.Add(queueing);
+    all_.service.Add(service);
+    all_.bus.Add(bus);
+    all_.total.Add(request.Latency());
+    recorded_reads_ += 1;
+}
+
+json::Value
+LatencyAnatomy::ToJson() const
+{
+    json::Value out = json::Value::Object();
+    auto components = [](const ThreadHistograms& h) {
+        json::Value component = json::Value::Object();
+        component.Set("queueing", HistogramJson(h.queueing));
+        component.Set("service", HistogramJson(h.service));
+        component.Set("bus", HistogramJson(h.bus));
+        component.Set("total", HistogramJson(h.total));
+        return component;
+    };
+    out.Set("all", components(all_));
+    json::Value threads = json::Value::Array();
+    for (const ThreadHistograms& h : threads_) {
+        threads.Append(components(h));
+    }
+    out.Set("threads", std::move(threads));
+    return out;
+}
+
+} // namespace parbs::obs

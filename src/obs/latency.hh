@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Request latency anatomy: where did each read's cycles go?
+ *
+ * A read's life splits into three back-to-back components, all in DRAM
+ * cycles:
+ *
+ *   queueing : arrival            -> first command issued for it
+ *   service  : first command      -> column (data) command issued
+ *   bus      : column command     -> data burst complete
+ *
+ * queueing + service + bus == total latency (arrival -> completion) by
+ * construction.  Each component feeds a per-thread stats::Histogram so the
+ * exporter can report p50/p95/p99/max per thread and, aggregated, per
+ * scheduler.  Writes are posted (retired fire-and-forget), so only reads
+ * are recorded — matching what the paper's latency metrics measure.
+ */
+
+#ifndef PARBS_OBS_LATENCY_HH
+#define PARBS_OBS_LATENCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/histogram.hh"
+
+namespace parbs {
+struct MemRequest;
+namespace json {
+class Value;
+}
+} // namespace parbs
+
+namespace parbs::obs {
+
+class LatencyAnatomy {
+  public:
+    explicit LatencyAnatomy(std::uint32_t num_threads);
+
+    /** Record one completed read.  @pre request has all timestamps set. */
+    void RecordRead(const MemRequest& request);
+
+    std::uint32_t num_threads() const {
+        return static_cast<std::uint32_t>(threads_.size());
+    }
+    std::uint64_t recorded_reads() const { return recorded_reads_; }
+
+    const Histogram& Queueing(ThreadId thread) const {
+        return threads_[thread].queueing;
+    }
+    const Histogram& Service(ThreadId thread) const {
+        return threads_[thread].service;
+    }
+    const Histogram& Bus(ThreadId thread) const {
+        return threads_[thread].bus;
+    }
+    const Histogram& Total(ThreadId thread) const {
+        return threads_[thread].total;
+    }
+
+    /**
+     * JSON report: per-thread and whole-run ("all") objects, each holding
+     * queueing/service/bus/total components with count, mean, p50, p95,
+     * p99, max, and overflow-bucket count.
+     */
+    json::Value ToJson() const;
+
+  private:
+    struct ThreadHistograms {
+        Histogram queueing;
+        Histogram service;
+        Histogram bus;
+        Histogram total;
+        ThreadHistograms();
+    };
+
+    std::vector<ThreadHistograms> threads_;
+    ThreadHistograms all_;
+    std::uint64_t recorded_reads_ = 0;
+};
+
+} // namespace parbs::obs
+
+#endif // PARBS_OBS_LATENCY_HH

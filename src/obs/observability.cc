@@ -1,0 +1,345 @@
+#include "obs/observability.hh"
+
+#include "common/assert.hh"
+#include "common/json.hh"
+#include "dram/command.hh"
+
+namespace parbs::obs {
+
+namespace {
+
+/** Synthetic track (tid) ids inside each channel's process. */
+constexpr std::uint64_t kSchedulerTrack = 900;
+constexpr std::uint64_t kBankTrackBase = 1000;
+
+} // namespace
+
+void
+ObservabilityConfig::Validate() const
+{
+    if (trace && trace_ring_capacity == 0) {
+        PARBS_FATAL("observability: trace_ring_capacity must be nonzero");
+    }
+}
+
+void
+SchedulerTraceAdapter::OnBatchFormed(DramCycle now, std::uint64_t batch_id,
+                                     std::uint64_t marked)
+{
+    tracer_.Emit({now, EventKind::kBatchFormed, channel_, kInvalidThread,
+                  kNoFlatBank, batch_id, marked});
+}
+
+void
+SchedulerTraceAdapter::OnBatchComplete(DramCycle now, std::uint64_t batch_id,
+                                       DramCycle duration)
+{
+    tracer_.Emit({now, EventKind::kBatchComplete, channel_, kInvalidThread,
+                  kNoFlatBank, batch_id, duration});
+}
+
+void
+SchedulerTraceAdapter::OnThreadRanked(DramCycle now, ThreadId thread,
+                                      std::uint32_t rank)
+{
+    tracer_.Emit({now, EventKind::kThreadRank, channel_, thread, kNoFlatBank,
+                  rank, 0});
+}
+
+void
+SchedulerTraceAdapter::OnMarkingCapHit(DramCycle now, ThreadId thread,
+                                       std::uint32_t bank,
+                                       RequestId request_id)
+{
+    tracer_.Emit({now, EventKind::kMarkCapSkip, channel_, thread, bank,
+                  request_id, 0});
+}
+
+void
+SchedulerTraceAdapter::OnPriorityChanged(ThreadId thread,
+                                         ThreadPriority priority)
+{
+    // Knob setters carry no cycle (they are called from outside the DRAM
+    // tick, typically at setup); stamp with the latest traced cycle.
+    tracer_.Emit({tracer_.latest_cycle(), EventKind::kPriorityChange,
+                  channel_, thread, kNoFlatBank, priority, 0});
+}
+
+void
+SchedulerTraceAdapter::OnWeightChanged(ThreadId thread, double weight)
+{
+    tracer_.Emit({tracer_.latest_cycle(), EventKind::kWeightChange, channel_,
+                  thread, kNoFlatBank,
+                  static_cast<std::uint64_t>(weight * 1000.0), 0});
+}
+
+Observability::Observability(const ObservabilityConfig& config,
+                             std::uint32_t num_threads,
+                             std::uint32_t num_channels)
+    : tracer_(config.trace_ring_capacity),
+      latency_(num_threads),
+      sampler_(config.sample_interval),
+      num_threads_(num_threads),
+      num_channels_(num_channels)
+{
+    config.Validate();
+    adapters_.reserve(num_channels);
+    for (std::uint32_t channel = 0; channel < num_channels; ++channel) {
+        adapters_.push_back(std::make_unique<SchedulerTraceAdapter>(
+            tracer_, static_cast<std::uint8_t>(channel)));
+    }
+}
+
+namespace {
+
+json::Value
+MakeEvent(const char* ph, const std::string& name, const char* cat,
+          std::uint64_t pid, std::uint64_t tid, DramCycle ts)
+{
+    // ts is the DRAM cycle, exported 1 cycle == 1 us: trace viewers require
+    // integer-friendly microsecond timestamps, and an exact integer mapping
+    // keeps the file byte-deterministic.
+    json::Value event = json::Value::Object();
+    event.Set("ph", ph);
+    event.Set("name", name);
+    event.Set("cat", cat);
+    event.Set("pid", pid);
+    event.Set("tid", tid);
+    event.Set("ts", ts);
+    return event;
+}
+
+json::Value
+MetadataEvent(const char* kind, std::uint64_t pid, std::uint64_t tid,
+              const std::string& name)
+{
+    json::Value event = json::Value::Object();
+    event.Set("ph", "M");
+    event.Set("name", kind);
+    event.Set("pid", pid);
+    if (std::string(kind) == "thread_name") {
+        event.Set("tid", tid);
+    }
+    json::Value args = json::Value::Object();
+    args.Set("name", name);
+    event.Set("args", std::move(args));
+    return event;
+}
+
+} // namespace
+
+json::Value
+Observability::TraceDocument(const TraceMeta& meta) const
+{
+    json::Value events = json::Value::Array();
+
+    // Track naming first, so viewers label every row.
+    for (std::uint32_t channel = 0; channel < num_channels_; ++channel) {
+        events.Append(MetadataEvent("process_name", channel, 0,
+                                    "channel " + std::to_string(channel)));
+        for (std::uint32_t thread = 0; thread < num_threads_; ++thread) {
+            events.Append(
+                MetadataEvent("thread_name", channel, thread,
+                              "core " + std::to_string(thread)));
+        }
+        events.Append(MetadataEvent("thread_name", channel, kSchedulerTrack,
+                                    "scheduler"));
+    }
+
+    for (const TraceEvent& event : tracer_.Snapshot()) {
+        const std::uint64_t pid = event.channel;
+        const std::uint64_t thread_track =
+            event.thread == kInvalidThread ? kSchedulerTrack : event.thread;
+        switch (event.kind) {
+        case EventKind::kRequestArrive: {
+            json::Value out = MakeEvent("b", "req", "request", pid,
+                                        thread_track, event.cycle);
+            out.Set("id", event.a);
+            json::Value args = json::Value::Object();
+            args.Set("bank", std::uint64_t{event.bank});
+            args.Set("write", event.b != 0);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kRequestRetire: {
+            json::Value out = MakeEvent("e", "req", "request", pid,
+                                        thread_track, event.cycle);
+            out.Set("id", event.a);
+            json::Value args = json::Value::Object();
+            args.Set("latency", event.b);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kRequestFirstIssue: {
+            json::Value out = MakeEvent("i", "first-issue", "request", pid,
+                                        thread_track, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("req", event.a);
+            args.Set("cmd", dram::CommandName(
+                                static_cast<dram::CommandType>(event.b)));
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kRequestBurst: {
+            json::Value out = MakeEvent("i", "burst", "request", pid,
+                                        thread_track, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("req", event.a);
+            args.Set("done", event.b);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kCommand: {
+            json::Value out = MakeEvent(
+                "i",
+                dram::CommandName(static_cast<dram::CommandType>(event.a)),
+                "dram", pid,
+                event.bank == kNoFlatBank ? kBankTrackBase
+                                          : kBankTrackBase + event.bank,
+                event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("row", event.b);
+            if (event.thread != kInvalidThread) {
+                args.Set("thread", std::uint64_t{event.thread});
+            }
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kBatchFormed: {
+            json::Value out = MakeEvent("b", "batch", "batch", pid,
+                                        kSchedulerTrack, event.cycle);
+            out.Set("id", event.a);
+            json::Value args = json::Value::Object();
+            args.Set("marked", event.b);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kBatchComplete: {
+            json::Value out = MakeEvent("e", "batch", "batch", pid,
+                                        kSchedulerTrack, event.cycle);
+            out.Set("id", event.a);
+            json::Value args = json::Value::Object();
+            args.Set("duration", event.b);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kThreadRank: {
+            json::Value out = MakeEvent("i", "rank", "sched", pid,
+                                        kSchedulerTrack, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("thread", std::uint64_t{event.thread});
+            args.Set("rank", event.a);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kMarkCapSkip: {
+            json::Value out = MakeEvent("i", "mark-cap", "sched", pid,
+                                        kSchedulerTrack, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("thread", std::uint64_t{event.thread});
+            args.Set("bank", std::uint64_t{event.bank});
+            args.Set("req", event.a);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kPriorityChange:
+        case EventKind::kWeightChange: {
+            const bool priority = event.kind == EventKind::kPriorityChange;
+            json::Value out = MakeEvent(
+                "i", priority ? "priority" : "weight", "sched", pid,
+                kSchedulerTrack, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("thread", std::uint64_t{event.thread});
+            args.Set(priority ? "priority" : "milli_weight", event.a);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kWriteDrainEnter:
+        case EventKind::kWriteDrainExit: {
+            const bool enter = event.kind == EventKind::kWriteDrainEnter;
+            json::Value out =
+                MakeEvent("i", enter ? "write-drain-enter"
+                                     : "write-drain-exit",
+                          "ctrl", pid, kSchedulerTrack, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("write_queue", event.a);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kFastPathSkip: {
+            json::Value out = MakeEvent("X", "fast-path-skip", "ctrl", pid,
+                                        kSchedulerTrack, event.cycle);
+            out.Set("dur", event.a);
+            events.Append(std::move(out));
+            break;
+        }
+        }
+    }
+
+    // Sampler rows as counter tracks, one counter set per channel.
+    for (const Sample& sample : sampler_.samples()) {
+        for (std::size_t channel = 0; channel < sample.controllers.size();
+             ++channel) {
+            const ControllerSample& cs = sample.controllers[channel];
+            json::Value out = MakeEvent("C", "queues", "sampler", channel, 0,
+                                        sample.cycle);
+            json::Value args = json::Value::Object();
+            args.Set("read", std::uint64_t{cs.read_queue});
+            args.Set("write", std::uint64_t{cs.write_queue});
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+
+            json::Value util = MakeEvent("C", "utilization", "sampler",
+                                         channel, 0, sample.cycle);
+            json::Value util_args = json::Value::Object();
+            util_args.Set("bus", cs.bus_utilization);
+            util_args.Set("row_hit_rate", cs.row_hit_rate);
+            util.Set("args", std::move(util_args));
+            events.Append(std::move(util));
+        }
+    }
+
+    json::Value doc = json::Value::Object();
+    doc.Set("traceEvents", std::move(events));
+    doc.Set("displayTimeUnit", "ms");
+
+    json::Value other = json::Value::Object();
+    other.Set("scheduler", meta.scheduler);
+    other.Set("workload", meta.workload);
+    other.Set("cores", std::uint64_t{meta.cores});
+    other.Set("seed", meta.seed);
+    other.Set("cpu_to_dram_ratio", std::uint64_t{meta.cpu_to_dram_ratio});
+    other.Set("clock_note", "ts unit = 1 DRAM cycle");
+    other.Set("events_dropped", tracer_.dropped());
+    doc.Set("otherData", std::move(other));
+
+    doc.Set("samples", sampler_.ToJson());
+    doc.Set("latency", latency_.ToJson());
+    return doc;
+}
+
+void
+Observability::WriteTrace(std::ostream& out, const TraceMeta& meta) const
+{
+    out << TraceDocument(meta).Dump(2) << "\n";
+}
+
+} // namespace parbs::obs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The observability bundle: configuration, ownership, and export.
+ *
+ * One Observability object per System owns the event tracer, the interval
+ * sampler, the latency anatomy, and one SchedulerTraceAdapter per channel
+ * (the SchedulerObserver implementation that forwards scheduler policy
+ * events into the tracer).  The System wires raw pointers from here into
+ * its controllers and schedulers; when no Observability exists those
+ * pointers are null and every emission site is one not-taken branch
+ * (DESIGN.md §5f has the zero-overhead-when-off argument).
+ *
+ * Export is Chrome trace-event JSON (the `chrome://tracing` / Perfetto
+ * format): each channel is a process, each core / the scheduler / each
+ * bank is a track, requests are async spans keyed by request id, DRAM
+ * commands are instants on their bank's track, batches are spans on the
+ * scheduler track, and sampler rows become counter events.  The document
+ * also carries the raw sampler table and the latency-anatomy report under
+ * top-level keys (ignored by trace viewers, consumed by bench_report).
+ */
+
+#ifndef PARBS_OBS_OBSERVABILITY_HH
+#define PARBS_OBS_OBSERVABILITY_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/latency.hh"
+#include "obs/sampler.hh"
+#include "obs/tracer.hh"
+#include "sched/observer.hh"
+
+namespace parbs {
+namespace json {
+class Value;
+}
+} // namespace parbs
+
+namespace parbs::obs {
+
+/** Observability knobs, carried inside SystemConfig. */
+struct ObservabilityConfig {
+    /** Master switch: event tracing + latency anatomy. */
+    bool trace = false;
+    /** Ring capacity in events (newest win once full). */
+    std::size_t trace_ring_capacity = std::size_t{1} << 18;
+    /** Sampler period in DRAM cycles; 0 disables the time series. */
+    DramCycle sample_interval = 0;
+
+    bool Enabled() const { return trace; }
+
+    /** @throws ConfigError on nonsensical values. */
+    void Validate() const;
+};
+
+/** Run identity stamped into the exported trace document. */
+struct TraceMeta {
+    std::string scheduler;
+    std::string workload;
+    std::uint32_t cores = 0;
+    std::uint64_t seed = 0;
+    std::uint32_t cpu_to_dram_ratio = 0;
+};
+
+/** Forwards one channel's scheduler policy events into the tracer. */
+class SchedulerTraceAdapter final : public SchedulerObserver {
+  public:
+    SchedulerTraceAdapter(Tracer& tracer, std::uint8_t channel)
+        : tracer_(tracer), channel_(channel)
+    {
+    }
+
+    void OnBatchFormed(DramCycle now, std::uint64_t batch_id,
+                       std::uint64_t marked) override;
+    void OnBatchComplete(DramCycle now, std::uint64_t batch_id,
+                         DramCycle duration) override;
+    void OnThreadRanked(DramCycle now, ThreadId thread,
+                        std::uint32_t rank) override;
+    void OnMarkingCapHit(DramCycle now, ThreadId thread, std::uint32_t bank,
+                         RequestId request_id) override;
+    void OnPriorityChanged(ThreadId thread, ThreadPriority priority) override;
+    void OnWeightChanged(ThreadId thread, double weight) override;
+
+  private:
+    Tracer& tracer_;
+    std::uint8_t channel_;
+};
+
+/** Owns every observability component of one System. */
+class Observability {
+  public:
+    Observability(const ObservabilityConfig& config,
+                  std::uint32_t num_threads, std::uint32_t num_channels);
+
+    Tracer& tracer() { return tracer_; }
+    const Tracer& tracer() const { return tracer_; }
+    LatencyAnatomy& latency() { return latency_; }
+    const LatencyAnatomy& latency() const { return latency_; }
+    IntervalSampler& sampler() { return sampler_; }
+    const IntervalSampler& sampler() const { return sampler_; }
+    SchedulerObserver& adapter(std::uint32_t channel) {
+        return *adapters_[channel];
+    }
+
+    /** The complete Chrome trace-event document for this run. */
+    json::Value TraceDocument(const TraceMeta& meta) const;
+
+    /** Serializes TraceDocument to @p out (2-space indent, deterministic). */
+    void WriteTrace(std::ostream& out, const TraceMeta& meta) const;
+
+  private:
+    Tracer tracer_;
+    LatencyAnatomy latency_;
+    IntervalSampler sampler_;
+    std::vector<std::unique_ptr<SchedulerTraceAdapter>> adapters_;
+    std::uint32_t num_threads_;
+    std::uint32_t num_channels_;
+};
+
+} // namespace parbs::obs
+
+#endif // PARBS_OBS_OBSERVABILITY_HH

@@ -1,0 +1,124 @@
+#include "obs/tracer.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "dram/command.hh"
+
+namespace parbs::obs {
+
+const char* EventKindName(EventKind kind) {
+    switch (kind) {
+    case EventKind::kRequestArrive: return "req-arrive";
+    case EventKind::kRequestFirstIssue: return "req-first-issue";
+    case EventKind::kRequestBurst: return "req-burst";
+    case EventKind::kRequestRetire: return "req-retire";
+    case EventKind::kCommand: return "cmd";
+    case EventKind::kBatchFormed: return "batch-formed";
+    case EventKind::kBatchComplete: return "batch-complete";
+    case EventKind::kThreadRank: return "thread-rank";
+    case EventKind::kMarkCapSkip: return "mark-cap-skip";
+    case EventKind::kPriorityChange: return "priority-change";
+    case EventKind::kWeightChange: return "weight-change";
+    case EventKind::kWriteDrainEnter: return "write-drain-enter";
+    case EventKind::kWriteDrainExit: return "write-drain-exit";
+    case EventKind::kFastPathSkip: return "fast-path-skip";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity) {
+    assert(capacity > 0 && "tracer ring capacity must be positive");
+    events_.resize(capacity);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+        out.push_back(events_[(head_ + i) % events_.size()]);
+    }
+    return out;
+}
+
+namespace {
+
+void FormatEvent(std::ostringstream& out, const TraceEvent& event) {
+    out << "    cycle " << event.cycle << "  ch" << int{event.channel} << "  "
+        << EventKindName(event.kind);
+    if (event.thread != kInvalidThread) out << "  thread=" << event.thread;
+    if (event.bank != kNoFlatBank) out << "  bank=" << event.bank;
+    switch (event.kind) {
+    case EventKind::kCommand:
+        out << "  " << dram::CommandName(static_cast<dram::CommandType>(event.a))
+            << "  row=" << event.b;
+        break;
+    case EventKind::kRequestArrive:
+        out << "  req=" << event.a << (event.b != 0 ? "  write" : "  read");
+        break;
+    case EventKind::kRequestFirstIssue:
+        out << "  req=" << event.a << "  first="
+            << dram::CommandName(static_cast<dram::CommandType>(event.b));
+        break;
+    case EventKind::kRequestBurst:
+        out << "  req=" << event.a << "  done=" << event.b;
+        break;
+    case EventKind::kRequestRetire:
+        out << "  req=" << event.a << "  latency=" << event.b;
+        break;
+    case EventKind::kBatchFormed:
+        out << "  batch=" << event.a << "  marked=" << event.b;
+        break;
+    case EventKind::kBatchComplete:
+        out << "  batch=" << event.a << "  duration=" << event.b;
+        break;
+    case EventKind::kThreadRank:
+        out << "  rank=" << event.a;
+        break;
+    case EventKind::kMarkCapSkip:
+        out << "  req=" << event.a;
+        break;
+    case EventKind::kPriorityChange:
+        out << "  priority=" << event.a;
+        break;
+    case EventKind::kWeightChange:
+        out << "  milli_weight=" << event.a;
+        break;
+    case EventKind::kWriteDrainEnter:
+    case EventKind::kWriteDrainExit:
+        out << "  write_queue=" << event.a;
+        break;
+    case EventKind::kFastPathSkip:
+        out << "  span=" << event.a;
+        break;
+    }
+    out << "\n";
+}
+
+} // namespace
+
+std::string Tracer::FormatTail(ThreadId thread, std::uint32_t bank,
+                               std::size_t max_events) const {
+    // Walk newest-to-oldest collecting matches, then print oldest-first.
+    std::vector<const TraceEvent*> matched;
+    matched.reserve(max_events);
+    for (std::size_t i = size_; i-- > 0 && matched.size() < max_events;) {
+        const TraceEvent& event = events_[(head_ + i) % events_.size()];
+        // An event belongs to the stall story if it touched the filtered
+        // thread or the filtered bank; sentinel filters match everything.
+        const bool match =
+            (thread == kInvalidThread && bank == kNoFlatBank) ||
+            (thread != kInvalidThread && event.thread == thread) ||
+            (bank != kNoFlatBank && event.bank == bank);
+        if (match) matched.push_back(&event);
+    }
+    std::ostringstream out;
+    out << "  recent trace events (" << matched.size() << " shown, "
+        << dropped_ << " dropped from ring):\n";
+    for (std::size_t i = matched.size(); i-- > 0;) {
+        FormatEvent(out, *matched[i]);
+    }
+    return out.str();
+}
+
+} // namespace parbs::obs

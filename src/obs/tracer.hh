@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bounded ring-buffer event tracer.
+ *
+ * The tracer is the single sink for all TraceEvents in a System.  It is
+ * deliberately dumb: Emit() copies the event into a preallocated ring and
+ * overwrites the oldest entry once full (counting drops).  There is no
+ * locking — a System and all of its controllers run on one thread; the
+ * parallel harness gives each concurrent run its own System and therefore
+ * its own tracer.
+ *
+ * Gating contract: instrumented components hold a raw `Tracer*` that is
+ * null when observability is off.  The only cost on the disabled path is
+ * one predictable branch per would-be event.
+ */
+
+#ifndef PARBS_OBS_TRACER_HH
+#define PARBS_OBS_TRACER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace parbs::obs {
+
+class Tracer {
+  public:
+    /** @param capacity  Ring size in events; must be > 0. */
+    explicit Tracer(std::size_t capacity);
+
+    /** Record one event, overwriting the oldest once the ring is full. */
+    void Emit(const TraceEvent& event) {
+        if (event.cycle > latest_cycle_) latest_cycle_ = event.cycle;
+        if (size_ < events_.size()) {
+            events_[size_] = event;
+            size_ += 1;
+        } else {
+            events_[head_] = event;
+            head_ = (head_ + 1) % events_.size();
+            dropped_ += 1;
+        }
+    }
+
+    /** Number of events currently held (<= capacity). */
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return events_.size(); }
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+    /** Largest cycle seen on any emitted event (0 if none). */
+    DramCycle latest_cycle() const { return latest_cycle_; }
+
+    /** Copy of the held events in emission order (oldest first). */
+    std::vector<TraceEvent> Snapshot() const;
+
+    /**
+     * Human-readable dump of the most recent events matching a (thread,
+     * bank) filter, newest last, for watchdog stall reports.  An event
+     * matches if its thread equals @p thread or its bank equals @p bank;
+     * passing kInvalidThread / kNoFlatBank as a filter value matches every
+     * event on that axis.
+     */
+    std::string FormatTail(ThreadId thread, std::uint32_t bank,
+                           std::size_t max_events) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::size_t head_ = 0; ///< index of the oldest event once wrapped
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    DramCycle latest_cycle_ = 0;
+};
+
+} // namespace parbs::obs
+
+#endif // PARBS_OBS_TRACER_HH

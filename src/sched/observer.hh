@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Scheduler-side observability hook.
+ *
+ * Schedulers announce policy-level transitions — batch lifecycle, thread
+ * re-ranking, marking-cap exhaustion, knob changes — through this interface
+ * instead of talking to the observability layer directly.  That keeps
+ * `sched/` free of any `obs/` dependency, and it means every scheduler
+ * (FCFS, FR-FCFS, NFQ, STFM, PAR-BS) emits knob events from the shared base
+ * class with no per-scheduler forks; schedulers with richer lifecycles
+ * (PAR-BS batching) emit the additional callbacks themselves.
+ *
+ * All methods are no-op defaults, and the observer pointer is null when
+ * observability is off — emission sites are a null check plus a virtual
+ * call that only happens on traced runs.
+ */
+
+#ifndef PARBS_SCHED_OBSERVER_HH
+#define PARBS_SCHED_OBSERVER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace parbs {
+
+/** Receives scheduler policy events (implemented by obs/, tests). */
+class SchedulerObserver {
+  public:
+    virtual ~SchedulerObserver() = default;
+
+    /** A new batch was formed with @p marked marked requests. */
+    virtual void OnBatchFormed(DramCycle /*now*/, std::uint64_t /*batch_id*/,
+                               std::uint64_t /*marked*/)
+    {
+    }
+
+    /** The previous batch fully drained after @p duration cycles. */
+    virtual void OnBatchComplete(DramCycle /*now*/, std::uint64_t /*batch_id*/,
+                                 DramCycle /*duration*/)
+    {
+    }
+
+    /** @p thread received rank @p rank (0 = highest) at batch formation. */
+    virtual void OnThreadRanked(DramCycle /*now*/, ThreadId /*thread*/,
+                                std::uint32_t /*rank*/)
+    {
+    }
+
+    /** Marking skipped @p request_id: (thread, bank) hit the marking cap. */
+    virtual void OnMarkingCapHit(DramCycle /*now*/, ThreadId /*thread*/,
+                                 std::uint32_t /*bank*/,
+                                 RequestId /*request_id*/)
+    {
+    }
+
+    /** System software changed a thread's priority level. */
+    virtual void OnPriorityChanged(ThreadId /*thread*/,
+                                   ThreadPriority /*priority*/)
+    {
+    }
+
+    /** System software changed a thread's bandwidth weight. */
+    virtual void OnWeightChanged(ThreadId /*thread*/, double /*weight*/) {}
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_OBSERVER_HH

@@ -160,6 +160,10 @@ ParBsScheduler::FormBatch(DramCycle now)
         batch_stats_.duration_sum += now - batch_start_cycle_;
         batch_stats_.batches_completed += 1;
         batch_open_ = false;
+        if (observer_ != nullptr) {
+            observer_->OnBatchComplete(now, batch_stats_.batches_formed,
+                                       now - batch_start_cycle_);
+        }
     }
 
     std::fill(marked_in_batch_.begin(), marked_in_batch_.end(), 0);
@@ -178,6 +182,10 @@ ParBsScheduler::FormBatch(DramCycle now)
         std::uint32_t& used = MarkedInBatch(request->thread,
                                             FlatBank(*request));
         if (config_.marking_cap != 0 && used >= config_.marking_cap) {
+            if (observer_ != nullptr) {
+                observer_->OnMarkingCapHit(now, request->thread,
+                                           FlatBank(*request), request->id);
+            }
             continue;
         }
         // The queue is arrival-ordered, so this marks the oldest requests.
@@ -197,6 +205,12 @@ ParBsScheduler::FormBatch(DramCycle now)
     batch_open_ = true;
 
     ComputeRanking();
+    if (observer_ != nullptr) {
+        observer_->OnBatchFormed(now, batch_stats_.batches_formed, marked);
+        for (ThreadId thread = 0; thread < context_.num_threads; ++thread) {
+            observer_->OnThreadRanked(now, thread, rank_of_[thread]);
+        }
+    }
     // Marked bits and ranks changed under the memoized picks' feet.
     InvalidateBankPicks();
     return marked;

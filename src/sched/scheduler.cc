@@ -86,6 +86,9 @@ Scheduler::SetThreadPriority(ThreadId thread, ThreadPriority priority)
     PARBS_ASSERT(thread < priorities_.size(),
                  "SetThreadPriority before Attach or out of range");
     priorities_[thread] = priority;
+    if (observer_ != nullptr) {
+        observer_->OnPriorityChanged(thread, priority);
+    }
     OnSchedulingKnobChanged();
 }
 
@@ -98,6 +101,9 @@ Scheduler::SetThreadWeight(ThreadId thread, double weight)
         PARBS_FATAL("thread weight must be positive");
     }
     weights_[thread] = weight;
+    if (observer_ != nullptr) {
+        observer_->OnWeightChanged(thread, weight);
+    }
     OnSchedulingKnobChanged();
 }
 

@@ -34,6 +34,7 @@
 #include "dram/command.hh"
 #include "mem/request.hh"
 #include "mem/request_queue.hh"
+#include "sched/observer.hh"
 
 namespace parbs {
 
@@ -142,6 +143,14 @@ class Scheduler {
     /** Sets a thread's bandwidth weight (NFQ shares / STFM weights). */
     void SetThreadWeight(ThreadId thread, double weight);
 
+    /**
+     * Attaches the policy-event observer (null to detach).  The base class
+     * reports knob changes; schedulers with batch semantics additionally
+     * report batch / rank / marking events through the same observer.
+     */
+    void SetObserver(SchedulerObserver* observer) { observer_ = observer; }
+    SchedulerObserver* observer() const { return observer_; }
+
     ThreadPriority thread_priority(ThreadId thread) const;
     double thread_weight(ThreadId thread) const;
 
@@ -178,6 +187,8 @@ class Scheduler {
     SchedulerContext context_;
     std::vector<ThreadPriority> priorities_;
     std::vector<double> weights_;
+    /** Policy-event sink; null when observability is off. */
+    SchedulerObserver* observer_ = nullptr;
 
   private:
     /** Reused candidate scratch for the default PickInBank(). */

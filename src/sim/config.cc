@@ -17,6 +17,7 @@ SystemConfig::Validate() const
     geometry.Validate();
     controller.Validate();
     core.Validate();
+    observability.Validate();
 }
 
 SystemConfig

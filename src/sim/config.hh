@@ -14,6 +14,7 @@
 #include "cpu/core.hh"
 #include "dram/timing.hh"
 #include "mem/controller.hh"
+#include "obs/observability.hh"
 #include "sched/factory.hh"
 
 namespace parbs {
@@ -40,6 +41,10 @@ struct SystemConfig {
 
     /** XOR-based address-to-bank mapping (Table 2 baseline). */
     bool xor_bank_hash = true;
+
+    /** Event tracing / time-series sampling / latency anatomy (off by
+     *  default: disabled observability is a null-pointer check per site). */
+    obs::ObservabilityConfig observability;
 
     /**
      * Fixed latency added to every read completion before the core sees the

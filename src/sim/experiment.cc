@@ -1,6 +1,8 @@
 #include "sim/experiment.hh"
 
+#include <cctype>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 
 #include "common/assert.hh"
@@ -21,7 +23,30 @@ TraceSeed(std::uint64_t base, ThreadId slot, const std::string& benchmark)
     return h;
 }
 
+/** "mix1 / PAR-BS" -> "mix1", "PAR-BS" — safe as a file-name fragment. */
+std::string
+SanitizeLabel(const std::string& label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        out.push_back(std::isalnum(u) != 0 ? c : '-');
+    }
+    return out;
+}
+
 } // namespace
+
+std::string
+ExperimentConfig::EffectiveTracePath() const
+{
+    if (!trace_path.empty()) {
+        return trace_path;
+    }
+    const char* env = std::getenv("PARBS_TRACE");
+    return env != nullptr ? std::string(env) : std::string{};
+}
 
 SystemConfig
 ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
@@ -41,6 +66,10 @@ ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
         // And the selection analogue: every pick made by the indexed
         // per-bank path is cross-checked against the full-scan path.
         system.controller.verify_indexed_selection = true;
+    }
+    if (!EffectiveTracePath().empty()) {
+        system.observability.trace = true;
+        system.observability.sample_interval = trace_sample_interval;
     }
     if (customize) {
         customize(system);
@@ -104,8 +133,10 @@ ExperimentRunner::AloneBaseline(const std::string& benchmark)
     return alone_cache_->GetOrCompute(benchmark, [this, &benchmark] {
         SchedulerConfig scheduler;
         scheduler.kind = SchedulerKind::kFrFcfs;
-        const SystemConfig system_config =
-            config_.MakeSystemConfig(scheduler);
+        SystemConfig system_config = config_.MakeSystemConfig(scheduler);
+        // Alone baselines are never traced: the cached measurement must be
+        // identical whether or not the experiment around it is traced.
+        system_config.observability = {};
 
         WorkloadSpec solo;
         solo.name = "alone-" + benchmark;
@@ -149,6 +180,26 @@ ExperimentRunner::RunShared(const WorkloadSpec& workload,
     run.workload = workload.name;
     run.scheduler = SchedulerConfigName(scheduler);
     run.benchmarks = workload.benchmarks;
+
+    const std::string trace_path = config_.EffectiveTracePath();
+    if (!trace_path.empty()) {
+        // One file per (workload, scheduler) so a lineup sweep under a
+        // single PARBS_TRACE value never overwrites itself.
+        std::string stem = trace_path;
+        const std::string suffix = ".json";
+        if (stem.size() >= suffix.size() &&
+            stem.compare(stem.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            stem.erase(stem.size() - suffix.size());
+        }
+        const std::string file = stem + "-" + SanitizeLabel(run.workload) +
+                                 "-" + SanitizeLabel(run.scheduler) + ".json";
+        std::ofstream out(file);
+        if (!out) {
+            PARBS_FATAL("cannot open trace output file: " + file);
+        }
+        system.WriteTrace(out, run.workload);
+    }
     for (ThreadId t = 0; t < workload.benchmarks.size(); ++t) {
         run.shared.push_back(system.Measure(t));
         run.alone.push_back(AloneBaseline(workload.benchmarks[t]));

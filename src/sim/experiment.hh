@@ -33,6 +33,20 @@ struct ExperimentConfig {
     std::uint64_t seed = 1;
 
     /**
+     * When nonempty (or when the PARBS_TRACE environment variable is set),
+     * every shared run writes a Chrome trace-event document to
+     * `<path minus .json>-<workload>-<scheduler>.json`.  Alone-baseline
+     * runs are never traced — they must stay byte-comparable across
+     * traced and untraced experiments.
+     */
+    std::string trace_path;
+    /** Sampler period for traced runs, in DRAM cycles (0 disables). */
+    DramCycle trace_sample_interval = 1024;
+
+    /** @ref trace_path if set, else the PARBS_TRACE environment variable. */
+    std::string EffectiveTracePath() const;
+
+    /**
      * Optional hook applied to every system configuration this experiment
      * builds (alone and shared runs alike) — the seam for parameter-sweep
      * ablations: change bank counts, row sizes, timing, core parameters...

@@ -50,6 +50,21 @@ System::System(const SystemConfig& config,
             });
     }
 
+    if (config_.observability.Enabled()) {
+        obs_ = std::make_unique<obs::Observability>(
+            config_.observability, config_.num_cores,
+            static_cast<std::uint32_t>(controllers_.size()));
+        sampler_ = &obs_->sampler();
+        for (std::uint32_t channel = 0; channel < controllers_.size();
+             ++channel) {
+            controllers_[channel]->AttachObservability(
+                &obs_->tracer(), &obs_->latency(),
+                static_cast<std::uint8_t>(channel));
+            controllers_[channel]->scheduler().SetObserver(
+                &obs_->adapter(channel));
+        }
+    }
+
     for (ThreadId thread = 0; thread < traces_.size(); ++thread) {
         cores_.push_back(std::make_unique<Core>(config_.core, thread,
                                                 *traces_[thread], *this));
@@ -65,6 +80,9 @@ System::Run(CpuCycle cpu_cycles)
             const DramCycle dram_now = DramNow();
             for (auto& controller : controllers_) {
                 controller->Tick(dram_now);
+            }
+            if (sampler_ != nullptr) {
+                sampler_->Tick(dram_now, controllers_);
             }
         }
         DeliverNotifications();
@@ -255,9 +273,26 @@ System::Measure(ThreadId thread) const
     out.worst_case_latency =
         max_latency_dram == 0
             ? 0
-            : max_latency_dram * config_.cpu_to_dram_ratio +
-                  config_.extra_read_latency_cpu;
+            : DramLatencyToCpuCycles(max_latency_dram,
+                                     config_.cpu_to_dram_ratio,
+                                     config_.extra_read_latency_cpu);
     return out;
+}
+
+void
+System::WriteTrace(std::ostream& out, const std::string& workload_label) const
+{
+    PARBS_ASSERT(obs_ != nullptr,
+                 "WriteTrace requires observability to be enabled");
+    obs::TraceMeta meta;
+    meta.scheduler = controllers_.empty()
+                         ? std::string{}
+                         : controllers_.front()->scheduler().name();
+    meta.workload = workload_label;
+    meta.cores = config_.num_cores;
+    meta.seed = config_.seed;
+    meta.cpu_to_dram_ratio = config_.cpu_to_dram_ratio;
+    obs_->WriteTrace(out, meta);
 }
 
 void

@@ -15,6 +15,7 @@
 #include "cpu/core.hh"
 #include "dram/address_mapper.hh"
 #include "mem/controller.hh"
+#include "obs/observability.hh"
 #include "sim/config.hh"
 #include "stats/metrics.hh"
 #include "trace/trace.hh"
@@ -64,6 +65,16 @@ class System : public MemoryPort {
     /** Joins core-side and DRAM-side statistics for @p thread. */
     ThreadMeasurement Measure(ThreadId thread) const;
 
+    /** Null unless config.observability.Enabled() at construction. */
+    const obs::Observability* observability() const { return obs_.get(); }
+
+    /**
+     * Writes the Chrome trace-event document for this run to @p out.
+     * @pre observability is enabled (asserted).
+     */
+    void WriteTrace(std::ostream& out,
+                    const std::string& workload_label = "") const;
+
     /**
      * Writes a human-readable statistics report for the whole system:
      * per-core performance, per-controller DRAM counters, and each
@@ -82,6 +93,11 @@ class System : public MemoryPort {
     std::vector<std::unique_ptr<TraceSource>> traces_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<Controller>> controllers_;
+
+    /** Constructed only when config.observability.Enabled(). */
+    std::unique_ptr<obs::Observability> obs_;
+    /** Cached &obs_->sampler(), or null — keeps the Run loop branch cheap. */
+    obs::IntervalSampler* sampler_ = nullptr;
 
     CpuCycle cpu_cycle_ = 0;
     RequestId next_request_id_ = 1;

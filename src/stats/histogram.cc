@@ -59,6 +59,15 @@ Histogram::Percentile(double fraction) const
     return max_;
 }
 
+Histogram::Summary
+Histogram::PercentileSummary() const
+{
+    if (count_ == 0) {
+        return {};
+    }
+    return {Percentile(0.50), Percentile(0.95), Percentile(0.99), max_};
+}
+
 std::string
 Histogram::Render() const
 {

@@ -34,6 +34,20 @@ class Histogram {
      *  (bucket-granular). @pre 0 < fraction <= 1 and count() > 0. */
     std::uint64_t Percentile(double fraction) const;
 
+    /** Samples that landed beyond the last regular bucket. */
+    std::uint64_t overflow() const { return buckets_.back(); }
+
+    /** Common percentile set, queried together for reporting. */
+    struct Summary {
+        std::uint64_t p50 = 0;
+        std::uint64_t p95 = 0;
+        std::uint64_t p99 = 0;
+        std::uint64_t max = 0;
+    };
+
+    /** Percentile summary; all-zero when the histogram is empty. */
+    Summary PercentileSummary() const;
+
     /** Multi-line ASCII rendering (for diagnostics). */
     std::string Render() const;
 

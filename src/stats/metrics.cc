@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.hh"
 
@@ -70,6 +71,21 @@ ComputeMetrics(const std::vector<ThreadMeasurement>& shared,
     out.avg_ast_per_req =
         ast_count == 0 ? 0.0 : ast_sum / static_cast<double>(ast_count);
     return out;
+}
+
+std::uint64_t
+DramLatencyToCpuCycles(std::uint64_t dram_latency,
+                       std::uint32_t cpu_to_dram_ratio,
+                       std::uint32_t extra_read_latency_cpu)
+{
+    PARBS_ASSERT(cpu_to_dram_ratio > 0,
+                 "CPU:DRAM clock ratio must be positive");
+    PARBS_ASSERT(dram_latency <=
+                     (std::numeric_limits<std::uint64_t>::max() -
+                      extra_read_latency_cpu) /
+                         cpu_to_dram_ratio,
+                 "DRAM latency overflows the CPU-cycle domain");
+    return dram_latency * cpu_to_dram_ratio + extra_read_latency_cpu;
 }
 
 double

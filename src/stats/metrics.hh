@@ -28,7 +28,9 @@ struct ThreadMeasurement {
     double row_hit_rate = 0.0; ///< Fraction in [0, 1].
     double blp = 0.0;
     double mpki = 0.0;
-    std::uint64_t worst_case_latency = 0; ///< CPU cycles.
+    /** CPU cycles, converted from the DRAM-side maximum read latency via
+     *  DramLatencyToCpuCycles — the one place the two clock domains meet. */
+    std::uint64_t worst_case_latency = 0;
     std::uint64_t instructions = 0;
     std::uint64_t requests = 0;
 };
@@ -53,6 +55,20 @@ WorkloadMetrics ComputeMetrics(const std::vector<ThreadMeasurement>& shared,
 /** Memory slowdown of one thread (clamped below at a small epsilon). */
 double MemorySlowdown(const ThreadMeasurement& shared,
                       const ThreadMeasurement& alone);
+
+/**
+ * Converts a DRAM-side read latency to the CPU-cycle latency the core
+ * observes: `dram_latency * cpu_to_dram_ratio + extra_read_latency_cpu`
+ * (the fixed return path — interconnect + L2 fill — is paid once per read,
+ * in CPU cycles).  This is the single authoritative CPU<->DRAM clock-domain
+ * conversion; every "CPU cycles" latency in ThreadMeasurement /
+ * WorkloadMetrics is produced by it.
+ *
+ * @pre cpu_to_dram_ratio > 0 and the product does not overflow (asserted).
+ */
+std::uint64_t DramLatencyToCpuCycles(std::uint64_t dram_latency,
+                                     std::uint32_t cpu_to_dram_ratio,
+                                     std::uint32_t extra_read_latency_cpu);
 
 /** Geometric mean. @pre values nonempty, all positive. */
 double GeometricMean(const std::vector<double>& values);

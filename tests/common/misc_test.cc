@@ -74,6 +74,44 @@ TEST(Histogram, PercentileBucketGranular)
     EXPECT_GE(h.Percentile(1.0), h.Percentile(0.5));
 }
 
+TEST(Histogram, OverflowBucketIsCounted)
+{
+    Histogram h(10, 4); // Covers [0, 40); larger values overflow.
+    h.Add(5);
+    h.Add(39);
+    EXPECT_EQ(h.overflow(), 0u);
+    h.Add(40); // First value past the covered range.
+    h.Add(1000);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, PercentileSummaryMatchesPercentiles)
+{
+    Histogram h(10, 100);
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        h.Add(v * 10);
+    }
+    const Histogram::Summary s = h.PercentileSummary();
+    EXPECT_EQ(s.p50, h.Percentile(0.50));
+    EXPECT_EQ(s.p95, h.Percentile(0.95));
+    EXPECT_EQ(s.p99, h.Percentile(0.99));
+    EXPECT_EQ(s.max, h.max());
+    EXPECT_LE(s.p50, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Histogram, EmptyPercentileSummaryIsZero)
+{
+    Histogram h(10, 10);
+    const Histogram::Summary s = h.PercentileSummary();
+    EXPECT_EQ(s.p50, 0u);
+    EXPECT_EQ(s.p95, 0u);
+    EXPECT_EQ(s.p99, 0u);
+    EXPECT_EQ(s.max, 0u);
+}
+
 TEST(Histogram, EmptyMeanIsZero)
 {
     Histogram h(10, 10);

@@ -8,6 +8,8 @@
 
 #include "common/assert.hh"
 #include "mem/watchdog.hh"
+#include "obs/latency.hh"
+#include "obs/tracer.hh"
 #include "sched/factory.hh"
 #include "sim/fault_injector.hh"
 #include "test_util.hh"
@@ -140,6 +142,48 @@ TEST(Watchdog, CatchesNoForwardProgress)
         EXPECT_NE(std::string(error.what()).find("no forward progress"),
                   std::string::npos)
             << error.what();
+    }
+}
+
+TEST(Watchdog, StallDumpCarriesTraceTail)
+{
+    // With a tracer attached, a watchdog failure appends the recent ring
+    // events relevant to the stall — here the no-progress case, whose
+    // wildcard filter shows everything, including the victim's arrival.
+    ControllerConfig config = test::ControllerHarness::DefaultConfig();
+    config.watchdog.enabled = true;
+    test::ControllerHarness harness(
+        std::make_unique<WithholdingScheduler>(FrFcfs(), 0), 2, config);
+    obs::Tracer tracer(1024);
+    obs::LatencyAnatomy latency(2);
+    harness.controller().AttachObservability(&tracer, &latency, 0);
+    harness.Enqueue(0, 0, 1);
+    try {
+        harness.Tick(4000);
+        FAIL() << "expected WatchdogError";
+    } catch (const WatchdogError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("recent trace events"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("req-arrive"), std::string::npos) << what;
+    }
+}
+
+TEST(Watchdog, StallDumpOmittedWithoutTracer)
+{
+    // The pre-observability failure text is unchanged when no tracer is
+    // attached (the default).
+    ControllerConfig config = test::ControllerHarness::DefaultConfig();
+    config.watchdog.enabled = true;
+    test::ControllerHarness harness(
+        std::make_unique<WithholdingScheduler>(FrFcfs(), 0), 2, config);
+    harness.Enqueue(0, 0, 1);
+    try {
+        harness.Tick(4000);
+        FAIL() << "expected WatchdogError";
+    } catch (const WatchdogError& error) {
+        EXPECT_EQ(std::string(error.what()).find("recent trace events"),
+                  std::string::npos);
     }
 }
 

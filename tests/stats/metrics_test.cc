@@ -17,6 +17,20 @@ Meas(double mcpi, double ipc, std::uint64_t requests = 100)
     return m;
 }
 
+TEST(Metrics, DramLatencyToCpuCyclesIsRatioPlusFixedReturnPath)
+{
+    // Table 2 baseline: 10 CPU cycles per DRAM cycle, 60-cycle return path.
+    EXPECT_EQ(DramLatencyToCpuCycles(100, 10, 60), 1060u);
+    // The zero-ratio and overflow preconditions are asserted, not silently
+    // wrapped; a zero DRAM latency still pays the fixed return path.
+    EXPECT_EQ(DramLatencyToCpuCycles(0, 10, 60), 60u);
+    // The documented uncontended round trips: row hit 10, closed 18,
+    // conflict 26 DRAM cycles -> 160 / 240 / 320 CPU cycles.
+    EXPECT_EQ(DramLatencyToCpuCycles(10, 10, 60), 160u);
+    EXPECT_EQ(DramLatencyToCpuCycles(18, 10, 60), 240u);
+    EXPECT_EQ(DramLatencyToCpuCycles(26, 10, 60), 320u);
+}
+
 TEST(Metrics, SlowdownIsMcpiRatio)
 {
     EXPECT_DOUBLE_EQ(MemorySlowdown(Meas(2.0, 0.5), Meas(1.0, 1.0)), 2.0);

@@ -8,6 +8,14 @@
  *   bench_report --dir bench/out --out BENCH_results.json
  *   bench_report --dir bench/out --check bench/golden [--wall-tolerance 0.2]
  *   bench_report --dir bench/out --prev perf/BENCH_results-pr3.json
+ *   bench_report --trace run.json
+ *
+ * --trace switches to a standalone mode that validates one Chrome
+ * trace-event file produced by the observability layer (PARBS_TRACE /
+ * --trace on the experiment binaries): the JSON must parse, carry a
+ * nonempty traceEvents array with well-formed events, and its request
+ * spans must balance; a summary (event counts by category, sampler rows,
+ * latency percentiles) is printed to stderr.
  *
  * The check compares each file's deterministic "run" subtree exactly
  * (any metric drift fails) and its wall clock against the golden wall
@@ -21,6 +29,7 @@
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -184,6 +193,131 @@ CheckAgainstGolden(const std::string& name, const Value& result,
     return ok;
 }
 
+/**
+ * Validates one observability trace file and prints its summary.
+ * @return the process exit status (0 valid, 1 invalid, 2 unreadable).
+ */
+int
+ValidateTrace(const std::string& path)
+{
+    Value root;
+    if (!LoadJson(path, root)) {
+        return 2;
+    }
+    const Value* events = root.Find("traceEvents");
+    if (events == nullptr || events->items().empty()) {
+        std::fprintf(stderr,
+                     "FAIL %s: no traceEvents array (or it is empty)\n",
+                     path.c_str());
+        return 1;
+    }
+
+    bool ok = true;
+    std::size_t spans_begin = 0;
+    std::size_t spans_end = 0;
+    std::size_t instants = 0;
+    std::size_t counters = 0;
+    std::size_t complete = 0;
+    std::size_t metadata = 0;
+    std::uint64_t last_ts = 0;
+    for (const Value& event : events->items()) {
+        const Value* ph = event.Find("ph");
+        const Value* name = event.Find("name");
+        if (ph == nullptr || name == nullptr ||
+            event.Find("pid") == nullptr) {
+            std::fprintf(stderr,
+                         "FAIL %s: event without ph/name/pid\n",
+                         path.c_str());
+            ok = false;
+            break;
+        }
+        const std::string& phase = ph->AsString();
+        if (phase == "M") {
+            metadata += 1;
+            continue;
+        }
+        const Value* ts = event.Find("ts");
+        if (ts == nullptr) {
+            std::fprintf(stderr, "FAIL %s: non-metadata event without ts\n",
+                         path.c_str());
+            ok = false;
+            break;
+        }
+        last_ts = std::max(last_ts,
+                           static_cast<std::uint64_t>(ts->AsNumber()));
+        if (phase == "b") {
+            spans_begin += 1;
+        } else if (phase == "e") {
+            spans_end += 1;
+        } else if (phase == "i") {
+            instants += 1;
+        } else if (phase == "C") {
+            counters += 1;
+        } else if (phase == "X") {
+            complete += 1;
+        } else {
+            std::fprintf(stderr, "FAIL %s: unknown event phase \"%s\"\n",
+                         path.c_str(), phase.c_str());
+            ok = false;
+            break;
+        }
+    }
+    // Spans still open at the end of the run (in-flight requests, the open
+    // batch) are legal, but more ends than begins never are.
+    if (spans_end > spans_begin) {
+        std::fprintf(stderr,
+                     "FAIL %s: %zu span ends for %zu span begins\n",
+                     path.c_str(), spans_end, spans_begin);
+        ok = false;
+    }
+    if (spans_begin == 0) {
+        std::fprintf(stderr, "FAIL %s: no request/batch spans recorded\n",
+                     path.c_str());
+        ok = false;
+    }
+
+    std::size_t sample_rows = 0;
+    const Value* samples = root.Find("samples");
+    const Value* rows =
+        samples != nullptr ? samples->Find("samples") : nullptr;
+    if (rows != nullptr) {
+        sample_rows = rows->items().size();
+    }
+    std::uint64_t dropped = 0;
+    const Value* other = root.Find("otherData");
+    const Value* dropped_node =
+        other != nullptr ? other->Find("events_dropped") : nullptr;
+    if (dropped_node != nullptr) {
+        dropped = static_cast<std::uint64_t>(dropped_node->AsNumber());
+    }
+
+    std::fprintf(stderr,
+                 "trace %s: %zu events (%zu+%zu spans, %zu instants, "
+                 "%zu counters, %zu complete, %zu metadata), last ts %llu, "
+                 "%llu dropped, %zu sampler rows\n",
+                 path.c_str(),
+                 events->items().size(), spans_begin, spans_end, instants,
+                 counters, complete, metadata,
+                 static_cast<unsigned long long>(last_ts),
+                 static_cast<unsigned long long>(dropped), sample_rows);
+
+    const Value* latency = root.Find("latency");
+    const Value* all = latency != nullptr ? latency->Find("all") : nullptr;
+    const Value* total = all != nullptr ? all->Find("total") : nullptr;
+    if (total != nullptr) {
+        std::fprintf(
+            stderr,
+            "latency(all.total): count=%.0f p50=%.0f p95=%.0f p99=%.0f "
+            "max=%.0f dram cycles\n",
+            total->Find("count")->AsNumber(),
+            total->Find("p50")->AsNumber(), total->Find("p95")->AsNumber(),
+            total->Find("p99")->AsNumber(), total->Find("max")->AsNumber());
+    }
+    std::fprintf(stderr, "bench_report: trace check %s\n",
+                 ok ? "passed" : "FAILED");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -193,6 +327,7 @@ main(int argc, char** argv)
     std::string out_path = "BENCH_results.json";
     std::string golden_dir;
     std::string prev_path;
+    std::string trace_path;
     double wall_tolerance = 0.20;
 
     for (int i = 1; i < argc; ++i) {
@@ -205,13 +340,15 @@ main(int argc, char** argv)
             golden_dir = argv[++i];
         } else if (arg == "--prev" && i + 1 < argc) {
             prev_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
         } else if (arg == "--wall-tolerance" && i + 1 < argc) {
             wall_tolerance = std::strtod(argv[++i], nullptr);
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--dir DIR] [--out PATH] "
                          "[--check GOLDEN_DIR] [--prev REPORT] "
-                         "[--wall-tolerance F]\n",
+                         "[--trace FILE] [--wall-tolerance F]\n",
                          argv[0]);
             return 0;
         } else {
@@ -219,6 +356,10 @@ main(int argc, char** argv)
                          arg.c_str());
             return 2;
         }
+    }
+
+    if (!trace_path.empty()) {
+        return ValidateTrace(trace_path);
     }
 
     const std::vector<fs::path> files = JsonFiles(dir);
