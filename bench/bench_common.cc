@@ -1,5 +1,6 @@
 #include "bench_common.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,22 @@ BinaryName(const char* argv0)
         name.erase(0, slash + 1);
     }
     return name;
+}
+
+/**
+ * Run-level pool size: --jobs divided by the per-run channel workers so
+ * --jobs J --channel-jobs C composes without oversubscription.  0 channel
+ * workers means "one per channel" (unknown here), which in practice wants
+ * the whole machine for each run — treat it as all hardware threads.
+ */
+unsigned
+PoolJobs(const Options& options)
+{
+    const unsigned divisor = options.channel_jobs == 0
+                                 ? HardwareJobs()
+                                 : options.channel_jobs;
+    return divisor > 1 ? std::max(1u, options.jobs / divisor)
+                       : options.jobs;
 }
 
 } // namespace
@@ -44,6 +61,10 @@ ParseOptions(int argc, char** argv)
             if (options.jobs == 0) {
                 options.jobs = HardwareJobs();
             }
+        } else if (arg == "--channel-jobs" && i + 1 < argc) {
+            // 0 stays 0: "one worker per channel", resolved per system.
+            options.channel_jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--json" && i + 1 < argc) {
             options.json_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
@@ -51,8 +72,8 @@ ParseOptions(int argc, char** argv)
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--quick|--full] [--cycles N] "
-                         "[--seed N] [--jobs N] [--json PATH] "
-                         "[--trace PATH]\n",
+                         "[--seed N] [--jobs N] [--channel-jobs N] "
+                         "[--json PATH] [--trace PATH]\n",
                          argv[0]);
             std::exit(0);
         } else {
@@ -71,6 +92,7 @@ MakeRunner(const Options& options, std::uint32_t cores)
     config.run_cycles = options.cycles;
     config.seed = options.seed;
     config.trace_path = options.trace_path;
+    config.channel_jobs = options.channel_jobs;
     return ExperimentRunner(config);
 }
 
@@ -89,7 +111,7 @@ Session::Session(int argc, char** argv, const std::string& id,
                  const std::string& caption)
     : options_(ParseOptions(argc, argv)),
       binary_(BinaryName(argc > 0 ? argv[0] : nullptr)),
-      pool_(std::make_unique<TaskPool>(options_.jobs)),
+      pool_(std::make_unique<TaskPool>(PoolJobs(options_))),
       start_(std::chrono::steady_clock::now())
 {
     Banner(id, caption);
@@ -191,6 +213,10 @@ Session::Finish()
     json::Value env = json::Value::Object();
     env.Set("wall_seconds", wall_seconds);
     env.Set("jobs", static_cast<std::uint64_t>(options_.jobs));
+    // Parallelism knobs never reach the "run" subtree: results are
+    // bit-identical for every value, so they are environment, not input.
+    env.Set("channel_jobs",
+            static_cast<std::uint64_t>(options_.channel_jobs));
     const char* commit = std::getenv("PARBS_COMMIT");
     env.Set("commit", commit != nullptr ? commit : "unknown");
 

@@ -12,6 +12,11 @@
  *   --jobs N       worker threads for independent runs (default 1; 0 = all
  *                  hardware threads).  Results are bit-identical for every
  *                  N — see DESIGN.md "Parallel runner".
+ *   --channel-jobs N  worker threads advancing the memory controllers
+ *                  *inside* each run (default 1 = serial loop; 0 = one per
+ *                  channel).  Bit-identical for every N — DESIGN.md §5g.
+ *                  Composes with --jobs: the run-level pool is divided by
+ *                  N so --jobs J --channel-jobs C never oversubscribes.
  *   --json PATH    write structured results (metrics per scheduler per
  *                  workload, wall clock, commit metadata) to PATH
  *   --trace PATH   write a Chrome trace-event file per shared run, named
@@ -41,6 +46,9 @@ struct Options {
     std::uint64_t seed = 1;
     /** Worker threads for independent runs; 0 means all hardware threads. */
     unsigned jobs = 1;
+    /** Intra-run channel workers (SystemConfig::channel_jobs); 0 means one
+     *  per channel. */
+    unsigned channel_jobs = 1;
     /** Structured-output path; empty disables JSON. */
     std::string json_path;
     /** Per-run trace-output stem; empty defers to PARBS_TRACE. */

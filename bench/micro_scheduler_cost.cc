@@ -17,6 +17,13 @@
  *    perf gate requires indexed to beat scan on the 16-core config.
  *  - BM_<policy>_nofastpath / BM_IdleTick_* — next-event skip-ahead cost
  *    and savings (PR 3's machinery), unchanged series.
+ *  - BM_System_serial / BM_System_sharded — whole-System cycle-loop wall
+ *    clock, serial against the channel-sharded engine (DESIGN.md §5g) at
+ *    the 16-core/4-channel and 64-core/8-channel operating points.  The
+ *    two engines are bit-identical by construction, so this pair measures
+ *    nothing but speed; the CI perf gate holds sharded >= serial on the
+ *    4-channel config and >= 1.5x on the 8-channel one (multi-core
+ *    runners only).
  */
 
 #include <benchmark/benchmark.h>
@@ -26,6 +33,8 @@
 #include "obs/latency.hh"
 #include "obs/tracer.hh"
 #include "sched/factory.hh"
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
 
 namespace parbs {
 namespace {
@@ -170,6 +179,52 @@ IdleTick(benchmark::State& state, bool fast_path)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+/**
+ * Whole-System cycle-loop cost: cores, caches, and all controllers
+ * advancing together in 20k-CPU-cycle slices under memory-intensive
+ * synthetic traces.  `channel_jobs` 1 is the serial reference loop; 0
+ * runs one worker per channel through the lookahead-window engine.  Items
+ * processed = simulated CPU cycles, so items/s compares directly across
+ * the pair.
+ */
+void
+SystemSlice(benchmark::State& state, std::uint32_t cores,
+            std::uint32_t channels, unsigned channel_jobs)
+{
+    SystemConfig config = SystemConfig::Baseline(cores);
+    config.geometry.channels = channels;
+    config.channel_jobs = channel_jobs;
+    dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (ThreadId t = 0; t < cores; ++t) {
+        SyntheticParams params;
+        params.mpki = 20.0;
+        traces.push_back(std::make_unique<SyntheticTraceSource>(
+            params, mapper, t, cores, 1000 + t));
+    }
+    constexpr CpuCycle kSlice = 20'000;
+    System system(config, std::move(traces));
+    for (auto _ : state) {
+        system.Run(kSlice);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kSlice));
+}
+
+void
+BM_System_serial(benchmark::State& s)
+{
+    const auto cores = static_cast<std::uint32_t>(s.range(0));
+    SystemSlice(s, cores, cores == 64 ? 8 : cores / 4, /*channel_jobs=*/1);
+}
+
+void
+BM_System_sharded(benchmark::State& s)
+{
+    const auto cores = static_cast<std::uint32_t>(s.range(0));
+    SystemSlice(s, cores, cores == 64 ? 8 : cores / 4, /*channel_jobs=*/0);
+}
+
 void BM_Fcfs(benchmark::State& s) { SchedulerTick(s, SchedulerKind::kFcfs); }
 void BM_FrFcfs(benchmark::State& s)
 {
@@ -224,6 +279,10 @@ BENCHMARK(BM_IdleTick_skip);
 BENCHMARK(BM_IdleTick_scan);
 BENCHMARK(BM_ParBs_obs_off);
 BENCHMARK(BM_ParBs_obs_on);
+// Real-time (not CPU-time) is the honest metric for the sharded engine:
+// its work happens on worker threads the main thread only coordinates.
+BENCHMARK(BM_System_serial)->Arg(16)->Arg(64)->UseRealTime();
+BENCHMARK(BM_System_sharded)->Arg(16)->Arg(64)->UseRealTime();
 
 } // namespace
 } // namespace parbs

@@ -211,7 +211,7 @@ Controller::RetireFinished(DramCycle now)
 
         scheduler_->OnRequestComplete(*request, now);
         if (read_complete_) {
-            read_complete_(*request);
+            read_complete_(*request, now);
         }
     }
 
@@ -277,6 +277,24 @@ Controller::FlushSkipSpan()
                    channel_id_, kInvalidThread, obs::kNoFlatBank,
                    skip_span_len_, 0});
     skip_span_len_ = 0;
+}
+
+void
+Controller::PendingRetires(DramCycle limit, std::vector<DramCycle>& reads,
+                           std::vector<DramCycle>& writes) const
+{
+    for (const auto& [done, id] : inburst_reads_) {
+        if (done >= limit) {
+            break;
+        }
+        reads.push_back(done);
+    }
+    for (const auto& [done, id] : inburst_writes_) {
+        if (done >= limit) {
+            break;
+        }
+        writes.push_back(done);
+    }
 }
 
 void

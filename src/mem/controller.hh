@@ -152,7 +152,10 @@ struct ControllerThreadStats {
  */
 class Controller {
   public:
-    using ReadCompleteCallback = std::function<void(const MemRequest&)>;
+    /** Invoked when read data returns; @p now is the retiring DRAM cycle
+     *  (the sharded System derives the CPU-side delivery time from it). */
+    using ReadCompleteCallback =
+        std::function<void(const MemRequest&, DramCycle now)>;
 
     Controller(const ControllerConfig& config,
                const dram::TimingParams& timing,
@@ -200,6 +203,18 @@ class Controller {
     /** Number of reads currently buffered (queued or in burst). */
     std::size_t pending_reads() const { return read_queue_.size(); }
     std::size_t pending_writes() const { return write_queue_.size(); }
+
+    /**
+     * Appends the completion cycles of every in-burst request that will
+     * retire strictly before @p limit, in retirement order, to the output
+     * vectors (reads and writes separately).  This is the sharded System's
+     * retire schedule (DESIGN.md §5g): with a lookahead window no longer
+     * than the shortest burst latency, no command issued during the window
+     * can complete inside it, so these prefixes are *exactly* the queue
+     * departures of the next window — known before it runs.
+     */
+    void PendingRetires(DramCycle limit, std::vector<DramCycle>& reads,
+                        std::vector<DramCycle>& writes) const;
 
     /** Total DRAM commands issued, by type (ACT/PRE/RD/WR/REF). */
     std::uint64_t commands_issued(dram::CommandType type) const;

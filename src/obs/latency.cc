@@ -70,6 +70,40 @@ LatencyAnatomy::RecordRead(const MemRequest& request)
     recorded_reads_ += 1;
 }
 
+void
+LatencyAnatomy::Merge(const LatencyAnatomy& other)
+{
+    PARBS_ASSERT(threads_.size() == other.threads_.size(),
+                 "merging latency anatomies with different thread counts");
+    auto merge_set = [](ThreadHistograms& into, const ThreadHistograms& from) {
+        into.queueing.Merge(from.queueing);
+        into.service.Merge(from.service);
+        into.bus.Merge(from.bus);
+        into.total.Merge(from.total);
+    };
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+        merge_set(threads_[t], other.threads_[t]);
+    }
+    merge_set(all_, other.all_);
+    recorded_reads_ += other.recorded_reads_;
+}
+
+void
+LatencyAnatomy::Clear()
+{
+    auto clear_set = [](ThreadHistograms& h) {
+        h.queueing.Clear();
+        h.service.Clear();
+        h.bus.Clear();
+        h.total.Clear();
+    };
+    for (ThreadHistograms& h : threads_) {
+        clear_set(h);
+    }
+    clear_set(all_);
+    recorded_reads_ = 0;
+}
+
 json::Value
 LatencyAnatomy::ToJson() const
 {

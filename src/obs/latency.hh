@@ -41,6 +41,17 @@ class LatencyAnatomy {
     /** Record one completed read.  @pre request has all timestamps set. */
     void RecordRead(const MemRequest& request);
 
+    /**
+     * Folds @p other into this anatomy.  @pre same thread count.  All
+     * underlying aggregates are commutative (Histogram::Merge), so folding
+     * the sharded System's per-channel staging anatomies in channel order
+     * at each window barrier reproduces the serial recording exactly.
+     */
+    void Merge(const LatencyAnatomy& other);
+
+    /** Forgets all recorded reads (staging reuse). */
+    void Clear();
+
     std::uint32_t num_threads() const {
         return static_cast<std::uint32_t>(threads_.size());
     }

@@ -26,7 +26,7 @@ void
 SchedulerTraceAdapter::OnBatchFormed(DramCycle now, std::uint64_t batch_id,
                                      std::uint64_t marked)
 {
-    tracer_.Emit({now, EventKind::kBatchFormed, channel_, kInvalidThread,
+    tracer_->Emit({now, EventKind::kBatchFormed, channel_, kInvalidThread,
                   kNoFlatBank, batch_id, marked});
 }
 
@@ -34,7 +34,7 @@ void
 SchedulerTraceAdapter::OnBatchComplete(DramCycle now, std::uint64_t batch_id,
                                        DramCycle duration)
 {
-    tracer_.Emit({now, EventKind::kBatchComplete, channel_, kInvalidThread,
+    tracer_->Emit({now, EventKind::kBatchComplete, channel_, kInvalidThread,
                   kNoFlatBank, batch_id, duration});
 }
 
@@ -42,7 +42,7 @@ void
 SchedulerTraceAdapter::OnThreadRanked(DramCycle now, ThreadId thread,
                                       std::uint32_t rank)
 {
-    tracer_.Emit({now, EventKind::kThreadRank, channel_, thread, kNoFlatBank,
+    tracer_->Emit({now, EventKind::kThreadRank, channel_, thread, kNoFlatBank,
                   rank, 0});
 }
 
@@ -51,7 +51,7 @@ SchedulerTraceAdapter::OnMarkingCapHit(DramCycle now, ThreadId thread,
                                        std::uint32_t bank,
                                        RequestId request_id)
 {
-    tracer_.Emit({now, EventKind::kMarkCapSkip, channel_, thread, bank,
+    tracer_->Emit({now, EventKind::kMarkCapSkip, channel_, thread, bank,
                   request_id, 0});
 }
 
@@ -61,14 +61,14 @@ SchedulerTraceAdapter::OnPriorityChanged(ThreadId thread,
 {
     // Knob setters carry no cycle (they are called from outside the DRAM
     // tick, typically at setup); stamp with the latest traced cycle.
-    tracer_.Emit({tracer_.latest_cycle(), EventKind::kPriorityChange,
+    tracer_->Emit({tracer_->latest_cycle(), EventKind::kPriorityChange,
                   channel_, thread, kNoFlatBank, priority, 0});
 }
 
 void
 SchedulerTraceAdapter::OnWeightChanged(ThreadId thread, double weight)
 {
-    tracer_.Emit({tracer_.latest_cycle(), EventKind::kWeightChange, channel_,
+    tracer_->Emit({tracer_->latest_cycle(), EventKind::kWeightChange, channel_,
                   thread, kNoFlatBank,
                   static_cast<std::uint64_t>(weight * 1000.0), 0});
 }

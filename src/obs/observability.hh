@@ -70,9 +70,17 @@ struct TraceMeta {
 class SchedulerTraceAdapter final : public SchedulerObserver {
   public:
     SchedulerTraceAdapter(Tracer& tracer, std::uint8_t channel)
-        : tracer_(tracer), channel_(channel)
+        : tracer_(&tracer), channel_(channel)
     {
     }
+
+    /**
+     * Redirects subsequent events to @p tracer (never null).  The sharded
+     * System points each channel's adapter at that channel's staging
+     * tracer for the duration of a run, and back at the main ring after,
+     * so scheduler events merge in their serial emission order.
+     */
+    void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
     void OnBatchFormed(DramCycle now, std::uint64_t batch_id,
                        std::uint64_t marked) override;
@@ -86,7 +94,7 @@ class SchedulerTraceAdapter final : public SchedulerObserver {
     void OnWeightChanged(ThreadId thread, double weight) override;
 
   private:
-    Tracer& tracer_;
+    Tracer* tracer_;
     std::uint8_t channel_;
 };
 
@@ -102,7 +110,7 @@ class Observability {
     const LatencyAnatomy& latency() const { return latency_; }
     IntervalSampler& sampler() { return sampler_; }
     const IntervalSampler& sampler() const { return sampler_; }
-    SchedulerObserver& adapter(std::uint32_t channel) {
+    SchedulerTraceAdapter& adapter(std::uint32_t channel) {
         return *adapters_[channel];
     }
 

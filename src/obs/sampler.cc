@@ -11,96 +11,118 @@ IntervalSampler::IntervalSampler(DramCycle interval)
 }
 
 void
+IntervalSampler::PrepareChannels(
+    const std::vector<std::unique_ptr<Controller>>& controllers)
+{
+    if (!baselines_.empty()) {
+        return;
+    }
+    baselines_.resize(controllers.size());
+    for (std::size_t c = 0; c < controllers.size(); ++c) {
+        const std::uint32_t threads = controllers[c]->num_threads();
+        const std::uint32_t banks =
+            controllers[c]->read_queue().num_banks();
+        baselines_[c].blp_sum.assign(threads, 0);
+        baselines_[c].blp_cycles.assign(threads, 0);
+        baselines_[c].activations.assign(banks, 0);
+    }
+}
+
+ControllerSample
+IntervalSampler::SampleChannel(const Controller& controller,
+                               std::size_t channel)
+{
+    ControllerBaseline& base = baselines_[channel];
+    ControllerSample out;
+    out.read_queue = static_cast<std::uint32_t>(controller.pending_reads());
+    out.write_queue =
+        static_cast<std::uint32_t>(controller.pending_writes());
+
+    // Row-hit rate over the interval, from the per-thread service-class
+    // counters (each retired read is classified exactly once).
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    const std::uint32_t threads = controller.num_threads();
+    for (ThreadId thread = 0; thread < threads; ++thread) {
+        const ControllerThreadStats& stats =
+            controller.thread_stats(thread);
+        hits += stats.read_row_hits;
+        total += stats.read_row_hits + stats.read_row_closed +
+                 stats.read_row_conflicts;
+    }
+    const std::uint64_t d_hits = hits - base.row_hits;
+    const std::uint64_t d_total = total - base.row_total;
+    out.row_hit_rate = d_total == 0 ? 0.0
+                                    : static_cast<double>(d_hits) /
+                                          static_cast<double>(d_total);
+    base.row_hits = hits;
+    base.row_total = total;
+
+    const std::uint64_t bus_busy = controller.channel().bus_busy_cycles();
+    out.bus_utilization = static_cast<double>(bus_busy - base.bus_busy) /
+                          static_cast<double>(interval_);
+    base.bus_busy = bus_busy;
+
+    const std::uint64_t commands = controller.total_commands_issued();
+    out.commands = commands - base.commands;
+    base.commands = commands;
+
+    out.batch_outstanding = controller.scheduler().BatchOutstanding();
+
+    out.thread_blp.reserve(threads);
+    for (ThreadId thread = 0; thread < threads; ++thread) {
+        const ControllerThreadStats& stats =
+            controller.thread_stats(thread);
+        const std::uint64_t d_sum = stats.blp_sum - base.blp_sum[thread];
+        const std::uint64_t d_cycles =
+            stats.blp_cycles - base.blp_cycles[thread];
+        out.thread_blp.push_back(d_cycles == 0
+                                     ? 0.0
+                                     : static_cast<double>(d_sum) /
+                                           static_cast<double>(d_cycles));
+        base.blp_sum[thread] = stats.blp_sum;
+        base.blp_cycles[thread] = stats.blp_cycles;
+    }
+
+    const RequestQueue& reads = controller.read_queue();
+    const std::uint32_t banks = reads.num_banks();
+    const std::uint32_t banks_per_rank =
+        banks / controller.channel().num_ranks();
+    out.bank_queued.reserve(banks);
+    out.bank_activations.reserve(banks);
+    for (std::uint32_t bank = 0; bank < banks; ++bank) {
+        out.bank_queued.push_back(reads.QueuedInBank(bank));
+        const std::uint64_t activations =
+            controller.channel()
+                .bank(bank / banks_per_rank, bank % banks_per_rank)
+                .activations();
+        out.bank_activations.push_back(activations -
+                                       base.activations[bank]);
+        base.activations[bank] = activations;
+    }
+    return out;
+}
+
+void
+IntervalSampler::AppendRow(DramCycle cycle, std::vector<ControllerSample> row)
+{
+    Sample sample;
+    sample.cycle = cycle;
+    sample.controllers = std::move(row);
+    samples_.push_back(std::move(sample));
+    next_sample_ = cycle + interval_;
+}
+
+void
 IntervalSampler::TakeSample(
     DramCycle now, const std::vector<std::unique_ptr<Controller>>& ctrls)
 {
-    if (baselines_.empty()) {
-        baselines_.resize(ctrls.size());
-        for (std::size_t c = 0; c < ctrls.size(); ++c) {
-            const std::uint32_t threads = ctrls[c]->num_threads();
-            const std::uint32_t banks = ctrls[c]->read_queue().num_banks();
-            baselines_[c].blp_sum.assign(threads, 0);
-            baselines_[c].blp_cycles.assign(threads, 0);
-            baselines_[c].activations.assign(banks, 0);
-        }
-    }
-
+    PrepareChannels(ctrls);
     Sample sample;
     sample.cycle = now;
     sample.controllers.reserve(ctrls.size());
     for (std::size_t c = 0; c < ctrls.size(); ++c) {
-        const Controller& controller = *ctrls[c];
-        ControllerBaseline& base = baselines_[c];
-        ControllerSample out;
-        out.read_queue =
-            static_cast<std::uint32_t>(controller.pending_reads());
-        out.write_queue =
-            static_cast<std::uint32_t>(controller.pending_writes());
-
-        // Row-hit rate over the interval, from the per-thread service-class
-        // counters (each retired read is classified exactly once).
-        std::uint64_t hits = 0;
-        std::uint64_t total = 0;
-        const std::uint32_t threads = controller.num_threads();
-        for (ThreadId thread = 0; thread < threads; ++thread) {
-            const ControllerThreadStats& stats =
-                controller.thread_stats(thread);
-            hits += stats.read_row_hits;
-            total += stats.read_row_hits + stats.read_row_closed +
-                     stats.read_row_conflicts;
-        }
-        const std::uint64_t d_hits = hits - base.row_hits;
-        const std::uint64_t d_total = total - base.row_total;
-        out.row_hit_rate = d_total == 0 ? 0.0
-                                        : static_cast<double>(d_hits) /
-                                              static_cast<double>(d_total);
-        base.row_hits = hits;
-        base.row_total = total;
-
-        const std::uint64_t bus_busy = controller.channel().bus_busy_cycles();
-        out.bus_utilization =
-            static_cast<double>(bus_busy - base.bus_busy) /
-            static_cast<double>(interval_);
-        base.bus_busy = bus_busy;
-
-        const std::uint64_t commands = controller.total_commands_issued();
-        out.commands = commands - base.commands;
-        base.commands = commands;
-
-        out.batch_outstanding = controller.scheduler().BatchOutstanding();
-
-        out.thread_blp.reserve(threads);
-        for (ThreadId thread = 0; thread < threads; ++thread) {
-            const ControllerThreadStats& stats =
-                controller.thread_stats(thread);
-            const std::uint64_t d_sum = stats.blp_sum - base.blp_sum[thread];
-            const std::uint64_t d_cycles =
-                stats.blp_cycles - base.blp_cycles[thread];
-            out.thread_blp.push_back(d_cycles == 0
-                                         ? 0.0
-                                         : static_cast<double>(d_sum) /
-                                               static_cast<double>(d_cycles));
-            base.blp_sum[thread] = stats.blp_sum;
-            base.blp_cycles[thread] = stats.blp_cycles;
-        }
-
-        const RequestQueue& reads = controller.read_queue();
-        const std::uint32_t banks = reads.num_banks();
-        const std::uint32_t banks_per_rank =
-            banks / controller.channel().num_ranks();
-        out.bank_queued.reserve(banks);
-        out.bank_activations.reserve(banks);
-        for (std::uint32_t bank = 0; bank < banks; ++bank) {
-            out.bank_queued.push_back(reads.QueuedInBank(bank));
-            const std::uint64_t activations =
-                controller.channel()
-                    .bank(bank / banks_per_rank, bank % banks_per_rank)
-                    .activations();
-            out.bank_activations.push_back(activations -
-                                           base.activations[bank]);
-            base.activations[bank] = activations;
-        }
-        sample.controllers.push_back(std::move(out));
+        sample.controllers.push_back(SampleChannel(*ctrls[c], c));
     }
     samples_.push_back(std::move(sample));
 }

@@ -78,6 +78,35 @@ class IntervalSampler {
 
     const std::vector<Sample>& samples() const { return samples_; }
 
+    /** The cycle the next row is due at (first row lands at `interval`). */
+    DramCycle next_sample() const { return next_sample_; }
+
+    /**
+     * Pre-sizes the per-channel baselines so SampleChannel never has to
+     * allocate.  The sharded System calls this before its workers start;
+     * the serial path reaches the same state lazily on the first sample.
+     */
+    void PrepareChannels(
+        const std::vector<std::unique_ptr<Controller>>& controllers);
+
+    /**
+     * Samples one channel and advances that channel's baselines.  Reads
+     * only @p controller's counters and writes only baselines_[channel],
+     * so concurrent calls for *distinct* channels are safe once
+     * PrepareChannels has run — the decomposition the sharded System's
+     * window-aligned aggregation relies on.  Row assembly (AppendRow)
+     * stays on the coordinating thread.
+     */
+    ControllerSample SampleChannel(const Controller& controller,
+                                   std::size_t channel);
+
+    /**
+     * Appends one fully-assembled row (channel order) taken at @p cycle
+     * and schedules the next sample, exactly as Tick would have.
+     * @pre cycle == next_sample().
+     */
+    void AppendRow(DramCycle cycle, std::vector<ControllerSample> row);
+
     /** Table form: {"interval": N, "samples": [...]} for bench_report. */
     json::Value ToJson() const;
 

@@ -56,6 +56,24 @@ class Tracer {
     std::vector<TraceEvent> Snapshot() const;
 
     /**
+     * Direct access to the @p index-th held event in emission order.
+     * @pre index < size() and the ring has not wrapped (dropped() == 0) —
+     * the sharded System's staging tracers are sized so a window can never
+     * wrap and assert dropped() == 0 at every merge (DESIGN.md §5g).
+     */
+    const TraceEvent& event(std::size_t index) const {
+        return events_[index];
+    }
+
+    /** Forgets all held events and the drop count; capacity is kept.  The
+     *  latest-cycle stamp is preserved (it orders post-run knob events). */
+    void Clear() {
+        head_ = 0;
+        size_ = 0;
+        dropped_ = 0;
+    }
+
+    /**
      * Human-readable dump of the most recent events matching a (thread,
      * bank) filter, newest last, for watchdog stall reports.  An event
      * matches if its thread equals @p thread or its bank equals @p bank;

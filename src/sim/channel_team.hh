@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A persistent fork-join team for the sharded cycle loop (DESIGN.md §5g).
+ *
+ * The sharded System alternates a serial core phase with a parallel
+ * controller catch-up phase tens of thousands of times per run, and each
+ * parallel phase is only a few microseconds of work per worker — far too
+ * fine-grained for the TaskPool's mutex-and-condvar batches.  The team
+ * instead keeps its workers alive across windows and synchronizes each
+ * window with two atomics: a generation counter that releases the workers
+ * and a done counter the coordinator joins on.  Workers spin briefly, then
+ * yield, then fall back to a condition variable, so an oversubscribed or
+ * idle team never burns a core between windows.
+ *
+ * The coordinator is participant 0 and runs its share of the work inline
+ * inside RunWindow, so a team of N participants spawns N - 1 threads.
+ */
+
+#ifndef PARBS_SIM_CHANNEL_TEAM_HH
+#define PARBS_SIM_CHANNEL_TEAM_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parbs {
+
+class ChannelTeam {
+  public:
+    /** Window body; called once per participant per RunWindow. */
+    using WorkFn = std::function<void(unsigned participant)>;
+
+    /**
+     * @param participants total participants including the coordinator
+     *        (>= 1); participants - 1 worker threads are spawned.
+     * @param work the window body.  It must partition its effects by
+     *        participant index; the team imposes no other structure.
+     */
+    ChannelTeam(unsigned participants, WorkFn work);
+
+    /** Stops and joins the workers (they must be parked, i.e. not inside
+     *  an active RunWindow — guaranteed because RunWindow blocks). */
+    ~ChannelTeam();
+
+    ChannelTeam(const ChannelTeam&) = delete;
+    ChannelTeam& operator=(const ChannelTeam&) = delete;
+
+    unsigned participants() const { return participants_; }
+
+    /**
+     * Runs work(p) for every participant and returns once all are done.
+     * The caller executes participant 0's share inline.  If the work
+     * itself throws (it should not — the System catches per-channel
+     * errors itself), the coordinator's exception wins, then the lowest
+     * participant's; either way every participant has finished before the
+     * rethrow, so no worker is left touching shared state.
+     */
+    void RunWindow();
+
+  private:
+    void WorkerLoop(unsigned participant);
+
+    unsigned participants_;
+    WorkFn work_;
+
+    /** Bumped (under mutex_, released) to start a window. */
+    std::atomic<std::uint64_t> generation_{0};
+    /** Workers that have finished the current window. */
+    std::atomic<unsigned> done_count_{0};
+    std::atomic<bool> stop_{false};
+
+    /** Guards the generation bump so a worker about to sleep on wake_
+     *  cannot miss it. */
+    std::mutex mutex_;
+    std::condition_variable wake_;
+
+    /** Per-participant error slots; written before done_count_ releases. */
+    std::vector<std::exception_ptr> errors_;
+
+    std::vector<std::thread> threads_;
+};
+
+} // namespace parbs
+
+#endif // PARBS_SIM_CHANNEL_TEAM_HH

@@ -47,6 +47,17 @@ struct SystemConfig {
     obs::ObservabilityConfig observability;
 
     /**
+     * Intra-run parallelism: worker threads advancing the memory
+     * controllers inside one System::Run (DESIGN.md §5g).  1 keeps the
+     * serial cycle loop; 0 means one worker per channel; values above the
+     * channel count are clamped.  Results are bit-identical for every
+     * value — sharding changes only which thread executes a controller's
+     * ticks, never their order or inputs — so this is purely a wall-clock
+     * knob.  Single-channel systems always run serial.
+     */
+    unsigned channel_jobs = 1;
+
+    /**
      * Fixed latency added to every read completion before the core sees the
      * data, in CPU cycles: L2 miss handling, the on-chip interconnect, and
      * the controller pipeline.  60 cycles reproduces the paper's Table 2

@@ -54,11 +54,16 @@ ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
     SystemConfig system = SystemConfig::Baseline(cores);
     system.scheduler = scheduler;
     system.seed = seed;
+    system.channel_jobs = channel_jobs;
     // PARBS_CHECK=1 re-validates every DRAM command of every experiment
     // against the shadow protocol model (a model-validation run; a few
     // percent slower, so opt-in from the environment).
     const char* check = std::getenv("PARBS_CHECK");
     if (check != nullptr && check[0] != '\0' && check[0] != '0') {
+        // Validation runs stay on the serial loop: it is the reference the
+        // sharded engine is verified against, and the checker's value is
+        // in re-deriving, not re-parallelizing, the command stream.
+        system.channel_jobs = 1;
         system.controller.protocol_check = true;
         // The skip-ahead analogue of the protocol check: every skipped
         // cycle is re-scanned to prove no ready command was skippable.

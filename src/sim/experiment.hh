@@ -33,6 +33,14 @@ struct ExperimentConfig {
     std::uint64_t seed = 1;
 
     /**
+     * Worker threads advancing the memory controllers inside each run
+     * (SystemConfig::channel_jobs): 1 keeps the serial cycle loop, 0 means
+     * one worker per channel.  Bit-identical results either way; forced to
+     * 1 under PARBS_CHECK so the serial loop stays the cross-reference.
+     */
+    unsigned channel_jobs = 1;
+
+    /**
      * When nonempty (or when the PARBS_TRACE environment variable is set),
      * every shared run writes a Chrome trace-event document to
      * `<path minus .json>-<workload>-<scheduler>.json`.  Alone-baseline

@@ -4,10 +4,33 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/assert.hh"
+#include "sim/channel_team.hh"
 
 namespace parbs {
+
+namespace {
+
+/**
+ * Staging-ring sizing for one channel and one lookahead window.  The worst
+ * tick emits one event per command / skip-span / burst / retire plus the
+ * scheduler's batch-formation storm (a rank event per thread and a
+ * marking-cap event per queued read), and a window additionally stages one
+ * arrival event per enqueue — bounded by the queue capacities.  The merge
+ * asserts dropped() == 0, so undersizing is loud, not silent.
+ */
+std::size_t
+StagingCapacity(DramCycle window, std::size_t read_capacity,
+                std::size_t write_capacity, std::uint32_t threads)
+{
+    return static_cast<std::size_t>(window + 2) *
+               (read_capacity + threads + 32) +
+           read_capacity + write_capacity + 1024;
+}
+
+} // namespace
 
 System::System(const SystemConfig& config,
                std::vector<std::unique_ptr<TraceSource>> traces)
@@ -28,6 +51,9 @@ System::System(const SystemConfig& config,
             ResolveNoProgressBound(config_.controller.watchdog,
                                    config_.timing);
     }
+    read_capacity_ = config_.controller.read_queue_capacity;
+    write_capacity_ = config_.controller.write_queue_capacity;
+    sample_interval_ = config_.observability.sample_interval;
 
     // Per-channel geometry: each controller sees a single-channel slice.
     dram::Geometry channel_geometry = config_.geometry;
@@ -41,12 +67,24 @@ System::System(const SystemConfig& config,
             config_.controller, config_.timing, channel_geometry,
             config_.num_cores, std::move(scheduler)));
         controllers_.back()->SetReadCompleteCallback(
-            [this](const MemRequest& request) {
+            [this, channel](const MemRequest& request, DramCycle now) {
                 // Model the fixed return path (interconnect + L2 fill)
-                // before the core observes the data.
-                notifications_.push_back(
-                    {cpu_cycle_ + config_.extra_read_latency_cpu,
-                     request.thread, request.id});
+                // before the core observes the data.  `now` is the
+                // retiring DRAM cycle, so now * ratio is the CPU cycle of
+                // the serial controller tick — on the serial engine that
+                // equals cpu_cycle_, and on the sharded engine it makes
+                // the deadline independent of how far the cores ran ahead.
+                const CpuCycle ready =
+                    now * config_.cpu_to_dram_ratio +
+                    config_.extra_read_latency_cpu;
+                if (sharded_) {
+                    shards_[channel]->completions.push_back(
+                        {ready, request.thread, request.id});
+                } else {
+                    notifications_.push_back(
+                        {ready, request.thread, request.id});
+                    next_notify_ready_ = notifications_.front().ready;
+                }
             });
     }
 
@@ -69,12 +107,82 @@ System::System(const SystemConfig& config,
         cores_.push_back(std::make_unique<Core>(config_.core, thread,
                                                 *traces_[thread], *this));
     }
+    core_done_.assign(cores_.size(), 0);
+    active_cores_ = 0;
+    for (ThreadId thread = 0; thread < cores_.size(); ++thread) {
+        if (cores_[thread]->Done()) {
+            core_done_[thread] = 1;
+        } else {
+            active_cores_ += 1;
+        }
+    }
+
+    // Resolve the sharded engine (DESIGN.md §5g).  channel_jobs == 0 means
+    // one worker per channel; anything above the channel count is wasted.
+    const auto channels =
+        static_cast<std::uint32_t>(controllers_.size());
+    const unsigned requested =
+        config_.channel_jobs == 0 ? channels : config_.channel_jobs;
+    shard_jobs_ = std::max(1u, std::min<unsigned>(requested, channels));
+    window_ = LookaheadWindow();
+    sharded_ = shard_jobs_ > 1 && channels > 1 && window_ >= 1;
+    if (!sharded_) {
+        shard_jobs_ = 1;
+        return;
+    }
+    for (std::uint32_t channel = 0; channel < channels; ++channel) {
+        auto shard = std::make_unique<ChannelShard>();
+        if (obs_ != nullptr) {
+            shard->tracer = std::make_unique<obs::Tracer>(StagingCapacity(
+                window_, read_capacity_, write_capacity_,
+                config_.num_cores));
+            shard->latency =
+                std::make_unique<obs::LatencyAnatomy>(config_.num_cores);
+        }
+        shards_.push_back(std::move(shard));
+    }
+    team_ = std::make_unique<ChannelTeam>(
+        shard_jobs_, [this](unsigned participant) {
+            RunParticipant(participant);
+        });
+}
+
+System::~System() = default;
+
+DramCycle
+System::LookaheadWindow() const
+{
+    // Cores may run W DRAM cycles ahead of the controllers iff nothing a
+    // controller does in those W ticks is visible to a core within them:
+    //  - read data returns no earlier than extra_read_latency_cpu after
+    //    the retiring tick, so W <= extra / ratio delays no notification;
+    //  - queue departures within the window come only from bursts already
+    //    in flight at its start (a command issued inside the window
+    //    completes no earlier than the shortest burst latency), so
+    //    W <= min(read burst, write burst) makes the published retire
+    //    schedules exhaustive and the occupancy proxies exact.
+    const dram::TimingParams& t = config_.timing;
+    const DramCycle read_burst = t.tCL + t.tBURST;
+    const DramCycle write_burst = t.tCWD + t.tBURST;
+    const DramCycle notify =
+        config_.extra_read_latency_cpu / config_.cpu_to_dram_ratio;
+    return std::min({notify, read_burst, write_burst});
 }
 
 void
 System::Run(CpuCycle cpu_cycles)
 {
     const CpuCycle end = cpu_cycle_ + cpu_cycles;
+    if (sharded_) {
+        RunSharded(end);
+    } else {
+        RunSerial(end);
+    }
+}
+
+void
+System::RunSerial(CpuCycle end)
+{
     while (cpu_cycle_ < end) {
         if (cpu_cycle_ % config_.cpu_to_dram_ratio == 0) {
             const DramCycle dram_now = DramNow();
@@ -85,17 +193,379 @@ System::Run(CpuCycle cpu_cycles)
                 sampler_->Tick(dram_now, controllers_);
             }
         }
-        DeliverNotifications();
-        for (auto& core : cores_) {
-            core->Tick();
+        if (next_notify_ready_ <= cpu_cycle_) {
+            DeliverNotifications();
+        }
+        for (ThreadId thread = 0; thread < cores_.size(); ++thread) {
+            cores_[thread]->Tick();
+            // Done() is monotone and flips only inside Tick, so checking
+            // the transition here keeps the end-of-run probe O(1).
+            if (core_done_[thread] == 0 && cores_[thread]->Done()) {
+                core_done_[thread] = 1;
+                active_cores_ -= 1;
+            }
         }
         cpu_cycle_ += 1;
         if (progress_bound_cpu_ != 0 && cpu_cycle_ >= next_progress_check_) {
             CheckGlobalProgress();
         }
-        if (AllDone()) {
+        if (active_cores_ == 0 && AllDone()) {
             break;
         }
+    }
+}
+
+void
+System::PrepareShardedRun()
+{
+    const CpuCycle ratio = config_.cpu_to_dram_ratio;
+    next_tick_ = (cpu_cycle_ + ratio - 1) / ratio;
+    arrival_seq_ = 0;
+    next_notify_ready_ = notifications_.empty() ? kNeverCycle
+                                                : notifications_.front().ready;
+    if (sampler_ != nullptr && sample_interval_ > 0) {
+        sampler_->PrepareChannels(controllers_);
+    }
+    for (std::uint32_t channel = 0; channel < shards_.size(); ++channel) {
+        ChannelShard& shard = *shards_[channel];
+        const Controller& controller = *controllers_[channel];
+        shard.inbox.clear();
+        shard.completions.clear();
+        shard.read_size = controller.pending_reads();
+        shard.write_size = controller.pending_writes();
+        shard.read_retires.clear();
+        shard.write_retires.clear();
+        shard.read_pos = 0;
+        shard.write_pos = 0;
+        controller.PendingRetires(next_tick_ + window_, shard.read_retires,
+                                  shard.write_retires);
+        shard.next_sample = sampler_ != nullptr && sample_interval_ > 0
+                                ? sampler_->next_sample()
+                                : kNeverCycle;
+        shard.runs.clear();
+        shard.staged_mark = 0;
+        shard.samples.clear();
+        shard.error = nullptr;
+    }
+}
+
+void
+System::BindShardObservability(bool staging)
+{
+    if (obs_ == nullptr) {
+        return;
+    }
+    for (std::uint32_t channel = 0; channel < controllers_.size();
+         ++channel) {
+        obs::Tracer* tracer =
+            staging ? shards_[channel]->tracer.get() : &obs_->tracer();
+        obs::LatencyAnatomy* latency =
+            staging ? shards_[channel]->latency.get() : &obs_->latency();
+        controllers_[channel]->AttachObservability(
+            tracer, latency, static_cast<std::uint8_t>(channel));
+        obs_->adapter(channel).SetTracer(tracer);
+    }
+}
+
+void
+System::RunSharded(CpuCycle end)
+{
+    const CpuCycle ratio = config_.cpu_to_dram_ratio;
+    PrepareShardedRun();
+
+    // Rebind the observability sinks to the per-channel staging buffers for
+    // the duration of the run — restored even if a watchdog error unwinds.
+    struct BindGuard {
+        System& system;
+        ~BindGuard() { system.BindShardObservability(false); }
+    };
+    BindShardObservability(true);
+    BindGuard guard{*this};
+
+    bool all_done = false;
+    while (cpu_cycle_ < end && !all_done) {
+        // --- core phase (coordinator only; workers are parked) ---------
+        // Runs the cores up to the lookahead horizon, replaying queue
+        // departures from the published retire schedules so backpressure
+        // is bit-exact without touching the controllers.
+        const CpuCycle core_end =
+            std::min<CpuCycle>(end, (next_tick_ + window_) * ratio);
+        while (cpu_cycle_ < core_end) {
+            if (cpu_cycle_ % ratio == 0) {
+                ApplyScheduledRetires(DramNow());
+            }
+            if (next_notify_ready_ <= cpu_cycle_) {
+                DeliverNotifications();
+            }
+            for (ThreadId thread = 0; thread < cores_.size(); ++thread) {
+                cores_[thread]->Tick();
+                if (core_done_[thread] == 0 && cores_[thread]->Done()) {
+                    core_done_[thread] = 1;
+                    active_cores_ -= 1;
+                }
+            }
+            cpu_cycle_ += 1;
+            if (progress_bound_cpu_ != 0 &&
+                cpu_cycle_ >= next_progress_check_) {
+                CheckGlobalProgress();
+            }
+            // The serial engine's AllDone(), against the proxies: the
+            // controllers are behind, but the proxies describe their state
+            // at exactly this point of virtual time.
+            if (active_cores_ == 0 && notifications_.empty() &&
+                AllShardsIdle()) {
+                all_done = true;
+                break;
+            }
+        }
+
+        // --- controller catch-up (parallel) + barrier ------------------
+        const DramCycle target = (cpu_cycle_ + ratio - 1) / ratio;
+        if (target > next_tick_) {
+            window_from_ = next_tick_;
+            window_to_ = target;
+            window_limit_ = target + window_;
+            team_->RunWindow();
+            next_tick_ = target;
+            MergeWindow();
+        }
+    }
+}
+
+void
+System::RunParticipant(unsigned participant)
+{
+    const auto channels = static_cast<std::uint32_t>(controllers_.size());
+    for (std::uint32_t channel = participant; channel < channels;
+         channel += shard_jobs_) {
+        try {
+            AdvanceChannel(channel);
+        } catch (...) {
+            shards_[channel]->error = std::current_exception();
+        }
+    }
+}
+
+void
+System::AdvanceChannel(std::uint32_t channel)
+{
+    ChannelShard& shard = *shards_[channel];
+    Controller& controller = *controllers_[channel];
+    std::size_t next_in = 0;
+    for (DramCycle tick = window_from_; tick < window_to_; ++tick) {
+        // Serial order within one DRAM cycle d: the controller ticks at
+        // CPU cycle d * ratio, the sampler reads it, and only then do the
+        // cores issue — so arrivals stamped d enqueue after Tick(d).
+        while (next_in < shard.inbox.size() &&
+               shard.inbox[next_in].arrival < tick) {
+            MailboxEntry& entry = shard.inbox[next_in];
+            controller.Enqueue(std::move(entry.request), entry.arrival);
+            shard.CloseRun(entry.arrival, 1, entry.seq);
+            next_in += 1;
+        }
+        controller.Tick(tick);
+        shard.CloseRun(tick, 0, channel);
+        if (tick == shard.next_sample) {
+            shard.samples.push_back(
+                {tick, sampler_->SampleChannel(controller, channel)});
+            shard.next_sample += sample_interval_;
+        }
+    }
+    while (next_in < shard.inbox.size()) {
+        MailboxEntry& entry = shard.inbox[next_in];
+        PARBS_ASSERT(entry.arrival < window_to_,
+                     "mailbox arrival beyond the window");
+        controller.Enqueue(std::move(entry.request), entry.arrival);
+        shard.CloseRun(entry.arrival, 1, entry.seq);
+        next_in += 1;
+    }
+    shard.inbox.clear();
+
+    // Publish the next window's retire schedule while still parallel.
+    shard.read_retires.clear();
+    shard.write_retires.clear();
+    controller.PendingRetires(window_limit_, shard.read_retires,
+                              shard.write_retires);
+}
+
+void
+System::ChannelShard::CloseRun(DramCycle cycle, std::uint8_t phase,
+                               std::uint64_t order)
+{
+    if (tracer == nullptr) {
+        return;
+    }
+    const std::size_t size = tracer->size();
+    if (size == staged_mark) {
+        return;
+    }
+    PARBS_ASSERT(tracer->dropped() == 0, "staging tracer overflowed");
+    runs.push_back({cycle, phase, order,
+                    static_cast<std::uint32_t>(staged_mark),
+                    static_cast<std::uint32_t>(size)});
+    staged_mark = size;
+}
+
+void
+System::ApplyScheduledRetires(DramCycle tick)
+{
+    // Mirrors Controller::RetireFinished, which retires at most one read
+    // and one write per tick, each exactly at its completion cycle (the
+    // cycles in one schedule are distinct, so `<=` matches `==` here).
+    for (auto& shard : shards_) {
+        if (shard->read_pos < shard->read_retires.size() &&
+            shard->read_retires[shard->read_pos] <= tick) {
+            shard->read_pos += 1;
+            shard->read_size -= 1;
+        }
+        if (shard->write_pos < shard->write_retires.size() &&
+            shard->write_retires[shard->write_pos] <= tick) {
+            shard->write_pos += 1;
+            shard->write_size -= 1;
+        }
+    }
+}
+
+bool
+System::AllShardsIdle() const
+{
+    for (const auto& shard : shards_) {
+        if (shard->read_size != 0 || shard->write_size != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+System::MergeWindow()
+{
+    for (auto& shard : shards_) {
+        if (shard->error != nullptr) {
+            std::exception_ptr error = shard->error;
+            shard->error = nullptr;
+            std::rethrow_exception(error);
+        }
+    }
+    for (std::uint32_t channel = 0; channel < shards_.size(); ++channel) {
+        ChannelShard& shard = *shards_[channel];
+        // The proxies drove every CanAccept answer of the window; if they
+        // drifted from the real queues the run is not serial-equivalent.
+        PARBS_ASSERT(shard.read_size ==
+                             controllers_[channel]->pending_reads() &&
+                         shard.write_size ==
+                             controllers_[channel]->pending_writes(),
+                     "occupancy proxy diverged from the controller");
+        shard.read_pos = 0;
+        shard.write_pos = 0;
+    }
+
+    // Read completions, merged by (deadline, channel): within one DRAM
+    // cycle the serial loop ticks channels in index order and each channel
+    // retires at most one read per tick, so this key is unique and its
+    // order is exactly the serial notification order.
+    while (true) {
+        ChannelShard* best = nullptr;
+        for (auto& shard : shards_) {
+            if (shard->read_pos >= shard->completions.size()) {
+                continue;
+            }
+            if (best == nullptr ||
+                shard->completions[shard->read_pos].ready <
+                    best->completions[best->read_pos].ready) {
+                best = shard.get();
+            }
+        }
+        if (best == nullptr) {
+            break;
+        }
+        notifications_.push_back(best->completions[best->read_pos]);
+        best->read_pos += 1;
+    }
+    for (auto& shard : shards_) {
+        shard->completions.clear();
+        shard->read_pos = 0;
+    }
+    if (!notifications_.empty()) {
+        next_notify_ready_ = notifications_.front().ready;
+    }
+
+    if (obs_ != nullptr) {
+        MergeObservability();
+    }
+}
+
+void
+System::MergeObservability()
+{
+    // Trace: replay each channel's staged event runs into the main ring in
+    // the serial emission order (see StagedRun for the key argument).
+    merge_runs_.clear();
+    for (std::uint32_t channel = 0; channel < shards_.size(); ++channel) {
+        ChannelShard& shard = *shards_[channel];
+        // Tag anything emitted after the last tick (there should be none,
+        // but a trailing run must not be silently dropped).  The key must
+        // stay unique across channels, hence the channel offset.
+        shard.CloseRun(window_to_ - 1, 1, arrival_seq_ + channel);
+        PARBS_ASSERT(shard.tracer->dropped() == 0,
+                     "staging tracer overflowed");
+        for (const StagedRun& run : shard.runs) {
+            merge_runs_.push_back({run, channel});
+        }
+    }
+    std::sort(merge_runs_.begin(), merge_runs_.end(),
+              [](const TaggedRun& a, const TaggedRun& b) {
+                  if (a.run.cycle != b.run.cycle) {
+                      return a.run.cycle < b.run.cycle;
+                  }
+                  if (a.run.phase != b.run.phase) {
+                      return a.run.phase < b.run.phase;
+                  }
+                  return a.run.order < b.run.order;
+              });
+    obs::Tracer& main_tracer = obs_->tracer();
+    for (const TaggedRun& tagged : merge_runs_) {
+        const obs::Tracer& staging = *shards_[tagged.channel]->tracer;
+        for (std::uint32_t i = tagged.run.begin; i < tagged.run.end; ++i) {
+            main_tracer.Emit(staging.event(i));
+        }
+    }
+    for (auto& shard : shards_) {
+        shard->tracer->Clear();
+        shard->runs.clear();
+        shard->staged_mark = 0;
+        obs_->latency().Merge(*shard->latency);
+        shard->latency->Clear();
+    }
+
+    // Sampler rows: every channel sampled at the same cycles (they share
+    // the cursor's start and stride), so rows zip back together in channel
+    // order, exactly as the serial TakeSample would have built them.
+    if (sampler_ == nullptr || sample_interval_ == 0 ||
+        shards_.front()->samples.empty()) {
+        for (auto& shard : shards_) {
+            PARBS_ASSERT(shard->samples.empty(),
+                         "sampler rows out of step across channels");
+        }
+        return;
+    }
+    const std::size_t rows = shards_.front()->samples.size();
+    for (std::size_t row = 0; row < rows; ++row) {
+        const DramCycle cycle = shards_.front()->samples[row].cycle;
+        PARBS_ASSERT(cycle == sampler_->next_sample(),
+                     "sampler cursor out of step");
+        std::vector<obs::ControllerSample> assembled;
+        assembled.reserve(shards_.size());
+        for (auto& shard : shards_) {
+            PARBS_ASSERT(shard->samples.size() == rows &&
+                             shard->samples[row].cycle == cycle,
+                         "sampler rows out of step across channels");
+            assembled.push_back(std::move(shard->samples[row].data));
+        }
+        sampler_->AppendRow(cycle, std::move(assembled));
+    }
+    for (auto& shard : shards_) {
+        shard->samples.clear();
     }
 }
 
@@ -115,7 +585,10 @@ System::ProgressSignature() const
 void
 System::CheckGlobalProgress()
 {
-    // Amortize the signature scan; the bound is thousands of cycles.
+    // Amortize the signature scan; the bound is thousands of cycles.  On
+    // the sharded engine this runs during the core phase, when the workers
+    // are parked — the controller counters may lag by up to one lookahead
+    // window, which the 4x ratio slack in the bound absorbs.
     next_progress_check_ = cpu_cycle_ + 256;
     const std::uint64_t signature = ProgressSignature();
     if (signature != progress_signature_) {
@@ -152,6 +625,9 @@ System::DeliverNotifications()
         notifications_.pop_front();
         cores_[n.thread]->OnReadComplete(n.id);
     }
+    next_notify_ready_ = notifications_.empty()
+                             ? kNeverCycle
+                             : notifications_.front().ready;
 }
 
 bool
@@ -168,7 +644,11 @@ System::AllDone() const
             return false;
         }
     }
-    // Drained traces may still have requests in flight.
+    // Drained traces may still have requests in flight.  On the sharded
+    // engine the shard proxies stand in for the (lagging) controllers.
+    if (sharded_) {
+        return AllShardsIdle();
+    }
     for (const auto& controller : controllers_) {
         if (controller->pending_reads() > 0 ||
             controller->pending_writes() > 0) {
@@ -374,6 +854,19 @@ System::TryIssueRead(ThreadId thread, Addr addr)
 {
     CheckAddr(addr);
     const dram::DecodedAddr coords = mapper_.Decode(addr);
+    if (sharded_) {
+        ChannelShard& shard = *shards_[coords.channel];
+        if (shard.read_size >= read_capacity_) {
+            return std::nullopt;
+        }
+        std::unique_ptr<MemRequest> request =
+            MakeRequest(thread, addr, false);
+        const RequestId id = request->id;
+        shard.read_size += 1;
+        shard.inbox.push_back(
+            {DramNow(), arrival_seq_++, std::move(request)});
+        return id;
+    }
     Controller& controller = *controllers_[coords.channel];
     if (!controller.CanAcceptRead()) {
         return std::nullopt;
@@ -389,6 +882,16 @@ System::TryIssueWrite(ThreadId thread, Addr addr)
 {
     CheckAddr(addr);
     const dram::DecodedAddr coords = mapper_.Decode(addr);
+    if (sharded_) {
+        ChannelShard& shard = *shards_[coords.channel];
+        if (shard.write_size >= write_capacity_) {
+            return false;
+        }
+        shard.write_size += 1;
+        shard.inbox.push_back(
+            {DramNow(), arrival_seq_++, MakeRequest(thread, addr, true)});
+        return true;
+    }
     Controller& controller = *controllers_[coords.channel];
     if (!controller.CanAcceptWrite()) {
         return false;

@@ -2,12 +2,19 @@
  * @file
  * The full CMP system: cores, the address mapper, and one memory controller
  * per channel, advanced in lock-step on the two clock domains.
+ *
+ * Two execution engines produce bit-identical results (DESIGN.md §5g):
+ * the serial cycle loop, and a sharded loop (config.channel_jobs > 1) that
+ * advances each channel's controller on a worker thread in conservative
+ * lookahead windows while the cores stay on the coordinating thread.
  */
 
 #ifndef PARBS_SIM_SYSTEM_HH
 #define PARBS_SIM_SYSTEM_HH
 
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <iosfwd>
 #include <memory>
 #include <vector>
@@ -22,6 +29,8 @@
 
 namespace parbs {
 
+class ChannelTeam;
+
 /** A simulated chip-multiprocessor sharing a DRAM memory system. */
 class System : public MemoryPort {
   public:
@@ -32,6 +41,8 @@ class System : public MemoryPort {
      */
     System(const SystemConfig& config,
            std::vector<std::unique_ptr<TraceSource>> traces);
+
+    ~System() override;
 
     /**
      * Runs for @p cpu_cycles CPU cycles (or until every core's trace is
@@ -82,6 +93,18 @@ class System : public MemoryPort {
      */
     void DumpStats(std::ostream& out) const;
 
+    /**
+     * True when Run uses the sharded engine: the resolved channel_jobs
+     * exceeds 1, there is more than one channel, and the timing admits a
+     * nonzero lookahead window.  Otherwise Run silently falls back to the
+     * serial loop (results are identical either way).
+     */
+    bool sharded() const { return sharded_; }
+
+    /** The sharded engine's lookahead window, in DRAM cycles (0 when the
+     *  timing admits none; see DESIGN.md §5g for the bound). */
+    DramCycle lookahead_window() const { return window_; }
+
     // --- MemoryPort -------------------------------------------------------
     std::optional<RequestId> TryIssueRead(ThreadId thread, Addr addr) override;
     bool TryIssueWrite(ThreadId thread, Addr addr) override;
@@ -131,12 +154,166 @@ class System : public MemoryPort {
     };
     std::deque<PendingNotify> notifications_;
 
+    /**
+     * The front deadline of notifications_ (kNeverCycle when empty),
+     * maintained on every push and delivery so the per-cycle loop probes
+     * one cached integer instead of the deque.
+     */
+    CpuCycle next_notify_ready_ = kNeverCycle;
+
     void DeliverNotifications();
+
+    /**
+     * Cores whose traces have not drained yet, with a per-core done flag
+     * to detect the (monotone) transition after each core tick — makes
+     * the per-cycle all-done probe O(1) instead of an O(cores) scan.
+     */
+    std::uint32_t active_cores_ = 0;
+    std::vector<std::uint8_t> core_done_;
 
     DramCycle DramNow() const { return cpu_cycle_ / config_.cpu_to_dram_ratio; }
 
     std::unique_ptr<MemRequest> MakeRequest(ThreadId thread, Addr addr,
                                             bool is_write);
+
+    // --- sharded engine (DESIGN.md §5g) -----------------------------------
+
+    /** One issued request in flight to its channel's worker. */
+    struct MailboxEntry {
+        DramCycle arrival;
+        /** Global issue order across channels; keys trace-merge replay. */
+        std::uint64_t seq;
+        std::unique_ptr<MemRequest> request;
+    };
+
+    /**
+     * One contiguous run of events in a channel's staging tracer, tagged
+     * with its serial-order key: controller-tick runs sort by (cycle,
+     * channel); arrival runs sort by (arrival cycle, issue seq) after all
+     * tick runs of that cycle.  Keys are unique — at most one tick run per
+     * (cycle, channel) and one arrival run per enqueue — so the merge
+     * order is total and reproduces the serial emission order exactly.
+     */
+    struct StagedRun {
+        DramCycle cycle;
+        std::uint8_t phase; ///< 0 = controller tick, 1 = request arrival
+        std::uint64_t order;
+        std::uint32_t begin;
+        std::uint32_t end;
+    };
+
+    struct StagedSample {
+        DramCycle cycle;
+        obs::ControllerSample data;
+    };
+
+    /**
+     * Per-channel shard state.  Within a window the coordinator writes the
+     * inbox/proxies and the worker reads them (and vice versa for the
+     * completion/staging outputs) in strictly alternating phases separated
+     * by the team barrier, so no field is ever accessed concurrently.
+     */
+    struct ChannelShard {
+        /** Requests issued by cores this window, in issue order. */
+        std::vector<MailboxEntry> inbox;
+
+        /**
+         * Exact queue-occupancy proxies driving CanAccept backpressure on
+         * the coordinator: incremented at issue, decremented by the retire
+         * schedule below.  Asserted equal to the real queue sizes at every
+         * barrier.
+         */
+        std::size_t read_size = 0;
+        std::size_t write_size = 0;
+
+        /**
+         * The retire schedule for the *next* window: completion cycles of
+         * every in-burst request retiring before the window's end, known
+         * exactly in advance because the window is no longer than the
+         * shortest burst latency (Controller::PendingRetires).
+         */
+        std::vector<DramCycle> read_retires;
+        std::vector<DramCycle> write_retires;
+        std::size_t read_pos = 0;
+        std::size_t write_pos = 0;
+
+        /** Read completions of this window, in tick order. */
+        std::vector<PendingNotify> completions;
+
+        /** First per-channel error of the window (e.g. WatchdogError). */
+        std::exception_ptr error;
+
+        // Staging observability sinks (null when tracing is off).
+        std::unique_ptr<obs::Tracer> tracer;
+        std::unique_ptr<obs::LatencyAnatomy> latency;
+        std::vector<StagedRun> runs;
+        std::size_t staged_mark = 0;
+        std::vector<StagedSample> samples;
+        DramCycle next_sample = kNeverCycle;
+
+        /** Tags events staged since the last mark as one ordered run. */
+        void CloseRun(DramCycle cycle, std::uint8_t phase,
+                      std::uint64_t order);
+    };
+
+    bool sharded_ = false;
+    unsigned shard_jobs_ = 1;
+    /** Lookahead window in DRAM cycles; see LookaheadWindow(). */
+    DramCycle window_ = 0;
+    /** Next controller tick to execute == ceil(cpu_cycle_ / ratio) at
+     *  every window boundary (the engine's central invariant). */
+    DramCycle next_tick_ = 0;
+    std::uint64_t arrival_seq_ = 0;
+    std::size_t read_capacity_ = 0;
+    std::size_t write_capacity_ = 0;
+    DramCycle sample_interval_ = 0;
+
+    std::vector<std::unique_ptr<ChannelShard>> shards_;
+
+    /** Current window bounds, published before each team release. */
+    DramCycle window_from_ = 0;
+    DramCycle window_to_ = 0;
+    DramCycle window_limit_ = 0;
+
+    /** Merge scratch, reused across windows. */
+    struct TaggedRun {
+        StagedRun run;
+        std::uint32_t channel;
+    };
+    std::vector<TaggedRun> merge_runs_;
+
+    /** Ordered last so its threads join before any state they touch dies. */
+    std::unique_ptr<ChannelTeam> team_;
+
+    /** The largest window that preserves cycle-exactness (DESIGN.md §5g):
+     *  min(extra_read_latency_cpu / ratio, read burst latency, write burst
+     *  latency) in DRAM cycles. */
+    DramCycle LookaheadWindow() const;
+
+    void RunSerial(CpuCycle end);
+    void RunSharded(CpuCycle end);
+
+    /** Worker body: advances this participant's block of channels. */
+    void RunParticipant(unsigned participant);
+    void AdvanceChannel(std::uint32_t channel);
+
+    /** Applies scheduled retires with completion <= @p tick to proxies. */
+    void ApplyScheduledRetires(DramCycle tick);
+
+    /** Re-establishes coordinator state from the real controllers at the
+     *  start of a sharded Run (schedules, proxies, sampler cursors). */
+    void PrepareShardedRun();
+
+    /** Folds the window's outputs back into the serial-order structures:
+     *  notifications, trace, latency, samples; verifies the proxies. */
+    void MergeWindow();
+    void MergeObservability();
+
+    /** O(channels) drained check over the occupancy proxies. */
+    bool AllShardsIdle() const;
+
+    /** Points controllers and adapters at the staging (or main) sinks. */
+    void BindShardObservability(bool staging);
 };
 
 } // namespace parbs

@@ -30,6 +30,36 @@ Histogram::Add(std::uint64_t value)
     count_ += 1;
 }
 
+void
+Histogram::Merge(const Histogram& other)
+{
+    PARBS_ASSERT(bucket_width_ == other.bucket_width_ &&
+                     buckets_.size() == other.buckets_.size(),
+                 "merging histograms with different bucket shapes");
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+        min_ = other.min_;
+    }
+    max_ = std::max(max_, other.max_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+void
+Histogram::Clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
 double
 Histogram::Mean() const
 {

@@ -25,6 +25,18 @@ class Histogram {
 
     void Add(std::uint64_t value);
 
+    /**
+     * Folds @p other's samples into this histogram.  @pre identical bucket
+     * shape.  Every aggregate (bucket counts, count, sum, min, max) is
+     * commutative and associative, so merging per-worker histograms in any
+     * order equals recording every sample into one histogram directly —
+     * the property the sharded System's staging sinks rely on.
+     */
+    void Merge(const Histogram& other);
+
+    /** Forgets all samples; the bucket shape is kept. */
+    void Clear();
+
     std::uint64_t count() const { return count_; }
     std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
     std::uint64_t max() const { return max_; }

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Serial/sharded equivalence tests for the channel-sharded cycle loop
+ * (DESIGN.md §5g): for every scheduler and every worker count the sharded
+ * engine must be *bit-identical* to the serial one — same stats dump bytes,
+ * same trace-document bytes, same stop cycle — with observability on or
+ * off, with the watchdog armed, and under scheduler chaos.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/factory.hh"
+#include "sim/experiment.hh"
+#include "sim/fault_injector.hh"
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
+
+namespace parbs {
+namespace {
+
+std::vector<std::unique_ptr<TraceSource>>
+SyntheticTraces(const SystemConfig& config, std::uint32_t count,
+                double mpki = 20.0)
+{
+    dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (ThreadId t = 0; t < count; ++t) {
+        SyntheticParams params;
+        params.mpki = mpki;
+        traces.push_back(std::make_unique<SyntheticTraceSource>(
+            params, mapper, t, count, 1000 + t));
+    }
+    return traces;
+}
+
+struct Artifacts {
+    std::string stats;
+    std::string trace;
+    CpuCycle stop = 0;
+    bool sharded = false;
+};
+
+/** Runs a fresh system to completion of @p chunks and captures every
+ *  observable output byte-for-byte. */
+Artifacts
+RunSystem(const SystemConfig& config, std::uint32_t cores,
+          const std::vector<CpuCycle>& chunks)
+{
+    System system(config, SyntheticTraces(config, cores));
+    for (const CpuCycle chunk : chunks) {
+        system.Run(chunk);
+    }
+    Artifacts out;
+    out.stop = system.now();
+    out.sharded = system.sharded();
+    std::ostringstream stats;
+    system.DumpStats(stats);
+    out.stats = stats.str();
+    if (system.observability() != nullptr) {
+        std::ostringstream trace;
+        system.WriteTrace(trace, "sharded-equivalence");
+        out.trace = trace.str();
+    }
+    return out;
+}
+
+SystemConfig
+TracedConfig(std::uint32_t cores, const SchedulerConfig& scheduler,
+             unsigned channel_jobs)
+{
+    SystemConfig config = SystemConfig::Baseline(cores);
+    config.scheduler = scheduler;
+    config.channel_jobs = channel_jobs;
+    config.observability.trace = true;
+    config.observability.sample_interval = 256;
+    return config;
+}
+
+class ShardedEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedEquivalence, BitIdenticalAcrossWorkerCounts)
+{
+    const SchedulerConfig scheduler =
+        ComparisonSchedulers()[GetParam()];
+    constexpr std::uint32_t kCores = 16; // Baseline(16) has 4 channels.
+    const std::vector<CpuCycle> chunks{60000};
+
+    const Artifacts serial =
+        RunSystem(TracedConfig(kCores, scheduler, 1), kCores, chunks);
+    ASSERT_FALSE(serial.sharded);
+    for (const unsigned jobs : {2u, 4u}) {
+        const Artifacts sharded = RunSystem(
+            TracedConfig(kCores, scheduler, jobs), kCores, chunks);
+        ASSERT_TRUE(sharded.sharded) << "jobs=" << jobs;
+        EXPECT_EQ(serial.stop, sharded.stop) << "jobs=" << jobs;
+        EXPECT_EQ(serial.stats, sharded.stats) << "jobs=" << jobs;
+        EXPECT_EQ(serial.trace, sharded.trace) << "jobs=" << jobs;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, ShardedEquivalence, ::testing::Range<std::size_t>(0, 5),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+        std::string name =
+            SchedulerConfigName(ComparisonSchedulers()[info.param]);
+        for (char& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+TEST(ShardedSystem, UnalignedChunkedRunsStayIdentical)
+{
+    SchedulerConfig scheduler;
+    scheduler.kind = SchedulerKind::kParBs;
+    constexpr std::uint32_t kCores = 16;
+    // Chunk boundaries that land mid-DRAM-tick and mid-window exercise the
+    // resume bootstrap (next_tick_ == ceil(cpu / ratio)).
+    const std::vector<CpuCycle> chunks{997, 1, 13, 29001, 7, 29981};
+    const std::vector<CpuCycle> one_shot{997 + 1 + 13 + 29001 + 7 + 29981};
+
+    const Artifacts serial =
+        RunSystem(TracedConfig(kCores, scheduler, 1), kCores, one_shot);
+    const Artifacts sharded_chunks =
+        RunSystem(TracedConfig(kCores, scheduler, 4), kCores, chunks);
+    const Artifacts serial_chunks =
+        RunSystem(TracedConfig(kCores, scheduler, 1), kCores, chunks);
+    EXPECT_EQ(serial.stats, serial_chunks.stats);
+    EXPECT_EQ(serial.stats, sharded_chunks.stats);
+    EXPECT_EQ(serial.trace, sharded_chunks.trace);
+    EXPECT_EQ(serial.stop, sharded_chunks.stop);
+}
+
+TEST(ShardedSystem, WatchdogArmedRunStaysIdentical)
+{
+    // The global progress signature is sampled on the coordinator while
+    // the controller counters lag by up to one window; a healthy run must
+    // still produce identical outputs (and no spurious WatchdogError).
+    SchedulerConfig scheduler;
+    scheduler.kind = SchedulerKind::kParBs;
+    auto config = [&](unsigned jobs) {
+        SystemConfig out = TracedConfig(16, scheduler, jobs);
+        out.controller.watchdog.enabled = true;
+        return out;
+    };
+    const std::vector<CpuCycle> chunks{50000};
+    const Artifacts serial = RunSystem(config(1), 16, chunks);
+    const Artifacts sharded = RunSystem(config(4), 16, chunks);
+    ASSERT_TRUE(sharded.sharded);
+    EXPECT_EQ(serial.stats, sharded.stats);
+    EXPECT_EQ(serial.trace, sharded.trace);
+}
+
+TEST(ShardedSystem, SchedulerChaosFaultInjectionStaysIdentical)
+{
+    // Per-channel seeded ChaosSchedulers draw from their own RNGs, so the
+    // decision stream only depends on each channel's local event order —
+    // which sharding must preserve exactly.
+    auto config = [](unsigned jobs) {
+        SystemConfig out = SystemConfig::Baseline(16);
+        out.channel_jobs = jobs;
+        auto counter = std::make_shared<std::uint64_t>(0);
+        out.scheduler_factory = [counter]() {
+            SchedulerConfig inner;
+            inner.kind = SchedulerKind::kParBs;
+            return std::make_unique<ChaosScheduler>(
+                MakeScheduler(inner), 0xC0FFEE + (*counter)++, 0.5);
+        };
+        return out;
+    };
+    const std::vector<CpuCycle> chunks{40000};
+    const Artifacts serial = RunSystem(config(1), 16, chunks);
+    const Artifacts sharded = RunSystem(config(4), 16, chunks);
+    ASSERT_TRUE(sharded.sharded);
+    EXPECT_EQ(serial.stats, sharded.stats);
+    EXPECT_EQ(serial.stop, sharded.stop);
+}
+
+TEST(ShardedSystem, SingleChannelFallsBackToSerial)
+{
+    SystemConfig config = SystemConfig::Baseline(4); // one channel
+    config.channel_jobs = 8;
+    System system(config, SyntheticTraces(config, 4));
+    EXPECT_FALSE(system.sharded());
+    system.Run(10000);
+    EXPECT_GT(system.Measure(0).requests, 0u);
+}
+
+TEST(ShardedSystem, ZeroJobsMeansOneWorkerPerChannel)
+{
+    SchedulerConfig scheduler;
+    scheduler.kind = SchedulerKind::kFrFcfs;
+    const std::vector<CpuCycle> chunks{30000};
+    const Artifacts serial =
+        RunSystem(TracedConfig(16, scheduler, 1), 16, chunks);
+    SystemConfig auto_jobs = TracedConfig(16, scheduler, 0);
+    const Artifacts sharded = RunSystem(auto_jobs, 16, chunks);
+    ASSERT_TRUE(sharded.sharded);
+    EXPECT_EQ(serial.stats, sharded.stats);
+    EXPECT_EQ(serial.trace, sharded.trace);
+}
+
+TEST(ShardedSystem, LookaheadWindowMatchesTimingBound)
+{
+    SystemConfig config = SystemConfig::Baseline(16);
+    config.channel_jobs = 4;
+    System system(config, SyntheticTraces(config, 16));
+    ASSERT_TRUE(system.sharded());
+    const DramCycle expected = std::min<DramCycle>(
+        {config.extra_read_latency_cpu / config.cpu_to_dram_ratio,
+         config.timing.tCL + config.timing.tBURST,
+         config.timing.tCWD + config.timing.tBURST});
+    EXPECT_EQ(system.lookahead_window(), expected);
+    EXPECT_GE(system.lookahead_window(), 1u);
+}
+
+TEST(ShardedSystem, FiniteTracesDrainOnTheSameCycle)
+{
+    // The end-of-run probe runs against the occupancy proxies; the sharded
+    // engine must stop on the very same CPU cycle as the serial loop.
+    auto run = [](unsigned jobs) {
+        SystemConfig config = SystemConfig::Baseline(16);
+        config.channel_jobs = jobs;
+        std::vector<std::unique_ptr<TraceSource>> traces;
+        for (ThreadId t = 0; t < 16; ++t) {
+            std::vector<TraceEntry> entries;
+            for (int i = 0; i < 40; ++i) {
+                const Addr addr =
+                    0x1000 + 64ull * (i * 97 + t * 1031 + i * i * 7);
+                entries.push_back({5, addr, (i % 3) == 2, false});
+            }
+            traces.push_back(
+                std::make_unique<VectorTraceSource>(entries));
+        }
+        System system(config, std::move(traces));
+        system.Run(5'000'000);
+        EXPECT_TRUE(system.AllDone());
+        std::ostringstream stats;
+        system.DumpStats(stats);
+        return std::make_pair(system.now(), stats.str());
+    };
+    const auto serial = run(1);
+    const auto sharded = run(4);
+    EXPECT_EQ(serial.first, sharded.first);
+    EXPECT_EQ(serial.second, sharded.second);
+}
+
+} // namespace
+} // namespace parbs

@@ -48,7 +48,7 @@ class ControllerHarness {
                       std::move(scheduler))
     {
         controller_.SetReadCompleteCallback(
-            [this](const MemRequest& request) {
+            [this](const MemRequest& request, DramCycle) {
                 completed_.push_back(request.id);
                 completed_threads_.push_back(request.thread);
             });
