@@ -1,0 +1,205 @@
+/**
+ * @file
+ * RAS sweep: the five-scheduler lineup at 16 cores under three transient
+ * error rates (0, 1e-6, 1e-4).  Reports per-scheduler weighted speedup and
+ * unfairness with their deltas against the error-free row — does error
+ * recovery change which scheduler wins, and how much throughput does the
+ * recovery machinery tax?  A second table reports the per-run recovery-tax
+ * percentiles (final completion minus first-attempt completion, DRAM
+ * cycles) from the latency anatomy.
+ *
+ * The error model is deterministic in (seed, channel), so every cell is
+ * reproducible and bit-identical under any --jobs / --channel-jobs value.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "mem/ras.hh"
+#include "obs/latency.hh"
+#include "trace/synthetic.hh"
+
+namespace {
+
+using namespace parbs;
+
+constexpr double kErrorRates[] = {0.0, 1e-6, 1e-4};
+
+/** Applies one sweep row's error model to a system configuration. */
+void
+ApplyRate(SystemConfig& config, double rate)
+{
+    if (rate <= 0.0) {
+        return; // error-free row: RAS fully disabled (the fast path stays).
+    }
+    config.controller.ras.enabled = true;
+    config.controller.ras.transient_error_rate = rate;
+    config.controller.ras.transient_uncorrectable = 0.1;
+    config.controller.ras.scrub_interval = 4096;
+}
+
+/** Label such as "1e-04" (or "0") for table rows and JSON sections. */
+std::string
+RateLabel(double rate)
+{
+    if (rate <= 0.0) {
+        return "0";
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0e", rate);
+    return buffer;
+}
+
+struct TaxCell {
+    Histogram recovery{8, 512};
+    std::uint64_t corrected = 0;
+    std::uint64_t uncorrectable = 0;
+    std::uint64_t retries = 0;
+};
+
+/**
+ * Recovery-tax percentiles for one (scheduler, rate) cell: a direct
+ * 16-thread synthetic run with the latency anatomy attached, all threads
+ * merged, plus the channel-summed ECC counters (at realistic rates most
+ * errors are corrected in flight, so the counters — not the percentiles —
+ * are where low-rate activity shows).  Kept separate from the metric runs
+ * so those stay comparable to the rest of the bench suite (no
+ * observability attached).
+ */
+TaxCell
+RecoveryTax(const bench::Options& options, const SchedulerConfig& scheduler,
+            double rate)
+{
+    constexpr std::uint32_t kCores = 16;
+    SystemConfig config = SystemConfig::Baseline(kCores);
+    config.scheduler = scheduler;
+    config.seed = options.seed;
+    config.channel_jobs = options.channel_jobs;
+    config.observability.trace = true;
+    ApplyRate(config, rate);
+    dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (ThreadId t = 0; t < kCores; ++t) {
+        SyntheticParams params;
+        params.mpki = 20.0;
+        traces.push_back(std::make_unique<SyntheticTraceSource>(
+            params, mapper, t, kCores, 1000 + t));
+    }
+    System system(config, std::move(traces));
+    system.Run(options.cycles);
+    TaxCell cell;
+    cell.recovery = system.observability()->latency().Recovery(0);
+    for (ThreadId t = 1; t < kCores; ++t) {
+        cell.recovery.Merge(system.observability()->latency().Recovery(t));
+    }
+    for (std::uint32_t ch = 0; ch < config.geometry.channels; ++ch) {
+        if (const RasEngine* ras = system.controller(ch).ras()) {
+            cell.corrected += ras->stats().corrected;
+            cell.uncorrectable += ras->stats().uncorrectable;
+            cell.retries += ras->stats().retries;
+        }
+    }
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::Session session(argc, argv, "RAS sweep",
+                           "Schedulers under DRAM error recovery "
+                           "(16 cores, transient rates 0 / 1e-6 / 1e-4)");
+    const bench::Options& options = session.options();
+
+    const std::vector<SchedulerConfig> lineup = ComparisonSchedulers();
+    const std::vector<WorkloadSpec> workloads =
+        RandomMixes(options.Count(2, 4, 8), 16, options.seed);
+
+    Table table({"error rate", "scheduler", "WS", "dWS", "unfair",
+                 "dUnfair"});
+    // Baseline aggregates (rate 0) per scheduler, for the delta columns.
+    std::vector<AggregateMetrics> baseline(lineup.size());
+
+    for (const double rate : kErrorRates) {
+        const std::string label = "rate " + RateLabel(rate);
+        ExperimentConfig config;
+        config.cores = 16;
+        config.run_cycles = options.cycles;
+        config.seed = options.seed;
+        config.channel_jobs = options.channel_jobs;
+        config.customize = [rate](SystemConfig& system_config) {
+            ApplyRate(system_config, rate);
+        };
+        ExperimentRunner runner(config);
+        const auto matrix =
+            bench::RunMatrix(session, runner, lineup, workloads);
+        for (std::size_t s = 0; s < lineup.size(); ++s) {
+            for (const SharedRun& run : matrix[s]) {
+                session.RecordRun(label, run);
+            }
+            const AggregateMetrics aggregate =
+                ExperimentRunner::Aggregate(matrix[s]);
+            session.RecordAggregate(label, SchedulerConfigName(lineup[s]),
+                                    aggregate);
+            if (rate <= 0.0) {
+                baseline[s] = aggregate;
+            }
+            const AggregateMetrics& base = baseline[s];
+            table.AddRow(
+                {RateLabel(rate), SchedulerConfigName(lineup[s]),
+                 Table::Num(aggregate.weighted_speedup_gmean, 3),
+                 Table::Num((aggregate.weighted_speedup_gmean /
+                                 base.weighted_speedup_gmean -
+                             1.0) *
+                                100.0,
+                            2) +
+                     "%",
+                 Table::Num(aggregate.unfairness_gmean, 3),
+                 Table::Num((aggregate.unfairness_gmean /
+                                 base.unfairness_gmean -
+                             1.0) *
+                                100.0,
+                            2) +
+                     "%"});
+        }
+    }
+    std::cout << table.Render() << "\n";
+
+    std::cout << "Recovery tax (DRAM cycles past the first-attempt "
+                 "completion; reads, all threads):\n\n";
+    Table tax({"error rate", "scheduler", "reads", "corrected", "retries",
+               "p99", "max"});
+    for (const double rate : kErrorRates) {
+        for (const SchedulerConfig& scheduler : lineup) {
+            const TaxCell cell = RecoveryTax(options, scheduler, rate);
+            const Histogram::Summary summary =
+                cell.recovery.PercentileSummary();
+            tax.AddRow({RateLabel(rate), SchedulerConfigName(scheduler),
+                        std::to_string(cell.recovery.count()),
+                        std::to_string(cell.corrected),
+                        std::to_string(cell.retries),
+                        std::to_string(summary.p99),
+                        std::to_string(summary.max)});
+            const std::string section =
+                "recovery-tax rate " + RateLabel(rate);
+            const std::string scheduler_name =
+                SchedulerConfigName(scheduler);
+            session.RecordValue(section, scheduler_name + " corrected",
+                                static_cast<double>(cell.corrected));
+            session.RecordValue(section, scheduler_name + " retries",
+                                static_cast<double>(cell.retries));
+            session.RecordValue(section, scheduler_name + " p99",
+                                static_cast<double>(summary.p99));
+            session.RecordValue(section, scheduler_name + " max",
+                                static_cast<double>(summary.max));
+        }
+    }
+    std::cout << tax.Render() << "\n"
+              << "Shape check: the error-free row pays zero tax; corrected "
+                 "errors scale ~100x between\n1e-6 and 1e-4 yet cost no "
+                 "cycles (ECC corrects in flight); only the rare "
+                 "uncorrectable\nreads pay the retry tax, and the "
+                 "scheduler ranking must not change.\n";
+    return 0;
+}

@@ -28,6 +28,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "common/rng.hh"
 #include "mem/controller.hh"
 #include "obs/latency.hh"
@@ -43,7 +45,8 @@ namespace {
 std::unique_ptr<Controller>
 LoadedController(SchedulerKind kind, std::uint32_t requests,
                  bool fast_path = true, std::uint32_t threads = 8,
-                 bool indexed = true, double write_fraction = 0.2)
+                 bool indexed = true, double write_fraction = 0.2,
+                 const std::function<void(ControllerConfig&)>& customize = {})
 {
     SchedulerConfig scheduler_config;
     scheduler_config.kind = kind;
@@ -51,6 +54,9 @@ LoadedController(SchedulerKind kind, std::uint32_t requests,
     config.enable_refresh = false;
     config.fast_path = fast_path;
     config.indexed_selection = indexed;
+    if (customize) {
+        customize(config);
+    }
     dram::Geometry geometry;
     geometry.rows_per_bank = 1024;
     auto controller = std::make_unique<Controller>(
@@ -163,6 +169,44 @@ ObsTick(benchmark::State& state, bool attach)
 }
 
 /**
+ * The RAS overhead pair at the 16-core loaded operating point: ras_off is
+ * BM_ParBs_indexed/16 with the RAS hooks compiled in but disabled (the CI
+ * gate holds it within 1% — RAS must be free when off); ras_on runs the
+ * deterministic error model at a realistic 1e-4 transient rate and is
+ * informational.
+ */
+void
+RasTick(benchmark::State& state, bool enabled)
+{
+    constexpr std::uint32_t kFullBuffer = 128;
+    constexpr std::uint32_t kCores = 16;
+    const auto customize = [enabled](ControllerConfig& config) {
+        config.ras.enabled = enabled;
+        config.ras.transient_error_rate = enabled ? 1e-4 : 0.0;
+        config.ras.seed = 99;
+    };
+    auto controller =
+        LoadedController(SchedulerKind::kParBs, kFullBuffer,
+                         /*fast_path=*/true, kCores, /*indexed=*/true,
+                         /*write_fraction=*/0.0, customize);
+    DramCycle now = 0;
+    for (auto _ : state) {
+        controller->Tick(now);
+        now += 1;
+        if (controller->pending_reads() < kFullBuffer / 2) {
+            state.PauseTiming();
+            controller = LoadedController(SchedulerKind::kParBs, kFullBuffer,
+                                          /*fast_path=*/true, kCores,
+                                          /*indexed=*/true,
+                                          /*write_fraction=*/0.0, customize);
+            now = 0;
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/**
  * Per-tick cost on a drained controller: with the fast path the first
  * tick computes a kNever bound and every further tick is a pure skip;
  * without it, every tick re-scans the empty queues.
@@ -248,6 +292,8 @@ void BM_IdleTick_skip(benchmark::State& s) { IdleTick(s, true); }
 void BM_IdleTick_scan(benchmark::State& s) { IdleTick(s, false); }
 void BM_ParBs_obs_off(benchmark::State& s) { ObsTick(s, false); }
 void BM_ParBs_obs_on(benchmark::State& s) { ObsTick(s, true); }
+void BM_ParBs_ras_off(benchmark::State& s) { RasTick(s, false); }
+void BM_ParBs_ras_on(benchmark::State& s) { RasTick(s, true); }
 
 #define PARBS_SELECTION_PAIR(Name, Kind)                                    \
     void BM_##Name##_indexed(benchmark::State& s)                           \
@@ -279,6 +325,8 @@ BENCHMARK(BM_IdleTick_skip);
 BENCHMARK(BM_IdleTick_scan);
 BENCHMARK(BM_ParBs_obs_off);
 BENCHMARK(BM_ParBs_obs_on);
+BENCHMARK(BM_ParBs_ras_off);
+BENCHMARK(BM_ParBs_ras_on);
 // Real-time (not CPU-time) is the honest metric for the sharded engine:
 // its work happens on worker threads the main thread only coordinates.
 BENCHMARK(BM_System_serial)->Arg(16)->Arg(64)->UseRealTime();

@@ -1,0 +1,111 @@
+#include "dram/error_model.hh"
+
+#include "common/assert.hh"
+
+namespace parbs::dram {
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+/** Salt separating the stuck-row population from the transient stream. */
+constexpr std::uint64_t kStuckSalt = 0x5bf03635ULL << 32;
+/** Salt separating the severity draw from the occurrence draw. */
+constexpr std::uint64_t kSeveritySalt = 0x27d4eb2fULL;
+
+/** splitmix64 finalizer: the same mixer the Rng seeds through, used here
+ *  directly so a draw is a pure function of its key (no generator state). */
+std::uint64_t
+Mix(std::uint64_t x)
+{
+    x += kGolden;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Packs device coordinates into one 64-bit key. */
+std::uint64_t
+PackRow(std::uint32_t rank, std::uint32_t bank, std::uint32_t row)
+{
+    return (static_cast<std::uint64_t>(rank) << 48) |
+           (static_cast<std::uint64_t>(bank) << 40) |
+           static_cast<std::uint64_t>(row);
+}
+
+/** Maps a hash to a uniform double in [0, 1). */
+double
+ToUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void
+CheckRate(double rate, const char* name)
+{
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+        PARBS_FATAL("error model: " + std::string(name) +
+                    " must be in [0, 1], got " + std::to_string(rate));
+    }
+}
+
+} // namespace
+
+const char*
+EccOutcomeName(EccOutcome outcome)
+{
+    switch (outcome) {
+      case EccOutcome::kClean:
+        return "clean";
+      case EccOutcome::kCorrectable:
+        return "corrected";
+      case EccOutcome::kUncorrectable:
+        return "uncorrectable";
+    }
+    return "?";
+}
+
+void
+ErrorModelConfig::Validate() const
+{
+    CheckRate(transient_error_rate, "transient_error_rate");
+    CheckRate(transient_uncorrectable, "transient_uncorrectable");
+    CheckRate(stuck_row_fraction, "stuck_row_fraction");
+}
+
+ErrorModel::ErrorModel(const ErrorModelConfig& config)
+    : config_(config),
+      base_(Mix(Mix(config.seed) ^ (config.channel + 1)))
+{
+    config_.Validate();
+}
+
+bool
+ErrorModel::RowStuck(std::uint32_t rank, std::uint32_t bank,
+                     std::uint32_t row) const
+{
+    if (config_.stuck_row_fraction <= 0.0) {
+        return false;
+    }
+    const std::uint64_t h =
+        Mix(base_ ^ kStuckSalt ^ PackRow(rank, bank, row));
+    return ToUnit(h) < config_.stuck_row_fraction;
+}
+
+EccOutcome
+ErrorModel::ClassifyTransient(std::uint32_t rank, std::uint32_t bank,
+                              std::uint32_t row,
+                              std::uint64_t access_index) const
+{
+    if (config_.transient_error_rate <= 0.0) {
+        return EccOutcome::kClean;
+    }
+    const std::uint64_t h = Mix(base_ ^ PackRow(rank, bank, row) ^
+                                ((access_index + 1) * kGolden));
+    if (ToUnit(h) >= config_.transient_error_rate) {
+        return EccOutcome::kClean;
+    }
+    return ToUnit(Mix(h ^ kSeveritySalt)) < config_.transient_uncorrectable
+               ? EccOutcome::kUncorrectable
+               : EccOutcome::kCorrectable;
+}
+
+} // namespace parbs::dram

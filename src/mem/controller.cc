@@ -1,6 +1,7 @@
 #include "mem/controller.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/assert.hh"
 #include "obs/latency.hh"
@@ -20,6 +21,7 @@ ControllerConfig::Validate() const
                     "low <= high <= capacity");
     }
     watchdog.Validate();
+    ras.Validate();
 }
 
 Controller::Controller(const ControllerConfig& config,
@@ -45,6 +47,18 @@ Controller::Controller(const ControllerConfig& config,
     config_.Validate();
     if (config_.protocol_check) {
         channel_.EnableProtocolCheck();
+    }
+    if (config_.ras.enabled) {
+        ras_ = std::make_unique<RasEngine>(config_.ras, geometry);
+        if (config_.ras.scrub_interval > 0) {
+            scrubber_ = std::make_unique<Scrubber>(
+                geometry, config_.ras.scrub_interval,
+                config_.ras.scrub_demote_reads);
+            // The skip-ahead bound does not model the scrub clock, and
+            // scrub decisions happen exactly on the idle cycles the fast
+            // path would skip: force the full per-cycle scan.
+            config_.fast_path = false;
+        }
     }
     if (config_.watchdog.enabled) {
         watchdog_ = std::make_unique<ForwardProgressWatchdog>(
@@ -138,6 +152,8 @@ Controller::Tick(DramCycle now)
             }
             if (chosen != nullptr) {
                 IssueFor(*chosen, now);
+            } else if (scrubber_ != nullptr && TryScrub(now)) {
+                // Patrol scrub used the otherwise-idle cycle.
             } else if (config_.fast_path) {
                 next_select_cycle_ = NextReadyBound(now);
             }
@@ -159,7 +175,8 @@ Controller::Tick(DramCycle now)
 
     if (watchdog_) {
         watchdog_->Check(now, read_queue_, write_queue_, *scheduler_,
-                         channel_, last_command_cycle_, tracer_);
+                         channel_, last_command_cycle_, tracer_,
+                         ras_.get());
     }
 
     SampleBlp();
@@ -175,12 +192,19 @@ Controller::RetireFinished(DramCycle now)
     // scan: per-queue completion cycles are distinct and the check runs
     // every cycle one is due, so at most one request per queue retires per
     // call.
-    while (!inburst_reads_.empty() && inburst_reads_.front().first <= now) {
-        const RequestId id = inburst_reads_.front().second;
+    while (!inburst_reads_.empty() && inburst_reads_.front().done <= now) {
+        const InFlight entry = inburst_reads_.front();
         inburst_reads_.pop_front();
-        std::unique_ptr<MemRequest> request = read_queue_.Remove(id);
+        std::unique_ptr<MemRequest> request = read_queue_.Remove(entry.id);
         PARBS_ASSERT(request->state == RequestState::kInBurst,
                      "retire FIFO out of sync with request state");
+        if (entry.ecc_fail) {
+            // The burst arrived but ECC flagged it uncorrectable: the data
+            // never reaches the core.  Requeue for a bounded retry instead
+            // of retiring (may throw MachineCheckError past the budget).
+            RetryFailedRead(std::move(request), now);
+            continue;
+        }
         request->state = RequestState::kCompleted;
         LeaveService(*request);
         if (tracer_ != nullptr) {
@@ -216,8 +240,8 @@ Controller::RetireFinished(DramCycle now)
     }
 
     while (!inburst_writes_.empty() &&
-           inburst_writes_.front().first <= now) {
-        const RequestId id = inburst_writes_.front().second;
+           inburst_writes_.front().done <= now) {
+        const RequestId id = inburst_writes_.front().id;
         inburst_writes_.pop_front();
         std::unique_ptr<MemRequest> request = write_queue_.Remove(id);
         PARBS_ASSERT(request->state == RequestState::kInBurst,
@@ -230,6 +254,11 @@ Controller::RetireFinished(DramCycle now)
                            request->Latency()});
         }
         scheduler_->OnRequestComplete(*request, now);
+    }
+
+    if (scrubber_ != nullptr && scrubber_->in_flight() &&
+        scrubber_->completion() <= now) {
+        FinishScrub(now);
     }
 
     // Keep the write-drain hysteresis exact across skipped selection scans:
@@ -283,17 +312,23 @@ void
 Controller::PendingRetires(DramCycle limit, std::vector<DramCycle>& reads,
                            std::vector<DramCycle>& writes) const
 {
-    for (const auto& [done, id] : inburst_reads_) {
-        if (done >= limit) {
+    for (const InFlight& entry : inburst_reads_) {
+        if (entry.done >= limit) {
             break;
         }
-        reads.push_back(done);
+        // A failed read re-enters the queue at its completion cycle
+        // instead of departing, so it is not a retire for the sharded
+        // occupancy proxies.
+        if (entry.ecc_fail) {
+            continue;
+        }
+        reads.push_back(entry.done);
     }
-    for (const auto& [done, id] : inburst_writes_) {
-        if (done >= limit) {
+    for (const InFlight& entry : inburst_writes_) {
+        if (entry.done >= limit) {
             break;
         }
-        writes.push_back(done);
+        writes.push_back(entry.done);
     }
 }
 
@@ -304,11 +339,15 @@ Controller::RecomputeNextRetire()
     next_retire_check_ = kNeverCycle;
     if (!inburst_reads_.empty()) {
         next_retire_check_ =
-            std::min(next_retire_check_, inburst_reads_.front().first);
+            std::min(next_retire_check_, inburst_reads_.front().done);
     }
     if (!inburst_writes_.empty()) {
         next_retire_check_ =
-            std::min(next_retire_check_, inburst_writes_.front().first);
+            std::min(next_retire_check_, inburst_writes_.front().done);
+    }
+    if (scrubber_ != nullptr && scrubber_->in_flight()) {
+        next_retire_check_ =
+            std::min(next_retire_check_, scrubber_->completion());
     }
 }
 
@@ -413,6 +452,12 @@ Controller::SelectIndexed(const RequestQueue& queue, DramCycle now)
         if (refresh_active && channel_.rank(rank).RefreshDue(now)) {
             continue;
         }
+        // A bank under a retry-backoff hold issues nothing until it
+        // expires (the hold only delays, so the skip-ahead bound — which
+        // ignores holds — stays a conservative lower bound).
+        if (ras_ != nullptr && ras_->BankHoldUntil(bank) > now) {
+            continue;
+        }
         const dram::Bank& state = channel_.bank(rank, bank_in_rank);
         // Skipping a timing-blocked bank cannot change the outcome: the
         // bank winner's next command is one of the probed types, so it
@@ -466,6 +511,10 @@ Controller::SelectScan(const RequestQueue& queue, DramCycle now)
         // refresh has been performed (starvation-free refresh guarantee).
         if (refresh_active &&
             channel_.rank(request->coords.rank).RefreshDue(now)) {
+            continue;
+        }
+        // Retry-backoff hold: mirrors the indexed path's bank skip.
+        if (ras_ != nullptr && ras_->BankHoldUntil(FlatBank(*request)) > now) {
             continue;
         }
         const dram::Bank& bank =
@@ -534,23 +583,26 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
         }
         // The first command tells us what the row-buffer looked like when
         // service began: column command => hit, ACTIVATE => closed,
-        // PRECHARGE => conflict.
-        switch (type) {
-          case dram::CommandType::kRead:
-          case dram::CommandType::kWrite:
-            request.service_class = dram::RowBufferState::kHit;
-            break;
-          case dram::CommandType::kActivate:
-            request.service_class = dram::RowBufferState::kClosed;
-            break;
-          case dram::CommandType::kPrecharge:
-            request.service_class = dram::RowBufferState::kConflict;
-            break;
-          case dram::CommandType::kRefresh:
-            PARBS_ASSERT(false, "refresh issued for a request");
-            break;
+        // PRECHARGE => conflict.  An ECC retry keeps its first-attempt
+        // class — the stats describe demand service, not recovery.
+        if (!request.service_class_valid) {
+            switch (type) {
+              case dram::CommandType::kRead:
+              case dram::CommandType::kWrite:
+                request.service_class = dram::RowBufferState::kHit;
+                break;
+              case dram::CommandType::kActivate:
+                request.service_class = dram::RowBufferState::kClosed;
+                break;
+              case dram::CommandType::kPrecharge:
+                request.service_class = dram::RowBufferState::kConflict;
+                break;
+              case dram::CommandType::kRefresh:
+                PARBS_ASSERT(false, "refresh issued for a request");
+                break;
+            }
+            request.service_class_valid = true;
         }
-        request.service_class_valid = true;
         if (!request.is_write) {
             EnterService(request);
         }
@@ -565,19 +617,192 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
         request.state = RequestState::kInBurst;
         request.burst_issue_cycle = now;
         request.completion_cycle = done;
+        if (request.first_attempt_completion == kNeverCycle) {
+            request.first_attempt_completion = done;
+        }
+        // ECC verdict, drawn when the read burst issues: a deterministic
+        // function of (seed, channel, rank, bank, row, access index), so
+        // the outcome is independent of scheduler and worker count.
+        bool ecc_fail = false;
+        if (ras_ != nullptr && type == dram::CommandType::kRead) {
+            const dram::EccOutcome outcome = ras_->ClassifyRead(
+                request.coords.rank, request.coords.bank,
+                request.coords.row);
+            if (outcome == dram::EccOutcome::kCorrectable) {
+                ras_->stats().corrected += 1;
+                if (tracer_ != nullptr) {
+                    tracer_->Emit({now, obs::EventKind::kEccCorrected,
+                                   channel_id_, request.thread,
+                                   FlatBank(request), request.id,
+                                   request.coords.row});
+                }
+            } else if (outcome == dram::EccOutcome::kUncorrectable) {
+                ecc_fail = true;
+            }
+        }
         if (tracer_ != nullptr) {
             tracer_->Emit({now, obs::EventKind::kRequestBurst, channel_id_,
                            request.thread, FlatBank(request), request.id,
                            done});
         }
         auto& fifo = request.is_write ? inburst_writes_ : inburst_reads_;
-        PARBS_ASSERT(fifo.empty() || fifo.back().first <= done,
+        PARBS_ASSERT(fifo.empty() || fifo.back().done <= done,
                      "in-burst completions must be pushed in order");
-        fifo.push_back({done, request.id});
+        fifo.push_back({done, request.id, ecc_fail});
         next_retire_check_ = std::min(next_retire_check_, done);
     }
 
     scheduler_->OnCommandIssued(request, command, now);
+}
+
+void
+Controller::RetryFailedRead(std::unique_ptr<MemRequest> request,
+                            DramCycle now)
+{
+    LeaveService(*request);
+    const std::uint32_t flat = FlatBank(*request);
+    ras_->stats().uncorrectable += 1;
+    if (tracer_ != nullptr) {
+        tracer_->Emit({now, obs::EventKind::kEccUncorrectable, channel_id_,
+                       request->thread, flat, request->id,
+                       request->retries});
+    }
+    request->retries += 1;
+    if (request->retries > config_.ras.retry_budget) {
+        // Budget exhausted: give up on the physical row (post-package-
+        // repair style) so the final retry reads the remapped, clean row.
+        // Throws MachineCheckError when the remap table is full.
+        RetireRow(request->thread, request->coords.rank,
+                  request->coords.bank, request->coords.row, now);
+        request->retries = 0;
+    }
+    ras_->stats().retries += 1;
+    request->state = RequestState::kQueued;
+    request->first_command_cycle = kNeverCycle;
+    request->burst_issue_cycle = kNeverCycle;
+    request->completion_cycle = kNeverCycle;
+    MemRequest& ref = read_queue_.Add(std::move(request));
+    ras_->HoldBank(flat, now + config_.ras.retry_backoff);
+    if (tracer_ != nullptr) {
+        tracer_->Emit({now, obs::EventKind::kEccRetry, channel_id_,
+                       ref.thread, flat, ref.id, ref.retries});
+    }
+    // The requeued candidate (and later the hold expiry) may be ready
+    // before any cached bound predicted.
+    next_select_cycle_ = 0;
+}
+
+void
+Controller::RetireRow(ThreadId thread, std::uint32_t rank,
+                      std::uint32_t bank, std::uint32_t row, DramCycle now)
+{
+    if (ras_->IsRetired(rank, bank, row)) {
+        return;
+    }
+    const std::uint32_t flat = rank * channel_.rank(0).num_banks() + bank;
+    if (!ras_->TryRetireRow(rank, bank, row)) {
+        ras_->stats().machine_checks += 1;
+        if (tracer_ != nullptr) {
+            tracer_->Emit({now, obs::EventKind::kMachineCheck, channel_id_,
+                           thread, flat, row, ras_->remap_capacity()});
+        }
+        std::ostringstream message;
+        message << "machine check: uncorrectable DRAM error at channel "
+                << static_cast<unsigned>(channel_id_) << " rank " << rank
+                << " bank " << bank << " row " << row
+                << " with the remap table full (" << ras_->remap_used()
+                << "/" << ras_->remap_capacity()
+                << " rows retired) at cycle " << now;
+        throw MachineCheckError(message.str());
+    }
+    ras_->stats().rows_retired += 1;
+    if (tracer_ != nullptr) {
+        tracer_->Emit({now, obs::EventKind::kRowRetired, channel_id_,
+                       thread, flat, row, ras_->remap_used()});
+    }
+}
+
+bool
+Controller::TryScrub(DramCycle now)
+{
+    Scrubber& scrub = *scrubber_;
+    if (scrub.in_flight() || now < scrub.next_due()) {
+        return false;
+    }
+    // Forced demotion under queue pressure: scrub stands down while the
+    // write drain runs or demand reads pile up (DESIGN.md §6).
+    if (write_drain_active_ ||
+        read_queue_.size() >= scrub.demote_reads()) {
+        return false;
+    }
+    // Skip remapped rows — their physical row no longer holds data.  A
+    // consecutive retired run is at most remap_used() long, so the walk
+    // is bounded; if every row is retired there is nothing to scrub.
+    std::size_t skipped = 0;
+    while (ras_->IsRetired(scrub.rank(), scrub.bank(), scrub.row())) {
+        if (skipped++ > ras_->remap_used()) {
+            return false;
+        }
+        scrub.AdvanceCursor();
+    }
+    const std::uint32_t rank = scrub.rank();
+    const std::uint32_t bank_in_rank = scrub.bank();
+    // Like demand selection, never step in front of an overdue refresh.
+    if (config_.enable_refresh && channel_.timing().tREFI != 0 &&
+        channel_.rank(rank).RefreshDue(now)) {
+        return false;
+    }
+    const dram::Bank& bank = channel_.bank(rank, bank_in_rank);
+    const dram::CommandType type =
+        bank.NextCommandFor(scrub.row(), /*is_write=*/false);
+    dram::Command command{type, rank, bank_in_rank, scrub.row()};
+    if (!channel_.CanIssue(command, now)) {
+        return false;
+    }
+    const DramCycle done = channel_.Issue(command, now);
+    const std::uint32_t flat =
+        rank * channel_.rank(0).num_banks() + bank_in_rank;
+    RecordCommand(type, now, kInvalidThread, flat, scrub.row());
+    if (type == dram::CommandType::kRead) {
+        const dram::EccOutcome outcome =
+            ras_->ClassifyScrub(rank, bank_in_rank, scrub.row());
+        ras_->stats().scrub_reads += 1;
+        scrub.BeginRead(done, outcome);
+        if (tracer_ != nullptr) {
+            tracer_->Emit({now, obs::EventKind::kScrubIssue, channel_id_,
+                           kInvalidThread, flat, scrub.row(), done});
+        }
+        next_retire_check_ = std::min(next_retire_check_, done);
+    }
+    return true;
+}
+
+void
+Controller::FinishScrub(DramCycle now)
+{
+    Scrubber& scrub = *scrubber_;
+    const std::uint32_t flat =
+        scrub.rank() * channel_.rank(0).num_banks() + scrub.bank();
+    if (tracer_ != nullptr) {
+        tracer_->Emit({now, obs::EventKind::kScrubComplete, channel_id_,
+                       kInvalidThread, flat, scrub.row(),
+                       static_cast<std::uint64_t>(scrub.outcome())});
+    }
+    switch (scrub.outcome()) {
+      case dram::EccOutcome::kClean:
+        break;
+      case dram::EccOutcome::kCorrectable:
+        ras_->stats().scrub_corrected += 1;
+        break;
+      case dram::EccOutcome::kUncorrectable:
+        ras_->stats().scrub_uncorrectable += 1;
+        // Proactive retirement: the patrol found the bad row before
+        // demand traffic did (may throw MachineCheckError at capacity).
+        RetireRow(kInvalidThread, scrub.rank(), scrub.bank(), scrub.row(),
+                  now);
+        break;
+    }
+    scrub.FinishRead(now);
 }
 
 const ControllerThreadStats&
@@ -614,7 +839,7 @@ std::string
 Controller::Diagnostics(DramCycle now) const
 {
     return FormatControllerDiagnostics(now, read_queue_, write_queue_,
-                                       *scheduler_, channel_);
+                                       *scheduler_, channel_, ras_.get());
 }
 
 void

@@ -19,8 +19,10 @@
 
 #include "common/types.hh"
 #include "dram/channel.hh"
+#include "mem/ras.hh"
 #include "mem/request.hh"
 #include "mem/request_queue.hh"
+#include "mem/scrubber.hh"
 #include "mem/watchdog.hh"
 #include "sched/scheduler.hh"
 
@@ -87,6 +89,16 @@ struct ControllerConfig {
     bool verify_indexed_selection = false;
     /** Forward-progress watchdog (starvation / batch / deadlock bounds). */
     WatchdogConfig watchdog;
+    /**
+     * RAS: deterministic device error model, ECC outcome classification
+     * with bounded retry + row retirement, and patrol scrubbing (DESIGN.md
+     * §6).  Disabled by default; when disabled no RAS state is allocated
+     * and every hook is one null-pointer branch (the PR 5 discipline).
+     * Note: enabling the scrubber forces fast_path off — the skip-ahead
+     * bound does not model the scrub clock, and scrub decisions are made
+     * on idle cycles the fast path would otherwise skip.
+     */
+    RasConfig ras;
 
     /** @throws ConfigError on invalid sizing or watermarks. */
     void Validate() const;
@@ -252,6 +264,12 @@ class Controller {
 
     const FastPathStats& fast_path_stats() const { return fast_stats_; }
 
+    /** RAS engine (error/retry/retirement books), or null when disabled. */
+    const RasEngine* ras() const { return ras_.get(); }
+
+    /** Patrol scrubber, or null when scrubbing is off. */
+    const Scrubber* scrubber() const { return scrubber_.get(); }
+
   private:
     ControllerConfig config_;
     dram::Channel channel_;
@@ -268,6 +286,11 @@ class Controller {
     std::unique_ptr<ForwardProgressWatchdog> watchdog_;
     /** Cycle the last DRAM command (any type) was issued. */
     DramCycle last_command_cycle_ = kNeverCycle;
+
+    /** RAS engine; null unless config.ras.enabled (the gating branch). */
+    std::unique_ptr<RasEngine> ras_;
+    /** Patrol scrubber; null unless RAS is on and scrub_interval > 0. */
+    std::unique_ptr<Scrubber> scrubber_;
 
     /** Observability sinks; null when tracing is off (the gating branch). */
     obs::Tracer* tracer_ = nullptr;
@@ -306,13 +329,26 @@ class Controller {
     DramCycle next_retire_check_ = kNeverCycle;
 
     /**
+     * One in-flight data burst: its (pre-known) completion cycle, the
+     * request, and the ECC verdict drawn at issue time.  A failed read
+     * (`ecc_fail`) never retires — at its completion cycle it re-enters
+     * the read queue for a retry instead — so the sharded retire schedule
+     * (PendingRetires) excludes it.
+     */
+    struct InFlight {
+        DramCycle done;
+        RequestId id;
+        bool ecc_fail;
+    };
+
+    /**
      * In-burst requests per queue, in completion order.  Burst latency is
      * a per-queue constant (tCL+tBURST for reads, tCWL+tBURST for writes)
      * and commands issue on distinct cycles, so issue order is completion
      * order — retirement pops fronts instead of scanning the buffers.
      */
-    std::deque<std::pair<DramCycle, RequestId>> inburst_reads_;
-    std::deque<std::pair<DramCycle, RequestId>> inburst_writes_;
+    std::deque<InFlight> inburst_reads_;
+    std::deque<InFlight> inburst_writes_;
 
     FastPathStats fast_stats_;
 
@@ -391,6 +427,35 @@ class Controller {
                                     DramCycle now) const;
 
     void IssueFor(MemRequest& request, DramCycle now);
+
+    /**
+     * Handles an uncorrectable read at its completion cycle: requeues the
+     * request for a controller-issued retry under a per-bank backoff hold,
+     * retiring the row first once the retry budget is exhausted.
+     * @throws MachineCheckError if retirement finds the remap table full.
+     */
+    void RetryFailedRead(std::unique_ptr<MemRequest> request, DramCycle now);
+
+    /**
+     * Moves (rank, bank, row) into the remap table with graceful-
+     * degradation accounting.  @p thread tags the trace event
+     * (kInvalidThread for scrub-triggered retirement).
+     * @throws MachineCheckError when the table is at capacity.
+     */
+    void RetireRow(ThreadId thread, std::uint32_t rank, std::uint32_t bank,
+                   std::uint32_t row, DramCycle now);
+
+    /**
+     * Issues at most one patrol-scrub command (DESIGN.md §6 arbitration:
+     * only on cycles where demand selection produced nothing, no refresh
+     * issued, no write drain, and the read queue sits below the demotion
+     * watermark).  @return true if a command was issued.
+     */
+    bool TryScrub(DramCycle now);
+
+    /** Closes the completed scrub read: classification bookkeeping and —
+     *  for an uncorrectable row — proactive retirement. */
+    void FinishScrub(DramCycle now);
 
     /**
      * Earliest cycle any currently-queued request's next command could

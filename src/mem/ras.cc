@@ -1,0 +1,129 @@
+#include "mem/ras.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+void
+RasConfig::Validate() const
+{
+    if (!enabled) {
+        return;
+    }
+    dram::ErrorModelConfig model;
+    model.transient_error_rate = transient_error_rate;
+    model.transient_uncorrectable = transient_uncorrectable;
+    model.stuck_row_fraction = stuck_row_fraction;
+    model.Validate();
+    if (retry_backoff == 0) {
+        // A zero backoff would let a failed read re-issue on its retire
+        // cycle, which the sharded retire schedule cannot represent.
+        PARBS_FATAL("ras: retry_backoff must be >= 1 DRAM cycle");
+    }
+}
+
+RasEngine::RasEngine(const RasConfig& config, const dram::Geometry& geometry)
+    : config_(config),
+      model_([&] {
+          dram::ErrorModelConfig model;
+          model.seed = config.seed;
+          model.channel = config.channel;
+          model.transient_error_rate = config.transient_error_rate;
+          model.transient_uncorrectable = config.transient_uncorrectable;
+          model.stuck_row_fraction = config.stuck_row_fraction;
+          return model;
+      }()),
+      banks_per_rank_(geometry.banks_per_rank),
+      rows_per_bank_(geometry.rows_per_bank),
+      access_counts_(static_cast<std::size_t>(geometry.ranks_per_channel) *
+                         geometry.banks_per_rank * geometry.rows_per_bank,
+                     0),
+      hold_until_(static_cast<std::size_t>(geometry.ranks_per_channel) *
+                      geometry.banks_per_rank,
+                  0)
+{
+    PARBS_ASSERT(config.enabled, "RasEngine built with RAS disabled");
+    config_.Validate();
+}
+
+dram::EccOutcome
+RasEngine::ClassifyRead(std::uint32_t rank, std::uint32_t bank,
+                        std::uint32_t row)
+{
+    const std::size_t index =
+        (static_cast<std::size_t>(rank) * banks_per_rank_ + bank) *
+            rows_per_bank_ +
+        row;
+    const std::uint32_t access = access_counts_[index]++;
+    if (IsRetired(rank, bank, row)) {
+        // Remapped rows are served from spare capacity: no device faults.
+        return dram::EccOutcome::kClean;
+    }
+    if (model_.RowStuck(rank, bank, row)) {
+        return dram::EccOutcome::kUncorrectable;
+    }
+    return model_.ClassifyTransient(rank, bank, row, access);
+}
+
+bool
+RasEngine::IsRetired(std::uint32_t rank, std::uint32_t bank,
+                     std::uint32_t row) const
+{
+    return retired_.count(Key(rank, bank, row)) != 0;
+}
+
+bool
+RasEngine::TryRetireRow(std::uint32_t rank, std::uint32_t bank,
+                        std::uint32_t row)
+{
+    const std::uint64_t key = Key(rank, bank, row);
+    if (retired_.count(key) != 0) {
+        return true;
+    }
+    if (retired_.size() >= config_.remap_capacity) {
+        return false;
+    }
+    retired_.insert(key);
+    return true;
+}
+
+void
+RasEngine::HoldBank(std::uint32_t flat_bank, DramCycle until)
+{
+    PARBS_ASSERT(flat_bank < hold_until_.size(),
+                 "bank hold out of range");
+    hold_until_[flat_bank] = std::max(hold_until_[flat_bank], until);
+}
+
+std::string
+RasEngine::Summary() const
+{
+    std::ostringstream out;
+    out << "corrected=" << stats_.corrected
+        << " uncorrectable=" << stats_.uncorrectable
+        << " retries=" << stats_.retries << " remap=" << retired_.size()
+        << "/" << config_.remap_capacity
+        << " machine_checks=" << stats_.machine_checks
+        << " scrub_reads=" << stats_.scrub_reads
+        << " scrub_corrected=" << stats_.scrub_corrected
+        << " scrub_uncorrectable=" << stats_.scrub_uncorrectable;
+    return out.str();
+}
+
+void
+RasEngine::DumpState(std::ostream& out, DramCycle now) const
+{
+    out << "  ras: " << Summary() << "\n";
+    for (std::size_t bank = 0; bank < hold_until_.size(); ++bank) {
+        if (hold_until_[bank] > now) {
+            out << "    bank " << bank << ": retry hold until cycle "
+                << hold_until_[bank] << "\n";
+        }
+    }
+}
+
+} // namespace parbs

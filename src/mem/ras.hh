@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Controller-side RAS (reliability / availability / serviceability):
+ * configuration, the per-channel recovery engine, and the structured
+ * machine-check error.
+ *
+ * The engine overlays recovery *policy* state on the stateless device
+ * error model (dram/error_model.hh):
+ *
+ *  - per-row read-access counters keying the transient draws (purely a
+ *    function of each channel's tick order, hence identical between the
+ *    serial and sharded engines);
+ *  - the remap table of retired rows (post-package-repair style): a
+ *    retired row is served from spare capacity and never errors again;
+ *    the table has a hard capacity — exhaustion is a MachineCheckError;
+ *  - per-bank retry backoff holds: after an uncorrectable read the bank
+ *    is held for `retry_backoff` cycles so the retry does not spin on a
+ *    row that needs time (and so other banks' traffic proceeds).
+ *
+ * The Controller drives every transition (see DESIGN.md §6 for the
+ * retry/retirement state machine); this class only keeps the books.
+ */
+
+#ifndef PARBS_MEM_RAS_HH
+#define PARBS_MEM_RAS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/error_model.hh"
+#include "dram/timing.hh"
+
+namespace parbs {
+
+/**
+ * Structured machine check: an uncorrectable error survived the retry
+ * budget and the remap table has no spare capacity left.  Deliberately a
+ * catchable exception (never an abort) so harnesses degrade gracefully —
+ * the fault-injection driver treats it as its own defense class.
+ */
+class MachineCheckError : public std::runtime_error {
+  public:
+    explicit MachineCheckError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** RAS knobs, carried inside ControllerConfig (paper-less defaults: off). */
+struct RasConfig {
+    /** Master switch; when false no RAS state is allocated at all. */
+    bool enabled = false;
+
+    // --- device error model -----------------------------------------------
+    /** Per-read probability of a transient error. */
+    double transient_error_rate = 0.0;
+    /** Fraction of transient errors that exceed SEC-DED correction. */
+    double transient_uncorrectable = 0.1;
+    /** Fraction of rows permanently stuck (uncorrectable until retired). */
+    double stuck_row_fraction = 0.0;
+    /** Error-model seed; 0 means "derive from the system seed". */
+    std::uint64_t seed = 0;
+    /** Channel index, stamped by the System (decorrelates channels). */
+    std::uint32_t channel = 0;
+
+    // --- recovery policy --------------------------------------------------
+    /** Uncorrectable-read retries before the row is retired. */
+    std::uint32_t retry_budget = 3;
+    /** Per-bank hold after an uncorrectable read, DRAM cycles (>= 1). */
+    DramCycle retry_backoff = 16;
+    /** Remap-table capacity (retired rows); exhaustion is a machine check. */
+    std::uint32_t remap_capacity = 64;
+
+    // --- patrol scrub -----------------------------------------------------
+    /** Cycles between patrol-scrub reads; 0 disables scrubbing. */
+    DramCycle scrub_interval = 0;
+    /** Scrub stands down while this many demand reads are queued. */
+    std::size_t scrub_demote_reads = 16;
+
+    /** @throws ConfigError on out-of-range rates or a zero backoff. */
+    void Validate() const;
+};
+
+/** Monotone RAS event counters (reported in stats, sampler, watchdog). */
+struct RasStats {
+    std::uint64_t corrected = 0;          ///< Demand reads corrected in flight.
+    std::uint64_t uncorrectable = 0;      ///< Demand reads that failed ECC.
+    std::uint64_t retries = 0;            ///< Controller-issued read retries.
+    std::uint64_t rows_retired = 0;       ///< Rows moved to the remap table.
+    std::uint64_t machine_checks = 0;     ///< Remap-capacity exhaustions.
+    std::uint64_t scrub_reads = 0;        ///< Patrol-scrub reads issued.
+    std::uint64_t scrub_corrected = 0;    ///< Scrub reads corrected.
+    std::uint64_t scrub_uncorrectable = 0;///< Scrub reads that failed ECC.
+};
+
+/** Per-channel RAS bookkeeping (see file comment). */
+class RasEngine {
+  public:
+    RasEngine(const RasConfig& config, const dram::Geometry& geometry);
+
+    const RasConfig& config() const { return config_; }
+
+    /**
+     * ECC outcome of a demand read of (rank, bank, row), consuming one
+     * per-row access draw.  Remapped (retired) rows are always clean;
+     * stuck rows are always uncorrectable; otherwise the transient draw
+     * decides.
+     */
+    dram::EccOutcome ClassifyRead(std::uint32_t rank, std::uint32_t bank,
+                                  std::uint32_t row);
+
+    /** Same classification for a patrol-scrub read (same draw stream). */
+    dram::EccOutcome
+    ClassifyScrub(std::uint32_t rank, std::uint32_t bank, std::uint32_t row)
+    {
+        return ClassifyRead(rank, bank, row);
+    }
+
+    /** @return true if (rank, bank, row) is in the remap table. */
+    bool IsRetired(std::uint32_t rank, std::uint32_t bank,
+                   std::uint32_t row) const;
+
+    /**
+     * Moves a row into the remap table.
+     * @return false when the table is at capacity (caller raises the
+     *         machine check); true on success (or if already retired).
+     */
+    bool TryRetireRow(std::uint32_t rank, std::uint32_t bank,
+                      std::uint32_t row);
+
+    std::size_t remap_used() const { return retired_.size(); }
+    std::uint32_t remap_capacity() const { return config_.remap_capacity; }
+
+    /** Starts (or extends) a retry-backoff hold on @p flat_bank. */
+    void HoldBank(std::uint32_t flat_bank, DramCycle until);
+
+    /** First cycle @p flat_bank accepts demand selection again (0 = free). */
+    DramCycle BankHoldUntil(std::uint32_t flat_bank) const
+    {
+        return hold_until_[flat_bank];
+    }
+
+    RasStats& stats() { return stats_; }
+    const RasStats& stats() const { return stats_; }
+
+    /** One-line counter summary ("corrected=... remap=2/64 ...") for the
+     *  stats dump and the watchdog diagnostics. */
+    std::string Summary() const;
+
+    /** Appends the watchdog diagnostic block: the summary line plus every
+     *  bank hold still pending at @p now. */
+    void DumpState(std::ostream& out, DramCycle now) const;
+
+  private:
+    RasConfig config_;
+    dram::ErrorModel model_;
+    std::uint32_t banks_per_rank_;
+    std::uint32_t rows_per_bank_;
+
+    /** Read-access draw index per (rank, bank, row). */
+    std::vector<std::uint32_t> access_counts_;
+    /** Retired rows, keyed by the packed (rank, bank, row) coordinate. */
+    std::unordered_set<std::uint64_t> retired_;
+    /** Retry-backoff expiry per flat bank (0 = no hold). */
+    std::vector<DramCycle> hold_until_;
+
+    RasStats stats_;
+
+    std::uint64_t
+    Key(std::uint32_t rank, std::uint32_t bank, std::uint32_t row) const
+    {
+        return (static_cast<std::uint64_t>(rank * banks_per_rank_ + bank) <<
+                32) |
+               row;
+    }
+};
+
+} // namespace parbs
+
+#endif // PARBS_MEM_RAS_HH

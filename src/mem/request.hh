@@ -51,10 +51,22 @@ struct MemRequest {
     /**
      * Row-buffer status observed when the first command for this request
      * was issued (the paper's hit / closed / conflict categories); used for
-     * the row-buffer hit-rate statistics.
+     * the row-buffer hit-rate statistics.  Kept across ECC retries (it
+     * describes first service, not the final attempt).
      */
     dram::RowBufferState service_class = dram::RowBufferState::kClosed;
     bool service_class_valid = false;
+
+    // --- RAS bookkeeping (mem/ras.hh) -----------------------------------
+
+    /** Uncorrectable-ECC retries consumed so far (reset after retirement). */
+    std::uint32_t retries = 0;
+    /**
+     * Completion cycle of the *first* burst attempt, kept across retries:
+     * completion_cycle - first_attempt_completion is the request's recovery
+     * tax (0 for reads that completed cleanly on the first attempt).
+     */
+    DramCycle first_attempt_completion = kNeverCycle;
 
     // --- Scheduler bookkeeping (Table 1 state lives here per request) ---
 

@@ -1,0 +1,55 @@
+#include "mem/scrubber.hh"
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+Scrubber::Scrubber(const dram::Geometry& geometry, DramCycle interval,
+                   std::size_t demote_reads)
+    : interval_(interval),
+      demote_reads_(demote_reads),
+      num_ranks_(geometry.ranks_per_channel),
+      banks_per_rank_(geometry.banks_per_rank),
+      rows_per_bank_(geometry.rows_per_bank)
+{
+    PARBS_ASSERT(interval_ > 0, "scrubber needs a nonzero interval");
+}
+
+void
+Scrubber::AdvanceCursor()
+{
+    if (++row_ < rows_per_bank_) {
+        return;
+    }
+    row_ = 0;
+    if (++bank_ < banks_per_rank_) {
+        return;
+    }
+    bank_ = 0;
+    if (++rank_ < num_ranks_) {
+        return;
+    }
+    rank_ = 0;
+    sweeps_ += 1;
+}
+
+void
+Scrubber::BeginRead(DramCycle completion, dram::EccOutcome outcome)
+{
+    PARBS_ASSERT(!in_flight_, "scrub read already in flight");
+    in_flight_ = true;
+    completion_ = completion;
+    outcome_ = outcome;
+}
+
+void
+Scrubber::FinishRead(DramCycle now)
+{
+    PARBS_ASSERT(in_flight_, "no scrub read to finish");
+    in_flight_ = false;
+    completion_ = kNeverCycle;
+    next_due_ = now + interval_;
+    AdvanceCursor();
+}
+
+} // namespace parbs

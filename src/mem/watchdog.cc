@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/assert.hh"
+#include "mem/ras.hh"
 #include "obs/tracer.hh"
 #include "sched/scheduler.hh"
 
@@ -85,7 +86,8 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
                                const Scheduler& scheduler,
                                const dram::Channel& channel,
                                DramCycle last_command_cycle,
-                               const obs::Tracer* tracer)
+                               const obs::Tracer* tracer,
+                               const RasEngine* ras)
 {
     // Batch accounting must observe every transition, so it runs before the
     // rate limiter; it is O(1).
@@ -118,7 +120,7 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
                << batch_deadline_
                << ") — PAR-BS starvation-freedom violated";
         Fail(reason.str(), now, reads, writes, scheduler, channel, tracer,
-             kInvalidThread, obs::kNoFlatBank);
+             ras, kInvalidThread, obs::kNoFlatBank);
     }
 
     // The buffers are arrival-ordered, so the front request has the
@@ -139,7 +141,8 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
                        << age << " cycles (bound " << starvation_bound_
                        << ")";
                 Fail(reason.str(), now, reads, writes, scheduler, channel,
-                     tracer, request->thread, queue->FlatBank(*request));
+                     tracer, ras, request->thread,
+                     queue->FlatBank(*request));
             }
         }
     }
@@ -158,7 +161,7 @@ ForwardProgressWatchdog::Check(DramCycle now, const RequestQueue& reads,
                            : std::to_string(last_command_cycle))
                    << " (bound " << no_progress_bound_ << ")";
             Fail(reason.str(), now, reads, writes, scheduler, channel,
-                 tracer, kInvalidThread, obs::kNoFlatBank);
+                 tracer, ras, kInvalidThread, obs::kNoFlatBank);
         }
     }
 }
@@ -169,13 +172,14 @@ ForwardProgressWatchdog::Fail(const std::string& reason, DramCycle now,
                               const RequestQueue& writes,
                               const Scheduler& scheduler,
                               const dram::Channel& channel,
-                              const obs::Tracer* tracer, ThreadId thread,
+                              const obs::Tracer* tracer,
+                              const RasEngine* ras, ThreadId thread,
                               std::uint32_t flat_bank)
 {
     std::ostringstream out;
     out << "watchdog: " << reason << "\n"
         << FormatControllerDiagnostics(now, reads, writes, scheduler,
-                                       channel);
+                                       channel, ras);
     if (tracer != nullptr) {
         out << tracer->FormatTail(thread, flat_bank, 256);
     }
@@ -186,7 +190,8 @@ std::string
 FormatControllerDiagnostics(DramCycle now, const RequestQueue& reads,
                             const RequestQueue& writes,
                             const Scheduler& scheduler,
-                            const dram::Channel& channel)
+                            const dram::Channel& channel,
+                            const RasEngine* ras)
 {
     std::ostringstream out;
     out << "controller diagnostics at dram cycle " << now << ":\n";
@@ -215,6 +220,9 @@ FormatControllerDiagnostics(DramCycle now, const RequestQueue& reads,
         out << " " << key << "=" << value;
     }
     out << " batch_outstanding=" << scheduler.BatchOutstanding() << "\n";
+    if (ras != nullptr) {
+        ras->DumpState(out, now);
+    }
     return out.str();
 }
 

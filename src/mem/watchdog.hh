@@ -35,6 +35,7 @@
 
 namespace parbs {
 
+class RasEngine;
 class Scheduler;
 
 namespace obs {
@@ -87,12 +88,17 @@ class ForwardProgressWatchdog {
      * @param tracer optional event tracer; when present, the failure dump
      *        appends the recent event history of the offending (thread,
      *        bank) so stall reports show the decision history.
+     * @param ras optional RAS engine; when present, the dump includes the
+     *        error/retry/scrub counters, remap-table occupancy, and any
+     *        active per-bank retry backoff holds (a held bank can look
+     *        stalled to a naive reader of the queue dump).
      * @throws WatchdogError with a diagnostic dump if a check trips.
      */
     void Check(DramCycle now, const RequestQueue& reads,
                const RequestQueue& writes, const Scheduler& scheduler,
                const dram::Channel& channel, DramCycle last_command_cycle,
-               const obs::Tracer* tracer = nullptr);
+               const obs::Tracer* tracer = nullptr,
+               const RasEngine* ras = nullptr);
 
     DramCycle starvation_bound() const { return starvation_bound_; }
     DramCycle no_progress_bound() const { return no_progress_bound_; }
@@ -107,8 +113,8 @@ class ForwardProgressWatchdog {
                            const RequestQueue& writes,
                            const Scheduler& scheduler,
                            const dram::Channel& channel,
-                           const obs::Tracer* tracer, ThreadId thread,
-                           std::uint32_t flat_bank);
+                           const obs::Tracer* tracer, const RasEngine* ras,
+                           ThreadId thread, std::uint32_t flat_bank);
 
     WatchdogConfig config_;
     DramCycle starvation_bound_;
@@ -137,7 +143,8 @@ std::string FormatControllerDiagnostics(DramCycle now,
                                         const RequestQueue& reads,
                                         const RequestQueue& writes,
                                         const Scheduler& scheduler,
-                                        const dram::Channel& channel);
+                                        const dram::Channel& channel,
+                                        const RasEngine* ras = nullptr);
 
 } // namespace parbs
 

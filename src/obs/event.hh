@@ -51,6 +51,15 @@ enum class EventKind : std::uint8_t {
     kWriteDrainEnter, ///< a = write queue occupancy at the high watermark
     kWriteDrainExit,  ///< a = write queue occupancy at the low watermark
     kFastPathSkip,    ///< cycle = first skipped cycle, a = span length
+
+    // --- RAS: ECC, retry, retirement, patrol scrub (mem/ras.hh) ---------
+    kEccCorrected,    ///< a = request id, b = row
+    kEccUncorrectable,///< a = request id, b = retries consumed so far
+    kEccRetry,        ///< a = request id, b = retry count after requeue
+    kRowRetired,      ///< a = row, b = remap-table occupancy after
+    kScrubIssue,      ///< a = row, b = burst completion cycle
+    kScrubComplete,   ///< a = row, b = dram::EccOutcome
+    kMachineCheck,    ///< a = row, b = remap-table capacity (exhausted)
 };
 
 /** Short stable name for an event kind ("req-arrive", "cmd", ...). */

@@ -33,7 +33,8 @@ LatencyAnatomy::ThreadHistograms::ThreadHistograms()
     : queueing(kBucketWidth, kBucketCount),
       service(kBucketWidth, kBucketCount),
       bus(kBucketWidth, kBucketCount),
-      total(kBucketWidth, kBucketCount)
+      total(kBucketWidth, kBucketCount),
+      recovery(kBucketWidth, kBucketCount)
 {
 }
 
@@ -58,15 +59,23 @@ LatencyAnatomy::RecordRead(const MemRequest& request)
         request.burst_issue_cycle - request.first_command_cycle;
     const std::uint64_t bus =
         request.completion_cycle - request.burst_issue_cycle;
+    // first_attempt_completion is kNeverCycle only when RAS is disabled
+    // (the field is set at the first burst issue); treat that as tax 0.
+    const std::uint64_t recovery =
+        request.first_attempt_completion == kNeverCycle
+            ? 0
+            : request.completion_cycle - request.first_attempt_completion;
     ThreadHistograms& thread = threads_[request.thread];
     thread.queueing.Add(queueing);
     thread.service.Add(service);
     thread.bus.Add(bus);
     thread.total.Add(request.Latency());
+    thread.recovery.Add(recovery);
     all_.queueing.Add(queueing);
     all_.service.Add(service);
     all_.bus.Add(bus);
     all_.total.Add(request.Latency());
+    all_.recovery.Add(recovery);
     recorded_reads_ += 1;
 }
 
@@ -80,6 +89,7 @@ LatencyAnatomy::Merge(const LatencyAnatomy& other)
         into.service.Merge(from.service);
         into.bus.Merge(from.bus);
         into.total.Merge(from.total);
+        into.recovery.Merge(from.recovery);
     };
     for (std::size_t t = 0; t < threads_.size(); ++t) {
         merge_set(threads_[t], other.threads_[t]);
@@ -96,6 +106,7 @@ LatencyAnatomy::Clear()
         h.service.Clear();
         h.bus.Clear();
         h.total.Clear();
+        h.recovery.Clear();
     };
     for (ThreadHistograms& h : threads_) {
         clear_set(h);
@@ -114,6 +125,7 @@ LatencyAnatomy::ToJson() const
         component.Set("service", HistogramJson(h.service));
         component.Set("bus", HistogramJson(h.bus));
         component.Set("total", HistogramJson(h.total));
+        component.Set("recovery", HistogramJson(h.recovery));
         return component;
     };
     out.Set("all", components(all_));

@@ -10,9 +10,13 @@
  *   bus      : column command     -> data burst complete
  *
  * queueing + service + bus == total latency (arrival -> completion) by
- * construction.  Each component feeds a per-thread stats::Histogram so the
- * exporter can report p50/p95/p99/max per thread and, aggregated, per
- * scheduler.  Writes are posted (retired fire-and-forget), so only reads
+ * construction — the identity also holds for ECC-retried reads, whose
+ * timestamps describe the final (successful) attempt.  A fourth overlay
+ * component, `recovery`, is the RAS recovery tax: final completion minus
+ * the first attempt's burst completion (0 for reads that completed cleanly
+ * the first time).  It is a subset of queueing+service, not an addend.
+ * Each component feeds a per-thread stats::Histogram so the exporter can
+ * report p50/p95/p99/max per thread and, aggregated, per scheduler.  Writes are posted (retired fire-and-forget), so only reads
  * are recorded — matching what the paper's latency metrics measure.
  */
 
@@ -69,11 +73,14 @@ class LatencyAnatomy {
     const Histogram& Total(ThreadId thread) const {
         return threads_[thread].total;
     }
+    const Histogram& Recovery(ThreadId thread) const {
+        return threads_[thread].recovery;
+    }
 
     /**
      * JSON report: per-thread and whole-run ("all") objects, each holding
-     * queueing/service/bus/total components with count, mean, p50, p95,
-     * p99, max, and overflow-bucket count.
+     * queueing/service/bus/total/recovery components with count, mean,
+     * p50, p95, p99, max, and overflow-bucket count.
      */
     json::Value ToJson() const;
 
@@ -83,6 +90,7 @@ class LatencyAnatomy {
         Histogram service;
         Histogram bus;
         Histogram total;
+        Histogram recovery;
         ThreadHistograms();
     };
 

@@ -3,6 +3,7 @@
 #include "common/assert.hh"
 #include "common/json.hh"
 #include "dram/command.hh"
+#include "dram/error_model.hh"
 
 namespace parbs::obs {
 
@@ -288,6 +289,68 @@ Observability::TraceDocument(const TraceMeta& meta) const
             json::Value out = MakeEvent("X", "fast-path-skip", "ctrl", pid,
                                         kSchedulerTrack, event.cycle);
             out.Set("dur", event.a);
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kEccCorrected:
+        case EventKind::kEccUncorrectable:
+        case EventKind::kEccRetry: {
+            const char* name =
+                event.kind == EventKind::kEccCorrected ? "ecc-corrected"
+                : event.kind == EventKind::kEccUncorrectable
+                    ? "ecc-uncorrectable"
+                    : "ecc-retry";
+            json::Value out =
+                MakeEvent("i", name, "ras", pid, thread_track, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("req", event.a);
+            if (event.bank != kNoFlatBank) {
+                args.Set("bank", std::uint64_t{event.bank});
+            }
+            args.Set(event.kind == EventKind::kEccCorrected ? "row"
+                                                            : "retries",
+                     event.b);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kRowRetired:
+        case EventKind::kMachineCheck: {
+            const bool retired = event.kind == EventKind::kRowRetired;
+            json::Value out =
+                MakeEvent("i", retired ? "row-retired" : "machine-check",
+                          "ras", pid, kSchedulerTrack, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("row", event.a);
+            if (event.bank != kNoFlatBank) {
+                args.Set("bank", std::uint64_t{event.bank});
+            }
+            args.Set(retired ? "remap_used" : "remap_capacity", event.b);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kScrubIssue:
+        case EventKind::kScrubComplete: {
+            const bool issue = event.kind == EventKind::kScrubIssue;
+            json::Value out = MakeEvent(
+                "i", issue ? "scrub-issue" : "scrub-complete", "ras", pid,
+                event.bank == kNoFlatBank ? kBankTrackBase
+                                          : kBankTrackBase + event.bank,
+                event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("row", event.a);
+            if (issue) {
+                args.Set("done", event.b);
+            } else {
+                args.Set("outcome",
+                         dram::EccOutcomeName(
+                             static_cast<dram::EccOutcome>(event.b)));
+            }
+            out.Set("args", std::move(args));
             events.Append(std::move(out));
             break;
         }

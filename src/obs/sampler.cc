@@ -100,6 +100,21 @@ IntervalSampler::SampleChannel(const Controller& controller,
                                        base.activations[bank]);
         base.activations[bank] = activations;
     }
+
+    if (const RasEngine* ras = controller.ras()) {
+        const RasStats& stats = ras->stats();
+        out.ecc_corrected = stats.corrected - base.ecc_corrected;
+        out.ecc_uncorrectable = stats.uncorrectable - base.ecc_uncorrectable;
+        out.ecc_retries = stats.retries - base.ecc_retries;
+        out.scrub_reads = stats.scrub_reads - base.scrub_reads;
+        out.rows_retired = stats.rows_retired - base.rows_retired;
+        out.remap_used = ras->remap_used();
+        base.ecc_corrected = stats.corrected;
+        base.ecc_uncorrectable = stats.uncorrectable;
+        base.ecc_retries = stats.retries;
+        base.scrub_reads = stats.scrub_reads;
+        base.rows_retired = stats.rows_retired;
+    }
     return out;
 }
 
@@ -160,6 +175,12 @@ IntervalSampler::ToJson() const
                 acts.Append(value);
             }
             entry.Set("bank_activations", std::move(acts));
+            entry.Set("ecc_corrected", cs.ecc_corrected);
+            entry.Set("ecc_uncorrectable", cs.ecc_uncorrectable);
+            entry.Set("ecc_retries", cs.ecc_retries);
+            entry.Set("scrub_reads", cs.scrub_reads);
+            entry.Set("rows_retired", cs.rows_retired);
+            entry.Set("remap_used", cs.remap_used);
             controllers.Append(std::move(entry));
         }
         row.Set("controllers", std::move(controllers));

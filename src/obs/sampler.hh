@@ -51,6 +51,20 @@ struct ControllerSample {
     std::vector<std::uint32_t> bank_queued;
     /** ACTIVATEs per bank during the interval. */
     std::vector<std::uint64_t> bank_activations;
+
+    // --- RAS activity over the interval (all zero when RAS is off) ------
+    /** ECC-corrected demand reads. */
+    std::uint64_t ecc_corrected = 0;
+    /** Uncorrectable demand-read failures. */
+    std::uint64_t ecc_uncorrectable = 0;
+    /** Controller-issued ECC retries. */
+    std::uint64_t ecc_retries = 0;
+    /** Patrol-scrub reads issued. */
+    std::uint64_t scrub_reads = 0;
+    /** Rows retired into the remap table. */
+    std::uint64_t rows_retired = 0;
+    /** Remap-table occupancy at the sample point (point-in-time). */
+    std::uint64_t remap_used = 0;
 };
 
 /** One row of the time series. */
@@ -120,6 +134,11 @@ class IntervalSampler {
         std::vector<std::uint64_t> blp_sum;
         std::vector<std::uint64_t> blp_cycles;
         std::vector<std::uint64_t> activations;
+        std::uint64_t ecc_corrected = 0;
+        std::uint64_t ecc_uncorrectable = 0;
+        std::uint64_t ecc_retries = 0;
+        std::uint64_t scrub_reads = 0;
+        std::uint64_t rows_retired = 0;
     };
 
     void TakeSample(DramCycle now,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "dram/command.hh"
+#include "dram/error_model.hh"
 
 namespace parbs::obs {
 
@@ -23,6 +24,13 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kWriteDrainEnter: return "write-drain-enter";
     case EventKind::kWriteDrainExit: return "write-drain-exit";
     case EventKind::kFastPathSkip: return "fast-path-skip";
+    case EventKind::kEccCorrected: return "ecc-corrected";
+    case EventKind::kEccUncorrectable: return "ecc-uncorrectable";
+    case EventKind::kEccRetry: return "ecc-retry";
+    case EventKind::kRowRetired: return "row-retired";
+    case EventKind::kScrubIssue: return "scrub-issue";
+    case EventKind::kScrubComplete: return "scrub-complete";
+    case EventKind::kMachineCheck: return "machine-check";
     }
     return "unknown";
 }
@@ -90,6 +98,28 @@ void FormatEvent(std::ostringstream& out, const TraceEvent& event) {
         break;
     case EventKind::kFastPathSkip:
         out << "  span=" << event.a;
+        break;
+    case EventKind::kEccCorrected:
+        out << "  req=" << event.a << "  row=" << event.b;
+        break;
+    case EventKind::kEccUncorrectable:
+        out << "  req=" << event.a << "  retries=" << event.b;
+        break;
+    case EventKind::kEccRetry:
+        out << "  req=" << event.a << "  retry=" << event.b;
+        break;
+    case EventKind::kRowRetired:
+        out << "  row=" << event.a << "  remap_used=" << event.b;
+        break;
+    case EventKind::kScrubIssue:
+        out << "  row=" << event.a << "  done=" << event.b;
+        break;
+    case EventKind::kScrubComplete:
+        out << "  row=" << event.a << "  outcome="
+            << dram::EccOutcomeName(static_cast<dram::EccOutcome>(event.b));
+        break;
+    case EventKind::kMachineCheck:
+        out << "  row=" << event.a << "  remap_capacity=" << event.b;
         break;
     }
     out << "\n";

@@ -7,11 +7,13 @@
 #include "common/assert.hh"
 #include "dram/protocol_checker.hh"
 #include "mem/controller.hh"
+#include "mem/ras.hh"
 #include "mem/watchdog.hh"
 #include "sched/factory.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
 #include "trace/file_trace.hh"
+#include "trace/synthetic.hh"
 
 #include <sstream>
 
@@ -103,6 +105,14 @@ FrFcfs()
 {
     SchedulerConfig config;
     config.kind = SchedulerKind::kFrFcfs;
+    return MakeScheduler(config);
+}
+
+std::unique_ptr<Scheduler>
+OptionScheduler(const FaultOptions& options)
+{
+    SchedulerConfig config;
+    config.kind = options.scheduler;
     return MakeScheduler(config);
 }
 
@@ -521,6 +531,129 @@ RunServiceWithholding(Rng& rng)
     }
 }
 
+// --- RAS scenarios (mem/ras.hh) ------------------------------------------
+
+/** Raised when a RAS scenario's own sanity check fails (always kOther). */
+struct RasSelfCheckFailure : std::runtime_error {
+    explicit RasSelfCheckFailure(const std::string& what)
+        : std::runtime_error("RAS self-check: " + what)
+    {
+    }
+};
+
+/**
+ * A multi-channel System under a heavy transient ECC error shower: every
+ * error must be corrected or recovered by retry, the run must drain
+ * cleanly, and (self-check) the error rate is high enough that observing
+ * zero ECC events would itself prove the error model broken.
+ */
+void
+RunTransientBitErrors(Rng& rng, const FaultOptions& options)
+{
+    SystemConfig config = SystemConfig::Baseline(8); // 2 channels
+    config.scheduler.kind = options.scheduler;
+    config.channel_jobs = options.channel_jobs;
+    config.seed = 1 + rng.NextBelow(1ULL << 32);
+    config.controller.protocol_check = true;
+    config.controller.watchdog.enabled = true;
+    config.controller.ras.enabled = true;
+    // With >= 1% of reads erroring over thousands of reads, a clean-run
+    // self-check failure is astronomically unlikely unless the model or
+    // the recovery path is broken.
+    config.controller.ras.transient_error_rate =
+        0.01 + rng.NextDouble() * 0.04;
+    config.controller.ras.transient_uncorrectable =
+        0.05 + rng.NextDouble() * 0.25;
+    if (rng.NextBool(0.5)) {
+        config.controller.ras.scrub_interval = 2048 + rng.NextBelow(4096);
+    }
+
+    dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (ThreadId t = 0; t < config.num_cores; ++t) {
+        SyntheticParams params;
+        params.mpki = 25.0;
+        traces.push_back(std::make_unique<SyntheticTraceSource>(
+            params, mapper, t, config.num_cores, rng.Next64()));
+    }
+    System system(config, std::move(traces));
+    system.Run(150000);
+
+    std::uint64_t events = 0;
+    for (std::uint32_t channel = 0; channel < config.geometry.channels;
+         ++channel) {
+        const RasEngine* ras = system.controller(channel).ras();
+        if (ras == nullptr) {
+            throw RasSelfCheckFailure("RAS engine missing on channel " +
+                                      std::to_string(channel));
+        }
+        events += ras->stats().corrected + ras->stats().uncorrectable;
+    }
+    if (events == 0) {
+        throw RasSelfCheckFailure(
+            "no ECC events despite a >= 1% per-read error rate");
+    }
+}
+
+/**
+ * Every row stuck-at: demand reads to more distinct rows than the remap
+ * table holds must retire rows until the table fills and the next
+ * retirement surfaces as a structured MachineCheckError.
+ */
+void
+RunStuckRowExhaustion(Rng& rng, const FaultOptions& options)
+{
+    ControllerConfig config = ScenarioConfig();
+    config.ras.enabled = true;
+    config.ras.stuck_row_fraction = 1.0;
+    config.ras.seed = 1 + rng.NextBelow(1ULL << 32);
+    config.ras.retry_budget = 1 + rng.NextBelow(3);
+    config.ras.remap_capacity = rng.NextBelow(3);
+    Driver driver(config, dram::TimingParams{}, 2,
+                  OptionScheduler(options));
+    // remap_capacity + 1 distinct rows guarantee exhaustion: each stuck
+    // row burns one remap slot after its retry budget runs out.
+    const std::uint32_t rows = config.ras.remap_capacity + 1;
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        driver.Enqueue(static_cast<ThreadId>(i % 2),
+                       static_cast<std::uint32_t>(rng.NextBelow(8)),
+                       100 + i);
+    }
+    driver.RunUntilIdle(200000);
+    throw RasSelfCheckFailure(
+        "stuck rows exhausted no remap capacity (machine check expected)");
+}
+
+/**
+ * Patrol scrub at the minimum interval under demand traffic, with the
+ * watchdog and protocol checker armed: the storm must neither starve
+ * demand nor violate device timing, and (self-check) must actually issue
+ * scrub reads once the queues drain.
+ */
+void
+RunScrubStorm(Rng& rng, const FaultOptions& options)
+{
+    ControllerConfig config;
+    config.enable_refresh = rng.NextBool(0.5);
+    config.protocol_check = true;
+    config.watchdog.enabled = true;
+    config.ras.enabled = true;
+    config.ras.seed = 1 + rng.NextBelow(1ULL << 32);
+    config.ras.scrub_interval = 1;
+    config.ras.scrub_demote_reads = 1 + rng.NextBelow(16);
+    Driver driver(config, dram::TimingParams{}, 4,
+                  OptionScheduler(options));
+    RandomTraffic(driver, rng, 40, 4, 0.25);
+    // Idle tail: with the queues empty every cycle belongs to the scrub.
+    driver.Tick(2000);
+    AssertClean(driver);
+    const RasEngine* ras = driver.controller().ras();
+    if (ras == nullptr || ras->stats().scrub_reads == 0) {
+        throw RasSelfCheckFailure(
+            "scrub storm issued no patrol reads during idle cycles");
+    }
+}
+
 std::string
 FirstLine(const char* what)
 {
@@ -545,6 +678,9 @@ FaultKindName(FaultKind kind)
     case FaultKind::kSchedulerChaos: return "scheduler-chaos";
     case FaultKind::kTimingCorruption: return "timing-corruption";
     case FaultKind::kServiceWithholding: return "service-withholding";
+    case FaultKind::kTransientBitErrors: return "transient-bit-errors";
+    case FaultKind::kStuckRow: return "stuck-row";
+    case FaultKind::kScrubStorm: return "scrub-storm";
     }
     return "?";
 }
@@ -557,6 +693,7 @@ DefenseName(Defense defense)
     case Defense::kConfigError: return "config-error";
     case Defense::kProtocolError: return "protocol-error";
     case Defense::kWatchdogError: return "watchdog-error";
+    case Defense::kMachineCheck: return "machine-check";
     case Defense::kOther: return "unexpected-exception";
     }
     return "?";
@@ -575,11 +712,15 @@ FaultInjector::ExpectedDefense(FaultKind kind)
     case FaultKind::kRefreshStorm:
     case FaultKind::kWritePressure:
     case FaultKind::kSchedulerChaos:
+    case FaultKind::kTransientBitErrors:
+    case FaultKind::kScrubStorm:
         return Defense::kNone;
     case FaultKind::kTimingCorruption:
         return Defense::kProtocolError;
     case FaultKind::kServiceWithholding:
         return Defense::kWatchdogError;
+    case FaultKind::kStuckRow:
+        return Defense::kMachineCheck;
     }
     return Defense::kOther;
 }
@@ -591,6 +732,12 @@ FaultInjector::FaultInjector(std::uint64_t master_seed)
 
 FaultOutcome
 FaultInjector::RunScenario(std::uint64_t index)
+{
+    return RunScenario(index, FaultOptions{});
+}
+
+FaultOutcome
+FaultInjector::RunScenario(std::uint64_t index, const FaultOptions& options)
 {
     FaultOutcome outcome;
     outcome.index = index;
@@ -613,6 +760,13 @@ FaultInjector::RunScenario(std::uint64_t index)
         case FaultKind::kServiceWithholding:
             RunServiceWithholding(rng);
             break;
+        case FaultKind::kTransientBitErrors:
+            RunTransientBitErrors(rng, options);
+            break;
+        case FaultKind::kStuckRow:
+            RunStuckRowExhaustion(rng, options);
+            break;
+        case FaultKind::kScrubStorm: RunScrubStorm(rng, options); break;
         }
         outcome.observed = Defense::kNone;
     } catch (const ConfigError& error) {
@@ -623,6 +777,9 @@ FaultInjector::RunScenario(std::uint64_t index)
         outcome.detail = FirstLine(error.what());
     } catch (const WatchdogError& error) {
         outcome.observed = Defense::kWatchdogError;
+        outcome.detail = FirstLine(error.what());
+    } catch (const MachineCheckError& error) {
+        outcome.observed = Defense::kMachineCheck;
         outcome.detail = FirstLine(error.what());
     } catch (const std::exception& error) {
         outcome.observed = Defense::kOther;

@@ -13,8 +13,12 @@
  *    withholds service) must be caught by the protocol checker or the
  *    forward-progress watchdog.
  *  - Stress scenarios (refresh storms, write-buffer pressure, adversarially
- *    randomized scheduling) must complete cleanly with zero protocol
- *    violations — the model's constraints hold under any decision sequence.
+ *    randomized scheduling, transient ECC error showers, patrol-scrub
+ *    storms) must complete cleanly with zero protocol violations — the
+ *    model's constraints hold under any decision sequence.
+ *  - RAS faults (a device full of stuck-at rows) must exhaust the remap
+ *    table and surface as a structured MachineCheckError — never an abort,
+ *    never a hang.
  *
  * Every scenario derives its randomness from (master seed, scenario index),
  * so a failing index reproduces exactly.  tools/fault_fuzz.cpp drives the
@@ -30,6 +34,7 @@
 #include <string>
 
 #include "common/rng.hh"
+#include "sched/factory.hh"
 #include "sched/scheduler.hh"
 
 namespace parbs {
@@ -46,9 +51,12 @@ enum class FaultKind : std::uint8_t {
     kSchedulerChaos,      ///< Randomized scheduling decisions (stress).
     kTimingCorruption,    ///< Device model runs with a shortened constraint.
     kServiceWithholding,  ///< Scheduler never services one thread.
+    kTransientBitErrors,  ///< High transient ECC error rate under load.
+    kStuckRow,            ///< Stuck-at rows exhaust the remap table.
+    kScrubStorm,          ///< Patrol scrub at the minimum interval (stress).
 };
 
-inline constexpr std::size_t kNumFaultKinds = 10;
+inline constexpr std::size_t kNumFaultKinds = 13;
 
 /** @return a short name, e.g. "malformed-trace". */
 const char* FaultKindName(FaultKind kind);
@@ -59,6 +67,7 @@ enum class Defense : std::uint8_t {
     kConfigError,   ///< Rejected as a user configuration fault.
     kProtocolError, ///< Caught by the DRAM protocol checker.
     kWatchdogError, ///< Caught by the forward-progress watchdog.
+    kMachineCheck,  ///< Surfaced as a structured MachineCheckError (RAS).
     kOther,         ///< Unexpected exception type (always a failure).
 };
 
@@ -77,6 +86,19 @@ struct FaultOutcome {
     bool Passed() const { return observed == expected; }
 };
 
+/**
+ * Execution knobs orthogonal to the scenario stream: the same (seed, index)
+ * scenario can be replayed under any scheduler and any worker count, and
+ * the defense classification must not change.  System-level scenarios
+ * honor both fields; controller-level scenarios run the configured
+ * scheduler where it is exercised (single-channel, so channel_jobs is
+ * irrelevant to them by construction).
+ */
+struct FaultOptions {
+    SchedulerKind scheduler = SchedulerKind::kFrFcfs;
+    unsigned channel_jobs = 1;
+};
+
 /** Seeded scenario generator + executor. */
 class FaultInjector {
   public:
@@ -88,6 +110,10 @@ class FaultInjector {
      * every family.  Never aborts: all defenses are catchable exceptions.
      */
     FaultOutcome RunScenario(std::uint64_t index);
+
+    /** As above, replayed under explicit scheduler / sharding options. */
+    FaultOutcome RunScenario(std::uint64_t index,
+                             const FaultOptions& options);
 
     /** The defense a given fault kind is required to trigger. */
     static Defense ExpectedDefense(FaultKind kind);

@@ -63,8 +63,16 @@ System::System(const SystemConfig& config,
         auto scheduler = config_.scheduler_factory
                              ? config_.scheduler_factory()
                              : MakeScheduler(config_.scheduler);
+        // Each channel's RAS engine draws from an independent stream keyed
+        // by (seed, channel) so fault placement does not depend on the
+        // channel count or on which worker simulates the channel.
+        ControllerConfig controller_config = config_.controller;
+        controller_config.ras.channel = channel;
+        if (controller_config.ras.seed == 0) {
+            controller_config.ras.seed = config_.seed;
+        }
         controllers_.push_back(std::make_unique<Controller>(
-            config_.controller, config_.timing, channel_geometry,
+            controller_config, config_.timing, channel_geometry,
             config_.num_cores, std::move(scheduler)));
         controllers_.back()->SetReadCompleteCallback(
             [this, channel](const MemRequest& request, DramCycle now) {
@@ -161,7 +169,11 @@ System::LookaheadWindow() const
     //    completes no earlier than the shortest burst latency), so
     //    W <= min(read burst, write burst) makes the published retire
     //    schedules exhaustive and the occupancy proxies exact.
-    const dram::TimingParams& t = config_.timing;
+    // The bound must reflect the timing the controllers actually run with,
+    // so it is read back from the constructed channel rather than from the
+    // config snapshot (they are equal today, but the window is the one
+    // place where a future divergence would corrupt results silently).
+    const dram::TimingParams& t = controllers_.front()->channel().timing();
     const DramCycle read_burst = t.tCL + t.tBURST;
     const DramCycle write_burst = t.tCWD + t.tBURST;
     const DramCycle notify =
@@ -817,6 +829,10 @@ System::DumpStats(std::ostream& out) const
                 out << " " << key << "=" << value;
             }
             out << "\n";
+        }
+        if (const RasEngine* ras = controller.ras()) {
+            out << "controller[" << channel << "].ras " << ras->Summary()
+                << "\n";
         }
     }
 }

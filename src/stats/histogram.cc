@@ -83,7 +83,12 @@ Histogram::Percentile(double fraction) const
             if (i == buckets_.size() - 1) {
                 return max_;
             }
-            return (static_cast<std::uint64_t>(i) + 1) * bucket_width_ - 1;
+            // The bucket's inclusive upper edge, clamped to the observed
+            // maximum: a reported percentile must never exceed any sample
+            // (an all-zero histogram reports 0, not bucket_width - 1).
+            return std::min(
+                (static_cast<std::uint64_t>(i) + 1) * bucket_width_ - 1,
+                max_);
         }
     }
     return max_;

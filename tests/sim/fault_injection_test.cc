@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "sim/fault_injector.hh"
 
@@ -31,6 +32,11 @@ TEST(FaultInjector, ExpectedDefensePerFamily)
               Defense::kProtocolError);
     EXPECT_EQ(FaultInjector::ExpectedDefense(kServiceWithholding),
               Defense::kWatchdogError);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kTransientBitErrors),
+              Defense::kNone);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kStuckRow),
+              Defense::kMachineCheck);
+    EXPECT_EQ(FaultInjector::ExpectedDefense(kScrubStorm), Defense::kNone);
 }
 
 TEST(FaultInjector, ScenariosAreDeterministic)
@@ -47,7 +53,7 @@ TEST(FaultInjector, ScenariosAreDeterministic)
 
 TEST(FaultInjector, EveryFamilyIsDefendedAsExpected)
 {
-    // Three full rotations through the ten families (the CI fuzz run covers
+    // Three full rotations through every family (the CI fuzz run covers
     // far more; this keeps the tier-1 suite fast but representative).
     FaultInjector injector(0xFA11);
     for (std::uint64_t index = 0; index < 3 * kNumFaultKinds; ++index) {
@@ -69,6 +75,40 @@ TEST(FaultInjector, ASecondSeedAlsoPasses)
             << "index " << index << " (" << FaultKindName(outcome.kind)
             << "): observed " << DefenseName(outcome.observed) << "\n  "
             << outcome.detail;
+    }
+}
+
+TEST(FaultInjector, DefensesAreInvariantUnderSchedulerAndSharding)
+{
+    // The scenario matrix replayed under a different scheduler and under
+    // the channel-sharded engine must classify every fault identically to
+    // the serial FR-FCFS baseline: defenses are a property of the fault,
+    // not of the scheduling policy or the worker count.
+    FaultInjector injector(0xFA11);
+    std::vector<FaultOutcome> baseline;
+    for (std::uint64_t index = 0; index < kNumFaultKinds; ++index) {
+        baseline.push_back(injector.RunScenario(index));
+    }
+    const SchedulerKind schedulers[] = {
+        SchedulerKind::kFcfs, SchedulerKind::kNfq, SchedulerKind::kStfm,
+        SchedulerKind::kParBs};
+    for (const SchedulerKind scheduler : schedulers) {
+        FaultOptions options;
+        options.scheduler = scheduler;
+        options.channel_jobs = 4;
+        for (std::uint64_t index = 0; index < kNumFaultKinds; ++index) {
+            const FaultOutcome outcome =
+                injector.RunScenario(index, options);
+            EXPECT_TRUE(outcome.Passed())
+                << "index " << index << " scheduler "
+                << SchedulerKindName(scheduler) << ": observed "
+                << DefenseName(outcome.observed) << "\n  "
+                << outcome.detail;
+            EXPECT_EQ(outcome.observed, baseline[index].observed)
+                << "index " << index << " under "
+                << SchedulerKindName(scheduler)
+                << " --channel-jobs 4 diverged from the serial baseline";
+        }
     }
 }
 

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * RAS x sharding acceptance tests: with the error model active (nonzero
+ * transient rate, retries, patrol scrub) every scheduler must stay
+ * *bit-identical* between the serial loop and the channel-sharded engine —
+ * same stats bytes, same trace bytes, same stop cycle.  Error recovery is
+ * the hardest case for the lookahead window: a failed read leaves service
+ * and re-issues after a backoff hold, so its completion is published in a
+ * later window than its first attempt.
+ *
+ * Also covers the window recomputation (satellite: the lookahead bound is
+ * derived from the active TimingParams, not the baseline constants).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mem/controller.hh"
+#include "mem/ras.hh"
+#include "sched/factory.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
+
+namespace parbs {
+namespace {
+
+std::vector<std::unique_ptr<TraceSource>>
+SyntheticTraces(const SystemConfig& config, std::uint32_t count)
+{
+    dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (ThreadId t = 0; t < count; ++t) {
+        SyntheticParams params;
+        params.mpki = 20.0;
+        traces.push_back(std::make_unique<SyntheticTraceSource>(
+            params, mapper, t, count, 1000 + t));
+    }
+    return traces;
+}
+
+struct Artifacts {
+    std::string stats;
+    std::string trace;
+    CpuCycle stop = 0;
+    bool sharded = false;
+    std::uint64_t ecc_events = 0; ///< corrected + uncorrectable + scrubs.
+    std::uint64_t retries = 0;
+};
+
+Artifacts
+RunSystem(const SystemConfig& config, std::uint32_t cores, CpuCycle cycles)
+{
+    System system(config, SyntheticTraces(config, cores));
+    system.Run(cycles);
+    Artifacts out;
+    out.stop = system.now();
+    out.sharded = system.sharded();
+    for (std::uint32_t ch = 0; ch < config.geometry.channels; ++ch) {
+        if (const RasEngine* ras = system.controller(ch).ras()) {
+            const RasStats& stats = ras->stats();
+            out.ecc_events += stats.corrected + stats.uncorrectable +
+                              stats.scrub_reads;
+            out.retries += stats.retries;
+        }
+    }
+    std::ostringstream stats;
+    system.DumpStats(stats);
+    out.stats = stats.str();
+    if (system.observability() != nullptr) {
+        std::ostringstream trace;
+        system.WriteTrace(trace, "ras-sharded-equivalence");
+        out.trace = trace.str();
+    }
+    return out;
+}
+
+/** Traced config with an aggressive (but machine-check-free) error model:
+ *  plenty of corrected reads, uncorrectable reads, retries, and scrub
+ *  traffic, but no stuck rows, so no retirement cascade can exhaust the
+ *  remap table mid-test. */
+SystemConfig
+RasConfigFor(std::uint32_t cores, const SchedulerConfig& scheduler,
+             unsigned channel_jobs)
+{
+    SystemConfig config = SystemConfig::Baseline(cores);
+    config.scheduler = scheduler;
+    config.channel_jobs = channel_jobs;
+    config.observability.trace = true;
+    config.observability.sample_interval = 256;
+    config.controller.ras.enabled = true;
+    config.controller.ras.transient_error_rate = 0.02;
+    config.controller.ras.transient_uncorrectable = 0.3;
+    config.controller.ras.scrub_interval = 512;
+    return config;
+}
+
+class RasShardedEquivalence
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RasShardedEquivalence, ErrorRecoveryIsBitIdenticalAcrossWorkers)
+{
+    const SchedulerConfig scheduler = ComparisonSchedulers()[GetParam()];
+    constexpr std::uint32_t kCores = 16; // Baseline(16) has 4 channels.
+    constexpr CpuCycle kCycles = 60000;
+
+    const Artifacts serial =
+        RunSystem(RasConfigFor(kCores, scheduler, 1), kCores, kCycles);
+    ASSERT_FALSE(serial.sharded);
+    // The scenario must actually exercise recovery, or the equivalence
+    // claim is vacuous.
+    EXPECT_GT(serial.ecc_events, 0u);
+    EXPECT_GT(serial.retries, 0u);
+    for (const unsigned jobs : {2u, 4u}) {
+        const Artifacts sharded = RunSystem(
+            RasConfigFor(kCores, scheduler, jobs), kCores, kCycles);
+        ASSERT_TRUE(sharded.sharded) << "jobs=" << jobs;
+        EXPECT_EQ(serial.stop, sharded.stop) << "jobs=" << jobs;
+        EXPECT_EQ(serial.ecc_events, sharded.ecc_events) << "jobs=" << jobs;
+        EXPECT_EQ(serial.retries, sharded.retries) << "jobs=" << jobs;
+        EXPECT_EQ(serial.stats, sharded.stats) << "jobs=" << jobs;
+        EXPECT_EQ(serial.trace, sharded.trace) << "jobs=" << jobs;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, RasShardedEquivalence,
+    ::testing::Range<std::size_t>(0, 5),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+        std::string name =
+            SchedulerConfigName(ComparisonSchedulers()[info.param]);
+        for (char& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+TEST(LookaheadWindow, TracksShortenedReadBurstTiming)
+{
+    // With tCL + tBURST below the notification bound the burst latency
+    // becomes the binding constraint; the window must be recomputed from
+    // the active TimingParams, not the baseline constants.
+    SystemConfig config = SystemConfig::Baseline(16);
+    config.channel_jobs = 4;
+    config.timing.tCL = 2;
+    config.timing.tBURST = 2;
+    System system(config, SyntheticTraces(config, 16));
+    ASSERT_TRUE(system.sharded());
+    const DramCycle expected = std::min<DramCycle>(
+        {config.extra_read_latency_cpu / config.cpu_to_dram_ratio,
+         config.timing.tCL + config.timing.tBURST,
+         config.timing.tCWD + config.timing.tBURST});
+    EXPECT_EQ(expected, 4u); // the shortened read burst, not notify (6).
+    EXPECT_EQ(system.lookahead_window(), expected);
+}
+
+TEST(LookaheadWindow, ShortenedTimingShardedRunStaysIdentical)
+{
+    // Regression for the window recomputation: with a cross-boundary read
+    // latency shorter than the baseline bound, a stale window constant
+    // would let cores run ahead of completions and silently diverge.
+    SchedulerConfig scheduler;
+    scheduler.kind = SchedulerKind::kParBs;
+    auto config = [&](unsigned jobs) {
+        SystemConfig out = SystemConfig::Baseline(16);
+        out.scheduler = scheduler;
+        out.channel_jobs = jobs;
+        out.observability.trace = true;
+        out.observability.sample_interval = 256;
+        out.timing.tCL = 2;
+        out.timing.tBURST = 2;
+        return out;
+    };
+    const Artifacts serial = RunSystem(config(1), 16, 50000);
+    const Artifacts sharded = RunSystem(config(4), 16, 50000);
+    ASSERT_TRUE(sharded.sharded);
+    EXPECT_EQ(serial.stop, sharded.stop);
+    EXPECT_EQ(serial.stats, sharded.stats);
+    EXPECT_EQ(serial.trace, sharded.trace);
+}
+
+} // namespace
+} // namespace parbs

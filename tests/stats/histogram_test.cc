@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Histogram edge cases around the overflow bucket and percentile queries:
+ * empty histograms, histograms whose every sample overflows, and
+ * single-sample histograms.  These shapes show up in practice in the RAS
+ * recovery-tax component (mostly-zero with a rare huge outlier).
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace parbs {
+namespace {
+
+TEST(Histogram, EmptySummaryIsAllZero)
+{
+    const Histogram histogram(8, 4);
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.min(), 0u);
+    EXPECT_EQ(histogram.max(), 0u);
+    EXPECT_EQ(histogram.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
+    const Histogram::Summary summary = histogram.PercentileSummary();
+    EXPECT_EQ(summary.p50, 0u);
+    EXPECT_EQ(summary.p95, 0u);
+    EXPECT_EQ(summary.p99, 0u);
+    EXPECT_EQ(summary.max, 0u);
+}
+
+TEST(Histogram, AllSamplesInOverflowReportTrueMax)
+{
+    // Regular range is [0, 32); every sample lands beyond it.  Percentiles
+    // must report the exact recorded maximum, not a bucket boundary.
+    Histogram histogram(8, 4);
+    histogram.Add(100);
+    histogram.Add(200);
+    histogram.Add(50000);
+    EXPECT_EQ(histogram.overflow(), 3u);
+    EXPECT_EQ(histogram.count(), 3u);
+    EXPECT_EQ(histogram.min(), 100u);
+    EXPECT_EQ(histogram.max(), 50000u);
+    EXPECT_EQ(histogram.Percentile(0.5), 50000u);
+    EXPECT_EQ(histogram.Percentile(1.0), 50000u);
+    const Histogram::Summary summary = histogram.PercentileSummary();
+    EXPECT_EQ(summary.p50, 50000u);
+    EXPECT_EQ(summary.p99, 50000u);
+    EXPECT_EQ(summary.max, 50000u);
+}
+
+TEST(Histogram, SingleSamplePercentilesAreClampedToTheSample)
+{
+    Histogram histogram(8, 4);
+    histogram.Add(11); // bucket [8, 16)
+    const Histogram::Summary summary = histogram.PercentileSummary();
+    // The bucket's inclusive upper edge is 15, but no percentile may
+    // exceed the observed maximum.
+    EXPECT_EQ(summary.p50, 11u);
+    EXPECT_EQ(summary.p95, 11u);
+    EXPECT_EQ(summary.p99, 11u);
+    EXPECT_EQ(summary.max, 11u);
+    EXPECT_EQ(histogram.overflow(), 0u);
+}
+
+TEST(Histogram, AllZeroSamplesReportZeroPercentiles)
+{
+    // The RAS recovery-tax shape: thousands of zero-cost reads.  The
+    // naive bucket upper edge (bucket_width - 1) would report a nonzero
+    // p50 for a distribution that is identically zero.
+    Histogram histogram(8, 4);
+    for (int i = 0; i < 1000; ++i) {
+        histogram.Add(0);
+    }
+    const Histogram::Summary summary = histogram.PercentileSummary();
+    EXPECT_EQ(summary.p50, 0u);
+    EXPECT_EQ(summary.p99, 0u);
+    EXPECT_EQ(summary.max, 0u);
+}
+
+TEST(Histogram, SingleOverflowSampleIsItsOwnPercentile)
+{
+    Histogram histogram(8, 4);
+    histogram.Add(1u << 20);
+    EXPECT_EQ(histogram.overflow(), 1u);
+    EXPECT_EQ(histogram.Percentile(0.5), 1u << 20);
+    EXPECT_EQ(histogram.PercentileSummary().p50, 1u << 20);
+}
+
+TEST(Histogram, MixedRegularAndOverflowSamples)
+{
+    Histogram histogram(8, 4);
+    for (int i = 0; i < 99; ++i) {
+        histogram.Add(4); // bucket [0, 8)
+    }
+    histogram.Add(123456); // the 1% tail lives past the regular range
+    EXPECT_EQ(histogram.overflow(), 1u);
+    EXPECT_EQ(histogram.Percentile(0.5), 7u);
+    EXPECT_EQ(histogram.Percentile(0.99), 7u);
+    EXPECT_EQ(histogram.Percentile(1.0), 123456u);
+    EXPECT_EQ(histogram.max(), 123456u);
+}
+
+TEST(Histogram, ClearResetsOverflowAndPercentileState)
+{
+    Histogram histogram(8, 4);
+    histogram.Add(1u << 16);
+    histogram.Clear();
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.overflow(), 0u);
+    EXPECT_EQ(histogram.PercentileSummary().max, 0u);
+    histogram.Add(3);
+    EXPECT_EQ(histogram.Percentile(1.0), 3u);
+}
+
+TEST(Histogram, MergePreservesOverflowCounts)
+{
+    Histogram a(8, 4);
+    Histogram b(8, 4);
+    a.Add(1000);
+    b.Add(2000);
+    b.Add(1);
+    a.Merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.overflow(), 2u);
+    EXPECT_EQ(a.max(), 2000u);
+    EXPECT_EQ(a.min(), 1u);
+}
+
+} // namespace
+} // namespace parbs

@@ -7,7 +7,12 @@
  * class of mismatch; a failing scenario reproduces with the same
  * --seed / index pair.
  *
- * Usage: fault_fuzz [--scenarios N] [--seed S] [--verbose]
+ * Usage: fault_fuzz [--scenarios N] [--seed S] [--scheduler NAME]
+ *                   [--channel-jobs N] [--verbose]
+ *
+ * --scheduler / --channel-jobs replay the same scenario stream under a
+ * different scheduler or worker count; the defenses must not change
+ * (tests/sim/fault_injection_test.cc asserts exact equality).
  */
 #include <cstdint>
 #include <cstdio>
@@ -18,22 +23,53 @@
 
 using namespace parbs;
 
+namespace {
+
+bool
+ParseSchedulerKind(const char* name, SchedulerKind& out)
+{
+    for (std::uint8_t k = 0;
+         k <= static_cast<std::uint8_t>(SchedulerKind::kParBsAdaptive);
+         ++k) {
+        const auto kind = static_cast<SchedulerKind>(k);
+        if (std::strcmp(name, SchedulerKindName(kind)) == 0) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
     std::uint64_t scenarios = 1000;
     std::uint64_t seed = 0xFA11;
     bool verbose = false;
+    FaultOptions options;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
             scenarios = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--scheduler") == 0 && i + 1 < argc) {
+            if (!ParseSchedulerKind(argv[++i], options.scheduler)) {
+                std::fprintf(stderr, "unknown scheduler: %s\n", argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--channel-jobs") == 0 &&
+                   i + 1 < argc) {
+            options.channel_jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
         } else if (std::strcmp(argv[i], "--verbose") == 0) {
             verbose = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--scenarios N] [--seed S] [--verbose]\n",
+                         "usage: %s [--scenarios N] [--seed S] "
+                         "[--scheduler NAME] [--channel-jobs N] "
+                         "[--verbose]\n",
                          argv[0]);
             return 2;
         }
@@ -44,7 +80,7 @@ main(int argc, char** argv)
     std::uint64_t failed = 0;
     std::uint64_t by_kind[kNumFaultKinds] = {};
     for (std::uint64_t index = 0; index < scenarios; ++index) {
-        const FaultOutcome outcome = injector.RunScenario(index);
+        const FaultOutcome outcome = injector.RunScenario(index, options);
         by_kind[static_cast<std::size_t>(outcome.kind)] += 1;
         if (outcome.Passed()) {
             passed += 1;
