@@ -280,6 +280,10 @@ void BM_ParBs(benchmark::State& s)
 {
     SchedulerTick(s, SchedulerKind::kParBs);
 }
+void BM_Bliss(benchmark::State& s)
+{
+    SchedulerTick(s, SchedulerKind::kBliss);
+}
 void BM_FrFcfs_nofastpath(benchmark::State& s)
 {
     SchedulerTick(s, SchedulerKind::kFrFcfs, /*fast_path=*/false);
@@ -314,11 +318,13 @@ BENCHMARK(BM_FrFcfs);
 BENCHMARK(BM_Nfq);
 BENCHMARK(BM_Stfm);
 BENCHMARK(BM_ParBs);
+BENCHMARK(BM_Bliss);
 PARBS_SELECTION_PAIR(Fcfs, kFcfs);
 PARBS_SELECTION_PAIR(FrFcfs, kFrFcfs);
 PARBS_SELECTION_PAIR(Nfq, kNfq);
 PARBS_SELECTION_PAIR(Stfm, kStfm);
 PARBS_SELECTION_PAIR(ParBs, kParBs);
+PARBS_SELECTION_PAIR(Bliss, kBliss);
 BENCHMARK(BM_FrFcfs_nofastpath);
 BENCHMARK(BM_ParBs_nofastpath);
 BENCHMARK(BM_IdleTick_skip);

@@ -2,12 +2,18 @@
  * @file
  * Table 1: additional hardware state required by PAR-BS beyond FR-FCFS.
  * Paper reference point: 1412 bits at 8 cores / 128-entry buffer / 8 banks.
+ *
+ * A second table scores every scheduler in the comparison lineup with the
+ * same accounting (SchedulerHardwareCost); bench_report joins its
+ * "scheduler cost" values with the perf/fairness aggregates into the
+ * Pareto table.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
 #include "core/hardware_cost.hh"
+#include "sim/experiment.hh"
 
 int
 main(int argc, char** argv)
@@ -44,6 +50,26 @@ main(int argc, char** argv)
                             static_cast<double>(cost.TotalBits()));
     }
     std::cout << table.Render() << "\n";
+
+    // The lineup's storage shootout at the paper's reference machine.
+    // FCFS/FR-FCFS anchor the zero line; BLISS is the low-cost foil.
+    std::cout << "Per-scheduler additional state at the reference machine "
+                 "(8 cores, 128 entries, 8 banks):\n\n";
+    Table lineup_table({"scheduler", "per-request", "per-thr/bank",
+                        "per-thread", "individual", "total bits"});
+    for (const SchedulerConfig& scheduler : ComparisonSchedulers()) {
+        const HardwareCostBreakdown cost =
+            SchedulerHardwareCost(scheduler.kind, {});
+        const std::string name = SchedulerConfigName(scheduler);
+        lineup_table.AddRow({name, std::to_string(cost.per_request_bits),
+                             std::to_string(cost.per_thread_per_bank_bits),
+                             std::to_string(cost.per_thread_bits),
+                             std::to_string(cost.individual_bits),
+                             std::to_string(cost.TotalBits())});
+        session.RecordValue("scheduler cost", name + " total bits",
+                            static_cast<double>(cost.TotalBits()));
+    }
+    std::cout << lineup_table.Render() << "\n";
 
     const std::uint64_t reference = ParBsHardwareCost({}).TotalBits();
     std::cout << "Paper reference (8 cores, 128 entries, 8 banks): 1412 "

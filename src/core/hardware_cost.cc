@@ -1,6 +1,7 @@
 #include "core/hardware_cost.hh"
 
 #include "common/assert.hh"
+#include "sched/factory.hh"
 
 namespace parbs {
 
@@ -44,6 +45,55 @@ ParBsHardwareCost(const HardwareCostParams& params)
     // TotalMarkedRequests + the Marking-Cap configuration register.
     out.individual_bits = buffer_bits + params.marking_cap_bits;
     return out;
+}
+
+HardwareCostBreakdown
+SchedulerHardwareCost(SchedulerKind kind, const HardwareCostParams& params)
+{
+    HardwareCostBreakdown out;
+    switch (kind) {
+      case SchedulerKind::kFcfs:
+      case SchedulerKind::kFrFcfs:
+        // The baseline the Table 1 accounting measures against: an
+        // FR-FCFS controller already stores arrival order and row state,
+        // and FCFS is strictly simpler.
+        return out;
+      case SchedulerKind::kNfq:
+        // One virtual-finish-time clock per (thread, bank) — the banks
+        // run "without any coordination" (Nesbit et al.), so the clocks
+        // cannot be shared.
+        out.per_thread_per_bank_bits =
+            static_cast<std::uint64_t>(params.num_threads) *
+            params.num_banks * params.virtual_time_bits;
+        return out;
+      case SchedulerKind::kStfm:
+        // T_shared and T_interference accumulators per thread, plus the
+        // alpha threshold and the aging-interval countdown.
+        out.per_thread_bits =
+            static_cast<std::uint64_t>(params.num_threads) * 2 *
+            params.stall_time_bits;
+        out.individual_bits = params.alpha_bits + params.stall_time_bits;
+        return out;
+      case SchedulerKind::kParBs:
+      case SchedulerKind::kParBsStatic:
+      case SchedulerKind::kParBsEslot:
+      case SchedulerKind::kParBsAdaptive:
+        // The batching variants and the adaptive cap change control
+        // logic, not storage: all four carry the Table 1 state.
+        return ParBsHardwareCost(params);
+      case SchedulerKind::kBliss:
+        // One blacklist bit per thread, plus the last-served thread ID,
+        // the consecutive-streak counter, and the clearing-interval
+        // countdown — the entire point of the proposal.
+        out.per_thread_bits = params.num_threads;
+        out.individual_bits =
+            CeilLog2(params.num_threads) +
+            CeilLog2(static_cast<std::uint64_t>(params.bliss_threshold) +
+                     1) +
+            CeilLog2(params.bliss_clearing_interval);
+        return out;
+    }
+    PARBS_FATAL("unknown scheduler kind");
 }
 
 } // namespace parbs

@@ -4,6 +4,13 @@
  * PAR-BS implementation needs, in register bits.  The paper's reference
  * point — an 8-core CMP with a 128-entry request buffer and 8 DRAM banks —
  * comes to 1412 bits.
+ *
+ * SchedulerHardwareCost() generalizes the same accounting to every policy
+ * in the factory registry, so the Pareto shootout (bench_report) can score
+ * performance and fairness against implementation cost: FCFS/FR-FCFS are
+ * the zero-cost baseline, NFQ pays per-(thread, bank) virtual clocks, STFM
+ * pays per-thread stall/interference accumulators, PAR-BS pays the full
+ * Table 1 state, and BLISS pays one bit per thread plus three registers.
  */
 
 #ifndef PARBS_CORE_HARDWARE_COST_HH
@@ -13,6 +20,8 @@
 
 namespace parbs {
 
+enum class SchedulerKind : std::uint8_t;
+
 /** Machine parameters the Table 1 accounting depends on. */
 struct HardwareCostParams {
     std::uint32_t num_threads = 8;
@@ -20,6 +29,16 @@ struct HardwareCostParams {
     std::uint32_t num_banks = 8;
     /** Width of the system-configurable Marking-Cap register. */
     std::uint32_t marking_cap_bits = 5;
+    /** Width of one NFQ per-(thread, bank) virtual-finish-time clock. */
+    std::uint32_t virtual_time_bits = 24;
+    /** Width of one STFM stall / interference accumulator. */
+    std::uint32_t stall_time_bits = 24;
+    /** Width of STFM's fixed-point alpha threshold register. */
+    std::uint32_t alpha_bits = 8;
+    /** BLISS blacklisting threshold (sizes the streak counter). */
+    std::uint32_t bliss_threshold = 4;
+    /** BLISS clearing interval (sizes the interval countdown). */
+    std::uint64_t bliss_clearing_interval = 10000;
 };
 
 /** Table 1 state, grouped as in the paper. */
@@ -46,6 +65,15 @@ std::uint32_t CeilLog2(std::uint64_t value);
 
 /** Computes the Table 1 breakdown for @p params. */
 HardwareCostBreakdown ParBsHardwareCost(const HardwareCostParams& params);
+
+/**
+ * Additional state (beyond an FR-FCFS controller) required by @p kind, in
+ * the same four Table 1 buckets.  FCFS and FR-FCFS report zero; the three
+ * PAR-BS variants all report the Table 1 state (the variants differ in
+ * control logic, not storage).
+ */
+HardwareCostBreakdown SchedulerHardwareCost(SchedulerKind kind,
+                                            const HardwareCostParams& params);
 
 } // namespace parbs
 

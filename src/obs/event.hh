@@ -44,6 +44,7 @@ enum class EventKind : std::uint8_t {
     kBatchComplete, ///< a = batch id, b = duration (DRAM cycles)
     kThreadRank,    ///< thread re-ranked; a = new rank
     kMarkCapSkip,   ///< marking cap exhausted for (thread, bank); a = req id
+    kBlacklist,     ///< BLISS blacklist bit changed; a = 1 set, 0 cleared
     kPriorityChange,///< a = new ThreadPriority
     kWeightChange,  ///< a = new weight in 1/1000ths
 

@@ -57,6 +57,14 @@ SchedulerTraceAdapter::OnMarkingCapHit(DramCycle now, ThreadId thread,
 }
 
 void
+SchedulerTraceAdapter::OnThreadBlacklisted(DramCycle now, ThreadId thread,
+                                           bool blacklisted)
+{
+    tracer_->Emit({now, EventKind::kBlacklist, channel_, thread, kNoFlatBank,
+                  blacklisted ? std::uint64_t{1} : std::uint64_t{0}, 0});
+}
+
+void
 SchedulerTraceAdapter::OnPriorityChanged(ThreadId thread,
                                          ThreadPriority priority)
 {
@@ -253,6 +261,17 @@ Observability::TraceDocument(const TraceMeta& meta) const
             args.Set("thread", std::uint64_t{event.thread});
             args.Set("bank", std::uint64_t{event.bank});
             args.Set("req", event.a);
+            out.Set("args", std::move(args));
+            events.Append(std::move(out));
+            break;
+        }
+        case EventKind::kBlacklist: {
+            json::Value out = MakeEvent("i", "blacklist", "sched", pid,
+                                        kSchedulerTrack, event.cycle);
+            out.Set("s", "t");
+            json::Value args = json::Value::Object();
+            args.Set("thread", std::uint64_t{event.thread});
+            args.Set("set", event.a != 0);
             out.Set("args", std::move(args));
             events.Append(std::move(out));
             break;

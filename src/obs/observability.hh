@@ -90,6 +90,8 @@ class SchedulerTraceAdapter final : public SchedulerObserver {
                         std::uint32_t rank) override;
     void OnMarkingCapHit(DramCycle now, ThreadId thread, std::uint32_t bank,
                          RequestId request_id) override;
+    void OnThreadBlacklisted(DramCycle now, ThreadId thread,
+                             bool blacklisted) override;
     void OnPriorityChanged(ThreadId thread, ThreadPriority priority) override;
     void OnWeightChanged(ThreadId thread, double weight) override;
 

@@ -19,6 +19,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kBatchComplete: return "batch-complete";
     case EventKind::kThreadRank: return "thread-rank";
     case EventKind::kMarkCapSkip: return "mark-cap-skip";
+    case EventKind::kBlacklist: return "blacklist";
     case EventKind::kPriorityChange: return "priority-change";
     case EventKind::kWeightChange: return "weight-change";
     case EventKind::kWriteDrainEnter: return "write-drain-enter";
@@ -85,6 +86,9 @@ void FormatEvent(std::ostringstream& out, const TraceEvent& event) {
         break;
     case EventKind::kMarkCapSkip:
         out << "  req=" << event.a;
+        break;
+    case EventKind::kBlacklist:
+        out << (event.a != 0 ? "  set" : "  cleared");
         break;
     case EventKind::kPriorityChange:
         out << "  priority=" << event.a;

@@ -1,0 +1,148 @@
+#include "sched/bliss.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace parbs {
+
+BlissScheduler::BlissScheduler(const BlissConfig& config) : config_(config)
+{
+    if (config_.blacklist_threshold == 0) {
+        PARBS_FATAL("BLISS blacklist threshold must be nonzero");
+    }
+    if (config_.clearing_interval == 0) {
+        PARBS_FATAL("BLISS clearing interval must be nonzero");
+    }
+}
+
+std::string
+BlissScheduler::name() const
+{
+    if (config_.blacklist_threshold == 4 &&
+        config_.clearing_interval == 10000) {
+        return "BLISS";
+    }
+    std::string out = "BLISS(n=";
+    out += std::to_string(config_.blacklist_threshold);
+    out += ",clear=";
+    out += std::to_string(config_.clearing_interval);
+    out += ")";
+    return out;
+}
+
+void
+BlissScheduler::Attach(const SchedulerContext& context)
+{
+    ComparatorScheduler::Attach(context);
+    blacklisted_.assign(context.num_threads, 0);
+    last_served_ = kInvalidThread;
+    streak_ = 0;
+}
+
+void
+BlissScheduler::OnDramCycle(DramCycle now)
+{
+    // Interval clearing: blacklisting is a rolling penalty.  Keyed on the
+    // channel's own cycle counter, so clears land on the same cycle under
+    // any --jobs / --channel-jobs value (the sharded determinism contract).
+    if (now == 0 || now % config_.clearing_interval != 0) {
+        return;
+    }
+    clearings_ += 1;
+    bool any = false;
+    for (std::size_t thread = 0; thread < blacklisted_.size(); ++thread) {
+        if (blacklisted_[thread]) {
+            any = true;
+            blacklisted_[thread] = 0;
+            if (observer_ != nullptr) {
+                observer_->OnThreadBlacklisted(
+                    now, static_cast<ThreadId>(thread), false);
+            }
+        }
+    }
+    // Comparator-visible state changed: every memoized per-bank winner
+    // chosen while a bit was set may now be wrong.
+    if (any) {
+        InvalidateBankPicks();
+    }
+}
+
+void
+BlissScheduler::OnCommandIssued(const MemRequest& request,
+                                const dram::Command& command, DramCycle now)
+{
+    // Only data commands count as "served": an ACTIVATE/PRECHARGE pair on
+    // behalf of a row miss still serves one request, and counting it twice
+    // would halve the effective threshold for row-miss traffic.
+    if (command.type != dram::CommandType::kRead &&
+        command.type != dram::CommandType::kWrite) {
+        return;
+    }
+    if (request.thread == last_served_) {
+        streak_ += 1;
+    } else {
+        last_served_ = request.thread;
+        streak_ = 1;
+    }
+    if (streak_ < config_.blacklist_threshold) {
+        return;
+    }
+    // The streak restarts after a blacklisting so a monopolizing thread is
+    // re-penalized every threshold commands after an interval clear.
+    streak_ = 0;
+    PARBS_ASSERT(request.thread < blacklisted_.size(),
+                 "thread id out of range");
+    if (!blacklisted_[request.thread]) {
+        blacklisted_[request.thread] = 1;
+        blacklist_events_ += 1;
+        if (observer_ != nullptr) {
+            observer_->OnThreadBlacklisted(now, request.thread, true);
+        }
+        InvalidateBankPicks();
+    }
+}
+
+bool
+BlissScheduler::Blacklisted(ThreadId thread) const
+{
+    PARBS_ASSERT(thread < blacklisted_.size(), "thread id out of range");
+    return blacklisted_[thread] != 0;
+}
+
+std::uint32_t
+BlissScheduler::BlacklistedCount() const
+{
+    return static_cast<std::uint32_t>(
+        std::count(blacklisted_.begin(), blacklisted_.end(), char{1}));
+}
+
+std::vector<std::pair<std::string, double>>
+BlissScheduler::Stats() const
+{
+    return {
+        {"blacklist_events", static_cast<double>(blacklist_events_)},
+        {"blacklist_clearings", static_cast<double>(clearings_)},
+        {"blacklisted_now", static_cast<double>(BlacklistedCount())},
+        {"blacklist_threshold",
+         static_cast<double>(config_.blacklist_threshold)},
+    };
+}
+
+bool
+BlissScheduler::Better(const Candidate& a, const Candidate& b,
+                       DramCycle) const
+{
+    // Two priority levels (the whole point: no full ranking), then FR-FCFS.
+    const bool a_black = blacklisted_[a.request->thread] != 0;
+    const bool b_black = blacklisted_[b.request->thread] != 0;
+    if (a_black != b_black) {
+        return !a_black;
+    }
+    if (a.row_hit != b.row_hit) {
+        return a.row_hit;
+    }
+    return a.request->id < b.request->id;
+}
+
+} // namespace parbs

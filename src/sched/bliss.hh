@@ -1,0 +1,109 @@
+/**
+ * @file
+ * BLISS: the Blacklisting Memory Scheduler (Subramanian, Lee, Seshadri,
+ * Rastogi & Mutlu, arXiv 1504.00390) — the low-cost foil to PAR-BS's full
+ * thread ranking.
+ *
+ * BLISS observes that most interference comes from a small set of
+ * streaming applications that monopolize the row buffer, and that keeping
+ * a single *blacklist bit* per thread is enough to break their streaks:
+ *
+ *  1. Blacklisting.  The controller remembers the thread that was served
+ *     by the last data command and a counter of how many consecutive data
+ *     commands went to it.  When the streak reaches BlacklistThreshold
+ *     (paper value 4) the thread's blacklist bit is set and the streak
+ *     restarts — intensive streamers tag themselves, light threads never
+ *     reach the threshold.
+ *
+ *  2. Clearing.  All blacklist bits are cleared every ClearingInterval
+ *     DRAM cycles (paper value 10000), so blacklisting is a rolling
+ *     penalty, not a permanent demotion; combined with 1. this bounds how
+ *     long any thread can be deprioritized (starvation freedom).
+ *
+ *  3. Arbitration.  Two priority levels over FR-FCFS order:
+ *     non-blacklisted > blacklisted, then row-hit first, then oldest
+ *     first.
+ *
+ * Hardware cost is one bit per thread plus three small registers — see
+ * SchedulerHardwareCost() in core/hardware_cost.hh, which scores it
+ * against PAR-BS's Table 1 state.
+ *
+ * Memoization (DESIGN.md §5e / §7): Better() reads only the blacklist
+ * bits beyond the candidates, and every bit transition — a blacklisting
+ * in OnCommandIssued() or an interval clear in OnDramCycle() — calls
+ * InvalidateBankPicks(), so the per-bank pick memo stays sound and
+ * selection stays O(banks).
+ */
+
+#ifndef PARBS_SCHED_BLISS_HH
+#define PARBS_SCHED_BLISS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace parbs {
+
+/** BLISS configuration (paper defaults). */
+struct BlissConfig {
+    /** Consecutive data commands from one thread that trigger its bit. */
+    std::uint32_t blacklist_threshold = 4;
+    /** Period at which all blacklist bits are cleared, DRAM cycles. */
+    std::uint64_t clearing_interval = 10000;
+};
+
+/** The Blacklisting memory scheduler. */
+class BlissScheduler : public ComparatorScheduler {
+  public:
+    explicit BlissScheduler(const BlissConfig& config = {});
+
+    std::string name() const override;
+
+    void Attach(const SchedulerContext& context) override;
+    void OnDramCycle(DramCycle now) override;
+    void OnCommandIssued(const MemRequest& request,
+                         const dram::Command& command,
+                         DramCycle now) override;
+
+    // --- Introspection (tests / stats) -----------------------------------
+
+    /** True if @p thread is currently blacklisted. */
+    bool Blacklisted(ThreadId thread) const;
+
+    /** Threads currently blacklisted. */
+    std::uint32_t BlacklistedCount() const;
+
+    const BlissConfig& config() const { return config_; }
+
+    /** Blacklisting events, interval clears, and the live bit count. */
+    std::vector<std::pair<std::string, double>> Stats() const override;
+
+  protected:
+    bool Better(const Candidate& a, const Candidate& b,
+                DramCycle now) const override;
+
+    /**
+     * Better() reads only blacklisted_ beyond the candidates; every bit
+     * set (OnCommandIssued) and every interval clear (OnDramCycle) calls
+     * InvalidateBankPicks(), so memoized per-bank picks stay sound.
+     */
+    bool PickMemoStable() const override { return true; }
+
+  private:
+    BlissConfig config_;
+
+    /** One blacklist bit per thread (char for vector<bool>-free speed). */
+    std::vector<char> blacklisted_;
+    /** Thread served by the most recent data command. */
+    ThreadId last_served_ = kInvalidThread;
+    /** Consecutive data commands served to last_served_. */
+    std::uint32_t streak_ = 0;
+
+    std::uint64_t blacklist_events_ = 0;
+    std::uint64_t clearings_ = 0;
+};
+
+} // namespace parbs
+
+#endif // PARBS_SCHED_BLISS_HH

@@ -28,8 +28,35 @@ SchedulerKindName(SchedulerKind kind)
         return "PAR-BS(eslot)";
       case SchedulerKind::kParBsAdaptive:
         return "PAR-BS(adaptive-cap)";
+      case SchedulerKind::kBliss:
+        return "BLISS";
     }
     return "?";
+}
+
+std::span<const SchedulerKind>
+AllSchedulerKinds()
+{
+    static constexpr SchedulerKind kAll[] = {
+        SchedulerKind::kFcfs,         SchedulerKind::kFrFcfs,
+        SchedulerKind::kNfq,          SchedulerKind::kStfm,
+        SchedulerKind::kParBs,        SchedulerKind::kParBsStatic,
+        SchedulerKind::kParBsEslot,   SchedulerKind::kParBsAdaptive,
+        SchedulerKind::kBliss,
+    };
+    return kAll;
+}
+
+bool
+ParseSchedulerKind(const std::string& name, SchedulerKind& out)
+{
+    for (const SchedulerKind kind : AllSchedulerKinds()) {
+        if (name == SchedulerKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::unique_ptr<Scheduler>
@@ -54,6 +81,8 @@ MakeScheduler(const SchedulerConfig& config)
       case SchedulerKind::kParBsAdaptive:
         return std::make_unique<AdaptiveParBsScheduler>(config.adaptive,
                                                         config.parbs);
+      case SchedulerKind::kBliss:
+        return std::make_unique<BlissScheduler>(config.bliss);
     }
     PARBS_FATAL("unknown scheduler kind");
 }

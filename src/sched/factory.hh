@@ -8,9 +8,11 @@
 #define PARBS_SCHED_FACTORY_HH
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "sched/adaptive_parbs.hh"
+#include "sched/bliss.hh"
 #include "sched/parbs_sched.hh"
 #include "sched/scheduler.hh"
 #include "sched/stfm.hh"
@@ -27,10 +29,26 @@ enum class SchedulerKind : std::uint8_t {
     kParBsStatic, ///< PAR-BS with time-based static batching (Fig. 12).
     kParBsEslot,  ///< PAR-BS with empty-slot batching (Fig. 12).
     kParBsAdaptive, ///< PAR-BS with a feedback-controlled Marking-Cap.
+    kBliss,       ///< Blacklisting scheduler (Subramanian et al. [1504.00390]).
 };
 
 /** Short display name ("FR-FCFS", "PAR-BS", ...). */
 const char* SchedulerKindName(SchedulerKind kind);
+
+/**
+ * Every scheduler kind, in declaration order — the factory registry.
+ * Sweep consumers (fault fuzzing, the replay-invariance tests, CLI
+ * parsers) enumerate this instead of hard-coding names, so a new policy
+ * is fuzzed and parseable the moment it is added here.
+ */
+std::span<const SchedulerKind> AllSchedulerKinds();
+
+/**
+ * Parses a display name (as produced by SchedulerKindName, e.g. "BLISS",
+ * "PAR-BS") against the registry.  @return false if @p name matches no
+ * registered kind.
+ */
+bool ParseSchedulerKind(const std::string& name, SchedulerKind& out);
 
 /** Complete scheduler selection + parameters. */
 struct SchedulerConfig {
@@ -43,6 +61,8 @@ struct SchedulerConfig {
     DramCycle static_batch_duration = 3200;
     /** Adaptive-cap controller knobs for kParBsAdaptive. */
     AdaptiveCapConfig adaptive;
+    /** BLISS knobs. */
+    BlissConfig bliss;
 };
 
 /** Builds a fresh scheduler instance from @p config. */

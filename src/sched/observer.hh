@@ -54,6 +54,12 @@ class SchedulerObserver {
     {
     }
 
+    /** @p thread's BLISS blacklist bit was set (true) or cleared (false). */
+    virtual void OnThreadBlacklisted(DramCycle /*now*/, ThreadId /*thread*/,
+                                     bool /*blacklisted*/)
+    {
+    }
+
     /** System software changed a thread's priority level. */
     virtual void OnPriorityChanged(ThreadId /*thread*/,
                                    ThreadPriority /*priority*/)

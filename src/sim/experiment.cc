@@ -241,12 +241,13 @@ ExperimentRunner::Aggregate(const std::vector<SharedRun>& runs)
 std::vector<SchedulerConfig>
 ComparisonSchedulers()
 {
-    std::vector<SchedulerConfig> out(5);
+    std::vector<SchedulerConfig> out(6);
     out[0].kind = SchedulerKind::kFrFcfs;
     out[1].kind = SchedulerKind::kFcfs;
     out[2].kind = SchedulerKind::kNfq;
     out[3].kind = SchedulerKind::kStfm;
     out[4].kind = SchedulerKind::kParBs;
+    out[5].kind = SchedulerKind::kBliss;
     return out;
 }
 

@@ -159,8 +159,9 @@ class ExperimentRunner {
 };
 
 /**
- * The scheduler lineup of the paper's comparison figures, in display
- * order: FR-FCFS, FCFS, NFQ, STFM, PAR-BS.
+ * The scheduler lineup of the comparison figures, in display order:
+ * FR-FCFS, FCFS, NFQ, STFM, PAR-BS (the paper's five), plus BLISS — the
+ * low-cost blacklisting foil the Pareto shootout scores against PAR-BS.
  */
 std::vector<SchedulerConfig> ComparisonSchedulers();
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/hardware_cost.hh"
+#include "sched/factory.hh"
 
 namespace parbs {
 namespace {
@@ -71,6 +72,64 @@ TEST(HardwareCost, CostIsModest)
     params.request_buffer_entries = 512;
     params.num_banks = 16;
     EXPECT_LT(ParBsHardwareCost(params).TotalBits(), 8192u);
+}
+
+TEST(SchedulerCost, BaselinesAddNothing)
+{
+    // FR-FCFS is the reference design; FCFS removes logic, adds no state.
+    EXPECT_EQ(SchedulerHardwareCost(SchedulerKind::kFrFcfs, {}).TotalBits(),
+              0u);
+    EXPECT_EQ(SchedulerHardwareCost(SchedulerKind::kFcfs, {}).TotalBits(),
+              0u);
+}
+
+TEST(SchedulerCost, ParBsVariantsMatchTableOne)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::kParBs, SchedulerKind::kParBsStatic,
+          SchedulerKind::kParBsEslot, SchedulerKind::kParBsAdaptive}) {
+        EXPECT_EQ(SchedulerHardwareCost(kind, {}).TotalBits(), 1412u)
+            << SchedulerKindName(kind);
+    }
+}
+
+TEST(SchedulerCost, BlissIsTheCheapestFairScheduler)
+{
+    // 8 blacklist bits + 3-bit last-served id + 3-bit streak counter
+    // (values 0..4) + 14-bit clearing countdown = 28 bits at the
+    // reference machine — two orders of magnitude below PAR-BS.
+    const HardwareCostBreakdown bliss =
+        SchedulerHardwareCost(SchedulerKind::kBliss, {});
+    EXPECT_EQ(bliss.per_thread_bits, 8u);
+    EXPECT_EQ(bliss.individual_bits, 3u + 3 + 14);
+    EXPECT_EQ(bliss.TotalBits(), 28u);
+    EXPECT_LE(bliss.TotalBits() * 50,
+              SchedulerHardwareCost(SchedulerKind::kParBs, {}).TotalBits());
+}
+
+TEST(SchedulerCost, OrderingMatchesThePaperNarrative)
+{
+    // Cost ladder at the reference machine: the baselines are free, BLISS
+    // is tens of bits, STFM hundreds, PAR-BS ~1.4K, NFQ the priciest
+    // (per-thread per-bank virtual times).
+    const auto bits = [](SchedulerKind kind) {
+        return SchedulerHardwareCost(kind, {}).TotalBits();
+    };
+    EXPECT_LT(bits(SchedulerKind::kFrFcfs), bits(SchedulerKind::kBliss));
+    EXPECT_LT(bits(SchedulerKind::kBliss), bits(SchedulerKind::kStfm));
+    EXPECT_LT(bits(SchedulerKind::kStfm), bits(SchedulerKind::kParBs));
+    EXPECT_LT(bits(SchedulerKind::kParBs), bits(SchedulerKind::kNfq));
+}
+
+TEST(SchedulerCost, BlissScalesWithThreadsAndInterval)
+{
+    HardwareCostParams params;
+    params.num_threads = 16;
+    params.bliss_clearing_interval = 1 << 20;
+    const HardwareCostBreakdown cost =
+        SchedulerHardwareCost(SchedulerKind::kBliss, params);
+    EXPECT_EQ(cost.per_thread_bits, 16u);           // one bit per thread
+    EXPECT_EQ(cost.individual_bits, 4u + 3 + 20);   // id + streak + countdown
 }
 
 } // namespace

@@ -253,7 +253,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllSchedulers, IndexedSelectionExactness,
     ::testing::Values(SchedulerKind::kFrFcfs, SchedulerKind::kFcfs,
                       SchedulerKind::kNfq, SchedulerKind::kStfm,
-                      SchedulerKind::kParBs),
+                      SchedulerKind::kParBs, SchedulerKind::kBliss),
     [](const auto& info) {
         const std::string name = SchedulerKindName(info.param);
         std::string out;

@@ -80,5 +80,25 @@ TEST(SchedulerStats, StfmReportsSlowdownsAndDutyCycle)
     EXPECT_TRUE(stats.count("slowdown_t2"));
 }
 
+TEST(SchedulerStats, BlissReportsBlacklisting)
+{
+    SchedulerConfig config;
+    config.kind = SchedulerKind::kBliss;
+    ControllerHarness h(MakeScheduler(config), 2);
+    // One thread streams enough row hits to cross the blacklist
+    // threshold (4 consecutive served requests).
+    for (std::uint32_t column = 0; column < 8; ++column) {
+        h.Enqueue(0, 0, 1, column);
+    }
+    h.RunUntilIdle();
+    const auto stats = AsMap(h.controller().scheduler());
+    ASSERT_TRUE(stats.count("blacklist_events"));
+    EXPECT_GE(stats.at("blacklist_events"), 1.0);
+    ASSERT_TRUE(stats.count("blacklisted_now"));
+    EXPECT_GE(stats.at("blacklisted_now"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.at("blacklist_threshold"), 4.0);
+    EXPECT_TRUE(stats.count("blacklist_clearings"));
+}
+
 } // namespace
 } // namespace parbs

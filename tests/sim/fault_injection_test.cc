@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/factory.hh"
 #include "sim/fault_injector.hh"
 
 namespace parbs {
@@ -89,10 +90,10 @@ TEST(FaultInjector, DefensesAreInvariantUnderSchedulerAndSharding)
     for (std::uint64_t index = 0; index < kNumFaultKinds; ++index) {
         baseline.push_back(injector.RunScenario(index));
     }
-    const SchedulerKind schedulers[] = {
-        SchedulerKind::kFcfs, SchedulerKind::kNfq, SchedulerKind::kStfm,
-        SchedulerKind::kParBs};
-    for (const SchedulerKind scheduler : schedulers) {
+    // Enumerate from the factory registry so a newly registered policy
+    // is replayed automatically (the FR-FCFS entry harmlessly re-checks
+    // the baseline under sharding).
+    for (const SchedulerKind scheduler : AllSchedulerKinds()) {
         FaultOptions options;
         options.scheduler = scheduler;
         options.channel_jobs = 4;

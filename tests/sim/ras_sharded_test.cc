@@ -130,7 +130,7 @@ TEST_P(RasShardedEquivalence, ErrorRecoveryIsBitIdenticalAcrossWorkers)
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchedulers, RasShardedEquivalence,
-    ::testing::Range<std::size_t>(0, 5),
+    ::testing::Range<std::size_t>(0, 6),
     [](const ::testing::TestParamInfo<std::size_t>& info) {
         std::string name =
             SchedulerConfigName(ComparisonSchedulers()[info.param]);

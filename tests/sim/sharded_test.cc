@@ -104,7 +104,7 @@ TEST_P(ShardedEquivalence, BitIdenticalAcrossWorkerCounts)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllSchedulers, ShardedEquivalence, ::testing::Range<std::size_t>(0, 5),
+    AllSchedulers, ShardedEquivalence, ::testing::Range<std::size_t>(0, 6),
     [](const ::testing::TestParamInfo<std::size_t>& info) {
         std::string name =
             SchedulerConfigName(ComparisonSchedulers()[info.param]);

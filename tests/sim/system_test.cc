@@ -219,12 +219,14 @@ TEST(Experiment, AggregateComputesGmeans)
 TEST(Experiment, ComparisonSchedulersMatchPaperLineup)
 {
     const auto lineup = ComparisonSchedulers();
-    ASSERT_EQ(lineup.size(), 5u);
+    ASSERT_EQ(lineup.size(), 6u);
     EXPECT_EQ(SchedulerConfigName(lineup[0]), "FR-FCFS");
     EXPECT_EQ(SchedulerConfigName(lineup[1]), "FCFS");
     EXPECT_EQ(SchedulerConfigName(lineup[2]), "NFQ");
     EXPECT_EQ(SchedulerConfigName(lineup[3]), "STFM");
     EXPECT_EQ(SchedulerConfigName(lineup[4]), "PAR-BS");
+    // The paper's five plus the BLISS foil (the Pareto shootout lineup).
+    EXPECT_EQ(SchedulerConfigName(lineup[5]), "BLISS");
 }
 
 TEST(Workloads, NamedWorkloadsMatchPaper)

@@ -8,6 +8,7 @@
  *   bench_report --dir bench/out --out BENCH_results.json
  *   bench_report --dir bench/out --check bench/golden [--wall-tolerance 0.2]
  *   bench_report --dir bench/out --prev perf/BENCH_results-pr3.json
+ *   bench_report --dir bench/out --summary summary.md
  *   bench_report --trace run.json
  *
  * --trace switches to a standalone mode that validates one Chrome
@@ -26,6 +27,13 @@
  * per-binary speedup-vs-previous-run line is printed for every benchmark
  * present in both runs — the perf trajectory across PRs.  Informational
  * only: wall clocks from different machines are not gated.
+ *
+ * The aggregate pass also joins every per-scheduler aggregate (weighted
+ * speedup, unfairness) with the table1 "scheduler cost" values into the
+ * performance / fairness / hardware-cost Pareto table — the policy
+ * shootout the lineup exists for.  --summary PATH additionally writes the
+ * Pareto table and the speedup lines as GitHub-flavored markdown (CI
+ * appends it to $GITHUB_STEP_SUMMARY).
  */
 
 #include <algorithm>
@@ -92,22 +100,31 @@ WallSeconds(const Value& root)
     return wall != nullptr ? wall->AsNumber() : 0.0;
 }
 
+/** One matched benchmark of the perf trajectory (--prev). */
+struct SpeedupLine {
+    std::string file;
+    double prev_wall = 0.0;
+    double wall = 0.0;
+};
+
 /**
  * Prints one "speedup" line per benchmark present in both the fresh
  * aggregate @p report and the previous aggregate @p prev (matched by the
  * per-entry "file" name): previous wall, current wall, and the ratio
- * (>1x means this run is faster).
+ * (>1x means this run is faster).  @return the matched lines, for the
+ * markdown summary.
  */
-void
+std::vector<SpeedupLine>
 PrintSpeedups(const Value& report, const Value& prev)
 {
+    std::vector<SpeedupLine> lines;
     const Value* prev_benchmarks = prev.Find("benchmarks");
     const Value* benchmarks = report.Find("benchmarks");
     if (prev_benchmarks == nullptr || benchmarks == nullptr) {
         std::fprintf(stderr,
                      "bench_report: --prev file has no \"benchmarks\" "
                      "array; skipping speedups\n");
-        return;
+        return lines;
     }
     double prev_total = 0.0;
     double total = 0.0;
@@ -140,6 +157,7 @@ PrintSpeedups(const Value& report, const Value& prev)
         matched += 1;
         total += wall;
         prev_total += prev_wall;
+        lines.push_back({file->AsString(), prev_wall, wall});
         std::fprintf(stderr, "speedup %-28s %6.2fs -> %6.2fs  (%.2fx)\n",
                      file->AsString().c_str(), prev_wall, wall,
                      prev_wall / wall);
@@ -149,6 +167,395 @@ PrintSpeedups(const Value& report, const Value& prev)
                      "speedup total (%zu matched)          %6.2fs -> "
                      "%6.2fs  (%.2fx)\n",
                      matched, prev_total, total, prev_total / total);
+    }
+    return lines;
+}
+
+/**
+ * Per-scheduler Pareto point: performance and fairness averaged over
+ * every aggregate any benchmark recorded for the scheduler, joined with
+ * the table1 "scheduler cost" storage bits.
+ */
+struct ParetoRow {
+    std::string scheduler;
+    double speedup_sum = 0.0;
+    double unfairness_sum = 0.0;
+    std::size_t samples = 0;
+    double cost_bits = -1.0; ///< <0 until table1's value is found.
+    bool frontier = false;
+
+    double Speedup() const
+    {
+        return samples == 0 ? 0.0
+                            : speedup_sum / static_cast<double>(samples);
+    }
+    double Unfairness() const
+    {
+        return samples == 0 ? 0.0
+                            : unfairness_sum / static_cast<double>(samples);
+    }
+};
+
+/**
+ * Collects the Pareto rows from the aggregate @p report: every
+ * sections[].aggregates[] entry contributes a (speedup, unfairness)
+ * sample keyed by scheduler name; every "scheduler cost" section value
+ * named "<scheduler> total bits" contributes the cost coordinate.
+ * Insertion order follows first appearance (the lineup order).
+ */
+std::vector<ParetoRow>
+CollectParetoRows(const Value& report)
+{
+    std::vector<ParetoRow> rows;
+    auto row_for = [&rows](const std::string& name) -> ParetoRow& {
+        for (ParetoRow& row : rows) {
+            if (row.scheduler == name) {
+                return row;
+            }
+        }
+        rows.push_back(ParetoRow{});
+        rows.back().scheduler = name;
+        return rows.back();
+    };
+
+    const Value* benchmarks = report.Find("benchmarks");
+    if (benchmarks == nullptr) {
+        return rows;
+    }
+
+    // Pass 1: the lineup, from table1_hardware_cost's "scheduler cost"
+    // section ("<scheduler> total bits" values, in lineup order).
+    std::vector<std::pair<std::string, double>> costs;
+    for (const Value& entry : benchmarks->items()) {
+        const Value* run = entry.Find("run");
+        const Value* sections =
+            run != nullptr ? run->Find("sections") : nullptr;
+        if (sections == nullptr) {
+            continue;
+        }
+        for (const Value& section : sections->items()) {
+            const Value* name = section.Find("name");
+            if (name == nullptr || name->AsString() != "scheduler cost") {
+                continue;
+            }
+            const Value* values = section.Find("values");
+            if (values == nullptr) {
+                continue;
+            }
+            for (const Value& value : values->items()) {
+                const Value* value_name = value.Find("name");
+                const Value* bits = value.Find("value");
+                if (value_name == nullptr || bits == nullptr) {
+                    continue;
+                }
+                const std::string& label = value_name->AsString();
+                const std::string suffix = " total bits";
+                if (label.size() <= suffix.size() ||
+                    label.compare(label.size() - suffix.size(),
+                                  suffix.size(), suffix) != 0) {
+                    continue;
+                }
+                costs.emplace_back(
+                    label.substr(0, label.size() - suffix.size()),
+                    bits->AsNumber());
+            }
+        }
+    }
+    for (const auto& [scheduler, bits] : costs) {
+        row_for(scheduler).cost_bits = bits;
+    }
+
+    // Pass 2: accumulate (speedup, unfairness) samples.  With a known
+    // lineup, only sections covering the *whole* lineup contribute —
+    // otherwise a scheduler that also appears in two-policy sweeps or
+    // ablations would average over a different benchmark set than its
+    // rivals and the means would not be comparable.  Without a cost
+    // section (partial --dir) every aggregate contributes.
+    for (const Value& entry : benchmarks->items()) {
+        const Value* run = entry.Find("run");
+        const Value* sections =
+            run != nullptr ? run->Find("sections") : nullptr;
+        if (sections == nullptr) {
+            continue;
+        }
+        for (const Value& section : sections->items()) {
+            const Value* aggregates = section.Find("aggregates");
+            if (aggregates == nullptr) {
+                continue;
+            }
+            if (!costs.empty()) {
+                bool covers_lineup = true;
+                for (const auto& [scheduler, bits] : costs) {
+                    bool found = false;
+                    for (const Value& aggregate : aggregates->items()) {
+                        const Value* name = aggregate.Find("scheduler");
+                        found |= name != nullptr &&
+                                 name->AsString() == scheduler;
+                    }
+                    covers_lineup &= found;
+                }
+                if (!covers_lineup) {
+                    continue;
+                }
+            }
+            for (const Value& aggregate : aggregates->items()) {
+                const Value* scheduler = aggregate.Find("scheduler");
+                const Value* speedup =
+                    aggregate.Find("weighted_speedup_gmean");
+                const Value* unfairness =
+                    aggregate.Find("unfairness_gmean");
+                if (scheduler == nullptr || speedup == nullptr ||
+                    unfairness == nullptr) {
+                    continue;
+                }
+                if (!costs.empty() &&
+                    std::none_of(costs.begin(), costs.end(),
+                                 [&](const auto& cost) {
+                                     return cost.first ==
+                                            scheduler->AsString();
+                                 })) {
+                    continue;
+                }
+                ParetoRow& row = row_for(scheduler->AsString());
+                row.speedup_sum += speedup->AsNumber();
+                row.unfairness_sum += unfairness->AsNumber();
+                row.samples += 1;
+            }
+        }
+    }
+
+    // A row is on the frontier unless some other row is at least as good
+    // on every axis (speedup up; unfairness and cost down) and strictly
+    // better on one.  Rows without a cost coordinate (cost-less fallback
+    // mode) still compare on the two metric axes.
+    for (ParetoRow& row : rows) {
+        if (row.samples == 0) {
+            continue;
+        }
+        row.frontier = true;
+        for (const ParetoRow& other : rows) {
+            if (&other == &row || other.samples == 0) {
+                continue;
+            }
+            const double cost = row.cost_bits < 0 ? 0.0 : row.cost_bits;
+            const double other_cost =
+                other.cost_bits < 0 ? 0.0 : other.cost_bits;
+            const bool as_good = other.Speedup() >= row.Speedup() &&
+                                 other.Unfairness() <= row.Unfairness() &&
+                                 other_cost <= cost;
+            const bool better = other.Speedup() > row.Speedup() ||
+                                other.Unfairness() < row.Unfairness() ||
+                                other_cost < cost;
+            if (as_good && better) {
+                row.frontier = false;
+                break;
+            }
+        }
+    }
+    return rows;
+}
+
+/** Prints the Pareto shootout table to stderr. */
+void
+PrintParetoTable(const std::vector<ParetoRow>& rows)
+{
+    bool any = false;
+    for (const ParetoRow& row : rows) {
+        if (row.samples > 0) {
+            any = true;
+            break;
+        }
+    }
+    if (!any) {
+        return;
+    }
+    std::fprintf(stderr,
+                 "pareto %-22s %10s %10s %10s  %s\n",
+                 "scheduler", "WS(mean)", "unfairness", "cost bits",
+                 "frontier");
+    for (const ParetoRow& row : rows) {
+        if (row.samples == 0) {
+            continue;
+        }
+        char cost[32];
+        if (row.cost_bits < 0) {
+            std::snprintf(cost, sizeof(cost), "%10s", "?");
+        } else {
+            std::snprintf(cost, sizeof(cost), "%10.0f", row.cost_bits);
+        }
+        std::fprintf(stderr, "pareto %-22s %10.3f %10.3f %s  %s\n",
+                     row.scheduler.c_str(), row.Speedup(),
+                     row.Unfairness(), cost,
+                     row.frontier ? "*" : "");
+    }
+}
+
+/**
+ * Writes the markdown job summary: the Pareto table plus (when --prev
+ * matched anything) the per-benchmark wall-clock trajectory.
+ */
+bool
+WriteSummary(const std::string& path, const std::vector<ParetoRow>& rows,
+             const std::vector<SpeedupLine>& speedups)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        std::fprintf(stderr, "bench_report: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << "## Scheduler shootout — performance / fairness / hardware "
+           "cost\n\n";
+    out << "| scheduler | weighted speedup (mean) | unfairness (mean) | "
+           "cost (bits) | Pareto |\n";
+    out << "|---|---|---|---|---|\n";
+    char line[256];
+    for (const ParetoRow& row : rows) {
+        if (row.samples == 0) {
+            continue;
+        }
+        if (row.cost_bits < 0) {
+            std::snprintf(line, sizeof(line),
+                          "| %s | %.3f | %.3f | ? | %s |\n",
+                          row.scheduler.c_str(), row.Speedup(),
+                          row.Unfairness(),
+                          row.frontier ? "frontier" : "");
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "| %s | %.3f | %.3f | %.0f | %s |\n",
+                          row.scheduler.c_str(), row.Speedup(),
+                          row.Unfairness(), row.cost_bits,
+                          row.frontier ? "frontier" : "");
+        }
+        out << line;
+    }
+    out << "\n";
+    if (!speedups.empty()) {
+        out << "### Wall-clock trajectory vs previous run\n\n";
+        out << "| benchmark | previous | current | speedup |\n";
+        out << "|---|---|---|---|\n";
+        double prev_total = 0.0;
+        double total = 0.0;
+        for (const SpeedupLine& speedup : speedups) {
+            prev_total += speedup.prev_wall;
+            total += speedup.wall;
+            std::snprintf(line, sizeof(line),
+                          "| %s | %.2fs | %.2fs | %.2fx |\n",
+                          speedup.file.c_str(), speedup.prev_wall,
+                          speedup.wall, speedup.prev_wall / speedup.wall);
+            out << line;
+        }
+        std::snprintf(line, sizeof(line),
+                      "| **total** | %.2fs | %.2fs | %.2fx |\n",
+                      prev_total, total, prev_total / total);
+        out << line;
+        out << "\n";
+    }
+    std::fprintf(stderr, "bench_report: appended summary to %s\n",
+                 path.c_str());
+    return true;
+}
+
+/** Short display form of a scalar JSON value for diff lines. */
+std::string
+ScalarRepr(const Value& value)
+{
+    switch (value.kind()) {
+      case Value::Kind::kNull:
+        return "null";
+      case Value::Kind::kBool:
+        return value.AsBool() ? "true" : "false";
+      case Value::Kind::kNumber:
+        return parbs::json::FormatNumber(value.AsNumber());
+      case Value::Kind::kString:
+        return "\"" + value.AsString() + "\"";
+      case Value::Kind::kArray:
+        return "[array of " + std::to_string(value.items().size()) + "]";
+      case Value::Kind::kObject:
+        return "{object}";
+    }
+    return "?";
+}
+
+/**
+ * Recursively collects human-readable difference lines between @p golden
+ * and @p fresh into @p out (at most @p max lines), each prefixed with its
+ * JSON path.  Array elements whose objects carry a "name" / "scheduler" /
+ * "workload" key are labeled by it, so a drifted metric reads like
+ * `sections[16 cores].aggregates[BLISS].unfairness_gmean: 1.2 -> 1.3`.
+ */
+void
+DiffValues(const std::string& path, const Value& golden, const Value& fresh,
+           std::vector<std::string>& out, std::size_t max)
+{
+    if (out.size() >= max) {
+        return;
+    }
+    if (golden.kind() != fresh.kind()) {
+        out.push_back(path + ": " + ScalarRepr(golden) + " -> " +
+                      ScalarRepr(fresh));
+        return;
+    }
+    switch (golden.kind()) {
+      case Value::Kind::kObject: {
+        for (const auto& [key, value] : golden.members()) {
+            const Value* other = fresh.Find(key);
+            if (other == nullptr) {
+                out.push_back(path + "." + key +
+                              ": missing from fresh result");
+            } else {
+                DiffValues(path + "." + key, value, *other, out, max);
+            }
+            if (out.size() >= max) {
+                return;
+            }
+        }
+        for (const auto& [key, value] : fresh.members()) {
+            if (golden.Find(key) == nullptr) {
+                out.push_back(path + "." + key + ": not in golden");
+                if (out.size() >= max) {
+                    return;
+                }
+            }
+        }
+        return;
+      }
+      case Value::Kind::kArray: {
+        const std::size_t common =
+            std::min(golden.items().size(), fresh.items().size());
+        for (std::size_t i = 0; i < common; ++i) {
+            const Value& element = golden.items()[i];
+            std::string label = std::to_string(i);
+            if (element.kind() == Value::Kind::kObject) {
+                for (const char* key :
+                     {"name", "scheduler", "workload"}) {
+                    const Value* tag = element.Find(key);
+                    if (tag != nullptr &&
+                        tag->kind() == Value::Kind::kString) {
+                        label = tag->AsString();
+                        break;
+                    }
+                }
+            }
+            DiffValues(path + "[" + label + "]", element,
+                       fresh.items()[i], out, max);
+            if (out.size() >= max) {
+                return;
+            }
+        }
+        if (golden.items().size() != fresh.items().size()) {
+            out.push_back(path + ": length " +
+                          std::to_string(golden.items().size()) + " -> " +
+                          std::to_string(fresh.items().size()));
+        }
+        return;
+      }
+      default:
+        if (golden != fresh) {
+            out.push_back(path + ": " + ScalarRepr(golden) + " -> " +
+                          ScalarRepr(fresh));
+        }
+        return;
     }
 }
 
@@ -170,15 +577,33 @@ CheckAgainstGolden(const std::string& name, const Value& result,
         return false;
     }
     if (!(*run == *golden_run)) {
+        constexpr std::size_t kMaxDiffLines = 20;
+        std::vector<std::string> diff;
+        DiffValues("run", *golden_run, *run, diff, kMaxDiffLines);
         std::fprintf(stderr,
                      "FAIL %s: simulated metrics drifted from golden "
-                     "(the \"run\" subtree differs)\n",
+                     "(golden -> fresh):\n",
                      name.c_str());
+        for (const std::string& line : diff) {
+            std::fprintf(stderr, "  %s\n", line.c_str());
+        }
+        if (diff.size() >= kMaxDiffLines) {
+            std::fprintf(stderr, "  ... (diff truncated at %zu lines)\n",
+                         kMaxDiffLines);
+        }
+        std::fprintf(stderr,
+                     "  if the change is intentional, regenerate with: "
+                     "cmake --build build --target bench_quick && "
+                     "cp build/bench/out/*.json bench/golden/\n");
         ok = false;
     }
     const double wall = WallSeconds(result);
     const double golden_wall = WallSeconds(golden);
-    if (golden_wall > 0.0 && wall > golden_wall * (1.0 + wall_tolerance)) {
+    // Quarter-second absolute grace: sub-second binaries (table printers)
+    // are all scheduler-independent setup noise, and 20% of ~10ms is
+    // nothing but jitter.
+    if (golden_wall > 0.0 &&
+        wall > golden_wall * (1.0 + wall_tolerance) + 0.25) {
         std::fprintf(stderr,
                      "FAIL %s: wall clock %.2fs exceeds golden %.2fs by "
                      "more than %.0f%%\n",
@@ -328,6 +753,7 @@ main(int argc, char** argv)
     std::string golden_dir;
     std::string prev_path;
     std::string trace_path;
+    std::string summary_path;
     double wall_tolerance = 0.20;
 
     for (int i = 1; i < argc; ++i) {
@@ -342,13 +768,16 @@ main(int argc, char** argv)
             prev_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (arg == "--summary" && i + 1 < argc) {
+            summary_path = argv[++i];
         } else if (arg == "--wall-tolerance" && i + 1 < argc) {
             wall_tolerance = std::strtod(argv[++i], nullptr);
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--dir DIR] [--out PATH] "
                          "[--check GOLDEN_DIR] [--prev REPORT] "
-                         "[--trace FILE] [--wall-tolerance F]\n",
+                         "[--summary PATH] [--trace FILE] "
+                         "[--wall-tolerance F]\n",
                          argv[0]);
             return 0;
         } else {
@@ -405,12 +834,21 @@ main(int argc, char** argv)
                          "%.1fs total)\n",
                  out_path.c_str(), files.size(), total_wall);
 
+    const std::vector<ParetoRow> pareto = CollectParetoRows(report);
+    PrintParetoTable(pareto);
+
+    std::vector<SpeedupLine> speedups;
     if (!prev_path.empty()) {
         Value prev;
         if (!LoadJson(prev_path, prev)) {
             return 2;
         }
-        PrintSpeedups(report, prev);
+        speedups = PrintSpeedups(report, prev);
+    }
+
+    if (!summary_path.empty() &&
+        !WriteSummary(summary_path, pareto, speedups)) {
+        return 2;
     }
 
     if (golden_dir.empty()) {

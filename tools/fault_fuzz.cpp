@@ -7,74 +7,34 @@
  * class of mismatch; a failing scenario reproduces with the same
  * --seed / index pair.
  *
- * Usage: fault_fuzz [--scenarios N] [--seed S] [--scheduler NAME]
+ * Usage: fault_fuzz [--scenarios N] [--seed S] [--scheduler NAME|all]
  *                   [--channel-jobs N] [--verbose]
  *
  * --scheduler / --channel-jobs replay the same scenario stream under a
  * different scheduler or worker count; the defenses must not change
- * (tests/sim/fault_injection_test.cc asserts exact equality).
+ * (tests/sim/fault_injection_test.cc asserts exact equality).  Scheduler
+ * names come from the factory registry (AllSchedulerKinds), so a newly
+ * registered policy is accepted — and swept by `--scheduler all` — with
+ * no fuzzer change.
  */
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
+#include "sched/factory.hh"
 #include "sim/fault_injector.hh"
 
 using namespace parbs;
 
 namespace {
 
-bool
-ParseSchedulerKind(const char* name, SchedulerKind& out)
+/** Runs @p scenarios scenarios under @p options; @return mismatches. */
+std::uint64_t
+RunSweep(std::uint64_t scenarios, std::uint64_t seed,
+         const FaultOptions& options, bool verbose)
 {
-    for (std::uint8_t k = 0;
-         k <= static_cast<std::uint8_t>(SchedulerKind::kParBsAdaptive);
-         ++k) {
-        const auto kind = static_cast<SchedulerKind>(k);
-        if (std::strcmp(name, SchedulerKindName(kind)) == 0) {
-            out = kind;
-            return true;
-        }
-    }
-    return false;
-}
-
-} // namespace
-
-int
-main(int argc, char** argv)
-{
-    std::uint64_t scenarios = 1000;
-    std::uint64_t seed = 0xFA11;
-    bool verbose = false;
-    FaultOptions options;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
-            scenarios = std::strtoull(argv[++i], nullptr, 0);
-        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-            seed = std::strtoull(argv[++i], nullptr, 0);
-        } else if (std::strcmp(argv[i], "--scheduler") == 0 && i + 1 < argc) {
-            if (!ParseSchedulerKind(argv[++i], options.scheduler)) {
-                std::fprintf(stderr, "unknown scheduler: %s\n", argv[i]);
-                return 2;
-            }
-        } else if (std::strcmp(argv[i], "--channel-jobs") == 0 &&
-                   i + 1 < argc) {
-            options.channel_jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 0));
-        } else if (std::strcmp(argv[i], "--verbose") == 0) {
-            verbose = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--scenarios N] [--seed S] "
-                         "[--scheduler NAME] [--channel-jobs N] "
-                         "[--verbose]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
-
     FaultInjector injector(seed);
     std::uint64_t passed = 0;
     std::uint64_t failed = 0;
@@ -103,8 +63,9 @@ main(int argc, char** argv)
         }
     }
 
-    std::printf("fault_fuzz: %llu scenarios, %llu defended as expected, "
-                "%llu mismatched (seed 0x%llx)\n",
+    std::printf("fault_fuzz: scheduler %s: %llu scenarios, %llu defended "
+                "as expected, %llu mismatched (seed 0x%llx)\n",
+                SchedulerKindName(options.scheduler),
                 static_cast<unsigned long long>(scenarios),
                 static_cast<unsigned long long>(passed),
                 static_cast<unsigned long long>(failed),
@@ -113,6 +74,62 @@ main(int argc, char** argv)
         std::printf("  %-22s %llu\n",
                     FaultKindName(static_cast<FaultKind>(kind)),
                     static_cast<unsigned long long>(by_kind[kind]));
+    }
+    return failed;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint64_t scenarios = 1000;
+    std::uint64_t seed = 0xFA11;
+    bool verbose = false;
+    bool all_schedulers = false;
+    FaultOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+            scenarios = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--scheduler") == 0 && i + 1 < argc) {
+            i += 1;
+            if (std::strcmp(argv[i], "all") == 0) {
+                all_schedulers = true;
+            } else if (!ParseSchedulerKind(argv[i], options.scheduler)) {
+                std::fprintf(stderr, "unknown scheduler: %s (registry:",
+                             argv[i]);
+                for (const SchedulerKind kind : AllSchedulerKinds()) {
+                    std::fprintf(stderr, " %s", SchedulerKindName(kind));
+                }
+                std::fprintf(stderr, ", or all)\n");
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--channel-jobs") == 0 &&
+                   i + 1 < argc) {
+            options.channel_jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--verbose") == 0) {
+            verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--scenarios N] [--seed S] "
+                         "[--scheduler NAME|all] [--channel-jobs N] "
+                         "[--verbose]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::uint64_t failed = 0;
+    if (all_schedulers) {
+        for (const SchedulerKind kind : AllSchedulerKinds()) {
+            options.scheduler = kind;
+            failed += RunSweep(scenarios, seed, options, verbose);
+        }
+    } else {
+        failed = RunSweep(scenarios, seed, options, verbose);
     }
     return failed == 0 ? 0 : 1;
 }

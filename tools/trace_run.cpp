@@ -6,8 +6,11 @@
  * entry point (EXPERIMENTS.md "Tracing a run").
  *
  *   trace_run --out run.json [--cores N] [--cycles N]
- *             [--scheduler parbs|fcfs|frfcfs|nfq|stfm] [--interval N]
- *             [--seed N]
+ *             [--scheduler NAME] [--interval N] [--seed N]
+ *
+ * NAME is any registry display name (FR-FCFS, FCFS, NFQ, STFM, PAR-BS,
+ * BLISS, ...) matched case-insensitively with punctuation ignored, so
+ * the historical lowercase spellings (parbs, frfcfs, ...) keep working.
  *
  * Unlike the experiment binaries (which derive one file per
  * workload/scheduler from a stem), this writes exactly the path given by
@@ -15,12 +18,14 @@
  * deterministic in (cores, cycles, scheduler, interval, seed).
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "sched/factory.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
 #include "sim/workloads.hh"
@@ -32,30 +37,42 @@ Usage(const char* argv0, int status)
 {
     std::fprintf(stderr,
                  "usage: %s --out PATH [--cores N] [--cycles N] "
-                 "[--scheduler parbs|fcfs|frfcfs|nfq|stfm] [--interval N] "
-                 "[--seed N]\n"
+                 "[--scheduler NAME] [--interval N] [--seed N]\n"
+                 "NAME: any registered scheduler (FR-FCFS, FCFS, NFQ, STFM, "
+                 "PAR-BS, BLISS, ...); case and punctuation are ignored, so "
+                 "parbs, frfcfs, bliss also work.\n"
                  "PARBS_TRACE is used when --out is omitted.\n",
                  argv0);
     return status;
 }
 
+/**
+ * Resolves @p name against the factory registry, comparing display names
+ * case-insensitively with punctuation stripped so both "PAR-BS" and the
+ * historical lowercase "parbs" spelling work — a newly registered
+ * scheduler (e.g. BLISS) is accepted with no tool change.
+ */
 bool
 ParseScheduler(const std::string& name, parbs::SchedulerKind& kind)
 {
-    if (name == "parbs") {
-        kind = parbs::SchedulerKind::kParBs;
-    } else if (name == "fcfs") {
-        kind = parbs::SchedulerKind::kFcfs;
-    } else if (name == "frfcfs") {
-        kind = parbs::SchedulerKind::kFrFcfs;
-    } else if (name == "nfq") {
-        kind = parbs::SchedulerKind::kNfq;
-    } else if (name == "stfm") {
-        kind = parbs::SchedulerKind::kStfm;
-    } else {
-        return false;
+    auto canon = [](const std::string& s) {
+        std::string out;
+        for (char c : s) {
+            if (std::isalnum(static_cast<unsigned char>(c))) {
+                out += static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            }
+        }
+        return out;
+    };
+    for (const parbs::SchedulerKind candidate :
+         parbs::AllSchedulerKinds()) {
+        if (canon(parbs::SchedulerKindName(candidate)) == canon(name)) {
+            kind = candidate;
+            return true;
+        }
     }
-    return true;
+    return false;
 }
 
 /** The paper's canonical mixed workload for the given core count. */
