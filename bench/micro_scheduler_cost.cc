@@ -235,8 +235,7 @@ void
 SystemSlice(benchmark::State& state, std::uint32_t cores,
             std::uint32_t channels, unsigned channel_jobs)
 {
-    SystemConfig config = SystemConfig::Baseline(cores);
-    config.geometry.channels = channels;
+    SystemConfig config = SystemConfig::Baseline(cores, channels);
     config.channel_jobs = channel_jobs;
     dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
     std::vector<std::unique_ptr<TraceSource>> traces;

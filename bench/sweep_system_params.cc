@@ -24,6 +24,7 @@ SweepRow(bench::Session& session, Table& table, const std::string& label,
     config.cores = 4;
     config.run_cycles = options.cycles;
     config.seed = options.seed;
+    config.channel_jobs = options.channel_jobs;
     config.customize = customize;
     ExperimentRunner runner(config);
 

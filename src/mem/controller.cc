@@ -20,6 +20,9 @@ ControllerConfig::Validate() const
         PARBS_FATAL("controller: write drain watermarks must satisfy "
                     "low <= high <= capacity");
     }
+    if (verify_sample_period == 0) {
+        PARBS_FATAL("controller: verify_sample_period must be >= 1");
+    }
     watchdog.Validate();
     ras.Validate();
 }
@@ -93,7 +96,7 @@ Controller::AttachObservability(obs::Tracer* tracer,
 }
 
 void
-Controller::Enqueue(std::unique_ptr<MemRequest> request, DramCycle now)
+Controller::Enqueue(RequestPtr request, DramCycle now)
 {
     PARBS_ASSERT(request != nullptr, "null request enqueued");
     request->arrival_dram = now;
@@ -195,7 +198,7 @@ Controller::RetireFinished(DramCycle now)
     while (!inburst_reads_.empty() && inburst_reads_.front().done <= now) {
         const InFlight entry = inburst_reads_.front();
         inburst_reads_.pop_front();
-        std::unique_ptr<MemRequest> request = read_queue_.Remove(entry.id);
+        RequestPtr request = read_queue_.Remove(entry.id);
         PARBS_ASSERT(request->state == RequestState::kInBurst,
                      "retire FIFO out of sync with request state");
         if (entry.ecc_fail) {
@@ -243,7 +246,7 @@ Controller::RetireFinished(DramCycle now)
            inburst_writes_.front().done <= now) {
         const RequestId id = inburst_writes_.front().id;
         inburst_writes_.pop_front();
-        std::unique_ptr<MemRequest> request = write_queue_.Remove(id);
+        RequestPtr request = write_queue_.Remove(id);
         PARBS_ASSERT(request->state == RequestState::kInBurst,
                      "retire FIFO out of sync with request state");
         request->state = RequestState::kCompleted;
@@ -309,7 +312,7 @@ Controller::FlushSkipSpan()
 }
 
 void
-Controller::PendingRetires(DramCycle limit, std::vector<DramCycle>& reads,
+Controller::PendingRetires(DramCycle limit, std::vector<PendingRead>& reads,
                            std::vector<DramCycle>& writes) const
 {
     for (const InFlight& entry : inburst_reads_) {
@@ -317,12 +320,12 @@ Controller::PendingRetires(DramCycle limit, std::vector<DramCycle>& reads,
             break;
         }
         // A failed read re-enters the queue at its completion cycle
-        // instead of departing, so it is not a retire for the sharded
-        // occupancy proxies.
+        // instead of departing, so it is neither a retire for the sharded
+        // occupancy proxies nor a core notification.
         if (entry.ecc_fail) {
             continue;
         }
-        reads.push_back(entry.done);
+        reads.push_back({entry.done, entry.thread, entry.id});
     }
     for (const InFlight& entry : inburst_writes_) {
         if (entry.done >= limit) {
@@ -394,8 +397,12 @@ Controller::SelectRequest(const RequestQueue& queue, DramCycle now)
                              : SelectScan(queue, now);
     // Cross-check: both paths must agree on every pick.  Sound only for
     // deterministic schedulers — a chaos wrapper draws fresh randomness on
-    // each Pick(), so re-running selection would change its stream.
-    if (config_.verify_indexed_selection && scheduler_->DeterministicPick()) {
+    // each Pick(), so re-running selection would change its stream.  Above
+    // period 1 the check samples every Nth decision: divergence is a
+    // deterministic function of controller state, so sampling delays
+    // detection but never misses a diverged run (see ControllerConfig).
+    if (config_.verify_indexed_selection && scheduler_->DeterministicPick() &&
+        (++verify_decisions_ % config_.verify_sample_period) == 0) {
         MemRequest* reference = config_.indexed_selection
                                     ? SelectScan(queue, now)
                                     : SelectIndexed(queue, now);
@@ -648,7 +655,7 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
         auto& fifo = request.is_write ? inburst_writes_ : inburst_reads_;
         PARBS_ASSERT(fifo.empty() || fifo.back().done <= done,
                      "in-burst completions must be pushed in order");
-        fifo.push_back({done, request.id, ecc_fail});
+        fifo.push_back({done, request.id, request.thread, ecc_fail});
         next_retire_check_ = std::min(next_retire_check_, done);
     }
 
@@ -656,8 +663,7 @@ Controller::IssueFor(MemRequest& request, DramCycle now)
 }
 
 void
-Controller::RetryFailedRead(std::unique_ptr<MemRequest> request,
-                            DramCycle now)
+Controller::RetryFailedRead(RequestPtr request, DramCycle now)
 {
     LeaveService(*request);
     const std::uint32_t flat = FlatBank(*request);

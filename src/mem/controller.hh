@@ -87,6 +87,15 @@ struct ControllerConfig {
      * schedulers whose Pick() is not deterministic (scheduler chaos).
      */
     bool verify_indexed_selection = false;
+    /**
+     * Cross-check every Nth selection decision instead of every one (1 =
+     * exhaustive).  Divergence between the indexed and scan paths is a
+     * deterministic function of the buffer/timing state, so once state
+     * diverges it stays diverged and a sampled check still catches it —
+     * sampling only delays detection, never changes results.  Validation
+     * runs above 32 cores use this to keep PARBS_CHECK wall-clock sane.
+     */
+    std::uint32_t verify_sample_period = 1;
     /** Forward-progress watchdog (starvation / batch / deadlock bounds). */
     WatchdogConfig watchdog;
     /**
@@ -187,7 +196,7 @@ class Controller {
      * Enqueues a request; the controller takes ownership.
      * @pre the corresponding CanAccept*() returned true.
      */
-    void Enqueue(std::unique_ptr<MemRequest> request, DramCycle now);
+    void Enqueue(RequestPtr request, DramCycle now);
 
     /** Advances the controller and its channel by one DRAM cycle. */
     void Tick(DramCycle now);
@@ -217,15 +226,29 @@ class Controller {
     std::size_t pending_writes() const { return write_queue_.size(); }
 
     /**
-     * Appends the completion cycles of every in-burst request that will
-     * retire strictly before @p limit, in retirement order, to the output
-     * vectors (reads and writes separately).  This is the sharded System's
-     * retire schedule (DESIGN.md §5g): with a lookahead window no longer
-     * than the shortest burst latency, no command issued during the window
-     * can complete inside it, so these prefixes are *exactly* the queue
-     * departures of the next window — known before it runs.
+     * One scheduled read retirement: its completion cycle plus the thread
+     * and id the read-complete notification will carry.  The sharded
+     * System turns these into core notifications *before* the retiring
+     * tick runs (DESIGN.md §5g adaptive lookahead).
      */
-    void PendingRetires(DramCycle limit, std::vector<DramCycle>& reads,
+    struct PendingRead {
+        DramCycle done;
+        ThreadId thread;
+        RequestId id;
+    };
+
+    /**
+     * Appends every in-burst request that will retire strictly before
+     * @p limit, in retirement order, to the output vectors (reads and
+     * writes separately).  This is the sharded System's retire schedule
+     * (DESIGN.md §5g): with a lookahead window no longer than the shortest
+     * burst latency, no command issued during the window can complete
+     * inside it, so these prefixes are *exactly* the queue departures of
+     * the next window — known before it runs.  Read entries additionally
+     * carry the (thread, id) of the eventual completion notification;
+     * ECC-failed reads are excluded (they requeue instead of notifying).
+     */
+    void PendingRetires(DramCycle limit, std::vector<PendingRead>& reads,
                         std::vector<DramCycle>& writes) const;
 
     /** Total DRAM commands issued, by type (ACT/PRE/RD/WR/REF). */
@@ -338,6 +361,7 @@ class Controller {
     struct InFlight {
         DramCycle done;
         RequestId id;
+        ThreadId thread;
         bool ecc_fail;
     };
 
@@ -351,6 +375,9 @@ class Controller {
     std::deque<InFlight> inburst_writes_;
 
     FastPathStats fast_stats_;
+
+    /** Selection decisions seen by the sampled verify cross-check. */
+    std::uint64_t verify_decisions_ = 0;
 
     void RetireFinished(DramCycle now);
     /** @return true if a refresh-related command consumed this cycle. */
@@ -434,7 +461,7 @@ class Controller {
      * retiring the row first once the retry budget is exhausted.
      * @throws MachineCheckError if retirement finds the remap table full.
      */
-    void RetryFailedRead(std::unique_ptr<MemRequest> request, DramCycle now);
+    void RetryFailedRead(RequestPtr request, DramCycle now);
 
     /**
      * Moves (rank, bank, row) into the remap table with graceful-

@@ -12,6 +12,7 @@
 #ifndef PARBS_MEM_REQUEST_HH
 #define PARBS_MEM_REQUEST_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -27,19 +28,51 @@ enum class RequestState : std::uint8_t {
     kCompleted, ///< Data transferred; about to be retired from the buffer.
 };
 
-/** One DRAM read or write request. */
+/**
+ * One DRAM read or write request.
+ *
+ * Field order is deliberate: the members a scheduler's per-cycle candidate
+ * walk touches — the bank-chain link, thread id, row coordinates, arrival
+ * cycle, the marked / state / priority bits, and NFQ's virtual finish time
+ * — are packed into the first cache line, so walking a bank chain at
+ * 256-core occupancies costs one line per request instead of two.  The
+ * static_asserts below pin that contract.
+ */
 struct MemRequest {
-    RequestId id = 0;
+    // --- Scheduler-hot: first cache line --------------------------------
+
+    /**
+     * Intrusive forward link of the per-(rank,bank) chain of *queued*
+     * requests, kept in arrival order by RequestQueue.  A request is on
+     * its bank's chain exactly while it is schedulable (state == kQueued
+     * and still buffered); the links let the controller gather candidates
+     * bank by bank in O(queued-in-bank) and unlink in O(1).
+     */
+    MemRequest* bank_next = nullptr;
+
     ThreadId thread = kInvalidThread;
-    Addr addr = 0;
     dram::DecodedAddr coords;
+
+    /** PAR-BS: request belongs to the current batch. */
+    bool marked = false;
     bool is_write = false;
-
-    /** Arrival time at the controller, in both clock domains. */
-    CpuCycle arrival_cpu = 0;
-    DramCycle arrival_dram = 0;
-
     RequestState state = RequestState::kQueued;
+    /** True while the request is linked into its bank chain. */
+    bool bank_linked = false;
+
+    DramCycle arrival_dram = 0;
+    /** NFQ: virtual finish time of this request (0 = not yet computed). */
+    std::uint64_t virtual_finish_time = 0;
+    RequestId id = 0;
+
+    // --- Warm: retirement / issue bookkeeping ---------------------------
+
+    /** Backward chain link (touched only on unlink). */
+    MemRequest* bank_prev = nullptr;
+
+    Addr addr = 0;
+    /** Arrival time at the controller, CPU clock domain. */
+    CpuCycle arrival_cpu = 0;
 
     /** Cycle the first DRAM command for this request was issued. */
     DramCycle first_command_cycle = kNeverCycle;
@@ -68,27 +101,6 @@ struct MemRequest {
      */
     DramCycle first_attempt_completion = kNeverCycle;
 
-    // --- Scheduler bookkeeping (Table 1 state lives here per request) ---
-
-    /** PAR-BS: request belongs to the current batch. */
-    bool marked = false;
-    /** NFQ: virtual finish time of this request (0 = not yet computed). */
-    std::uint64_t virtual_finish_time = 0;
-
-    // --- Request-buffer indexing (owned by RequestQueue) ----------------
-
-    /**
-     * Intrusive links of the per-(rank,bank) chain of *queued* requests,
-     * kept in arrival order by RequestQueue.  A request is on its bank's
-     * chain exactly while it is schedulable (state == kQueued and still
-     * buffered); the links let the controller gather candidates bank by
-     * bank in O(queued-in-bank) and unlink in O(1).
-     */
-    MemRequest* bank_prev = nullptr;
-    MemRequest* bank_next = nullptr;
-    /** True while the request is linked into its bank chain. */
-    bool bank_linked = false;
-
     /** @return latency from arrival to completion, in DRAM cycles.
      *  @pre the request has completed. */
     DramCycle
@@ -97,6 +109,19 @@ struct MemRequest {
         return completion_cycle - arrival_dram;
     }
 };
+
+// The scheduler-hot layout contract: everything a candidate walk reads
+// lives in the first 64 bytes (see the struct comment).
+static_assert(offsetof(MemRequest, bank_next) == 0,
+              "chain link must lead the request layout");
+static_assert(offsetof(MemRequest, coords) + sizeof(dram::DecodedAddr) <= 64 &&
+                  offsetof(MemRequest, marked) < 64 &&
+                  offsetof(MemRequest, state) < 64 &&
+                  offsetof(MemRequest, arrival_dram) + sizeof(DramCycle) <= 64 &&
+                  offsetof(MemRequest, virtual_finish_time) +
+                          sizeof(std::uint64_t) <= 64 &&
+                  offsetof(MemRequest, id) + sizeof(RequestId) <= 64,
+              "scheduler-hot fields must stay within the first cache line");
 
 } // namespace parbs
 

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Slab allocation for MemRequest objects (DESIGN.md §5g, hot-path data
+ * layout).  At 64–256-core occupancies the request buffers hold thousands
+ * of live requests, and `make_unique` scatters them across the heap — the
+ * per-bank chains of DESIGN.md §5e then pointer-chase a cache miss per
+ * hop.  A RequestPool carves requests out of contiguous slabs and recycles
+ * them LIFO, so a channel's working set stays packed in a few cache-warm
+ * pages.
+ *
+ * Ownership stays `unique_ptr`-shaped: RequestPtr is a unique_ptr whose
+ * deleter returns the request to its pool (or plain-deletes it when it was
+ * not pool-allocated — `std::make_unique<MemRequest>()` converts
+ * implicitly, so tests and benches that build requests by hand keep
+ * working unchanged).
+ *
+ * Thread-safety: none, by design.  The System owns one pool per channel;
+ * the sharded engine allocates on the coordinator (core issue) and
+ * releases on the channel's worker (retirement), but the two phases are
+ * separated by the team barrier and never touch a pool concurrently
+ * (DESIGN.md §5g's alternating-phases argument).
+ */
+
+#ifndef PARBS_MEM_REQUEST_POOL_HH
+#define PARBS_MEM_REQUEST_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mem/request.hh"
+
+namespace parbs {
+
+class RequestPool;
+
+/** Deleter that returns a request to its pool; null pool means the request
+ *  came from the global heap (e.g. make_unique) and is plain-deleted. */
+struct RequestDeleter {
+    RequestPool* pool = nullptr;
+
+    RequestDeleter() = default;
+    explicit RequestDeleter(RequestPool* p) : pool(p) {}
+    /** Implicit from the default deleter so `unique_ptr<MemRequest>`
+     *  (make_unique) converts into a RequestPtr. */
+    RequestDeleter(std::default_delete<MemRequest>) {} // NOLINT(runtime/explicit)
+
+    void operator()(MemRequest* request) const;
+};
+
+/** Owning pointer to a MemRequest, pool-aware. */
+using RequestPtr = std::unique_ptr<MemRequest, RequestDeleter>;
+
+/** A grow-only slab allocator of MemRequest objects with a LIFO freelist. */
+class RequestPool {
+  public:
+    /** @param chunk_requests requests per slab (one allocation). */
+    explicit RequestPool(std::size_t chunk_requests = 512)
+        : chunk_(chunk_requests == 0 ? 1 : chunk_requests)
+    {
+    }
+
+    RequestPool(const RequestPool&) = delete;
+    RequestPool& operator=(const RequestPool&) = delete;
+
+    /** @pre every request made from this pool has been released. */
+    ~RequestPool() = default;
+
+    /** @return a value-initialized request owned by this pool. */
+    RequestPtr
+    Make()
+    {
+        if (free_.empty()) {
+            Grow();
+        }
+        MemRequest* slot = free_.back();
+        free_.pop_back();
+        live_ += 1;
+        return RequestPtr(new (slot) MemRequest(), RequestDeleter(this));
+    }
+
+    /** Requests currently alive (made and not yet released). */
+    std::size_t live() const { return live_; }
+    /** Requests the slabs can hold without growing. */
+    std::size_t capacity() const { return slabs_.size() * chunk_; }
+
+  private:
+    friend struct RequestDeleter;
+
+    void
+    Release(MemRequest* request)
+    {
+        request->~MemRequest();
+        free_.push_back(request);
+        live_ -= 1;
+    }
+
+    void
+    Grow()
+    {
+        // MemRequest's alignment is pointer-sized, which plain new[]
+        // already guarantees (it aligns to max_align_t).
+        static_assert(alignof(MemRequest) <= alignof(std::max_align_t));
+        slabs_.push_back(
+            std::make_unique<std::byte[]>(chunk_ * sizeof(MemRequest)));
+        std::byte* base = slabs_.back().get();
+        // Pushed in reverse so the LIFO freelist hands out ascending
+        // addresses first — consecutive allocations stay adjacent.
+        for (std::size_t i = chunk_; i-- > 0;) {
+            free_.push_back(
+                reinterpret_cast<MemRequest*>(base + i * sizeof(MemRequest)));
+        }
+    }
+
+    std::size_t chunk_;
+    std::size_t live_ = 0;
+    std::vector<std::unique_ptr<std::byte[]>> slabs_;
+    std::vector<MemRequest*> free_;
+};
+
+inline void
+RequestDeleter::operator()(MemRequest* request) const
+{
+    if (request == nullptr) {
+        return;
+    }
+    if (pool != nullptr) {
+        pool->Release(request);
+    } else {
+        delete request;
+    }
+}
+
+} // namespace parbs
+
+#endif // PARBS_MEM_REQUEST_POOL_HH

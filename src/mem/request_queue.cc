@@ -31,7 +31,7 @@ RequestQueue::Full() const
 }
 
 MemRequest&
-RequestQueue::Add(std::unique_ptr<MemRequest> request)
+RequestQueue::Add(RequestPtr request)
 {
     PARBS_ASSERT(!Full(), "request queue overflow");
     PARBS_ASSERT(request->thread < num_threads_,
@@ -48,14 +48,14 @@ RequestQueue::Add(std::unique_ptr<MemRequest> request)
     return ref;
 }
 
-std::unique_ptr<MemRequest>
+RequestPtr
 RequestQueue::Remove(RequestId id)
 {
     auto it = std::find_if(requests_.begin(), requests_.end(),
                            [id](const auto& r) { return r->id == id; });
     PARBS_ASSERT(it != requests_.end(),
                  "removing a request that is not in the buffer");
-    std::unique_ptr<MemRequest> out = std::move(*it);
+    RequestPtr out = std::move(*it);
     view_.erase(view_.begin() + (it - requests_.begin()));
     requests_.erase(it);
     per_thread_bank_[static_cast<std::size_t>(out->thread) * num_banks_ +

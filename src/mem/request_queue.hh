@@ -22,6 +22,7 @@
 
 #include "common/types.hh"
 #include "mem/request.hh"
+#include "mem/request_pool.hh"
 
 namespace parbs {
 
@@ -82,14 +83,14 @@ class RequestQueue {
     bool Full() const;
 
     /** Adds a request. @pre !Full() */
-    MemRequest& Add(std::unique_ptr<MemRequest> request);
+    MemRequest& Add(RequestPtr request);
 
     /**
      * Removes a completed request from the buffer.
      * @return ownership of the removed request.
      * @pre the request is present.
      */
-    std::unique_ptr<MemRequest> Remove(RequestId id);
+    RequestPtr Remove(RequestId id);
 
     /**
      * Unlinks @p request from its bank chain when service begins (state
@@ -151,7 +152,7 @@ class RequestQueue {
     std::uint32_t banks_per_rank_;
     std::uint32_t num_banks_;
 
-    std::vector<std::unique_ptr<MemRequest>> requests_;
+    std::vector<RequestPtr> requests_;
     /** Cached raw-pointer view handed to schedulers (kept on mutation). */
     std::vector<MemRequest*> view_;
 

@@ -58,6 +58,18 @@ struct SystemConfig {
     unsigned channel_jobs = 1;
 
     /**
+     * Worker threads advancing the *cores* inside the sharded engine's
+     * core phase (DESIGN.md §5g).  Meaningful only when the run is sharded
+     * (channel_jobs != 1): 1 keeps the serial core sweep; 0 sizes the core
+     * crew automatically (matching the channel crew, engaged from 32 cores
+     * up, where the per-cycle core sweep starts to dominate); explicit
+     * values above 1 always engage and are clamped to the channel-crew
+     * size.  Bit-identical for every value — frontends are core-private,
+     * and memory issue stays a serial thread-order sweep.
+     */
+    unsigned core_jobs = 0;
+
+    /**
      * Fixed latency added to every read completion before the core sees the
      * data, in CPU cycles: L2 miss handling, the on-chip interconnect, and
      * the controller pipeline.  60 cycles reproduces the paper's Table 2
@@ -74,9 +86,20 @@ struct SystemConfig {
 
     /**
      * The paper's baseline for @p cores cores (4, 8, or 16): DDR2-800
-     * timing, 8 banks, 2 KB rows, and cores/4 memory channels.
+     * timing, 8 banks, 2 KB rows, and cores/4 memory channels.  Beyond 64
+     * cores the channel count saturates at the geometry maximum (16) and
+     * capacity instead scales by adding ranks per channel, so 128- and
+     * 256-core baselines stay valid geometries.
      */
     static SystemConfig Baseline(std::uint32_t cores);
+
+    /**
+     * Baseline with an explicit channel count (must be a power of two,
+     * 1..16).  Ranks per channel scale as max(1, cores / (4 * channels)),
+     * keeping one bank group per 4 cores of the paper's ratio; the
+     * one-argument overload picks channels = clamp(cores / 4, 1, 16).
+     */
+    static SystemConfig Baseline(std::uint32_t cores, std::uint32_t channels);
 };
 
 } // namespace parbs

@@ -71,6 +71,13 @@ ExperimentConfig::MakeSystemConfig(const SchedulerConfig& scheduler) const
         // And the selection analogue: every pick made by the indexed
         // per-bank path is cross-checked against the full-scan path.
         system.controller.verify_indexed_selection = true;
+        // Above 32 cores the double selection dominates validation wall-
+        // clock, so sample every 61st decision there (61 is prime, so the
+        // sample never locks onto a periodic scheduler pattern).  Sound:
+        // a divergence is a deterministic function of controller state and
+        // persists once it appears, so sampling delays detection by a
+        // bounded number of decisions but cannot miss a diverged run.
+        system.controller.verify_sample_period = cores > 32 ? 61 : 1;
     }
     if (!EffectiveTracePath().empty()) {
         system.observability.trace = true;

@@ -60,6 +60,10 @@ System::System(const SystemConfig& config,
     channel_geometry.channels = 1;
     for (std::uint32_t channel = 0; channel < config_.geometry.channels;
          ++channel) {
+        // One request slab per channel, sized so a full pair of queues fits
+        // in a single slab (mem/request_pool.hh).
+        pools_.push_back(std::make_unique<RequestPool>(
+            read_capacity_ + write_capacity_ + 16));
         auto scheduler = config_.scheduler_factory
                              ? config_.scheduler_factory()
                              : MakeScheduler(config_.scheduler);
@@ -86,6 +90,11 @@ System::System(const SystemConfig& config,
                     now * config_.cpu_to_dram_ratio +
                     config_.extra_read_latency_cpu;
                 if (sharded_) {
+                    // The sharded engine pre-publishes notifications from
+                    // the retire schedules (PublishNotifications); the
+                    // callback's record is kept only so AdvanceChannel can
+                    // assert the window produced exactly the published
+                    // prefix.
                     shards_[channel]->completions.push_back(
                         {ready, request.thread, request.id});
                 } else {
@@ -149,6 +158,37 @@ System::System(const SystemConfig& config,
         }
         shards_.push_back(std::move(shard));
     }
+
+    // Resolve the core-phase crew (sharded engine only).  core_jobs == 0
+    // auto-sizes to the channel crew but only engages from 32 cores up,
+    // where the per-cycle core sweep starts to dominate the core phase;
+    // an explicit value > 1 always engages (clamped to the channel crew,
+    // whose threads it reuses, and to the core count).
+    const auto core_count = static_cast<unsigned>(cores_.size());
+    unsigned core_requested;
+    if (config_.core_jobs == 0) {
+        core_requested = config_.num_cores >= 32 ? shard_jobs_ : 1;
+    } else {
+        core_requested = config_.core_jobs;
+    }
+    core_crew_ =
+        std::max(1u, std::min({core_requested, shard_jobs_, core_count}));
+    if (core_crew_ > 1) {
+        core_workers_ =
+            std::make_unique<CoreWorkerState[]>(core_crew_);
+        core_blocks_.resize(core_crew_);
+        const ThreadId per = core_count / core_crew_;
+        const ThreadId extra = core_count % core_crew_;
+        ThreadId begin = 0;
+        for (unsigned p = 0; p < core_crew_; ++p) {
+            const ThreadId size = per + (p < extra ? 1 : 0);
+            core_blocks_[p] = {begin, begin + size};
+            begin += size;
+        }
+        core_notify_.resize(core_count);
+        core_notify_pos_.assign(core_count, 0);
+    }
+
     team_ = std::make_unique<ChannelTeam>(
         shard_jobs_, [this](unsigned participant) {
             RunParticipant(participant);
@@ -160,15 +200,16 @@ System::~System() = default;
 DramCycle
 System::LookaheadWindow() const
 {
-    // Cores may run W DRAM cycles ahead of the controllers iff nothing a
-    // controller does in those W ticks is visible to a core within them:
-    //  - read data returns no earlier than extra_read_latency_cpu after
-    //    the retiring tick, so W <= extra / ratio delays no notification;
-    //  - queue departures within the window come only from bursts already
-    //    in flight at its start (a command issued inside the window
-    //    completes no earlier than the shortest burst latency), so
-    //    W <= min(read burst, write burst) makes the published retire
-    //    schedules exhaustive and the occupancy proxies exact.
+    // Cores may run W DRAM cycles ahead of the controllers iff everything
+    // a controller would make visible to a core within those W ticks is
+    // known before they run.  Queue departures and read returns within the
+    // window come only from bursts already in flight at its start — a
+    // command issued inside the window completes no earlier than the
+    // shortest burst latency — so W <= min(read burst, write burst) makes
+    // the published retire schedules (and the notification schedule
+    // derived from them, PublishNotifications) exhaustive and exact.  The
+    // return-path latency does not bound W: notifications are published
+    // ahead of execution rather than discovered at the retiring tick.
     // The bound must reflect the timing the controllers actually run with,
     // so it is read back from the constructed channel rather than from the
     // config snapshot (they are equal today, but the window is the one
@@ -176,9 +217,7 @@ System::LookaheadWindow() const
     const dram::TimingParams& t = controllers_.front()->channel().timing();
     const DramCycle read_burst = t.tCL + t.tBURST;
     const DramCycle write_burst = t.tCWD + t.tBURST;
-    const DramCycle notify =
-        config_.extra_read_latency_cpu / config_.cpu_to_dram_ratio;
-    return std::min({notify, read_burst, write_burst});
+    return std::min(read_burst, write_burst);
 }
 
 void
@@ -233,8 +272,6 @@ System::PrepareShardedRun()
     const CpuCycle ratio = config_.cpu_to_dram_ratio;
     next_tick_ = (cpu_cycle_ + ratio - 1) / ratio;
     arrival_seq_ = 0;
-    next_notify_ready_ = notifications_.empty() ? kNeverCycle
-                                                : notifications_.front().ready;
     if (sampler_ != nullptr && sample_interval_ > 0) {
         sampler_->PrepareChannels(controllers_);
     }
@@ -259,6 +296,9 @@ System::PrepareShardedRun()
         shard.samples.clear();
         shard.error = nullptr;
     }
+    // A previous Run may have left published-but-unexecuted notifications
+    // behind; rebuild the schedule from the freshly read FIFOs.
+    PublishNotifications();
 }
 
 void
@@ -296,38 +336,45 @@ System::RunSharded(CpuCycle end)
 
     bool all_done = false;
     while (cpu_cycle_ < end && !all_done) {
-        // --- core phase (coordinator only; workers are parked) ---------
+        // --- core phase ------------------------------------------------
         // Runs the cores up to the lookahead horizon, replaying queue
-        // departures from the published retire schedules so backpressure
-        // is bit-exact without touching the controllers.
+        // departures from the published retire/notification schedules so
+        // backpressure and read returns are bit-exact without touching
+        // the controllers.  With a core crew the cycles run in lockstep
+        // across the team; otherwise the coordinator sweeps alone.
         const CpuCycle core_end =
             std::min<CpuCycle>(end, (next_tick_ + window_) * ratio);
-        while (cpu_cycle_ < core_end) {
-            if (cpu_cycle_ % ratio == 0) {
-                ApplyScheduledRetires(DramNow());
-            }
-            if (next_notify_ready_ <= cpu_cycle_) {
-                DeliverNotifications();
-            }
-            for (ThreadId thread = 0; thread < cores_.size(); ++thread) {
-                cores_[thread]->Tick();
-                if (core_done_[thread] == 0 && cores_[thread]->Done()) {
-                    core_done_[thread] = 1;
-                    active_cores_ -= 1;
+        if (core_crew_ > 1) {
+            all_done = RunCorePhaseParallel(core_end);
+        } else {
+            while (cpu_cycle_ < core_end) {
+                if (cpu_cycle_ % ratio == 0) {
+                    ApplyScheduledRetires(DramNow());
                 }
-            }
-            cpu_cycle_ += 1;
-            if (progress_bound_cpu_ != 0 &&
-                cpu_cycle_ >= next_progress_check_) {
-                CheckGlobalProgress();
-            }
-            // The serial engine's AllDone(), against the proxies: the
-            // controllers are behind, but the proxies describe their state
-            // at exactly this point of virtual time.
-            if (active_cores_ == 0 && notifications_.empty() &&
-                AllShardsIdle()) {
-                all_done = true;
-                break;
+                if (next_notify_ready_ <= cpu_cycle_) {
+                    DeliverNotifications();
+                }
+                for (ThreadId thread = 0; thread < cores_.size();
+                     ++thread) {
+                    cores_[thread]->Tick();
+                    if (core_done_[thread] == 0 && cores_[thread]->Done()) {
+                        core_done_[thread] = 1;
+                        active_cores_ -= 1;
+                    }
+                }
+                cpu_cycle_ += 1;
+                if (progress_bound_cpu_ != 0 &&
+                    cpu_cycle_ >= next_progress_check_) {
+                    CheckGlobalProgress();
+                }
+                // The serial engine's AllDone(), against the proxies: the
+                // controllers are behind, but the proxies describe their
+                // state at exactly this point of virtual time.
+                if (active_cores_ == 0 && notifications_.empty() &&
+                    AllShardsIdle()) {
+                    all_done = true;
+                    break;
+                }
             }
         }
 
@@ -347,6 +394,14 @@ System::RunSharded(CpuCycle end)
 void
 System::RunParticipant(unsigned participant)
 {
+    if (team_phase_ == TeamPhase::kCores) {
+        if (participant == 0) {
+            RunCoreCoordinator();
+        } else if (participant < core_crew_) {
+            RunCoreWorker(participant);
+        }
+        return;
+    }
     const auto channels = static_cast<std::uint32_t>(controllers_.size());
     for (std::uint32_t channel = participant; channel < channels;
          channel += shard_jobs_) {
@@ -354,6 +409,181 @@ System::RunParticipant(unsigned participant)
             AdvanceChannel(channel);
         } catch (...) {
             shards_[channel]->error = std::current_exception();
+        }
+    }
+}
+
+bool
+System::RunCorePhaseParallel(CpuCycle core_end)
+{
+    core_phase_base_ = cpu_cycle_;
+    core_phase_end_ = core_end;
+    core_phase_all_done_ = false;
+    core_release_.store(0, std::memory_order_relaxed);
+    core_stop_.store(false, std::memory_order_relaxed);
+    for (unsigned p = 0; p < core_crew_; ++p) {
+        core_workers_[p].done.store(0, std::memory_order_relaxed);
+        core_workers_[p].error = nullptr;
+    }
+    // Mirror the (phase-static) notification deque into per-core slices so
+    // workers deliver without touching shared state.  Entries are in ready
+    // order globally, hence also within each core's slice.
+    for (auto& mirror : core_notify_) {
+        mirror.clear();
+    }
+    core_notify_pos_.assign(core_notify_.size(), 0);
+    for (const PendingNotify& entry : notifications_) {
+        core_notify_[entry.thread].push_back(entry);
+    }
+
+    // The team's release/join synchronizes the setup above with the
+    // workers (and their frontends back with the coordinator).
+    team_phase_ = TeamPhase::kCores;
+    team_->RunWindow();
+    team_phase_ = TeamPhase::kChannels;
+
+    for (unsigned p = 1; p < core_crew_; ++p) {
+        if (core_workers_[p].error != nullptr) {
+            std::exception_ptr error = core_workers_[p].error;
+            core_workers_[p].error = nullptr;
+            std::rethrow_exception(error);
+        }
+    }
+    return core_phase_all_done_;
+}
+
+void
+System::AdvanceCoreBlock(unsigned participant, CpuCycle cycle)
+{
+    const auto [begin, end] = core_blocks_[participant];
+    for (ThreadId thread = begin; thread < end; ++thread) {
+        // Serial delivery order: a cycle's due notifications land before
+        // the core's commit (delivery only touches this core's window).
+        std::vector<PendingNotify>& mirror = core_notify_[thread];
+        std::size_t& pos = core_notify_pos_[thread];
+        while (pos < mirror.size() && mirror[pos].ready <= cycle) {
+            cores_[thread]->OnReadComplete(mirror[pos].id);
+            pos += 1;
+        }
+        cores_[thread]->TickFrontend();
+    }
+}
+
+void
+System::RunCoreCoordinator()
+{
+    // However this phase ends — horizon reached, all-done probe, or an
+    // exception (e.g. the watchdog) unwinding — the workers must be told
+    // to stand down, or the team join would hang.
+    struct StopGuard {
+        System& system;
+        ~StopGuard()
+        {
+            system.core_stop_.store(true, std::memory_order_release);
+        }
+    };
+    StopGuard guard{*this};
+
+    const CpuCycle ratio = config_.cpu_to_dram_ratio;
+    CpuCycle released = 0;
+    while (cpu_cycle_ < core_phase_end_) {
+        // Release the cycle, then run our own block while the crew runs
+        // theirs.
+        released += 1;
+        core_release_.store(released, std::memory_order_release);
+        AdvanceCoreBlock(0, cpu_cycle_);
+
+        // Join: every worker has finished the cycle's frontends (or bailed
+        // out with its done counter pinned to the sentinel).
+        bool worker_failed = false;
+        for (unsigned p = 1; p < core_crew_; ++p) {
+            int spins = 0;
+            while (core_workers_[p].done.load(std::memory_order_acquire) <
+                   released) {
+                if (++spins > 4000) {
+                    std::this_thread::yield();
+                }
+            }
+            if (core_workers_[p].error != nullptr) {
+                worker_failed = true;
+            }
+        }
+        if (worker_failed) {
+            // RunCorePhaseParallel rethrows after the team join.
+            return;
+        }
+
+        // --- serial tail: everything that touches shared state ---------
+        if (cpu_cycle_ % ratio == 0) {
+            ApplyScheduledRetires(DramNow());
+        }
+        // Memory issue in thread order — the global request-id, arrival-
+        // seq, and backpressure order of the serial engine.
+        for (ThreadId thread = 0; thread < cores_.size(); ++thread) {
+            cores_[thread]->TickIssue();
+        }
+        // The workers delivered this cycle's notifications from the
+        // mirrors; retire the delivered prefix of the shared deque so the
+        // all-done probe (and the next phase's mirrors) stay exact.
+        while (!notifications_.empty() &&
+               notifications_.front().ready <= cpu_cycle_) {
+            notifications_.pop_front();
+        }
+        next_notify_ready_ = notifications_.empty()
+                                 ? kNeverCycle
+                                 : notifications_.front().ready;
+        for (ThreadId thread = 0; thread < cores_.size(); ++thread) {
+            if (core_done_[thread] == 0 && cores_[thread]->Done()) {
+                core_done_[thread] = 1;
+                active_cores_ -= 1;
+            }
+        }
+        cpu_cycle_ += 1;
+        if (progress_bound_cpu_ != 0 && cpu_cycle_ >= next_progress_check_) {
+            CheckGlobalProgress();
+        }
+        if (active_cores_ == 0 && notifications_.empty() &&
+            AllShardsIdle()) {
+            core_phase_all_done_ = true;
+            break;
+        }
+    }
+}
+
+void
+System::RunCoreWorker(unsigned participant)
+{
+    CoreWorkerState& state = core_workers_[participant];
+    CpuCycle done = 0;
+    int spins = 0;
+    while (true) {
+        const CpuCycle released =
+            core_release_.load(std::memory_order_acquire);
+        if (done < released) {
+            try {
+                AdvanceCoreBlock(participant, core_phase_base_ + done);
+            } catch (...) {
+                state.error = std::current_exception();
+                state.done.store(kNeverCycle, std::memory_order_release);
+                return;
+            }
+            done += 1;
+            state.done.store(done, std::memory_order_release);
+            spins = 0;
+            continue;
+        }
+        if (core_stop_.load(std::memory_order_acquire)) {
+            // The stop store is release-ordered after the final release,
+            // so this acquire makes any just-released cycle visible —
+            // re-check before exiting or the coordinator's join hangs.
+            if (done ==
+                core_release_.load(std::memory_order_acquire)) {
+                return;
+            }
+            continue;
+        }
+        if (++spins > 4000) {
+            std::this_thread::yield();
         }
     }
 }
@@ -393,6 +623,30 @@ System::AdvanceChannel(std::uint32_t channel)
     }
     shard.inbox.clear();
 
+    // Cross-check: the read completions the window actually produced must
+    // be exactly the published schedule prefix the cores already consumed
+    // as notifications (same count, same cycles, same threads and ids).
+    const CpuCycle ratio = config_.cpu_to_dram_ratio;
+    std::size_t expected = 0;
+    while (expected < shard.read_retires.size() &&
+           shard.read_retires[expected].done < window_to_) {
+        expected += 1;
+    }
+    PARBS_ASSERT(shard.completions.size() == expected,
+                 "window completions diverged from the published schedule");
+    for (std::size_t i = 0; i < expected; ++i) {
+        const Controller::PendingRead& published = shard.read_retires[i];
+        const PendingNotify& produced = shard.completions[i];
+        PARBS_ASSERT(produced.ready ==
+                             published.done * ratio +
+                                 config_.extra_read_latency_cpu &&
+                         produced.thread == published.thread &&
+                         produced.id == published.id,
+                     "window completion diverged from the published "
+                     "schedule");
+    }
+    shard.completions.clear();
+
     // Publish the next window's retire schedule while still parallel.
     shard.read_retires.clear();
     shard.write_retires.clear();
@@ -426,7 +680,7 @@ System::ApplyScheduledRetires(DramCycle tick)
     // cycles in one schedule are distinct, so `<=` matches `==` here).
     for (auto& shard : shards_) {
         if (shard->read_pos < shard->read_retires.size() &&
-            shard->read_retires[shard->read_pos] <= tick) {
+            shard->read_retires[shard->read_pos].done <= tick) {
             shard->read_pos += 1;
             shard->read_size -= 1;
         }
@@ -472,39 +726,66 @@ System::MergeWindow()
         shard.write_pos = 0;
     }
 
-    // Read completions, merged by (deadline, channel): within one DRAM
-    // cycle the serial loop ticks channels in index order and each channel
-    // retires at most one read per tick, so this key is unique and its
-    // order is exactly the serial notification order.
-    while (true) {
-        ChannelShard* best = nullptr;
-        for (auto& shard : shards_) {
-            if (shard->read_pos >= shard->completions.size()) {
-                continue;
-            }
-            if (best == nullptr ||
-                shard->completions[shard->read_pos].ready <
-                    best->completions[best->read_pos].ready) {
-                best = shard.get();
-            }
-        }
-        if (best == nullptr) {
-            break;
-        }
-        notifications_.push_back(best->completions[best->read_pos]);
-        best->read_pos += 1;
-    }
-    for (auto& shard : shards_) {
-        shard->completions.clear();
-        shard->read_pos = 0;
-    }
-    if (!notifications_.empty()) {
-        next_notify_ready_ = notifications_.front().ready;
-    }
+    // The workers republished their retire schedules for the widened
+    // horizon (AdvanceChannel); rebuild the notification schedule on top.
+    PublishNotifications();
 
     if (obs_ != nullptr) {
         MergeObservability();
     }
+}
+
+void
+System::PublishNotifications()
+{
+    const CpuCycle ratio = config_.cpu_to_dram_ratio;
+    const CpuCycle horizon =
+        next_tick_ * ratio + config_.extra_read_latency_cpu;
+
+    // Drop the previously published suffix: entries for retire ticks >=
+    // next_tick_ sit at ready >= horizon, and none of them was delivered
+    // (delivery implies ready <= the core clock < horizon, since the last
+    // executed tick is next_tick_ - 1).  Entries below the horizon belong
+    // to executed ticks and are final — they stay.
+    while (!notifications_.empty() &&
+           notifications_.back().ready >= horizon) {
+        notifications_.pop_back();
+    }
+
+    // Re-append the fresh schedules, k-way merged by (completion cycle,
+    // channel): within one DRAM cycle the serial loop ticks channels in
+    // index order and each retires at most one read per tick, so the key
+    // is unique and the order is exactly the serial callback order.
+    publish_pos_.assign(shards_.size(), 0);
+    while (true) {
+        std::size_t best = shards_.size();
+        for (std::size_t channel = 0; channel < shards_.size(); ++channel) {
+            const ChannelShard& shard = *shards_[channel];
+            if (publish_pos_[channel] >= shard.read_retires.size()) {
+                continue;
+            }
+            if (best == shards_.size() ||
+                shard.read_retires[publish_pos_[channel]].done <
+                    shards_[best]->read_retires[publish_pos_[best]].done) {
+                best = channel;
+            }
+        }
+        if (best == shards_.size()) {
+            break;
+        }
+        const Controller::PendingRead& entry =
+            shards_[best]->read_retires[publish_pos_[best]];
+        publish_pos_[best] += 1;
+        const CpuCycle ready =
+            entry.done * ratio + config_.extra_read_latency_cpu;
+        PARBS_ASSERT(notifications_.empty() ||
+                         notifications_.back().ready <= ready,
+                     "published notifications out of order");
+        notifications_.push_back({ready, entry.thread, entry.id});
+    }
+    next_notify_ready_ = notifications_.empty()
+                             ? kNeverCycle
+                             : notifications_.front().ready;
 }
 
 void
@@ -852,14 +1133,19 @@ System::CheckAddr(Addr addr) const
     }
 }
 
-std::unique_ptr<MemRequest>
-System::MakeRequest(ThreadId thread, Addr addr, bool is_write)
+RequestPtr
+System::MakeRequest(ThreadId thread, Addr addr, bool is_write,
+                    const dram::DecodedAddr& coords)
 {
-    auto request = std::make_unique<MemRequest>();
+    // Allocated from the target channel's slab (mem/request_pool.hh).
+    // Issue runs on the coordinator and release on the channel's worker,
+    // but the phases alternate across the team barrier, so the pool is
+    // never touched concurrently.
+    RequestPtr request = pools_[coords.channel]->Make();
     request->id = next_request_id_++;
     request->thread = thread;
     request->addr = addr;
-    request->coords = mapper_.Decode(addr);
+    request->coords = coords;
     request->is_write = is_write;
     request->arrival_cpu = cpu_cycle_;
     return request;
@@ -875,8 +1161,7 @@ System::TryIssueRead(ThreadId thread, Addr addr)
         if (shard.read_size >= read_capacity_) {
             return std::nullopt;
         }
-        std::unique_ptr<MemRequest> request =
-            MakeRequest(thread, addr, false);
+        RequestPtr request = MakeRequest(thread, addr, false, coords);
         const RequestId id = request->id;
         shard.read_size += 1;
         shard.inbox.push_back(
@@ -887,7 +1172,7 @@ System::TryIssueRead(ThreadId thread, Addr addr)
     if (!controller.CanAcceptRead()) {
         return std::nullopt;
     }
-    std::unique_ptr<MemRequest> request = MakeRequest(thread, addr, false);
+    RequestPtr request = MakeRequest(thread, addr, false, coords);
     const RequestId id = request->id;
     controller.Enqueue(std::move(request), DramNow());
     return id;
@@ -904,15 +1189,15 @@ System::TryIssueWrite(ThreadId thread, Addr addr)
             return false;
         }
         shard.write_size += 1;
-        shard.inbox.push_back(
-            {DramNow(), arrival_seq_++, MakeRequest(thread, addr, true)});
+        shard.inbox.push_back({DramNow(), arrival_seq_++,
+                               MakeRequest(thread, addr, true, coords)});
         return true;
     }
     Controller& controller = *controllers_[coords.channel];
     if (!controller.CanAcceptWrite()) {
         return false;
     }
-    controller.Enqueue(MakeRequest(thread, addr, true), DramNow());
+    controller.Enqueue(MakeRequest(thread, addr, true, coords), DramNow());
     return true;
 }
 

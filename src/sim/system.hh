@@ -5,13 +5,18 @@
  *
  * Two execution engines produce bit-identical results (DESIGN.md §5g):
  * the serial cycle loop, and a sharded loop (config.channel_jobs > 1) that
- * advances each channel's controller on a worker thread in conservative
- * lookahead windows while the cores stay on the coordinating thread.
+ * advances each channel's controller on a worker thread in adaptive
+ * lookahead windows.  Inside the sharded engine the per-cycle core advance
+ * can itself be partitioned across the same worker pool
+ * (config.core_jobs): core frontends run in parallel, memory issue stays a
+ * serial thread-order sweep, so stats and trace bytes are identical for
+ * every crew size.
  */
 
 #ifndef PARBS_SIM_SYSTEM_HH
 #define PARBS_SIM_SYSTEM_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -22,6 +27,7 @@
 #include "cpu/core.hh"
 #include "dram/address_mapper.hh"
 #include "mem/controller.hh"
+#include "mem/request_pool.hh"
 #include "obs/observability.hh"
 #include "sim/config.hh"
 #include "stats/metrics.hh"
@@ -105,6 +111,11 @@ class System : public MemoryPort {
      *  timing admits none; see DESIGN.md §5g for the bound). */
     DramCycle lookahead_window() const { return window_; }
 
+    /** Resolved core-phase crew size: 1 means the serial core sweep, >1
+     *  means the lockstep parallel core phase runs on that many
+     *  participants of the channel team (DESIGN.md §5g). */
+    unsigned core_crew() const { return core_crew_; }
+
     // --- MemoryPort -------------------------------------------------------
     std::optional<RequestId> TryIssueRead(ThreadId thread, Addr addr) override;
     bool TryIssueWrite(ThreadId thread, Addr addr) override;
@@ -115,6 +126,12 @@ class System : public MemoryPort {
 
     std::vector<std::unique_ptr<TraceSource>> traces_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /**
+     * Per-channel request slabs (mem/request_pool.hh).  Declared before
+     * the controllers (and the shards below) so the pools are destroyed
+     * *after* everything still holding RequestPtrs into them.
+     */
+    std::vector<std::unique_ptr<RequestPool>> pools_;
     std::vector<std::unique_ptr<Controller>> controllers_;
 
     /** Constructed only when config.observability.Enabled(). */
@@ -173,8 +190,9 @@ class System : public MemoryPort {
 
     DramCycle DramNow() const { return cpu_cycle_ / config_.cpu_to_dram_ratio; }
 
-    std::unique_ptr<MemRequest> MakeRequest(ThreadId thread, Addr addr,
-                                            bool is_write);
+    /** Builds a request from the target channel's slab pool. */
+    RequestPtr MakeRequest(ThreadId thread, Addr addr, bool is_write,
+                           const dram::DecodedAddr& coords);
 
     // --- sharded engine (DESIGN.md §5g) -----------------------------------
 
@@ -183,7 +201,7 @@ class System : public MemoryPort {
         DramCycle arrival;
         /** Global issue order across channels; keys trace-merge replay. */
         std::uint64_t seq;
-        std::unique_ptr<MemRequest> request;
+        RequestPtr request;
     };
 
     /**
@@ -227,17 +245,25 @@ class System : public MemoryPort {
         std::size_t write_size = 0;
 
         /**
-         * The retire schedule for the *next* window: completion cycles of
-         * every in-burst request retiring before the window's end, known
-         * exactly in advance because the window is no longer than the
-         * shortest burst latency (Controller::PendingRetires).
+         * The retire schedule for the *next* window: every in-burst
+         * request retiring before the window's end, known exactly in
+         * advance because the window is no longer than the shortest burst
+         * latency (Controller::PendingRetires).  Read entries carry the
+         * (thread, id) of the eventual completion, so the schedule doubles
+         * as the source of the pre-published core notifications
+         * (PublishNotifications).
          */
-        std::vector<DramCycle> read_retires;
+        std::vector<Controller::PendingRead> read_retires;
         std::vector<DramCycle> write_retires;
         std::size_t read_pos = 0;
         std::size_t write_pos = 0;
 
-        /** Read completions of this window, in tick order. */
+        /**
+         * Read completions the window actually produced, in tick order.
+         * Since notifications are published from the retire schedules
+         * ahead of execution, this is purely a cross-check: AdvanceChannel
+         * asserts it equals the schedule prefix the window ran under.
+         */
         std::vector<PendingNotify> completions;
 
         /** First per-channel error of the window (e.g. WatchdogError). */
@@ -281,21 +307,89 @@ class System : public MemoryPort {
         std::uint32_t channel;
     };
     std::vector<TaggedRun> merge_runs_;
+    /** Per-channel cursor scratch for the notification publish merge. */
+    std::vector<std::size_t> publish_pos_;
+
+    // --- sharded core phase (DESIGN.md §5g) -------------------------------
+
+    /** What the team's participants run in the current RunWindow. */
+    enum class TeamPhase : std::uint8_t { kChannels, kCores };
+    TeamPhase team_phase_ = TeamPhase::kChannels;
+
+    /** Resolved core-phase crew size (1 = serial core sweep). */
+    unsigned core_crew_ = 1;
+    /** Contiguous [begin, end) core block per participant. */
+    std::vector<std::pair<ThreadId, ThreadId>> core_blocks_;
+
+    /**
+     * Per-worker lockstep state.  `done` counts the cycles the worker has
+     * fully executed for the current core phase; the coordinator joins a
+     * cycle by waiting for every worker's done to reach the release count.
+     * UINT64_MAX doubles as the "worker bailed out" sentinel (error set),
+     * which trivially satisfies every join.
+     */
+    struct CoreWorkerState {
+        alignas(64) std::atomic<CpuCycle> done{0};
+        std::exception_ptr error;
+    };
+    std::unique_ptr<CoreWorkerState[]> core_workers_;
+
+    /** Cycles released to the workers this core phase (coordinator-only
+     *  writer; release-ordered so frontends are visible at the join). */
+    std::atomic<CpuCycle> core_release_{0};
+    /** Set (release) after the final release of a phase; a worker exits
+     *  once it sees it *and* has executed every released cycle. */
+    std::atomic<bool> core_stop_{false};
+
+    CpuCycle core_phase_base_ = 0;
+    CpuCycle core_phase_end_ = 0;
+    bool core_phase_all_done_ = false;
+
+    /**
+     * Per-core slices of notifications_ for the current core phase, built
+     * at phase start; workers deliver from their cores' mirrors so the
+     * shared deque is never touched off the coordinator.  The coordinator
+     * pops the delivered prefix of notifications_ in the serial tail.
+     */
+    std::vector<std::vector<PendingNotify>> core_notify_;
+    std::vector<std::size_t> core_notify_pos_;
 
     /** Ordered last so its threads join before any state they touch dies. */
     std::unique_ptr<ChannelTeam> team_;
 
     /** The largest window that preserves cycle-exactness (DESIGN.md §5g):
-     *  min(extra_read_latency_cpu / ratio, read burst latency, write burst
-     *  latency) in DRAM cycles. */
+     *  min(read burst latency, write burst latency) in DRAM cycles — the
+     *  earliest a command issued inside a window can complete.  Read
+     *  notifications are published ahead of execution, so the return-path
+     *  latency no longer bounds the window. */
     DramCycle LookaheadWindow() const;
 
     void RunSerial(CpuCycle end);
     void RunSharded(CpuCycle end);
 
-    /** Worker body: advances this participant's block of channels. */
+    /** Worker body: advances this participant's share of the phase. */
     void RunParticipant(unsigned participant);
     void AdvanceChannel(std::uint32_t channel);
+
+    /**
+     * Runs one core phase (cycles [cpu_cycle_, core_end)) across the
+     * team in lockstep: per cycle, workers deliver + frontend their core
+     * blocks in parallel, then the coordinator issues memory for all
+     * cores in thread order.  @return true if the all-done probe fired.
+     */
+    bool RunCorePhaseParallel(CpuCycle core_end);
+    void RunCoreCoordinator();
+    void RunCoreWorker(unsigned participant);
+    /** Delivers mirrored notifications and ticks frontends for one block. */
+    void AdvanceCoreBlock(unsigned participant, CpuCycle cycle);
+
+    /**
+     * Rebuilds the pre-published notification schedule at a window
+     * boundary: drops the (provably undelivered) suffix for ticks >=
+     * next_tick_ and re-appends the shards' fresh read-retire schedules,
+     * k-way merged by (completion, channel) — the serial callback order.
+     */
+    void PublishNotifications();
 
     /** Applies scheduled retires with completion <= @p tick to proxies. */
     void ApplyScheduledRetires(DramCycle tick);

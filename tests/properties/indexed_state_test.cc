@@ -96,7 +96,7 @@ TEST(IndexedQueueFuzz, IndexMatchesRebuildAfterEveryOperation)
                 const std::size_t pick = static_cast<std::size_t>(
                     rng.NextBelow(model.buffered.size()));
                 const RequestId id = model.buffered[pick];
-                std::unique_ptr<MemRequest> removed = queue.Remove(id);
+                RequestPtr removed = queue.Remove(id);
                 ASSERT_EQ(removed->id, id);
                 model.buffered.erase(model.buffered.begin() +
                                      static_cast<std::ptrdiff_t>(pick));
