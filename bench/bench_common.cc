@@ -65,6 +65,8 @@ ParseOptions(int argc, char** argv)
             // 0 stays 0: "one worker per channel", resolved per system.
             options.channel_jobs = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--engine") {
+            options.engine = true;
         } else if (arg == "--json" && i + 1 < argc) {
             options.json_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
@@ -73,7 +75,7 @@ ParseOptions(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: %s [--quick|--full] [--cycles N] "
                          "[--seed N] [--jobs N] [--channel-jobs N] "
-                         "[--json PATH] [--trace PATH]\n",
+                         "[--engine] [--json PATH] [--trace PATH]\n",
                          argv[0]);
             std::exit(0);
         } else {
@@ -184,6 +186,21 @@ Session::RecordValue(const std::string& section, const std::string& name,
 }
 
 void
+Session::RecordEngine(const std::string& label, json::Value run_engine,
+                      json::Value env_engine)
+{
+    json::Value run_node = json::Value::Object();
+    run_node.Set("label", label);
+    run_node.Set("engine", std::move(run_engine));
+    engine_run_.Append(std::move(run_node));
+
+    json::Value env_node = json::Value::Object();
+    env_node.Set("label", label);
+    env_node.Set("engine", std::move(env_engine));
+    engine_env_.Append(std::move(env_node));
+}
+
+void
 Session::Finish()
 {
     if (finished_) {
@@ -209,6 +226,11 @@ Session::Finish()
     run.Set("cycles", static_cast<std::uint64_t>(options_.cycles));
     run.Set("seed", options_.seed);
     run.Set("sections", std::move(sections_));
+    // Deterministic engine counters only — byte-identical across --jobs /
+    // --channel-jobs, so they may live under the golden-checked subtree.
+    if (!engine_run_.items().empty()) {
+        run.Set("engine", std::move(engine_run_));
+    }
 
     json::Value env = json::Value::Object();
     env.Set("wall_seconds", wall_seconds);
@@ -219,6 +241,9 @@ Session::Finish()
             static_cast<std::uint64_t>(options_.channel_jobs));
     const char* commit = std::getenv("PARBS_COMMIT");
     env.Set("commit", commit != nullptr ? commit : "unknown");
+    if (!engine_env_.items().empty()) {
+        env.Set("engine", std::move(engine_env_));
+    }
 
     json::Value root = json::Value::Object();
     root.Set("env", std::move(env));

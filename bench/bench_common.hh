@@ -17,6 +17,10 @@
  *                  channel).  Bit-identical for every N — DESIGN.md §5g.
  *                  Composes with --jobs: the run-level pool is divided by
  *                  N so --jobs J --channel-jobs C never oversubscribes.
+ *   --engine       enable the engine flight recorder (DESIGN.md §5h) on
+ *                  every run that supports it; deterministic engine
+ *                  counters land under the JSON "run.engine" subtree and
+ *                  volatile phase timings under "env.engine"
  *   --json PATH    write structured results (metrics per scheduler per
  *                  workload, wall clock, commit metadata) to PATH
  *   --trace PATH   write a Chrome trace-event file per shared run, named
@@ -49,6 +53,8 @@ struct Options {
     /** Intra-run channel workers (SystemConfig::channel_jobs); 0 means one
      *  per channel. */
     unsigned channel_jobs = 1;
+    /** Engine flight recorder (observability.engine_profile). */
+    bool engine = false;
     /** Structured-output path; empty disables JSON. */
     std::string json_path;
     /** Per-run trace-output stem; empty defers to PARBS_TRACE. */
@@ -115,6 +121,15 @@ class Session {
                      double value);
 
     /**
+     * Records one run's engine-profiler output under @p label: the
+     * deterministic counters (System::EngineRunJson) join the JSON
+     * "run.engine" array, the volatile timings (System::EngineEnvJson) the
+     * parallel "env.engine" array.  The two arrays stay index-aligned.
+     */
+    void RecordEngine(const std::string& label, json::Value run_engine,
+                      json::Value env_engine);
+
+    /**
      * Writes the JSON file (if --json was given) and prints the wall clock
      * to stderr.  Idempotent; called by the destructor.
      */
@@ -128,6 +143,8 @@ class Session {
     std::unique_ptr<TaskPool> pool_;
     std::chrono::steady_clock::time_point start_;
     json::Value sections_ = json::Value::Array();
+    json::Value engine_run_ = json::Value::Array();
+    json::Value engine_env_ = json::Value::Array();
     bool finished_ = false;
 };
 

@@ -60,12 +60,17 @@ MakeTraces(const SystemConfig& config, std::uint64_t seed)
 }
 
 /** Whole-system aggregates of one scale point under one scheduler; all
- *  fields are deterministic simulation quantities. */
+ *  fields except the env-side engine timings are deterministic simulation
+ *  quantities. */
 struct ScaleRun {
     std::uint64_t instructions = 0;
     std::uint64_t requests = 0;
     double row_hit_rate = 0.0; ///< Request-weighted mean across threads.
     double blp = 0.0;          ///< Plain mean across threads.
+    /** Engine flight-recorder output (--engine only; null otherwise).
+     *  engine_run is deterministic, engine_env is wall-clock volatile. */
+    json::Value engine_run;
+    json::Value engine_env;
 };
 
 ScaleRun
@@ -77,6 +82,7 @@ RunPoint(const ScalePoint& point, const SchedulerConfig& scheduler,
     config.scheduler = scheduler;
     config.seed = options.seed;
     config.channel_jobs = options.channel_jobs;
+    config.observability.engine_profile = options.engine;
     // Same PARBS_CHECK contract as the ExperimentRunner binaries (see
     // ExperimentConfig::MakeSystemConfig): serial reference loop plus the
     // shadow protocol / fast-path / selection checkers — and this is the
@@ -107,6 +113,10 @@ RunPoint(const ScalePoint& point, const SchedulerConfig& scheduler,
         out.row_hit_rate = hit_weight / static_cast<double>(out.requests);
     }
     out.blp = blp_sum / static_cast<double>(point.cores);
+    if (options.engine) {
+        out.engine_run = system.EngineRunJson();
+        out.engine_env = system.EngineEnvJson();
+    }
     return out;
 }
 
@@ -160,7 +170,12 @@ main(int argc, char** argv)
             std::to_string(ranks) + (ranks == 1 ? " rank)" : " ranks)");
         for (std::size_t s = 0; s < lineup.size(); ++s) {
             const std::string name = SchedulerConfigName(lineup[s]);
-            const ScaleRun& run = results[p * lineup.size() + s];
+            ScaleRun& run = results[p * lineup.size() + s];
+            if (options.engine) {
+                session.RecordEngine(section + "/" + name,
+                                     std::move(run.engine_run),
+                                     std::move(run.engine_env));
+            }
             session.RecordValue(section, "instructions/" + name,
                                 static_cast<double>(run.instructions));
             session.RecordValue(section, "requests/" + name,

@@ -233,10 +233,12 @@ IdleTick(benchmark::State& state, bool fast_path)
  */
 void
 SystemSlice(benchmark::State& state, std::uint32_t cores,
-            std::uint32_t channels, unsigned channel_jobs)
+            std::uint32_t channels, unsigned channel_jobs,
+            bool engine_profile = false)
 {
     SystemConfig config = SystemConfig::Baseline(cores, channels);
     config.channel_jobs = channel_jobs;
+    config.observability.engine_profile = engine_profile;
     dram::AddressMapper mapper(config.geometry, config.xor_bank_hash);
     std::vector<std::unique_ptr<TraceSource>> traces;
     for (ThreadId t = 0; t < cores; ++t) {
@@ -266,6 +268,30 @@ BM_System_sharded(benchmark::State& s)
 {
     const auto cores = static_cast<std::uint32_t>(s.range(0));
     SystemSlice(s, cores, cores == 64 ? 8 : cores / 4, /*channel_jobs=*/0);
+}
+
+/**
+ * The engine flight-recorder overhead pair on the sharded 64-core/8-channel
+ * operating point: prof_off is BM_System_sharded/64 rebuilt through the
+ * same configuration path with the profiler left disabled (the CI gate
+ * holds it within 1% of BM_System_sharded/64 — the raw-pointer null checks
+ * must be free, DESIGN.md §5h); prof_on records every phase and is
+ * informational.
+ */
+void
+BM_System_prof_off(benchmark::State& s)
+{
+    const auto cores = static_cast<std::uint32_t>(s.range(0));
+    SystemSlice(s, cores, cores == 64 ? 8 : cores / 4, /*channel_jobs=*/0,
+                /*engine_profile=*/false);
+}
+
+void
+BM_System_prof_on(benchmark::State& s)
+{
+    const auto cores = static_cast<std::uint32_t>(s.range(0));
+    SystemSlice(s, cores, cores == 64 ? 8 : cores / 4, /*channel_jobs=*/0,
+                /*engine_profile=*/true);
 }
 
 void BM_Fcfs(benchmark::State& s) { SchedulerTick(s, SchedulerKind::kFcfs); }
@@ -336,6 +362,8 @@ BENCHMARK(BM_ParBs_ras_on);
 // its work happens on worker threads the main thread only coordinates.
 BENCHMARK(BM_System_serial)->Arg(16)->Arg(64)->UseRealTime();
 BENCHMARK(BM_System_sharded)->Arg(16)->Arg(64)->UseRealTime();
+BENCHMARK(BM_System_prof_off)->Arg(64)->UseRealTime();
+BENCHMARK(BM_System_prof_on)->Arg(64)->UseRealTime();
 
 } // namespace
 } // namespace parbs

@@ -76,11 +76,18 @@ class RequestPool {
         MemRequest* slot = free_.back();
         free_.pop_back();
         live_ += 1;
+        if (live_ > hiwater_) {
+            hiwater_ = live_;
+        }
         return RequestPtr(new (slot) MemRequest(), RequestDeleter(this));
     }
 
     /** Requests currently alive (made and not yet released). */
     std::size_t live() const { return live_; }
+    /** Most requests ever alive at once.  Engine-shape dependent (the
+     *  sharded engine's cores run a window ahead of retirement), so this
+     *  reports under the bench `env` subtree, never `run`. */
+    std::size_t hiwater() const { return hiwater_; }
     /** Requests the slabs can hold without growing. */
     std::size_t capacity() const { return slabs_.size() * chunk_; }
 
@@ -114,6 +121,7 @@ class RequestPool {
 
     std::size_t chunk_;
     std::size_t live_ = 0;
+    std::size_t hiwater_ = 0;
     std::vector<std::unique_ptr<std::byte[]>> slabs_;
     std::vector<MemRequest*> free_;
 };

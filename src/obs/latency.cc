@@ -22,6 +22,7 @@ json::Value HistogramJson(const Histogram& histogram) {
     out.Set("p50", summary.p50);
     out.Set("p95", summary.p95);
     out.Set("p99", summary.p99);
+    out.Set("p999", summary.p999);
     out.Set("max", summary.max);
     out.Set("overflow", histogram.overflow());
     return out;

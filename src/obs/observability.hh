@@ -50,6 +50,10 @@ struct ObservabilityConfig {
     std::size_t trace_ring_capacity = std::size_t{1} << 18;
     /** Sampler period in DRAM cycles; 0 disables the time series. */
     DramCycle sample_interval = 0;
+    /** Engine flight recorder (DESIGN.md §5h): phase timings + window
+     *  counters.  Independent of `trace` — a profiled bench run needs no
+     *  event ring, and a trace needs no engine lanes. */
+    bool engine_profile = false;
 
     bool Enabled() const { return trace; }
 

@@ -128,6 +128,7 @@ ComparatorScheduler::Attach(const SchedulerContext& context)
     pick_memo_.assign(static_cast<std::size_t>(context.NumBanks()) * 2,
                       PickMemo{});
     pick_epoch_ = 1;
+    memo_counters_ = PickMemoCounters{};
 }
 
 MemRequest*
@@ -185,6 +186,9 @@ ComparatorScheduler::PickInBank(const RequestQueue& queue, std::uint32_t bank,
         memo.queue_gen = queue_gen;
         memo.row_gen = row_gen;
         memo.epoch = pick_epoch_;
+        memo_counters_.misses += 1;
+    } else {
+        memo_counters_.hits += 1;
     }
     return memo.winner;
 }

@@ -169,6 +169,20 @@ class Scheduler {
      */
     virtual std::uint64_t BatchOutstanding() const { return 0; }
 
+    /**
+     * Pick-memo accounting for the engine flight recorder (DESIGN.md §5h).
+     * Deterministic: counts follow the selection sequence, which is
+     * bit-identical across every parallelism setting.  All-zero for
+     * schedulers without a memo (including comparator schedulers that opt
+     * out via PickMemoStable, e.g. NFQ).
+     */
+    struct PickMemoCounters {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t invalidations = 0;
+    };
+    virtual PickMemoCounters MemoCounters() const { return {}; }
+
   protected:
     /**
      * Notification that a thread priority or weight changed; comparator
@@ -217,6 +231,11 @@ class ComparatorScheduler : public Scheduler {
     MemRequest* PickInBank(const RequestQueue& queue, std::uint32_t bank,
                            DramCycle now) override;
 
+    PickMemoCounters MemoCounters() const override
+    {
+        return memo_counters_;
+    }
+
   protected:
     /**
      * @return true if @p a should be serviced in preference to @p b.
@@ -240,7 +259,11 @@ class ComparatorScheduler : public Scheduler {
      * whenever comparator-visible state changes outside the request buffer
      * (batch formation, re-marking, ranking or fairness-mode updates).
      */
-    void InvalidateBankPicks() { pick_epoch_ += 1; }
+    void InvalidateBankPicks()
+    {
+        pick_epoch_ += 1;
+        memo_counters_.invalidations += 1;
+    }
 
     void OnSchedulingKnobChanged() override { InvalidateBankPicks(); }
 
@@ -263,6 +286,7 @@ class ComparatorScheduler : public Scheduler {
     /** [queue_index * NumBanks + bank]; queue 0 = reads, 1 = writes. */
     std::vector<PickMemo> pick_memo_;
     std::uint64_t pick_epoch_ = 1;
+    PickMemoCounters memo_counters_;
 };
 
 } // namespace parbs

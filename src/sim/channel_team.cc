@@ -1,6 +1,7 @@
 #include "sim/channel_team.hh"
 
 #include "common/assert.hh"
+#include "obs/engine_profiler.hh"
 
 namespace parbs {
 
@@ -13,9 +14,11 @@ constexpr int kYieldIterations = 64;
 
 } // namespace
 
-ChannelTeam::ChannelTeam(unsigned participants, WorkFn work)
+ChannelTeam::ChannelTeam(unsigned participants, WorkFn work,
+                         obs::EngineProfiler* profiler)
     : participants_(participants),
       work_(std::move(work)),
+      profiler_(profiler),
       errors_(participants)
 {
     PARBS_ASSERT(participants_ >= 1, "team needs at least one participant");
@@ -64,12 +67,18 @@ ChannelTeam::RunWindow()
     // Join: even on an exception, every worker must finish its share
     // before control returns — the System merges or unwinds only once no
     // thread is touching shard state.
+    const std::uint64_t join_start =
+        profiler_ != nullptr ? obs::EngineProfiler::Now() : 0;
     int spins = 0;
     while (done_count_.load(std::memory_order_acquire) !=
            participants_ - 1) {
         if (++spins > kSpinIterations) {
             std::this_thread::yield();
         }
+    }
+    if (profiler_ != nullptr) {
+        profiler_->AddPhaseTicks(0, obs::EngineProfiler::Phase::kBarrierJoin,
+                                 obs::EngineProfiler::Now() - join_start);
     }
 
     if (own) {
@@ -89,6 +98,8 @@ ChannelTeam::WorkerLoop(unsigned participant)
 {
     std::uint64_t seen = 0;
     while (true) {
+        const std::uint64_t park_start =
+            profiler_ != nullptr ? obs::EngineProfiler::Now() : 0;
         std::uint64_t generation = seen;
         for (int i = 0; i < kSpinIterations; ++i) {
             generation = generation_.load(std::memory_order_acquire);
@@ -116,6 +127,11 @@ ChannelTeam::WorkerLoop(unsigned participant)
             return;
         }
         seen = generation;
+        if (profiler_ != nullptr) {
+            profiler_->AddPhaseTicks(
+                participant, obs::EngineProfiler::Phase::kWorkerPark,
+                obs::EngineProfiler::Now() - park_start);
+        }
         try {
             work_(participant);
         } catch (...) {

@@ -30,6 +30,10 @@
 
 namespace parbs {
 
+namespace obs {
+class EngineProfiler;
+}
+
 class ChannelTeam {
   public:
     /** Window body; called once per participant per RunWindow. */
@@ -40,8 +44,17 @@ class ChannelTeam {
      *        (>= 1); participants - 1 worker threads are spawned.
      * @param work the window body.  It must partition its effects by
      *        participant index; the team imposes no other structure.
+     * @param profiler optional engine flight recorder.  When set, the team
+     *        samples its wall clock at the two synchronization points it
+     *        owns — the coordinator's join spin and the workers' park
+     *        between windows — two samples per participant per window,
+     *        nothing on the work path itself.  Gating is a raw-pointer
+     *        null check (DESIGN.md §5f discipline).  Taken at construction
+     *        (not via a setter) so the spawned workers never read a
+     *        half-published pointer.
      */
-    ChannelTeam(unsigned participants, WorkFn work);
+    ChannelTeam(unsigned participants, WorkFn work,
+                obs::EngineProfiler* profiler = nullptr);
 
     /** Stops and joins the workers (they must be parked, i.e. not inside
      *  an active RunWindow — guaranteed because RunWindow blocks). */
@@ -67,6 +80,8 @@ class ChannelTeam {
 
     unsigned participants_;
     WorkFn work_;
+    /** Engine flight recorder; null when profiling is off. */
+    obs::EngineProfiler* profiler_ = nullptr;
 
     /** Bumped (under mutex_, released) to start a window. */
     std::atomic<std::uint64_t> generation_{0};

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/assert.hh"
+#include "common/json.hh"
+#include "obs/engine_profiler.hh"
 #include "sim/channel_team.hh"
 
 namespace parbs {
@@ -145,6 +147,14 @@ System::System(const SystemConfig& config,
     sharded_ = shard_jobs_ > 1 && channels > 1 && window_ >= 1;
     if (!sharded_) {
         shard_jobs_ = 1;
+    }
+    if (config_.observability.engine_profile) {
+        engine_profiler_ = std::make_unique<obs::EngineProfiler>(
+            shard_jobs_, channels, window_);
+        eng_ = engine_profiler_.get();
+        prof_occupancy_.assign(channels, 0);
+    }
+    if (!sharded_) {
         return;
     }
     for (std::uint32_t channel = 0; channel < channels; ++channel) {
@@ -190,9 +200,9 @@ System::System(const SystemConfig& config,
     }
 
     team_ = std::make_unique<ChannelTeam>(
-        shard_jobs_, [this](unsigned participant) {
-            RunParticipant(participant);
-        });
+        shard_jobs_,
+        [this](unsigned participant) { RunParticipant(participant); },
+        eng_);
 }
 
 System::~System() = default;
@@ -234,7 +244,20 @@ System::Run(CpuCycle cpu_cycles)
 void
 System::RunSerial(CpuCycle end)
 {
+    const CpuCycle ratio = config_.cpu_to_dram_ratio;
+    // Replicate the sharded engine's window schedule so the deterministic
+    // engine counters are byte-identical across engines: the sharded loop
+    // closes a window whenever the cores reach the lookahead horizon, and
+    // at that point its controllers have executed exactly the ticks the
+    // serial loop has executed here (DESIGN.md §5h).
+    if (eng_ != nullptr) {
+        prof_next_tick_ = (cpu_cycle_ + ratio - 1) / ratio;
+    }
     while (cpu_cycle_ < end) {
+        if (eng_ != nullptr &&
+            cpu_cycle_ == (prof_next_tick_ + window_) * ratio) {
+            ProfileSerialWindow();
+        }
         if (cpu_cycle_ % config_.cpu_to_dram_ratio == 0) {
             const DramCycle dram_now = DramNow();
             for (auto& controller : controllers_) {
@@ -264,6 +287,28 @@ System::RunSerial(CpuCycle end)
             break;
         }
     }
+    // Residual close: the sharded loop closes its last (short) window when
+    // the run ends or drains; mirror it so the window counts agree.
+    if (eng_ != nullptr) {
+        ProfileSerialWindow();
+    }
+}
+
+void
+System::ProfileSerialWindow()
+{
+    const CpuCycle ratio = config_.cpu_to_dram_ratio;
+    const DramCycle target = (cpu_cycle_ + ratio - 1) / ratio;
+    if (target <= prof_next_tick_) {
+        return;
+    }
+    for (std::uint32_t channel = 0; channel < controllers_.size();
+         ++channel) {
+        prof_occupancy_[channel] = controllers_[channel]->pending_reads() +
+                                   controllers_[channel]->pending_writes();
+    }
+    eng_->OnWindowClose(prof_next_tick_, target, prof_occupancy_);
+    prof_next_tick_ = target;
 }
 
 void
@@ -336,6 +381,9 @@ System::RunSharded(CpuCycle end)
 
     bool all_done = false;
     while (cpu_cycle_ < end && !all_done) {
+        if (eng_ != nullptr) {
+            eng_->BeginWindowWall();
+        }
         // --- core phase ------------------------------------------------
         // Runs the cores up to the lookahead horizon, replaying queue
         // departures from the published retire/notification schedules so
@@ -345,8 +393,17 @@ System::RunSharded(CpuCycle end)
         const CpuCycle core_end =
             std::min<CpuCycle>(end, (next_tick_ + window_) * ratio);
         if (core_crew_ > 1) {
+            if (eng_ != nullptr) {
+                eng_->SetCurrentPhase(
+                    obs::EngineProfiler::Phase::kCoreFrontend);
+            }
             all_done = RunCorePhaseParallel(core_end);
         } else {
+            const std::uint64_t sweep_start =
+                eng_ != nullptr ? obs::EngineProfiler::Now() : 0;
+            if (eng_ != nullptr) {
+                eng_->SetCurrentPhase(obs::EngineProfiler::Phase::kCoreSweep);
+            }
             while (cpu_cycle_ < core_end) {
                 if (cpu_cycle_ % ratio == 0) {
                     ApplyScheduledRetires(DramNow());
@@ -376,6 +433,10 @@ System::RunSharded(CpuCycle end)
                     break;
                 }
             }
+            if (eng_ != nullptr) {
+                eng_->AddPhaseTicks(0, obs::EngineProfiler::Phase::kCoreSweep,
+                                    obs::EngineProfiler::Now() - sweep_start);
+            }
         }
 
         // --- controller catch-up (parallel) + barrier ------------------
@@ -384,9 +445,24 @@ System::RunSharded(CpuCycle end)
             window_from_ = next_tick_;
             window_to_ = target;
             window_limit_ = target + window_;
+            if (eng_ != nullptr) {
+                eng_->SetCurrentPhase(
+                    obs::EngineProfiler::Phase::kChannelWork);
+            }
             team_->RunWindow();
             next_tick_ = target;
             MergeWindow();
+            if (eng_ != nullptr) {
+                // Occupancy at the close, from the proxies the coordinator
+                // just verified against the real queues (MergeWindow) —
+                // identical to the serial engine's controller readback.
+                for (std::uint32_t channel = 0; channel < shards_.size();
+                     ++channel) {
+                    prof_occupancy_[channel] = shards_[channel]->read_size +
+                                               shards_[channel]->write_size;
+                }
+                eng_->OnWindowClose(window_from_, target, prof_occupancy_);
+            }
         }
     }
 }
@@ -402,6 +478,8 @@ System::RunParticipant(unsigned participant)
         }
         return;
     }
+    const std::uint64_t work_start =
+        eng_ != nullptr ? obs::EngineProfiler::Now() : 0;
     const auto channels = static_cast<std::uint32_t>(controllers_.size());
     for (std::uint32_t channel = participant; channel < channels;
          channel += shard_jobs_) {
@@ -410,6 +488,11 @@ System::RunParticipant(unsigned participant)
         } catch (...) {
             shards_[channel]->error = std::current_exception();
         }
+    }
+    if (eng_ != nullptr) {
+        eng_->AddPhaseTicks(participant,
+                            obs::EngineProfiler::Phase::kChannelWork,
+                            obs::EngineProfiler::Now() - work_start);
     }
 }
 
@@ -446,7 +529,7 @@ System::RunCorePhaseParallel(CpuCycle core_end)
         if (core_workers_[p].error != nullptr) {
             std::exception_ptr error = core_workers_[p].error;
             core_workers_[p].error = nullptr;
-            std::rethrow_exception(error);
+            RethrowShardError(error);
         }
     }
     return core_phase_all_done_;
@@ -485,13 +568,24 @@ System::RunCoreCoordinator()
     StopGuard guard{*this};
 
     const CpuCycle ratio = config_.cpu_to_dram_ratio;
+    // Phase timing stays out of the per-cycle loop's stores: four clock
+    // samples per cycle accumulate into locals, folded into the profiler
+    // once per phase (and only when profiling is on at all).
+    const bool profiled = eng_ != nullptr;
+    std::uint64_t frontend_ticks = 0;
+    std::uint64_t join_ticks = 0;
+    std::uint64_t issue_ticks = 0;
     CpuCycle released = 0;
     while (cpu_cycle_ < core_phase_end_) {
+        const std::uint64_t t0 =
+            profiled ? obs::EngineProfiler::Now() : 0;
         // Release the cycle, then run our own block while the crew runs
         // theirs.
         released += 1;
         core_release_.store(released, std::memory_order_release);
         AdvanceCoreBlock(0, cpu_cycle_);
+        const std::uint64_t t1 =
+            profiled ? obs::EngineProfiler::Now() : 0;
 
         // Join: every worker has finished the cycle's frontends (or bailed
         // out with its done counter pinned to the sentinel).
@@ -508,9 +602,13 @@ System::RunCoreCoordinator()
                 worker_failed = true;
             }
         }
+        const std::uint64_t t2 =
+            profiled ? obs::EngineProfiler::Now() : 0;
+        frontend_ticks += t1 - t0;
+        join_ticks += t2 - t1;
         if (worker_failed) {
             // RunCorePhaseParallel rethrows after the team join.
-            return;
+            break;
         }
 
         // --- serial tail: everything that touches shared state ---------
@@ -539,6 +637,9 @@ System::RunCoreCoordinator()
             }
         }
         cpu_cycle_ += 1;
+        if (profiled) {
+            issue_ticks += obs::EngineProfiler::Now() - t2;
+        }
         if (progress_bound_cpu_ != 0 && cpu_cycle_ >= next_progress_check_) {
             CheckGlobalProgress();
         }
@@ -548,27 +649,55 @@ System::RunCoreCoordinator()
             break;
         }
     }
+    if (profiled) {
+        eng_->AddPhaseTicks(0, obs::EngineProfiler::Phase::kCoreFrontend,
+                            frontend_ticks);
+        eng_->AddPhaseTicks(0, obs::EngineProfiler::Phase::kCoreJoin,
+                            join_ticks);
+        eng_->AddPhaseTicks(0, obs::EngineProfiler::Phase::kCoreIssue,
+                            issue_ticks);
+    }
 }
 
 void
 System::RunCoreWorker(unsigned participant)
 {
     CoreWorkerState& state = core_workers_[participant];
+    const bool profiled = eng_ != nullptr;
+    std::uint64_t frontend_ticks = 0;
+    std::uint64_t wait_ticks = 0;
+    std::uint64_t wait_start = profiled ? obs::EngineProfiler::Now() : 0;
+    const auto flush = [&] {
+        if (profiled) {
+            eng_->AddPhaseTicks(participant,
+                                obs::EngineProfiler::Phase::kCoreFrontend,
+                                frontend_ticks);
+            eng_->AddPhaseTicks(participant,
+                                obs::EngineProfiler::Phase::kCoreJoin,
+                                wait_ticks);
+        }
+    };
     CpuCycle done = 0;
     int spins = 0;
     while (true) {
         const CpuCycle released =
             core_release_.load(std::memory_order_acquire);
         if (done < released) {
+            const std::uint64_t t0 =
+                profiled ? obs::EngineProfiler::Now() : 0;
+            wait_ticks += t0 - wait_start;
             try {
                 AdvanceCoreBlock(participant, core_phase_base_ + done);
             } catch (...) {
                 state.error = std::current_exception();
                 state.done.store(kNeverCycle, std::memory_order_release);
+                flush();
                 return;
             }
             done += 1;
             state.done.store(done, std::memory_order_release);
+            wait_start = profiled ? obs::EngineProfiler::Now() : 0;
+            frontend_ticks += wait_start - t0;
             spins = 0;
             continue;
         }
@@ -578,6 +707,10 @@ System::RunCoreWorker(unsigned participant)
             // re-check before exiting or the coordinator's join hangs.
             if (done ==
                 core_release_.load(std::memory_order_acquire)) {
+                if (profiled) {
+                    wait_ticks += obs::EngineProfiler::Now() - wait_start;
+                }
+                flush();
                 return;
             }
             continue;
@@ -706,11 +839,16 @@ System::AllShardsIdle() const
 void
 System::MergeWindow()
 {
+    const std::uint64_t t0 =
+        eng_ != nullptr ? obs::EngineProfiler::Now() : 0;
+    if (eng_ != nullptr) {
+        eng_->SetCurrentPhase(obs::EngineProfiler::Phase::kMerge);
+    }
     for (auto& shard : shards_) {
         if (shard->error != nullptr) {
             std::exception_ptr error = shard->error;
             shard->error = nullptr;
-            std::rethrow_exception(error);
+            RethrowShardError(error);
         }
     }
     for (std::uint32_t channel = 0; channel < shards_.size(); ++channel) {
@@ -728,11 +866,39 @@ System::MergeWindow()
 
     // The workers republished their retire schedules for the widened
     // horizon (AdvanceChannel); rebuild the notification schedule on top.
+    const std::uint64_t t1 =
+        eng_ != nullptr ? obs::EngineProfiler::Now() : 0;
+    if (eng_ != nullptr) {
+        eng_->SetCurrentPhase(obs::EngineProfiler::Phase::kPublish);
+    }
     PublishNotifications();
+    const std::uint64_t t2 =
+        eng_ != nullptr ? obs::EngineProfiler::Now() : 0;
 
     if (obs_ != nullptr) {
         MergeObservability();
     }
+    if (eng_ != nullptr) {
+        eng_->SetCurrentPhase(obs::EngineProfiler::Phase::kMerge);
+        eng_->AddPhaseTicks(0, obs::EngineProfiler::Phase::kPublish,
+                            t2 - t1);
+        eng_->AddPhaseTicks(0, obs::EngineProfiler::Phase::kMerge,
+                            (obs::EngineProfiler::Now() - t2) + (t1 - t0));
+    }
+}
+
+void
+System::RethrowShardError(std::exception_ptr error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const WatchdogError& watchdog) {
+        // A stalled worker's dump shows controller state; add where the
+        // engine itself was parked when the bound tripped.
+        throw WatchdogError(std::string(watchdog.what()) + "\n" +
+                            EngineStateDump());
+    }
+    // Any other exception propagates unchanged from the rethrow above.
 }
 
 void
@@ -906,7 +1072,95 @@ System::CheckGlobalProgress()
             << controllers_[channel]->Diagnostics(DramNow());
     }
     DumpStats(out);
+    out << EngineStateDump();
     throw WatchdogError(out.str());
+}
+
+std::string
+System::EngineStateDump() const
+{
+    std::ostringstream out;
+    out << "---- engine state ----\n"
+        << "engine=" << (sharded_ ? "sharded" : "serial")
+        << " channel_jobs=" << shard_jobs_ << " core_crew=" << core_crew_
+        << " lookahead_window=" << window_ << "\n"
+        << "cpu_cycle=" << cpu_cycle_ << " next_tick=" << next_tick_
+        << " window=[" << window_from_ << "," << window_to_
+        << ") limit=" << window_limit_ << "\n"
+        << "team_phase="
+        << (team_phase_ == TeamPhase::kCores ? "cores" : "channels");
+    if (eng_ != nullptr) {
+        out << " profiler_phase=" << eng_->CurrentPhaseName();
+    }
+    out << "\n";
+    if (core_crew_ > 1 && core_workers_ != nullptr) {
+        const CpuCycle released =
+            core_release_.load(std::memory_order_acquire);
+        out << "core_release=" << released << " core_stop="
+            << (core_stop_.load(std::memory_order_acquire) ? 1 : 0)
+            << " phase_base=" << core_phase_base_
+            << " phase_end=" << core_phase_end_ << "\n";
+        for (unsigned p = 1; p < core_crew_; ++p) {
+            const CpuCycle done =
+                core_workers_[p].done.load(std::memory_order_acquire);
+            out << "core_worker[" << p << "] done=";
+            if (done == kNeverCycle) {
+                out << "bailed (error pending)";
+            } else {
+                out << done
+                    << (done < released ? " (parked on the cycle join)"
+                                        : " (caught up, awaiting release)");
+            }
+            out << "\n";
+        }
+    }
+    for (std::uint32_t channel = 0; channel < shards_.size(); ++channel) {
+        const ChannelShard& shard = *shards_[channel];
+        out << "shard[" << channel << "] reads=" << shard.read_size
+            << " writes=" << shard.write_size
+            << " inbox=" << shard.inbox.size()
+            << (shard.error != nullptr ? " error=pending" : "") << "\n";
+    }
+    return out.str();
+}
+
+json::Value
+System::EngineRunJson() const
+{
+    PARBS_ASSERT(eng_ != nullptr,
+                 "EngineRunJson requires observability.engine_profile");
+    json::Value out = eng_->DeterministicJson();
+    Scheduler::PickMemoCounters memo;
+    for (const auto& controller : controllers_) {
+        const Scheduler::PickMemoCounters counters =
+            controller->scheduler().MemoCounters();
+        memo.hits += counters.hits;
+        memo.misses += counters.misses;
+        memo.invalidations += counters.invalidations;
+    }
+    json::Value memo_json = json::Value::Object();
+    memo_json.Set("hits", json::Value(memo.hits));
+    memo_json.Set("misses", json::Value(memo.misses));
+    memo_json.Set("invalidations", json::Value(memo.invalidations));
+    out.Set("pick_memo", std::move(memo_json));
+    return out;
+}
+
+json::Value
+System::EngineEnvJson() const
+{
+    PARBS_ASSERT(eng_ != nullptr,
+                 "EngineEnvJson requires observability.engine_profile");
+    json::Value out = eng_->TimingJson();
+    // Pool high waters are exact but engine-shape dependent (the sharded
+    // engine's cores run a window ahead of retirement), hence env.
+    json::Value hiwater = json::Value::Array();
+    for (const auto& pool : pools_) {
+        hiwater.Append(
+            json::Value(static_cast<std::uint64_t>(pool->hiwater())));
+    }
+    out.Set("pool_hiwater", std::move(hiwater));
+    return out;
 }
 
 void
@@ -1065,7 +1319,13 @@ System::WriteTrace(std::ostream& out, const std::string& workload_label) const
     meta.cores = config_.num_cores;
     meta.seed = config_.seed;
     meta.cpu_to_dram_ratio = config_.cpu_to_dram_ratio;
-    obs_->WriteTrace(out, meta);
+    if (eng_ == nullptr) {
+        obs_->WriteTrace(out, meta);
+        return;
+    }
+    json::Value document = obs_->TraceDocument(meta);
+    eng_->AppendToTraceDocument(document);
+    out << document.Dump(2) << "\n";
 }
 
 void
@@ -1166,6 +1426,9 @@ System::TryIssueRead(ThreadId thread, Addr addr)
         shard.read_size += 1;
         shard.inbox.push_back(
             {DramNow(), arrival_seq_++, std::move(request)});
+        if (eng_ != nullptr) {
+            eng_->OnArrival(coords.channel);
+        }
         return id;
     }
     Controller& controller = *controllers_[coords.channel];
@@ -1175,6 +1438,9 @@ System::TryIssueRead(ThreadId thread, Addr addr)
     RequestPtr request = MakeRequest(thread, addr, false, coords);
     const RequestId id = request->id;
     controller.Enqueue(std::move(request), DramNow());
+    if (eng_ != nullptr) {
+        eng_->OnArrival(coords.channel);
+    }
     return id;
 }
 
@@ -1191,6 +1457,9 @@ System::TryIssueWrite(ThreadId thread, Addr addr)
         shard.write_size += 1;
         shard.inbox.push_back({DramNow(), arrival_seq_++,
                                MakeRequest(thread, addr, true, coords)});
+        if (eng_ != nullptr) {
+            eng_->OnArrival(coords.channel);
+        }
         return true;
     }
     Controller& controller = *controllers_[coords.channel];
@@ -1198,6 +1467,9 @@ System::TryIssueWrite(ThreadId thread, Addr addr)
         return false;
     }
     controller.Enqueue(MakeRequest(thread, addr, true, coords), DramNow());
+    if (eng_ != nullptr) {
+        eng_->OnArrival(coords.channel);
+    }
     return true;
 }
 

@@ -37,6 +37,14 @@ namespace parbs {
 
 class ChannelTeam;
 
+namespace json {
+class Value;
+}
+
+namespace obs {
+class EngineProfiler;
+}
+
 /** A simulated chip-multiprocessor sharing a DRAM memory system. */
 class System : public MemoryPort {
   public:
@@ -84,6 +92,36 @@ class System : public MemoryPort {
 
     /** Null unless config.observability.Enabled() at construction. */
     const obs::Observability* observability() const { return obs_.get(); }
+
+    /** Null unless config.observability.engine_profile at construction. */
+    const obs::EngineProfiler* engine_profiler() const
+    {
+        return engine_profiler_.get();
+    }
+
+    /**
+     * Deterministic engine counters (window accounting, arrival balance,
+     * pick-memo rates) for the bench `run.engine` subtree; byte-identical
+     * across --jobs / --channel-jobs / core_jobs.
+     * @pre the engine profiler is enabled (asserted).
+     */
+    json::Value EngineRunJson() const;
+
+    /**
+     * Volatile engine timings (per-phase wall clock, serial-tail fraction,
+     * worker utilization) plus machine-shape counters (request-pool high
+     * waters) for the bench `env.engine` subtree.
+     * @pre the engine profiler is enabled (asserted).
+     */
+    json::Value EngineEnvJson() const;
+
+    /**
+     * One-look engine state for stall dumps: engine kind, window bounds,
+     * team phase, per-worker lockstep progress, per-shard occupancy.
+     * Appended to watchdog errors so a hung run shows where the engine
+     * was parked.  Works with or without the profiler.
+     */
+    std::string EngineStateDump() const;
 
     /**
      * Writes the Chrome trace-event document for this run to @p out.
@@ -353,6 +391,30 @@ class System : public MemoryPort {
      */
     std::vector<std::vector<PendingNotify>> core_notify_;
     std::vector<std::size_t> core_notify_pos_;
+
+    // --- engine flight recorder (DESIGN.md §5h) ---------------------------
+
+    /** Constructed only when config.observability.engine_profile. */
+    std::unique_ptr<obs::EngineProfiler> engine_profiler_;
+    /** Cached raw pointer, same discipline as sampler_: the hot-path gate
+     *  is one null check, no unique_ptr deref. */
+    obs::EngineProfiler* eng_ = nullptr;
+    /** The serial engine's replica of next_tick_: where the sharded engine
+     *  would close windows, so the deterministic window counters match
+     *  byte-for-byte across engines (ProfileSerialWindow). */
+    DramCycle prof_next_tick_ = 0;
+    /** Reused per-channel occupancy scratch for window closes. */
+    std::vector<std::uint64_t> prof_occupancy_;
+
+    /** Closes the serial engine's replicated window at the current cycle
+     *  (no-op when no controller tick has been executed since the last
+     *  close). */
+    void ProfileSerialWindow();
+
+    /** Rethrows a worker-side error; watchdog errors are rewrapped with
+     *  the engine state dump appended so a stall shows where the engine
+     *  was parked. */
+    [[noreturn]] void RethrowShardError(std::exception_ptr error);
 
     /** Ordered last so its threads join before any state they touch dies. */
     std::unique_ptr<ChannelTeam> team_;

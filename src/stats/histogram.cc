@@ -74,8 +74,16 @@ Histogram::Percentile(double fraction) const
     PARBS_ASSERT(count_ > 0, "percentile of an empty histogram");
     PARBS_ASSERT(fraction > 0.0 && fraction <= 1.0,
                  "percentile fraction out of range");
-    const std::uint64_t needed = static_cast<std::uint64_t>(
-        fraction * static_cast<double>(count_) + 0.5);
+    // Rank of the requested percentile: ceil(fraction * count), with an
+    // epsilon guard so exactly-representable products (0.95 * 100) do not
+    // round up past their true rank.  Plain round-half-up under-ranked
+    // tail percentiles: with count = 1600 and two overflow samples, p99.9
+    // needs sample 1599 (overflow) but rounded to 1598 (regular bucket).
+    const double exact = fraction * static_cast<double>(count_);
+    std::uint64_t needed = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(needed) + 1e-9 < exact) {
+        needed += 1;
+    }
     std::uint64_t running = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         running += buckets_[i];
@@ -100,7 +108,8 @@ Histogram::PercentileSummary() const
     if (count_ == 0) {
         return {};
     }
-    return {Percentile(0.50), Percentile(0.95), Percentile(0.99), max_};
+    return {Percentile(0.50), Percentile(0.95), Percentile(0.99),
+            Percentile(0.999), max_};
 }
 
 std::string

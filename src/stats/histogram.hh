@@ -54,6 +54,7 @@ class Histogram {
         std::uint64_t p50 = 0;
         std::uint64_t p95 = 0;
         std::uint64_t p99 = 0;
+        std::uint64_t p999 = 0;
         std::uint64_t max = 0;
     };
 

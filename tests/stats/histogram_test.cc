@@ -100,6 +100,52 @@ TEST(Histogram, MixedRegularAndOverflowSamples)
     EXPECT_EQ(histogram.max(), 123456u);
 }
 
+TEST(Histogram, P999ReachesTheOverflowTail)
+{
+    // 1598 regular samples plus 2 overflow samples: p99.9 needs rank
+    // ceil(0.999 * 1600) = 1599, which is the first overflow sample.  The
+    // earlier round-half-up rank (1598) stopped one short, in the regular
+    // bucket, so p99.9 under-reported the tail by orders of magnitude.
+    Histogram histogram(8, 4);
+    for (int i = 0; i < 1598; ++i) {
+        histogram.Add(4); // bucket [0, 8)
+    }
+    histogram.Add(70000);
+    histogram.Add(90000);
+    EXPECT_EQ(histogram.overflow(), 2u);
+    EXPECT_EQ(histogram.Percentile(0.999), 90000u);
+    const Histogram::Summary summary = histogram.PercentileSummary();
+    EXPECT_EQ(summary.p50, 7u);
+    EXPECT_EQ(summary.p99, 7u);
+    EXPECT_EQ(summary.p999, 90000u);
+    EXPECT_EQ(summary.max, 90000u);
+}
+
+TEST(Histogram, P999MatchesMaxOnSmallCounts)
+{
+    // With fewer than 1000 samples p99.9 is the last sample by rank.
+    Histogram histogram(8, 4);
+    histogram.Add(3);
+    histogram.Add(13);
+    const Histogram::Summary summary = histogram.PercentileSummary();
+    EXPECT_EQ(summary.p999, 13u);
+    EXPECT_EQ(summary.max, 13u);
+}
+
+TEST(Histogram, ExactPercentileRanksDoNotRoundUp)
+{
+    // 0.95 * 100 is exactly representable as a rank; the epsilon guard in
+    // Percentile must not push it to 96.  Samples 1..100, one per value,
+    // bucket width 1: pN lands exactly on sample N.
+    Histogram histogram(1, 128);
+    for (std::uint64_t v = 1; v <= 100; ++v) {
+        histogram.Add(v);
+    }
+    EXPECT_EQ(histogram.Percentile(0.50), 50u);
+    EXPECT_EQ(histogram.Percentile(0.95), 95u);
+    EXPECT_EQ(histogram.Percentile(0.99), 99u);
+}
+
 TEST(Histogram, ClearResetsOverflowAndPercentileState)
 {
     Histogram histogram(8, 4);

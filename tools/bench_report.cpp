@@ -9,6 +9,7 @@
  *   bench_report --dir bench/out --check bench/golden [--wall-tolerance 0.2]
  *   bench_report --dir bench/out --prev perf/BENCH_results-pr3.json
  *   bench_report --dir bench/out --summary summary.md
+ *   bench_report --dir bench/out --engine
  *   bench_report --trace run.json
  *
  * --trace switches to a standalone mode that validates one Chrome
@@ -16,7 +17,19 @@
  * --trace on the experiment binaries): the JSON must parse, carry a
  * nonempty traceEvents array with well-formed events, and its request
  * spans must balance; a summary (event counts by category, sampler rows,
- * latency percentiles) is printed to stderr.
+ * latency percentiles) is printed to stderr.  Traces stamped with
+ * otherData.engine_profile must additionally carry the engine lanes
+ * (DESIGN.md §5h) and only the known engine track names.
+ *
+ * --engine reads the engine flight-recorder subtrees that bench_scale
+ * emits under env.engine (per-run phase timings) and prints one row per
+ * (config, scheduler): serial-tail fraction of the coordinator, mean
+ * worker utilization, and recorded window count.  When the same suite was
+ * run at several --channel-jobs values into the same --dir, rows sharing
+ * a label differ only in worker count N, so the mode also fits
+ * wall = a + b/N per label and reports the implied Amdahl ceiling
+ * (a+b)/a — the speedup the engine could reach with infinite workers.
+ * With --summary the table is appended as markdown.
  *
  * The check compares each file's deterministic "run" subtree exactly
  * (any metric drift fails) and its wall clock against the golden wall
@@ -456,6 +469,240 @@ WriteSummary(const std::string& path, const std::vector<ParetoRow>& rows,
     return true;
 }
 
+/**
+ * One engine flight-recorder row: the env.engine timing subtree a single
+ * (config, scheduler) run recorded (DESIGN.md §5h).
+ */
+struct EngineRow {
+    std::string label;        ///< "64 cores x 8 channels (1 rank)/PAR-BS"
+    double participants = 0.0;
+    double tail = 0.0;        ///< Coordinator serial-tail fraction.
+    double utilization = 0.0; ///< Mean worker busy fraction.
+    double windows = 0.0;     ///< Wall-timed window records kept.
+    double wall_seconds = 0.0; ///< Coordinator busy seconds (all phases).
+};
+
+/** Per-config least-squares fit of wall = a + b/N. */
+struct AmdahlFit {
+    std::string group;
+    std::size_t points = 0;
+    double serial = 0.0;    ///< a: wall left at N = infinity.
+    double parallel = 0.0;  ///< b: the part that scales away.
+    double ceiling = 0.0;   ///< (a+b)/a, or 0 when a is noise-negative.
+};
+
+/**
+ * Collects one EngineRow per env.engine entry of every benchmark in the
+ * aggregate @p report.  Benchmarks without engine output contribute
+ * nothing, so the mode degrades to an empty table on non-engine suites.
+ */
+std::vector<EngineRow>
+CollectEngineRows(const Value& report)
+{
+    std::vector<EngineRow> rows;
+    const Value* benchmarks = report.Find("benchmarks");
+    if (benchmarks == nullptr) {
+        return rows;
+    }
+    for (const Value& entry : benchmarks->items()) {
+        const Value* env = entry.Find("env");
+        const Value* engine = env != nullptr ? env->Find("engine") : nullptr;
+        if (engine == nullptr) {
+            continue;
+        }
+        for (const Value& item : engine->items()) {
+            const Value* label = item.Find("label");
+            const Value* timing = item.Find("engine");
+            if (label == nullptr || timing == nullptr) {
+                continue;
+            }
+            EngineRow row;
+            row.label = label->AsString();
+            const Value* participants = timing->Find("participants");
+            const Value* tail = timing->Find("serial_tail_fraction");
+            const Value* utilization = timing->Find("worker_utilization");
+            const Value* windows = timing->Find("windows_recorded");
+            row.participants =
+                participants != nullptr ? participants->AsNumber() : 0.0;
+            row.tail = tail != nullptr ? tail->AsNumber() : 0.0;
+            row.utilization =
+                utilization != nullptr ? utilization->AsNumber() : 0.0;
+            row.windows = windows != nullptr ? windows->AsNumber() : 0.0;
+            const Value* phases = timing->Find("phases");
+            if (phases != nullptr) {
+                for (const Value& phase : phases->items()) {
+                    const Value* participant = phase.Find("participant");
+                    const Value* seconds = phase.Find("seconds");
+                    if (participant != nullptr && seconds != nullptr &&
+                        participant->AsNumber() == 0.0) {
+                        row.wall_seconds += seconds->AsNumber();
+                    }
+                }
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+/**
+ * Fits wall = a + b * (1/N) per config label by least squares over the
+ * rows whose participant counts differ.  Within one label the simulated
+ * work is fixed, so N only varies when the same suite was run at several
+ * --channel-jobs values into the same --dir (the CI engine sweep); the
+ * intercept a is then the engine's serial floor and (a+b)/a its Amdahl
+ * speedup ceiling.  Labels without at least two distinct N are skipped —
+ * a single-sweep aggregate simply fits nothing.
+ */
+std::vector<AmdahlFit>
+FitAmdahl(const std::vector<EngineRow>& rows)
+{
+    std::vector<AmdahlFit> fits;
+    std::vector<std::string> groups;
+    for (const EngineRow& row : rows) {
+        if (std::find(groups.begin(), groups.end(), row.label) ==
+            groups.end()) {
+            groups.push_back(row.label);
+        }
+    }
+    for (const std::string& group : groups) {
+        double sum_x = 0.0;
+        double sum_y = 0.0;
+        double sum_xx = 0.0;
+        double sum_xy = 0.0;
+        std::size_t n = 0;
+        double first_participants = -1.0;
+        bool distinct = false;
+        for (const EngineRow& row : rows) {
+            if (row.label != group || row.participants <= 0.0 ||
+                row.wall_seconds <= 0.0) {
+                continue;
+            }
+            if (first_participants < 0.0) {
+                first_participants = row.participants;
+            } else if (row.participants != first_participants) {
+                distinct = true;
+            }
+            const double x = 1.0 / row.participants;
+            const double y = row.wall_seconds;
+            sum_x += x;
+            sum_y += y;
+            sum_xx += x * x;
+            sum_xy += x * y;
+            n += 1;
+        }
+        if (n < 2 || !distinct) {
+            continue;
+        }
+        const double denom =
+            static_cast<double>(n) * sum_xx - sum_x * sum_x;
+        if (denom == 0.0) {
+            continue;
+        }
+        AmdahlFit fit;
+        fit.group = group;
+        fit.points = n;
+        fit.parallel =
+            (static_cast<double>(n) * sum_xy - sum_x * sum_y) / denom;
+        fit.serial = (sum_y - fit.parallel * sum_x) / static_cast<double>(n);
+        fit.ceiling = fit.serial > 0.0
+                          ? (fit.serial + fit.parallel) / fit.serial
+                          : 0.0;
+        fits.push_back(std::move(fit));
+    }
+    return fits;
+}
+
+/** Prints the engine table and the Amdahl fits to stderr. */
+void
+PrintEngineTable(const std::vector<EngineRow>& rows,
+                 const std::vector<AmdahlFit>& fits)
+{
+    if (rows.empty()) {
+        std::fprintf(stderr,
+                     "bench_report: --engine found no env.engine data "
+                     "(run bench_scale with --engine)\n");
+        return;
+    }
+    std::fprintf(stderr, "engine %-42s %4s %10s %10s %8s %9s\n",
+                 "config/scheduler", "N", "tail", "util", "windows",
+                 "wall");
+    for (const EngineRow& row : rows) {
+        std::fprintf(stderr,
+                     "engine %-42s %4.0f %9.1f%% %9.1f%% %8.0f %8.3fs\n",
+                     row.label.c_str(), row.participants, row.tail * 100.0,
+                     row.utilization * 100.0, row.windows,
+                     row.wall_seconds);
+    }
+    for (const AmdahlFit& fit : fits) {
+        if (fit.ceiling > 0.0) {
+            std::fprintf(stderr,
+                         "amdahl %-42s serial %.3fs + parallel %.3fs "
+                         "-> ceiling %.1fx (%zu points)\n",
+                         fit.group.c_str(), fit.serial, fit.parallel,
+                         fit.ceiling, fit.points);
+        } else {
+            std::fprintf(stderr,
+                         "amdahl %-42s no measurable serial floor "
+                         "(%zu points)\n",
+                         fit.group.c_str(), fit.points);
+        }
+    }
+}
+
+/** Appends the engine table and Amdahl fits as markdown to @p path. */
+bool
+AppendEngineSummary(const std::string& path,
+                    const std::vector<EngineRow>& rows,
+                    const std::vector<AmdahlFit>& fits)
+{
+    if (rows.empty()) {
+        return true;
+    }
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        std::fprintf(stderr, "bench_report: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << "## Engine flight recorder — phase timings\n\n";
+    out << "| config / scheduler | workers | serial tail | worker util | "
+           "windows | coordinator wall |\n";
+    out << "|---|---|---|---|---|---|\n";
+    char line[256];
+    for (const EngineRow& row : rows) {
+        std::snprintf(line, sizeof(line),
+                      "| %s | %.0f | %.1f%% | %.1f%% | %.0f | %.3fs |\n",
+                      row.label.c_str(), row.participants, row.tail * 100.0,
+                      row.utilization * 100.0, row.windows,
+                      row.wall_seconds);
+        out << line;
+    }
+    out << "\n";
+    if (!fits.empty()) {
+        out << "### Fitted Amdahl ceiling (wall = a + b/N)\n\n";
+        out << "| group | points | serial a | parallel b | ceiling |\n";
+        out << "|---|---|---|---|---|\n";
+        for (const AmdahlFit& fit : fits) {
+            if (fit.ceiling > 0.0) {
+                std::snprintf(line, sizeof(line),
+                              "| %s | %zu | %.3fs | %.3fs | %.1fx |\n",
+                              fit.group.c_str(), fit.points, fit.serial,
+                              fit.parallel, fit.ceiling);
+            } else {
+                std::snprintf(line, sizeof(line),
+                              "| %s | %zu | — | — | no serial floor |\n",
+                              fit.group.c_str(), fit.points);
+            }
+            out << line;
+        }
+        out << "\n";
+    }
+    std::fprintf(stderr, "bench_report: appended engine summary to %s\n",
+                 path.c_str());
+    return true;
+}
+
 /** Short display form of a scalar JSON value for diff lines. */
 std::string
 ScalarRepr(const Value& value)
@@ -637,6 +884,13 @@ ValidateTrace(const std::string& path)
         return 1;
     }
 
+    // The engine flight recorder's track names (DESIGN.md §5h): anything
+    // else under the "engine" category is an exporter bug.
+    constexpr const char* kEngineTracks[] = {
+        "engine", "window", "core", "channels",
+        "publish", "merge", "work", "engine window",
+    };
+
     bool ok = true;
     std::size_t spans_begin = 0;
     std::size_t spans_end = 0;
@@ -644,6 +898,7 @@ ValidateTrace(const std::string& path)
     std::size_t counters = 0;
     std::size_t complete = 0;
     std::size_t metadata = 0;
+    std::size_t engine_events = 0;
     std::uint64_t last_ts = 0;
     for (const Value& event : events->items()) {
         const Value* ph = event.Find("ph");
@@ -660,6 +915,21 @@ ValidateTrace(const std::string& path)
         if (phase == "M") {
             metadata += 1;
             continue;
+        }
+        const Value* cat = event.Find("cat");
+        if (cat != nullptr && cat->AsString() == "engine") {
+            engine_events += 1;
+            if (std::none_of(std::begin(kEngineTracks),
+                             std::end(kEngineTracks),
+                             [&name](const char* track) {
+                                 return name->AsString() == track;
+                             })) {
+                std::fprintf(stderr,
+                             "FAIL %s: unknown engine track \"%s\"\n",
+                             path.c_str(), name->AsString().c_str());
+                ok = false;
+                break;
+            }
         }
         const Value* ts = event.Find("ts");
         if (ts == nullptr) {
@@ -716,13 +986,36 @@ ValidateTrace(const std::string& path)
         dropped = static_cast<std::uint64_t>(dropped_node->AsNumber());
     }
 
+    // A trace stamped as engine-profiled must carry the engine lanes (at
+    // minimum the whole-run summary span), and engine events must never
+    // appear without the stamp — either way the exporter and the profiler
+    // disagree about whether the flight recorder was on.
+    const Value* engine_flag =
+        other != nullptr ? other->Find("engine_profile") : nullptr;
+    const bool engine_profiled =
+        engine_flag != nullptr && engine_flag->AsBool();
+    if (engine_profiled && engine_events == 0) {
+        std::fprintf(stderr,
+                     "FAIL %s: otherData.engine_profile set but no "
+                     "engine-category events\n",
+                     path.c_str());
+        ok = false;
+    }
+    if (!engine_profiled && engine_events > 0) {
+        std::fprintf(stderr,
+                     "FAIL %s: %zu engine events without "
+                     "otherData.engine_profile\n",
+                     path.c_str(), engine_events);
+        ok = false;
+    }
+
     std::fprintf(stderr,
                  "trace %s: %zu events (%zu+%zu spans, %zu instants, "
-                 "%zu counters, %zu complete, %zu metadata), last ts %llu, "
-                 "%llu dropped, %zu sampler rows\n",
+                 "%zu counters, %zu complete, %zu metadata, %zu engine), "
+                 "last ts %llu, %llu dropped, %zu sampler rows\n",
                  path.c_str(),
                  events->items().size(), spans_begin, spans_end, instants,
-                 counters, complete, metadata,
+                 counters, complete, metadata, engine_events,
                  static_cast<unsigned long long>(last_ts),
                  static_cast<unsigned long long>(dropped), sample_rows);
 
@@ -755,6 +1048,7 @@ main(int argc, char** argv)
     std::string trace_path;
     std::string summary_path;
     double wall_tolerance = 0.20;
+    bool engine = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -772,11 +1066,13 @@ main(int argc, char** argv)
             summary_path = argv[++i];
         } else if (arg == "--wall-tolerance" && i + 1 < argc) {
             wall_tolerance = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--engine") {
+            engine = true;
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: %s [--dir DIR] [--out PATH] "
                          "[--check GOLDEN_DIR] [--prev REPORT] "
-                         "[--summary PATH] [--trace FILE] "
+                         "[--summary PATH] [--trace FILE] [--engine] "
                          "[--wall-tolerance F]\n",
                          argv[0]);
             return 0;
@@ -837,6 +1133,14 @@ main(int argc, char** argv)
     const std::vector<ParetoRow> pareto = CollectParetoRows(report);
     PrintParetoTable(pareto);
 
+    std::vector<EngineRow> engine_rows;
+    std::vector<AmdahlFit> engine_fits;
+    if (engine) {
+        engine_rows = CollectEngineRows(report);
+        engine_fits = FitAmdahl(engine_rows);
+        PrintEngineTable(engine_rows, engine_fits);
+    }
+
     std::vector<SpeedupLine> speedups;
     if (!prev_path.empty()) {
         Value prev;
@@ -848,6 +1152,10 @@ main(int argc, char** argv)
 
     if (!summary_path.empty() &&
         !WriteSummary(summary_path, pareto, speedups)) {
+        return 2;
+    }
+    if (engine && !summary_path.empty() &&
+        !AppendEngineSummary(summary_path, engine_rows, engine_fits)) {
         return 2;
     }
 

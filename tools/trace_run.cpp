@@ -7,6 +7,14 @@
  *
  *   trace_run --out run.json [--cores N] [--cycles N]
  *             [--scheduler NAME] [--interval N] [--seed N]
+ *             [--engine] [--channel-jobs N]
+ *
+ * --engine turns on the engine flight recorder (DESIGN.md §5h): the
+ * written trace gains the synthetic "engine" process with coordinator /
+ * worker / window lanes.  The wall-timed window spans only exist when the
+ * run is sharded, so pair it with --channel-jobs (0 = all hardware
+ * threads); a serial run still records the deterministic counters and the
+ * whole-run summary span.
  *
  * NAME is any registry display name (FR-FCFS, FCFS, NFQ, STFM, PAR-BS,
  * BLISS, ...) matched case-insensitively with punctuation ignored, so
@@ -37,7 +45,8 @@ Usage(const char* argv0, int status)
 {
     std::fprintf(stderr,
                  "usage: %s --out PATH [--cores N] [--cycles N] "
-                 "[--scheduler NAME] [--interval N] [--seed N]\n"
+                 "[--scheduler NAME] [--interval N] [--seed N] "
+                 "[--engine] [--channel-jobs N]\n"
                  "NAME: any registered scheduler (FR-FCFS, FCFS, NFQ, STFM, "
                  "PAR-BS, BLISS, ...); case and punctuation are ignored, so "
                  "parbs, frfcfs, bliss also work.\n"
@@ -103,6 +112,8 @@ main(int argc, char** argv)
     parbs::SchedulerKind kind = parbs::SchedulerKind::kParBs;
     parbs::DramCycle interval = 1024;
     std::uint64_t seed = 1;
+    bool engine = false;
+    unsigned channel_jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -123,6 +134,11 @@ main(int argc, char** argv)
             interval = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--engine") {
+            engine = true;
+        } else if (arg == "--channel-jobs" && i + 1 < argc) {
+            channel_jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--help" || arg == "-h") {
             return Usage(argv[0], 0);
         } else {
@@ -144,6 +160,7 @@ main(int argc, char** argv)
     experiment.cores = cores;
     experiment.run_cycles = cycles;
     experiment.seed = seed;
+    experiment.channel_jobs = channel_jobs;
 
     parbs::SchedulerConfig scheduler;
     scheduler.kind = kind;
@@ -152,6 +169,7 @@ main(int argc, char** argv)
         experiment.MakeSystemConfig(scheduler);
     system_config.observability.trace = true;
     system_config.observability.sample_interval = interval;
+    system_config.observability.engine_profile = engine;
 
     const parbs::WorkloadSpec workload = WorkloadFor(cores);
     parbs::ExperimentRunner runner(experiment);
